@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *  A. construction precision — read/write sets during token insertion
+ *     (§3.3) versus the coarse program-order chain recovered later by
+ *     §4.3 (the paper: "the programs benefited most from using pointer
+ *     analysis to reduce token edges during construction");
+ *  B. `#pragma independent` — the paper's §7.1 claim that a handful of
+ *     pragmas is "extremely effective in aiding optimization";
+ *  C. the individual §6 pipelining transforms, isolated — the paper's
+ *     closing observation that the optimizations compose
+ *     super-linearly.
+ */
+#include "bench_util.h"
+#include "support/strings.h"
+
+using namespace cash;
+
+namespace {
+
+/** Kernel source with all pragma lines removed. */
+std::string
+stripPragmas(const std::string& src)
+{
+    std::string out;
+    for (const std::string& line : split(src, '\n'))
+        if (trim(line).rfind("#pragma", 0) != 0)
+            out += line + "\n";
+    return out;
+}
+
+uint64_t
+cyclesWith(const Kernel& k, const CompileOptions& co,
+           const MemConfig& mem)
+{
+    CompileResult r = compileSource(k.source, co);
+    DataflowSimulator sim(r.graphPtrs(), *r.layout, mem);
+    return sim.run(k.entry, k.args).cycles;
+}
+
+void
+ablationConstruction()
+{
+    std::printf("A. token construction: coarse program-order chain vs "
+                "read/write sets (§3.3),\n   both followed by the full "
+                "§4-§6 pipeline (2-port realistic memory)\n\n");
+    std::printf("%-12s %12s %12s %8s\n", "kernel", "coarse(cyc)",
+                "rwsets(cyc)", "ratio");
+    benchutil::rule(48);
+    MemConfig mem = MemConfig::realistic(2);
+    for (const char* name :
+         {"saxpy", "dct", "fir", "adpcm", "stencil", "quant"}) {
+        const Kernel& k = kernelByName(name);
+        CompileOptions coarse;
+        coarse.level = OptLevel::Full;
+        coarse.pointsToInConstruction = false;
+        CompileOptions precise;
+        precise.level = OptLevel::Full;
+        uint64_t c = cyclesWith(k, coarse, mem);
+        uint64_t p = cyclesWith(k, precise, mem);
+        std::printf("%-12s %12llu %12llu %8s\n", name,
+                    static_cast<unsigned long long>(c),
+                    static_cast<unsigned long long>(p),
+                    fmtDouble(static_cast<double>(c) /
+                                  static_cast<double>(p),
+                              2)
+                        .c_str());
+    }
+    std::printf("\nWith a single coarse chain every access lands in one "
+                "partition, so the §6 ring\ntransforms lose their "
+                "per-object structure even after §4.3 removes edges — "
+                "the\npaper's reason for folding pointer analysis into "
+                "construction.\n\n");
+}
+
+void
+ablationPragmas()
+{
+    std::printf("B. #pragma independent on vs stripped "
+                "(2-port realistic memory)\n\n");
+    std::printf("%-12s %8s %14s %14s %8s\n", "kernel", "pragmas",
+                "with (cyc)", "without (cyc)", "gain");
+    benchutil::rule(62);
+    MemConfig mem = MemConfig::realistic(2);
+    for (const Kernel& k : kernelSuite()) {
+        if (k.pragmas == 0)
+            continue;
+        CompileOptions co;
+        co.level = OptLevel::Full;
+        uint64_t with = cyclesWith(k, co, mem);
+        Kernel stripped = k;
+        stripped.source = stripPragmas(k.source);
+        uint64_t without = cyclesWith(stripped, co, mem);
+        std::printf("%-12s %8d %14llu %14llu %8s\n", k.name.c_str(),
+                    k.pragmas, static_cast<unsigned long long>(with),
+                    static_cast<unsigned long long>(without),
+                    fmtDouble(static_cast<double>(without) /
+                                  static_cast<double>(with),
+                              2)
+                        .c_str());
+    }
+    std::printf("\nWithout the pragmas, pointer parameters may alias "
+                "every exposed object, the\npartitions collapse and "
+                "pipelining serializes — the paper: \"for a few "
+                "programs\nthese pragmas are extremely effective in "
+                "aiding optimization\".\n\n");
+}
+
+void
+ablationCompose()
+{
+    std::printf("C. composition: Medium alone, Full-without-§6, and "
+                "Full (figure12 kernel,\n   2-port realistic "
+                "memory)\n\n");
+    Kernel k;
+    k.source = figure12Source();
+    k.entry = "fig12_run";
+    k.args = {1024};
+    MemConfig mem = MemConfig::realistic(2);
+    CompileOptions none;
+    none.level = OptLevel::None;
+    CompileOptions medium;
+    medium.level = OptLevel::Medium;
+    CompileOptions fullO;
+    fullO.level = OptLevel::Full;
+    uint64_t cn = cyclesWith(k, none, mem);
+    uint64_t cm = cyclesWith(k, medium, mem);
+    uint64_t cf = cyclesWith(k, fullO, mem);
+    std::printf("  none:   %8llu cycles\n",
+                static_cast<unsigned long long>(cn));
+    std::printf("  medium: %8llu cycles (%.2fx)\n",
+                static_cast<unsigned long long>(cm),
+                static_cast<double>(cn) / static_cast<double>(cm));
+    std::printf("  full:   %8llu cycles (%.2fx)\n",
+                static_cast<unsigned long long>(cf),
+                static_cast<double>(cn) / static_cast<double>(cf));
+    std::printf("\nDisambiguation alone (medium) unlocks the monotone "
+                "a-stream; adding §5\nforwarding and §6 decoupling "
+                "unlocks the b-stream too — \"more powerful than\n"
+                "simply the product of their individual effect\".\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation studies over the reproduction's design "
+                "choices\n");
+    benchutil::rule(64);
+    std::printf("\n");
+    ablationConstruction();
+    ablationPragmas();
+    ablationCompose();
+    return 0;
+}

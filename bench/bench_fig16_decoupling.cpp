@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces the §6.3 loop-decoupling experiment (Figures 15-17): a
+ * loop whose accesses carry a constant dependence distance is sliced
+ * into independent loops whose slip is bounded at run time by a token
+ * generator tk(n).
+ *
+ * Workloads: the distance-3 stencil (the paper's a[i]/a[i+3] shape)
+ * and sweeps of the dependence distance, demonstrating that larger
+ * distances permit more slip and hence more memory-level parallelism.
+ * Also confirms the paper's observation that the transformation is
+ * *rarely applicable*: across the whole kernel suite only a couple of
+ * loops qualify.
+ */
+#include "bench_util.h"
+
+using namespace cash;
+
+namespace {
+
+std::string
+stencilSource(int distance)
+{
+    std::string d = std::to_string(distance);
+    return R"(
+int cells[8192];
+int stencil(int n)
+{
+    int i;
+    for (i = 0; i + )" + d + R"( < n; i++)
+        cells[i + )" + d + R"(] = (cells[i] + cells[i + )" + d +
+           R"(]) >> 1;
+    return cells[n - 1];
+}
+int stencil_run(int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        cells[i] = i * 37 % 256;
+    return stencil(n);
+}
+)";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figures 15-17: loop decoupling with token generators "
+                "tk(d)\n(realistic dual-ported memory, distance-d "
+                "stencil, n = 4096)\n\n");
+    std::printf("%-10s %12s %12s %9s %10s\n", "distance", "medium(cyc)",
+                "full (cyc)", "full x", "tokengens");
+    benchutil::rule(58);
+
+    for (int d : {1, 2, 3, 4, 8}) {
+        Kernel k;
+        k.source = stencilSource(d);
+        k.entry = "stencil_run";
+        k.args = {4096};
+        MemConfig mem = MemConfig::realistic(2);
+        SimResult rm = benchutil::runKernel(k, OptLevel::Medium, mem);
+        SimResult rf = benchutil::runKernel(k, OptLevel::Full, mem);
+        CompileResult full =
+            benchutil::compileKernel(k, OptLevel::Full);
+        int64_t tks = full.stats.get("opt.ring_split.tokengens");
+        double speed = static_cast<double>(rm.cycles) /
+                       static_cast<double>(rf.cycles ? rf.cycles : 1);
+        std::printf("%-10d %12llu %12llu %9s %10lld\n", d,
+                    static_cast<unsigned long long>(rm.cycles),
+                    static_cast<unsigned long long>(rf.cycles),
+                    fmtDouble(speed, 2).c_str(),
+                    static_cast<long long>(tks));
+    }
+    benchutil::rule(58);
+
+    // Applicability across the suite (paper: 28 loops in all of
+    // MediaBench+SPEC — i.e. rarely).
+    int applicable = 0;
+    for (const Kernel& k : kernelSuite()) {
+        CompileResult r = benchutil::compileKernel(k, OptLevel::Full);
+        if (r.stats.get("opt.loop_decoupling.loops") > 0)
+            applicable++;
+    }
+    std::printf("\nkernels where loop decoupling applied: %d of %zu "
+                "(paper: 28 loops across\nits whole suite — the "
+                "transformation is powerful but rarely applicable,\n"
+                "\"more applicable to Fortran-type loops\").\n",
+                applicable, kernelSuite().size());
+    return 0;
+}

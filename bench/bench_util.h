@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Each bench binary regenerates one table or figure of the paper's
+ * evaluation (§7): it compiles the kernel suite at the relevant
+ * optimization levels, runs the spatial simulator on the relevant
+ * memory systems, and prints the same rows/series the paper reports.
+ */
+#ifndef CASH_BENCH_BENCH_UTIL_H
+#define CASH_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchsuite/kernels.h"
+#include "driver/compiler.h"
+#include "sim/dataflow_sim.h"
+#include "support/strings.h"
+
+namespace cash {
+namespace benchutil {
+
+/** Compile @p k at @p level (verification on). */
+inline CompileResult
+compileKernel(const Kernel& k, OptLevel level)
+{
+    CompileOptions co;
+    co.level = level;
+    return compileSource(k.source, co);
+}
+
+/** Compile and simulate @p k; returns the SimResult. */
+inline SimResult
+runKernel(const Kernel& k, OptLevel level, const MemConfig& mem)
+{
+    CompileResult r = compileKernel(k, level);
+    DataflowSimulator sim(r.graphPtrs(), *r.layout, mem);
+    return sim.run(k.entry, k.args);
+}
+
+/** printf a horizontal rule of @p width characters. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; i++)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+inline std::string
+pct(int64_t removed, int64_t total)
+{
+    if (total == 0)
+        return "0.0%";
+    return fmtDouble(100.0 * static_cast<double>(removed) /
+                         static_cast<double>(total),
+                     1) +
+           "%";
+}
+
+} // namespace benchutil
+} // namespace cash
+
+#endif // CASH_BENCH_BENCH_UTIL_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Demonstrates loop decoupling (§6.3, Figures 15-17): the distance-3
+ * recurrence
+ *
+ *     for (i = 0; i+3 < n; i++)
+ *         a[i+3] = (a[i] + a[i+3]) >> 1;
+ *
+ * is sliced so the a[i] reads may run up to three iterations ahead of
+ * the a[i+3] writes, with a token generator tk(3) bounding the slip at
+ * run time.
+ */
+#include <cstdio>
+
+#include "benchsuite/kernels.h"
+#include "driver/compiler.h"
+#include "pegasus/dot.h"
+#include "sim/dataflow_sim.h"
+
+using namespace cash;
+
+int
+main()
+{
+    std::string src = decouplingExampleSource();
+
+    std::printf("Loop decoupling on the distance-3 stencil "
+                "(paper §6.3):\n\n");
+
+    CompileOptions medium;
+    medium.level = OptLevel::Medium;
+    CompileResult rm = compileSource(src, medium);
+
+    CompileOptions full;
+    full.level = OptLevel::Full;
+    CompileResult rf = compileSource(src, full);
+
+    // Count the token generators the transformation inserted.
+    int tokengens = 0;
+    rf.graph("stencil")->forEach([&](Node* n) {
+        if (n->kind == NodeKind::TokenGen) {
+            std::printf("  inserted tk(%d): slip bound between the "
+                        "a[i] read and the a[i+3] write\n",
+                        n->tkCount);
+            tokengens++;
+        }
+    });
+    if (!tokengens)
+        std::printf("  (no token generator inserted — check "
+                    "optimization pipeline)\n");
+
+    for (int ports : {1, 2, 4}) {
+        MemConfig mem = MemConfig::realistic(ports);
+        DataflowSimulator simM(rm.graphPtrs(), *rm.layout, mem);
+        SimResult m = simM.run("stencil_run", {4096});
+        DataflowSimulator simF(rf.graphPtrs(), *rf.layout, mem);
+        SimResult f = simF.run("stencil_run", {4096});
+        std::printf("%d-port memory: serialized ring %8llu cycles | "
+                    "decoupled %8llu cycles | %.2fx\n",
+                    ports, static_cast<unsigned long long>(m.cycles),
+                    static_cast<unsigned long long>(f.cycles),
+                    static_cast<double>(m.cycles) /
+                        static_cast<double>(f.cycles));
+        if (m.returnValue != f.returnValue) {
+            std::printf("MISMATCH: %u vs %u\n", m.returnValue,
+                        f.returnValue);
+            return 1;
+        }
+    }
+
+    std::printf("\nThe token generator emits its %d initial tokens "
+                "immediately, so the read\nloop starts %d iterations "
+                "ahead; afterwards each write completion releases\n"
+                "one more read.  The leading loop may slip arbitrarily "
+                "far ahead (surplus\ntokens accumulate in the "
+                "generator's counter).\n",
+                3, 3);
+    return 0;
+}

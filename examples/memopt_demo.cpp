@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Walks through the paper's §2 motivating example, showing the
+ * optimization steps of Figure 1: token-edge removal by address
+ * disambiguation (A→B), load-after-store forwarding through a mux
+ * (B→C), and store-before-store elimination (C→D).
+ */
+#include <cstdio>
+
+#include "benchsuite/kernels.h"
+#include "driver/compiler.h"
+#include "pegasus/dot.h"
+#include "sim/dataflow_sim.h"
+
+using namespace cash;
+
+namespace {
+
+void
+census(const CompileResult& r, const char* when)
+{
+    const Graph* g = r.graph("f");
+    int loads = 0, stores = 0, muxes = 0, combines = 0;
+    g->forEach([&](Node* n) {
+        switch (n->kind) {
+          case NodeKind::Load: loads++; break;
+          case NodeKind::Store: stores++; break;
+          case NodeKind::Mux: muxes++; break;
+          case NodeKind::Combine: combines++; break;
+          default: break;
+        }
+    });
+    std::printf("%-38s loads=%d stores=%d muxes=%d combines=%d\n",
+                when, loads, stores, muxes, combines);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf(
+        "The paper's motivating example (Section 2):\n\n"
+        "    void f(unsigned* p, unsigned a[], int i) {\n"
+        "        if (p) a[i] += *p;\n"
+        "        else   a[i] = 1;\n"
+        "        a[i] <<= a[i+1];\n"
+        "    }\n\n"
+        "a[i] is used as a temporary; the intermediate stores and the\n"
+        "re-load of a[i] are redundant.  Of seven production compilers\n"
+        "the paper tested, only CASH and IBM's AIX cc removed all "
+        "three.\n\n");
+
+    std::string src = section2ExampleSource();
+
+    CompileOptions none;
+    none.level = OptLevel::None;
+    CompileResult a = compileSource(src, none);
+    census(a, "Figure 1A (program-order tokens):");
+
+    CompileOptions medium;
+    medium.level = OptLevel::Medium;
+    CompileResult b = compileSource(src, medium);
+    census(b, "Figure 1B (a[i] / a[i+1] disambiguated):");
+
+    CompileOptions full;
+    full.level = OptLevel::Full;
+    CompileResult d = compileSource(src, full);
+    census(d, "Figure 1D (forwarding + dead stores):");
+
+    std::printf(
+        "\nIn the final graph the two conditional stores are gone: "
+        "their values meet at\na decoded multiplexor (controlled by "
+        "the stores' predicates, exactly Figure 1C)\nthat feeds the "
+        "single remaining store for `a[i] <<= a[i+1]`.\n\n");
+
+    std::printf("--- final Pegasus graph of f (Graphviz) ---\n%s\n",
+                toDot(*d.graph("f")).c_str());
+
+    // Execute both control paths to show the rewrite is functional.
+    for (uint32_t useNull : {0u, 1u}) {
+        DataflowSimulator sim(d.graphPtrs(), *d.layout,
+                              MemConfig::perfectMemory());
+        SimResult out = sim.run("memopt_run", {useNull});
+        std::printf("memopt_run(%u) = %u  (%llu cycles)\n", useNull,
+                    out.returnValue,
+                    static_cast<unsigned long long>(out.cycles));
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Explores how memory-system parameters interact with the compiler's
+ * pipelining (§7.3): sweeps LSQ ports, cache sizes and optimization
+ * levels over a streaming kernel and prints a cycle/bandwidth matrix.
+ *
+ *   usage: example_pipeline_explorer [kernel] [n]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "benchsuite/kernels.h"
+#include "driver/compiler.h"
+#include "sim/dataflow_sim.h"
+
+using namespace cash;
+
+int
+main(int argc, char** argv)
+{
+    std::string name = argc > 1 ? argv[1] : "saxpy";
+    const Kernel& k = kernelByName(name);
+    std::vector<uint32_t> args = k.args;
+    if (argc > 2)
+        args[0] = static_cast<uint32_t>(std::atoi(argv[2]));
+
+    std::printf("pipeline explorer: kernel '%s' (%s)\n\n", name.c_str(),
+                k.description.c_str());
+
+    struct LevelRow
+    {
+        const char* name;
+        OptLevel level;
+    };
+    const LevelRow levels[] = {
+        {"none", OptLevel::None},
+        {"medium", OptLevel::Medium},
+        {"full", OptLevel::Full},
+    };
+
+    std::printf("%-8s %-12s %10s %10s %10s %10s\n", "opt", "memory",
+                "cycles", "dynLoads", "l1miss", "portStall");
+    for (const LevelRow& lvl : levels) {
+        CompileOptions co;
+        co.level = lvl.level;
+        CompileResult r = compileSource(k.source, co);
+        for (int ports : {1, 2, 4, 8}) {
+            MemConfig mem = MemConfig::realistic(ports);
+            DataflowSimulator sim(r.graphPtrs(), *r.layout, mem);
+            SimResult out = sim.run(k.entry, args);
+            std::printf("%-8s %-12s %10llu %10lld %10lld %10lld\n",
+                        lvl.name, mem.name.c_str(),
+                        static_cast<unsigned long long>(out.cycles),
+                        static_cast<long long>(
+                            out.stats.get("sim.dynLoads")),
+                        static_cast<long long>(
+                            out.stats.get("sim.mem.l1.misses")),
+                        static_cast<long long>(
+                            out.stats.get("sim.mem.lsq.portStalls")));
+        }
+        // Perfect memory bound.
+        DataflowSimulator ideal(r.graphPtrs(), *r.layout,
+                                MemConfig::perfectMemory());
+        SimResult best = ideal.run(k.entry, args);
+        std::printf("%-8s %-12s %10llu\n", lvl.name, "perfect",
+                    static_cast<unsigned long long>(best.cycles));
+    }
+
+    std::printf("\nReading the matrix: unoptimized spatial code "
+                "serializes memory operations\nthrough one token "
+                "chain, so extra ports are wasted; after pipelining, "
+                "cycles\ntrack available bandwidth — the paper's "
+                "\"even small amounts of bandwidth can\nbe utilized "
+                "quite effectively\".\n");
+    return 0;
+}

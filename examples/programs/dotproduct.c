@@ -1,0 +1,23 @@
+/* Sample program for the cashc command-line driver. */
+int xs[256];
+int ys[256];
+
+int dot(int* a, int* b, int n)
+{
+    #pragma independent a b
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+int run(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        xs[i] = i + 1;
+        ys[i] = 2 * i + 1;
+    }
+    return dot(xs, ys, n);
+}

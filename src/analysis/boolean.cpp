@@ -1,0 +1,135 @@
+#include "analysis/boolean.h"
+
+namespace cash {
+
+namespace {
+
+constexpr int kDepthLimit = 16;
+
+PortRef
+strip(PortRef p)
+{
+    while (p.valid() && p.node->kind == NodeKind::Arith &&
+           p.node->op == Op::Copy)
+        p = p.node->input(0);
+    return p;
+}
+
+bool
+isNotOf(PortRef p, PortRef q)
+{
+    p = strip(p);
+    q = strip(q);
+    if (p.node->kind == NodeKind::Arith && p.node->op == Op::NotBool &&
+        strip(p.node->input(0)) == q)
+        return true;
+    if (q.node->kind == NodeKind::Arith && q.node->op == Op::NotBool &&
+        strip(q.node->input(0)) == p)
+        return true;
+    return false;
+}
+
+bool impliesRec(PortRef p, PortRef q, int depth);
+
+bool
+disjointRec(PortRef p, PortRef q, int depth)
+{
+    if (depth > kDepthLimit)
+        return false;
+    p = strip(p);
+    q = strip(q);
+    if (isFalsePred(p) || isFalsePred(q))
+        return true;
+    if (isNotOf(p, q))
+        return true;
+    // p = a ∧ b: disjoint(q) if either conjunct is disjoint from q.
+    if (p.node->kind == NodeKind::Arith && p.node->op == Op::And) {
+        if (disjointRec(p.node->input(0), q, depth + 1) ||
+            disjointRec(p.node->input(1), q, depth + 1))
+            return true;
+    }
+    if (q.node->kind == NodeKind::Arith && q.node->op == Op::And) {
+        if (disjointRec(q.node->input(0), p, depth + 1) ||
+            disjointRec(q.node->input(1), p, depth + 1))
+            return true;
+    }
+    // p = a ∨ b: disjoint(q) iff both are.
+    if (p.node->kind == NodeKind::Arith && p.node->op == Op::Or) {
+        if (disjointRec(p.node->input(0), q, depth + 1) &&
+            disjointRec(p.node->input(1), q, depth + 1))
+            return true;
+    }
+    if (q.node->kind == NodeKind::Arith && q.node->op == Op::Or) {
+        if (disjointRec(q.node->input(0), p, depth + 1) &&
+            disjointRec(q.node->input(1), p, depth + 1))
+            return true;
+    }
+    return false;
+}
+
+bool
+impliesRec(PortRef p, PortRef q, int depth)
+{
+    if (depth > kDepthLimit)
+        return false;
+    p = strip(p);
+    q = strip(q);
+    if (p == q)
+        return true;
+    if (isTruePred(q) || isFalsePred(p))
+        return true;
+    // p = a ∧ b implies q if either conjunct does.
+    if (p.node->kind == NodeKind::Arith && p.node->op == Op::And) {
+        if (impliesRec(p.node->input(0), q, depth + 1) ||
+            impliesRec(p.node->input(1), q, depth + 1))
+            return true;
+    }
+    // q = a ∨ b is implied if p implies either disjunct.
+    if (q.node->kind == NodeKind::Arith && q.node->op == Op::Or) {
+        if (impliesRec(p, q.node->input(0), depth + 1) ||
+            impliesRec(p, q.node->input(1), depth + 1))
+            return true;
+    }
+    // p = a ∨ b implies q iff both disjuncts do.
+    if (p.node->kind == NodeKind::Arith && p.node->op == Op::Or) {
+        if (impliesRec(p.node->input(0), q, depth + 1) &&
+            impliesRec(p.node->input(1), q, depth + 1))
+            return true;
+    }
+    // q = ¬r: p implies q iff p and r are disjoint.
+    if (q.node->kind == NodeKind::Arith && q.node->op == Op::NotBool) {
+        if (disjointRec(p, q.node->input(0), depth + 1))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isTruePred(PortRef p)
+{
+    p = strip(p);
+    return p.node->kind == NodeKind::Const && p.node->constValue != 0;
+}
+
+bool
+isFalsePred(PortRef p)
+{
+    p = strip(p);
+    return p.node->kind == NodeKind::Const && p.node->constValue == 0;
+}
+
+bool
+predImplies(PortRef p, PortRef q)
+{
+    return impliesRec(p, q, 0);
+}
+
+bool
+predDisjoint(PortRef p, PortRef q)
+{
+    return disjointRec(p, q, 0);
+}
+
+} // namespace cash

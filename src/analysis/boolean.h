@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural boolean reasoning on predicate networks (paper §5: "our
+ * algorithms rely on boolean manipulation of the controlling
+ * predicates").
+ */
+#ifndef CASH_ANALYSIS_BOOLEAN_H
+#define CASH_ANALYSIS_BOOLEAN_H
+
+#include "pegasus/graph.h"
+
+namespace cash {
+
+/** Is @p p the constant true (false) predicate? */
+bool isTruePred(PortRef p);
+bool isFalsePred(PortRef p);
+
+/**
+ * Does @p p imply @p q (whenever p is 1, q is 1)?  Sound but
+ * incomplete: structural rules over And/Or/Not with a depth bound.
+ * Used for store post-dominance (§5.2: "each predicate of an earlier
+ * store implies the predicate of the latter one").
+ */
+bool predImplies(PortRef p, PortRef q);
+
+/**
+ * Are @p p and @p q disjoint (never simultaneously 1)?  Sound but
+ * incomplete.
+ */
+bool predDisjoint(PortRef p, PortRef q);
+
+} // namespace cash
+
+#endif // CASH_ANALYSIS_BOOLEAN_H

@@ -1,0 +1,95 @@
+#include "analysis/induction.h"
+
+namespace cash {
+
+namespace {
+
+/** Strip value-preserving wrappers (Copy arith). */
+PortRef
+stripCopies(PortRef v)
+{
+    while (v.valid() && v.node->kind == NodeKind::Arith &&
+           v.node->op == Op::Copy)
+        v = v.node->input(0);
+    return v;
+}
+
+} // namespace
+
+InductionAnalysis::InductionAnalysis(const Graph& g)
+{
+    g.forEach([&](Node* n) {
+        if (n->kind != NodeKind::Merge || n->type != VT::Word)
+            return;
+        // Exactly one back-edge input, at least one initial input
+        // (the mu-decider slot is neither).
+        int backIdx = -1;
+        int backCount = 0;
+        int initIdx = -1;
+        int initCount = 0;
+        for (int i = 0; i < n->numInputs(); i++) {
+            if (i == n->deciderIndex)
+                continue;
+            if (n->inputIsBackEdge(i)) {
+                backIdx = i;
+                backCount++;
+            } else {
+                initIdx = i;
+                initCount++;
+            }
+        }
+        if (backCount != 1 || initCount < 1)
+            return;
+
+        // The back input must be an eta whose value is merge ± const.
+        PortRef back = n->input(backIdx);
+        if (back.node->kind != NodeKind::Eta)
+            return;
+        PortRef v = stripCopies(back.node->input(0));
+        if (v.node->kind != NodeKind::Arith)
+            return;
+        int64_t step = 0;
+        PortRef x = stripCopies(v.node->input(0));
+        if (v.node->op == Op::Add) {
+            PortRef y = stripCopies(v.node->input(1));
+            if (x.node == n && x.port == 0 &&
+                y.node->kind == NodeKind::Const) {
+                step = y.node->constValue;
+            } else if (y.node == n && y.port == 0 &&
+                       x.node->kind == NodeKind::Const) {
+                step = x.node->constValue;
+                x = y;
+            } else {
+                return;
+            }
+        } else if (v.node->op == Op::Sub) {
+            PortRef y = stripCopies(v.node->input(1));
+            if (x.node == n && x.port == 0 &&
+                y.node->kind == NodeKind::Const)
+                step = -y.node->constValue;
+            else
+                return;
+        } else {
+            return;
+        }
+        if (step == 0)
+            return;
+
+        InductionVar iv;
+        iv.merge = n;
+        iv.hyperblock = n->hyperblock;
+        iv.step = step;
+        if (initCount == 1)
+            iv.start = n->input(initIdx);
+        ivs_[n] = iv;
+    });
+}
+
+const InductionVar*
+InductionAnalysis::ivOf(const Node* merge) const
+{
+    auto it = ivs_.find(merge);
+    return it == ivs_.end() ? nullptr : &it->second;
+}
+
+} // namespace cash

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Induction-variable analysis on Pegasus loop rings (paper §4.3
+ * heuristic 2 and §6.2, after Wolfe).
+ *
+ * An induction variable is a Word merge in a loop hyperblock whose
+ * single back-edge input recirculates merge ± constant through an eta.
+ */
+#ifndef CASH_ANALYSIS_INDUCTION_H
+#define CASH_ANALYSIS_INDUCTION_H
+
+#include <map>
+
+#include "pegasus/graph.h"
+
+namespace cash {
+
+struct InductionVar
+{
+    const Node* merge = nullptr;
+    int hyperblock = -1;
+    int64_t step = 0;        ///< Per-iteration increment (nonzero).
+    PortRef start;           ///< Value entering the loop (may be null
+                             ///< when several initial inputs exist).
+};
+
+class InductionAnalysis
+{
+  public:
+    explicit InductionAnalysis(const Graph& g);
+
+    /** Induction descriptor of @p merge, or null. */
+    const InductionVar* ivOf(const Node* merge) const;
+
+    const std::map<const Node*, InductionVar>& all() const
+    {
+        return ivs_;
+    }
+
+  private:
+    std::map<const Node*, InductionVar> ivs_;
+};
+
+} // namespace cash
+
+#endif // CASH_ANALYSIS_INDUCTION_H

@@ -1,0 +1,63 @@
+#include "analysis/memloc.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cash {
+
+std::string
+LocationSet::str() const
+{
+    if (isTop_)
+        return "{top}";
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (int l : locs_) {
+        if (!first)
+            os << ",";
+        os << l;
+        first = false;
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+AliasOracle::addIndependent(int a, int b)
+{
+    independent_.insert({std::min(a, b), std::max(a, b)});
+}
+
+bool
+AliasOracle::mayAliasLocations(int a, int b) const
+{
+    if (independent_.count({std::min(a, b), std::max(a, b)}))
+        return false;
+    if (a == b)
+        return true;
+    bool extA = isExternal(a), extB = isExternal(b);
+    if (extA && extB)
+        return true;  // two unconstrained pointers may be equal
+    if (extA)
+        return exposed_.count(b) != 0;
+    if (extB)
+        return exposed_.count(a) != 0;
+    return false;  // two distinct concrete objects never overlap
+}
+
+bool
+AliasOracle::mayOverlap(const LocationSet& a, const LocationSet& b) const
+{
+    if (a.empty() || b.empty())
+        return false;
+    if (a.isTop() || b.isTop())
+        return true;
+    for (int la : a.locations())
+        for (int lb : b.locations())
+            if (mayAliasLocations(la, lb))
+                return true;
+    return false;
+}
+
+} // namespace cash

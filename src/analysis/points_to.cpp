@@ -1,0 +1,320 @@
+#include "analysis/points_to.h"
+
+#include <functional>
+#include <map>
+#include <numeric>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+/** Map a constant address to the global object containing it. */
+LocationSet
+constToLocations(int64_t v, const MemoryLayout& layout)
+{
+    if (v == 0)
+        return LocationSet();  // null: touches nothing
+    for (const MemObject& obj : layout.objects()) {
+        if (obj.isGlobal && v >= obj.address &&
+            v < static_cast<int64_t>(obj.address) + obj.size)
+            return LocationSet::single(obj.id);
+    }
+    return LocationSet();
+}
+
+class FunctionPointsTo
+{
+  public:
+    FunctionPointsTo(CfgFunction& fn, const MemoryLayout& layout,
+                     AliasOracle& oracle, std::vector<int> paramLoc)
+        : fn_(fn), layout_(layout), oracle_(oracle),
+          paramLoc_(std::move(paramLoc))
+    {
+    }
+
+    void
+    run()
+    {
+        pts_.assign(fn_.numRegs, LocationSet());
+        for (int p = 0; p < fn_.numParams; p++) {
+            if (fn_.regIsPointer[p] && paramLoc_[p] >= 0)
+                pts_[p] = LocationSet::single(paramLoc_[p]);
+        }
+
+        bool changed = true;
+        int rounds = 0;
+        while (changed && rounds++ < 64) {
+            changed = false;
+            for (const auto& b : fn_.blocks)
+                for (const Instr& i : b->instrs)
+                    changed |= transfer(i);
+        }
+
+        // Attach read/write sets and record escapes.
+        for (auto& b : fn_.blocks) {
+            for (Instr& i : b->instrs) {
+                switch (i.kind) {
+                  case InstrKind::Load:
+                  case InstrKind::Store: {
+                    LocationSet s = operandLocations(i.addr);
+                    i.rwSet = s.empty() ? LocationSet::top() : s;
+                    if (i.kind == InstrKind::Store)
+                        exposeFrameLocations(operandLocations(i.value));
+                    break;
+                  }
+                  case InstrKind::Call:
+                    i.rwSet = LocationSet::top();
+                    for (const Operand& a : i.args)
+                        exposeFrameLocations(operandLocations(a));
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+  private:
+    LocationSet
+    operandLocations(const Operand& o) const
+    {
+        if (o.isConst())
+            return constToLocations(o.cval, layout_);
+        if (o.isReg())
+            return pts_[o.reg];
+        return LocationSet();
+    }
+
+    void
+    exposeFrameLocations(const LocationSet& s)
+    {
+        if (s.isTop())
+            return;
+        for (int loc : s.locations()) {
+            if (loc < static_cast<int>(layout_.objects().size()) &&
+                !layout_.object(loc).isGlobal)
+                oracle_.addExposedObject(loc);
+        }
+    }
+
+    bool
+    transfer(const Instr& i)
+    {
+        if (i.dst < 0)
+            return false;
+        // Seeds are exact: lowering knows the object.
+        auto seed = fn_.addrSeeds.find(i.dst);
+        if (seed != fn_.addrSeeds.end()) {
+            if (pts_[i.dst] == seed->second)
+                return false;
+            pts_[i.dst] = seed->second;
+            return true;
+        }
+        LocationSet next = pts_[i.dst];
+        switch (i.kind) {
+          case InstrKind::Bin:
+            next.unionWith(operandLocations(i.a));
+            next.unionWith(operandLocations(i.b));
+            break;
+          case InstrKind::Un:
+          case InstrKind::Copy:
+            next.unionWith(operandLocations(i.a));
+            break;
+          case InstrKind::Load:
+          case InstrKind::Call:
+            // A pointer read back from memory / returned from a call
+            // may reference anything.
+            next = LocationSet::top();
+            break;
+          case InstrKind::Store:
+            return false;
+        }
+        if (next == pts_[i.dst])
+            return false;
+        pts_[i.dst] = next;
+        return true;
+    }
+
+    CfgFunction& fn_;
+    const MemoryLayout& layout_;
+    AliasOracle& oracle_;
+    std::vector<int> paramLoc_;
+    std::vector<LocationSet> pts_;
+};
+
+/** Resolve a pragma operand name to a location id within a function. */
+int
+pragmaLocation(const std::string& name, const CfgFunction* fn,
+               const Program& program, const std::vector<int>& paramLoc)
+{
+    if (fn) {
+        const FuncDecl* decl = fn->decl;
+        for (size_t i = 0; i < decl->params.size(); i++)
+            if (decl->params[i]->name == name)
+                return paramLoc[i];
+    }
+    const VarDecl* g = program.findGlobal(name);
+    if (g && g->objectId >= 0)
+        return g->objectId;
+    return -1;
+}
+
+} // namespace
+
+void
+runPointsTo(CfgProgram& cfg, const Program& program,
+            const MemoryLayout& layout)
+{
+    // Globals are always exposed: the caller may pass their address.
+    for (const MemObject& obj : layout.objects())
+        if (obj.isGlobal)
+            cfg.oracle.addExposedObject(obj.id);
+
+    // Allocate external locations for pointer params.
+    int nextLoc = static_cast<int>(layout.objects().size());
+    cfg.paramLocation.clear();
+    for (auto& fn : cfg.functions) {
+        std::vector<int> locs(fn->numParams, -1);
+        for (int p = 0; p < fn->numParams; p++) {
+            if (fn->regIsPointer[p]) {
+                locs[p] = nextLoc++;
+                cfg.oracle.addExternal(locs[p]);
+            }
+        }
+        cfg.paramLocation.push_back(locs);
+    }
+
+    // Apply pragma independences before running per-function analysis.
+    for (const PragmaIndependent& pr : program.pragmas) {
+        for (size_t fi = 0; fi < cfg.functions.size(); fi++) {
+            CfgFunction* fn = cfg.functions[fi].get();
+            if (!pr.funcName.empty() && fn->decl->name != pr.funcName)
+                continue;
+            int a = pragmaLocation(pr.first, fn, program,
+                                   cfg.paramLocation[fi]);
+            int b = pragmaLocation(pr.second, fn, program,
+                                   cfg.paramLocation[fi]);
+            if (a >= 0 && b >= 0)
+                cfg.oracle.addIndependent(a, b);
+            else if (!pr.funcName.empty())
+                warn(pr.loc.str() +
+                     ": pragma independent names unknown pointers '" +
+                     pr.first + "'/'" + pr.second + "'");
+        }
+    }
+
+    for (size_t fi = 0; fi < cfg.functions.size(); fi++) {
+        FunctionPointsTo fp(*cfg.functions[fi], layout, cfg.oracle,
+                            cfg.paramLocation[fi]);
+        fp.run();
+    }
+}
+
+PartitionResult
+computePartitions(const CfgFunction& fn, const AliasOracle& oracle)
+{
+    // Gather the location universe of this function's memory accesses.
+    std::vector<LocationSet> opSets;
+    bool anyTop = false;
+    std::set<int> universe;
+    for (const auto& b : fn.blocks) {
+        for (const Instr& i : b->instrs) {
+            if (i.kind != InstrKind::Load && i.kind != InstrKind::Store &&
+                i.kind != InstrKind::Call)
+                continue;
+            if (i.memId >= 0) {
+                if (static_cast<int>(opSets.size()) <= i.memId)
+                    opSets.resize(i.memId + 1);
+                opSets[i.memId] = i.rwSet;
+            }
+            if (i.rwSet.isTop())
+                anyTop = true;
+            else
+                for (int l : i.rwSet.locations())
+                    universe.insert(l);
+        }
+    }
+    // Calls have Top but no memId; any call collapses the partitions.
+    for (const auto& b : fn.blocks)
+        for (const Instr& i : b->instrs)
+            if (i.kind == InstrKind::Call)
+                anyTop = true;
+
+    std::vector<int> ids(universe.begin(), universe.end());
+    std::map<int, int> index;
+    for (size_t i = 0; i < ids.size(); i++)
+        index[ids[i]] = static_cast<int>(i);
+
+    // Union-find over the universe (+1 virtual element for Top).
+    int n = static_cast<int>(ids.size()) + 1;
+    int topElem = n - 1;
+    std::vector<int> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    std::function<int(int)> find = [&](int x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+
+    if (anyTop)
+        for (int i = 0; i < n - 1; i++)
+            unite(i, topElem);
+
+    for (const LocationSet& s : opSets) {
+        if (s.isTop())
+            continue;
+        int first = -1;
+        for (int l : s.locations()) {
+            int e = index[l];
+            if (first < 0)
+                first = e;
+            else
+                unite(first, e);
+        }
+    }
+    // Aliasing locations must share a ring.
+    for (size_t i = 0; i < ids.size(); i++)
+        for (size_t j = i + 1; j < ids.size(); j++)
+            if (oracle.mayAliasLocations(ids[i], ids[j]))
+                unite(static_cast<int>(i), static_cast<int>(j));
+
+    // Dense partition numbering.
+    std::map<int, int> repToPart;
+    auto partOf = [&](int elem) {
+        int r = find(elem);
+        auto it = repToPart.find(r);
+        if (it != repToPart.end())
+            return it->second;
+        int p = static_cast<int>(repToPart.size());
+        repToPart[r] = p;
+        return p;
+    };
+
+    PartitionResult res;
+    res.memOpPartition.assign(fn.numMemOps, 0);
+    for (const auto& b : fn.blocks) {
+        for (const Instr& i : b->instrs) {
+            if (i.memId < 0)
+                continue;
+            if (i.rwSet.isTop()) {
+                res.memOpPartition[i.memId] = partOf(topElem);
+            } else if (i.rwSet.empty()) {
+                res.memOpPartition[i.memId] = partOf(topElem);
+            } else {
+                res.memOpPartition[i.memId] =
+                    partOf(index[*i.rwSet.locations().begin()]);
+            }
+        }
+    }
+    res.numPartitions = static_cast<int>(repToPart.size());
+    if (res.numPartitions == 0)
+        res.numPartitions = 1;  // token plumbing wants at least one ring
+    return res;
+}
+
+} // namespace cash

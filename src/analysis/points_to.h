@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Flow-insensitive intraprocedural points-to analysis (paper §3.3/§7.1).
+ *
+ * Computes a LocationSet for every pointer-valued virtual register and
+ * attaches read/write sets to every Load/Store instruction.  External
+ * locations stand for whatever a pointer parameter may reference; the
+ * `#pragma independent` annotations are propagated to the AliasOracle
+ * via a simple connection analysis (two registers derived from
+ * independent pointers keep the independence).
+ */
+#ifndef CASH_ANALYSIS_POINTS_TO_H
+#define CASH_ANALYSIS_POINTS_TO_H
+
+#include "analysis/memloc.h"
+#include "cfg/cfg.h"
+#include "frontend/ast.h"
+#include "frontend/layout.h"
+
+namespace cash {
+
+/**
+ * Run the points-to analysis over every function of @p cfg.
+ *
+ * Fills Instr::rwSet on loads/stores, populates @p cfg->oracle with
+ * external locations, exposure facts and independence pairs, and
+ * records each pointer parameter's external location id.
+ */
+void runPointsTo(CfgProgram& cfg, const Program& program,
+                 const MemoryLayout& layout);
+
+/**
+ * Compute memory partitions for one function: location ids that
+ * co-occur in some access's read/write set (or may alias each other)
+ * are merged.  Returns, per memory op (indexed by Instr::memId), the
+ * partition id, plus the partition count.  Ops with Top sets share the
+ * special all-partition; in that case everything collapses into one.
+ */
+struct PartitionResult
+{
+    int numPartitions = 0;
+    std::vector<int> memOpPartition;  ///< Indexed by memId.
+};
+
+PartitionResult computePartitions(const CfgFunction& fn,
+                                  const AliasOracle& oracle);
+
+} // namespace cash
+
+#endif // CASH_ANALYSIS_POINTS_TO_H

@@ -1,0 +1,215 @@
+#include "analysis/symbolic.h"
+
+#include <sstream>
+
+#include "analysis/induction.h"
+
+namespace cash {
+
+AffineExpr
+AffineExpr::constantOf(int64_t c)
+{
+    AffineExpr e;
+    e.valid = true;
+    e.constant = c;
+    return e;
+}
+
+AffineExpr
+AffineExpr::baseOf(SymBase b)
+{
+    AffineExpr e;
+    e.valid = true;
+    e.terms[b] = 1;
+    return e;
+}
+
+AffineExpr
+AffineExpr::plus(const AffineExpr& o) const
+{
+    if (!valid || !o.valid)
+        return invalid();
+    AffineExpr e = *this;
+    e.constant += o.constant;
+    for (const auto& [b, c] : o.terms) {
+        e.terms[b] += c;
+        if (e.terms[b] == 0)
+            e.terms.erase(b);
+    }
+    return e;
+}
+
+AffineExpr
+AffineExpr::minus(const AffineExpr& o) const
+{
+    return plus(o.times(-1));
+}
+
+AffineExpr
+AffineExpr::times(int64_t k) const
+{
+    if (!valid)
+        return invalid();
+    AffineExpr e;
+    e.valid = true;
+    e.constant = constant * k;
+    if (k != 0)
+        for (const auto& [b, c] : terms)
+            e.terms[b] = c * k;
+    return e;
+}
+
+bool
+AffineExpr::isConstant(int64_t* c) const
+{
+    if (!valid || !terms.empty())
+        return false;
+    *c = constant;
+    return true;
+}
+
+int64_t
+AffineExpr::iterCoeff(int hb) const
+{
+    for (const auto& [b, c] : terms)
+        if (b.iterHb == hb)
+            return c;
+    return 0;
+}
+
+AffineExpr
+AffineExpr::withoutIter(int hb) const
+{
+    AffineExpr e = *this;
+    for (auto it = e.terms.begin(); it != e.terms.end();) {
+        if (it->first.iterHb == hb)
+            it = e.terms.erase(it);
+        else
+            ++it;
+    }
+    return e;
+}
+
+std::string
+AffineExpr::str() const
+{
+    if (!valid)
+        return "<invalid>";
+    std::ostringstream os;
+    os << constant;
+    for (const auto& [b, c] : terms) {
+        os << " + " << c << "*";
+        if (b.iterHb >= 0)
+            os << "ITER(hb" << b.iterHb << ")";
+        else
+            os << "n" << b.node->id << "." << b.port;
+    }
+    return os.str();
+}
+
+AffineExpr
+SymbolicAddress::expr(PortRef v)
+{
+    return compute(v, 0);
+}
+
+AffineExpr
+SymbolicAddress::compute(PortRef v, int depth)
+{
+    if (!v.valid() || depth > 64)
+        return AffineExpr::invalid();
+    auto key = std::make_pair(static_cast<const Node*>(v.node), v.port);
+    auto memo = memo_.find(key);
+    if (memo != memo_.end())
+        return memo->second;
+    // Pre-insert an opaque self to break recursion (e.g. through a
+    // non-induction loop merge).
+    memo_[key] = AffineExpr::baseOf(SymBase{v.node, v.port, -1});
+
+    AffineExpr result = AffineExpr::baseOf(SymBase{v.node, v.port, -1});
+    const Node* n = v.node;
+    switch (n->kind) {
+      case NodeKind::Const:
+        result = AffineExpr::constantOf(n->constValue);
+        break;
+      case NodeKind::Arith: {
+        switch (n->op) {
+          case Op::Copy:
+            result = compute(n->input(0), depth + 1);
+            break;
+          case Op::Add:
+            result = compute(n->input(0), depth + 1)
+                         .plus(compute(n->input(1), depth + 1));
+            break;
+          case Op::Sub:
+            result = compute(n->input(0), depth + 1)
+                         .minus(compute(n->input(1), depth + 1));
+            break;
+          case Op::Mul: {
+            AffineExpr a = compute(n->input(0), depth + 1);
+            AffineExpr b = compute(n->input(1), depth + 1);
+            int64_t c;
+            if (b.isConstant(&c))
+                result = a.times(c);
+            else if (a.isConstant(&c))
+                result = b.times(c);
+            break;
+          }
+          case Op::Shl: {
+            AffineExpr a = compute(n->input(0), depth + 1);
+            int64_t c;
+            AffineExpr b = compute(n->input(1), depth + 1);
+            if (b.isConstant(&c) && c >= 0 && c < 31)
+                result = a.times(int64_t(1) << c);
+            break;
+          }
+          default:
+            break;  // opaque
+        }
+        break;
+      }
+      case NodeKind::Eta:
+        // An eta forwards its value unchanged.
+        result = compute(n->input(0), depth + 1);
+        break;
+      case NodeKind::Merge: {
+        if (ivs_) {
+            const InductionVar* iv = ivs_->ivOf(n);
+            if (iv) {
+                AffineExpr start =
+                    iv->start.valid()
+                        ? compute(iv->start, depth + 1)
+                        : AffineExpr::baseOf(SymBase{n, 100, -1});
+                AffineExpr iter = AffineExpr::baseOf(
+                    SymBase{nullptr, 0, iv->hyperblock});
+                result = start.plus(iter.times(iv->step));
+            }
+        }
+        break;  // non-IV merges stay opaque
+      }
+      default:
+        break;  // opaque
+    }
+
+    if (!result.valid)
+        result = AffineExpr::baseOf(SymBase{v.node, v.port, -1});
+    memo_[key] = result;
+    return result;
+}
+
+bool
+SymbolicAddress::disjoint(const AffineExpr& a, int sizeA,
+                          const AffineExpr& b, int sizeB)
+{
+    if (!a.valid || !b.valid)
+        return false;
+    AffineExpr diff = a.minus(b);
+    int64_t c;
+    if (!diff.isConstant(&c))
+        return false;
+    // a = b + c: ranges [b+c, b+c+sizeA) and [b, b+sizeB) are disjoint
+    // iff c >= sizeB or c <= -sizeA.
+    return c >= sizeB || c <= -sizeA;
+}
+
+} // namespace cash

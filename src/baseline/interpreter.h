@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sequential reference interpreter for Mini-C.
+ *
+ * Executes the AST directly, in program order, over the same memory
+ * layout the dataflow simulator uses.  It is the golden model for
+ * differential testing: any compiled/optimized configuration must
+ * produce the same return value and final memory image.
+ */
+#ifndef CASH_BASELINE_INTERPRETER_H
+#define CASH_BASELINE_INTERPRETER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/layout.h"
+#include "support/stats.h"
+
+namespace cash {
+
+/** Result of one interpreted invocation. */
+struct InterpResult
+{
+    uint32_t returnValue = 0;
+    int64_t dynamicLoads = 0;   ///< Memory loads executed.
+    int64_t dynamicStores = 0;  ///< Memory stores executed.
+    int64_t steps = 0;          ///< Statements/expressions evaluated.
+};
+
+/**
+ * The interpreter.  One instance owns a memory image; multiple calls
+ * mutate it cumulatively (like a real process).
+ */
+class Interpreter
+{
+  public:
+    Interpreter(const Program& program, const MemoryLayout& layout);
+
+    /**
+     * Call function @p name with scalar @p args.
+     * @throws FatalError on runtime errors (null deref, div by zero,
+     *         step-limit exceeded).
+     */
+    InterpResult call(const std::string& name,
+                      const std::vector<uint32_t>& args);
+
+    /** Raw memory for final-state comparison. */
+    const std::vector<uint8_t>& memory() const { return mem_; }
+    std::vector<uint8_t>& memory() { return mem_; }
+
+    /** Read a 32-bit word (for test assertions). */
+    uint32_t loadWord(uint32_t addr) const;
+    void storeWord(uint32_t addr, uint32_t value);
+
+    /** Address of global object @p name. */
+    uint32_t globalAddress(const std::string& name) const;
+
+    /** Reset memory to the initial image. */
+    void reset();
+
+    /** Abort execution after this many steps (default 100M). */
+    void setStepLimit(int64_t limit) { stepLimit_ = limit; }
+
+  private:
+    enum class Flow { Normal, Break, Continue, Return };
+
+    struct Frame
+    {
+        const FuncDecl* func = nullptr;
+        std::vector<uint32_t> regs;
+        uint32_t frameBase = 0;
+        uint32_t returnValue = 0;
+    };
+
+    struct LValue
+    {
+        bool isReg = false;
+        int regId = -1;
+        uint32_t addr = 0;
+        int size = 4;
+        bool isSigned = true;
+    };
+
+    uint32_t callFunction(const FuncDecl* f,
+                          const std::vector<uint32_t>& args);
+    Flow execStmt(const Stmt* s, Frame& fr);
+    uint32_t evalExpr(const Expr* e, Frame& fr);
+    LValue evalLValue(const Expr* e, Frame& fr);
+    uint32_t readLValue(const LValue& lv, Frame& fr);
+    void writeLValue(const LValue& lv, uint32_t v, Frame& fr);
+    uint32_t loadMem(uint32_t addr, int size, bool isSigned);
+    void storeMem(uint32_t addr, uint32_t value, int size);
+    uint32_t objectAddress(const VarDecl* d, const Frame& fr) const;
+    void step();
+    void initLocal(const VarDecl* d, Frame& fr);
+
+    const Program& prog_;
+    const MemoryLayout& layout_;
+    std::vector<uint8_t> mem_;
+    uint32_t stackPtr_ = MemoryLayout::kStackTop;
+    int64_t stepLimit_ = 100000000;
+    int64_t steps_ = 0;
+    int64_t loads_ = 0;
+    int64_t stores_ = 0;
+    int callDepth_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_BASELINE_INTERPRETER_H

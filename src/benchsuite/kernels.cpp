@@ -1,0 +1,965 @@
+#include "benchsuite/kernels.h"
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// adpcm-style codec (MediaBench adpcm): constant step tables, index
+// clamping, branchy inner loop over a sample buffer.
+// ---------------------------------------------------------------------
+const char* kAdpcmSrc = R"(
+const int indexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8
+};
+const int stepTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767, 32767
+};
+
+int input[512];
+int encoded[512];
+
+int adpcm_encode(int n)
+{
+    int valpred = 0;
+    int index = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int val = input[i];
+        int step = stepTable[index];
+        int diff = val - valpred;
+        int sign = 0;
+        if (diff < 0) { sign = 8; diff = -diff; }
+        int delta = 0;
+        if (diff >= step) { delta = 4; diff -= step; }
+        step >>= 1;
+        if (diff >= step) { delta |= 2; diff -= step; }
+        step >>= 1;
+        if (diff >= step) { delta |= 1; }
+        delta |= sign;
+        int vpdiff = stepTable[index] >> 3;
+        if (delta & 4) vpdiff += stepTable[index];
+        if (delta & 2) vpdiff += stepTable[index] >> 1;
+        if (delta & 1) vpdiff += stepTable[index] >> 2;
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+        index += indexTable[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        encoded[i] = delta;
+    }
+    return valpred;
+}
+
+int adpcm_run(int n)
+{
+    int i;
+    int seed = 12345;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        input[i] = (seed >> 16) % 8192;
+    }
+    int v = adpcm_encode(n);
+    int sum = 0;
+    for (i = 0; i < n; i++)
+        sum += encoded[i];
+    return v + sum;
+}
+)";
+
+// ---------------------------------------------------------------------
+// fir filter (gsm-style): read-only coefficient table, sliding window,
+// pragma-independent input/output arrays.
+// ---------------------------------------------------------------------
+const char* kFirSrc = R"(
+const int coeff[16] = {
+    3, -9, 22, -41, 66, -96, 127, 4095,
+    127, -96, 66, -41, 22, -9, 3, 1
+};
+int signal[1024];
+int filtered[1024];
+
+void fir(int* src, int* dst, int n)
+{
+    #pragma independent src dst
+    int i;
+    int j;
+    for (i = 0; i + 16 <= n; i++) {
+        int acc = 0;
+        for (j = 0; j < 16; j++)
+            acc += src[i + j] * coeff[j];
+        dst[i] = acc >> 12;
+    }
+}
+
+int fir_run(int n)
+{
+    int i;
+    int seed = 7;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        signal[i] = (seed >> 18) % 1024;
+    }
+    fir(signal, filtered, n);
+    int sum = 0;
+    for (i = 0; i + 16 <= n; i++)
+        sum ^= filtered[i] + i;
+    return sum;
+}
+)";
+
+// ---------------------------------------------------------------------
+// idct-like integer transform (mpeg2 style): row/col passes over an
+// 8x8 block array, disjoint temporaries.
+// ---------------------------------------------------------------------
+const char* kDctSrc = R"(
+int block[64];
+int tmp[64];
+
+void rowpass(void)
+{
+    int i;
+    for (i = 0; i < 8; i++) {
+        int b = i * 8;
+        int s0 = block[b] + block[b + 7];
+        int s1 = block[b + 1] + block[b + 6];
+        int s2 = block[b + 2] + block[b + 5];
+        int s3 = block[b + 3] + block[b + 4];
+        int d0 = block[b] - block[b + 7];
+        int d1 = block[b + 1] - block[b + 6];
+        int d2 = block[b + 2] - block[b + 5];
+        int d3 = block[b + 3] - block[b + 4];
+        tmp[b] = s0 + s1 + s2 + s3;
+        tmp[b + 1] = (d0 * 5 + d1 * 4 + d2 * 2 + d3) >> 2;
+        tmp[b + 2] = s0 - s3 + ((s1 - s2) >> 1);
+        tmp[b + 3] = (d0 * 4 - d1 - d2 * 5 + d3 * 2) >> 2;
+        tmp[b + 4] = s0 - s1 - s2 + s3;
+        tmp[b + 5] = (d0 * 2 - d1 * 5 + d2 + d3 * 4) >> 2;
+        tmp[b + 6] = ((s0 - s3) >> 1) - s1 + s2;
+        tmp[b + 7] = (d0 - d1 * 2 + d2 * 4 - d3 * 5) >> 2;
+    }
+}
+
+void colpass(void)
+{
+    int i;
+    for (i = 0; i < 8; i++) {
+        int s0 = tmp[i] + tmp[i + 56];
+        int s1 = tmp[i + 8] + tmp[i + 48];
+        int s2 = tmp[i + 16] + tmp[i + 40];
+        int s3 = tmp[i + 24] + tmp[i + 32];
+        block[i] = (s0 + s1 + s2 + s3) >> 3;
+        block[i + 8] = (s0 - s1 + s2 - s3) >> 3;
+        block[i + 16] = (s0 - s3) >> 2;
+        block[i + 24] = (s1 - s2) >> 2;
+        block[i + 32] = (s0 + s3 - s1 - s2) >> 3;
+        block[i + 40] = (tmp[i] - tmp[i + 56]) >> 1;
+        block[i + 48] = (tmp[i + 8] - tmp[i + 48]) >> 1;
+        block[i + 56] = (tmp[i + 16] - tmp[i + 40]) >> 1;
+    }
+}
+
+int dct_run(int iters)
+{
+    int i;
+    int k;
+    for (i = 0; i < 64; i++)
+        block[i] = (i * 29 + 13) % 255 - 128;
+    for (k = 0; k < iters; k++) {
+        rowpass();
+        colpass();
+    }
+    int sum = 0;
+    for (i = 0; i < 64; i++)
+        sum += block[i];
+    return sum;
+}
+)";
+
+// ---------------------------------------------------------------------
+// histogram (jpeg/epic style): data-dependent store addresses that no
+// static analysis can disambiguate.
+// ---------------------------------------------------------------------
+const char* kHistogramSrc = R"(
+int data[2048];
+int hist[256];
+
+int histogram(int n)
+{
+    int i;
+    for (i = 0; i < 256; i++)
+        hist[i] = 0;
+    for (i = 0; i < n; i++)
+        hist[data[i] & 255] += 1;
+    int max = 0;
+    for (i = 0; i < 256; i++)
+        if (hist[i] > max) max = hist[i];
+    return max;
+}
+
+int histogram_run(int n)
+{
+    int i;
+    int seed = 99;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        data[i] = seed >> 16;
+    }
+    return histogram(n);
+}
+)";
+
+// ---------------------------------------------------------------------
+// string search (stringsearch / pegwit style): byte loads, early exit.
+// ---------------------------------------------------------------------
+const char* kStrSearchSrc = R"(
+char haystack[4096];
+char needle[16];
+
+int find(int hlen, int nlen)
+{
+    int i;
+    int j;
+    for (i = 0; i + nlen <= hlen; i++) {
+        int ok = 1;
+        for (j = 0; j < nlen; j++) {
+            if (haystack[i + j] != needle[j]) {
+                ok = 0;
+                break;
+            }
+        }
+        if (ok)
+            return i;
+    }
+    return -1;
+}
+
+int strsearch_run(int hlen)
+{
+    int i;
+    int seed = 5;
+    for (i = 0; i < hlen; i++) {
+        seed = seed * 1103515245 + 12345;
+        haystack[i] = (char)((seed >> 16) % 26 + 97);
+    }
+    for (i = 0; i < 6; i++)
+        needle[i] = haystack[hlen - 6 + i];
+    return find(hlen, 6);
+}
+)";
+
+// ---------------------------------------------------------------------
+// crc32 (pegwit/compress style): constant table, byte stream.
+// ---------------------------------------------------------------------
+const char* kCrcSrc = R"(
+unsigned crcTable[256];
+char message[2048];
+
+void crc_init(void)
+{
+    unsigned c;
+    int n;
+    int k;
+    for (n = 0; n < 256; n++) {
+        c = (unsigned)n;
+        for (k = 0; k < 8; k++) {
+            if (c & 1)
+                c = 0xedb88320 ^ (c >> 1);
+            else
+                c = c >> 1;
+        }
+        crcTable[n] = c;
+    }
+}
+
+unsigned crc32(int len)
+{
+    unsigned c = 0xffffffff;
+    int i;
+    for (i = 0; i < len; i++)
+        c = crcTable[(c ^ (unsigned char)message[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffff;
+}
+
+int crc_run(int len)
+{
+    int i;
+    for (i = 0; i < len; i++)
+        message[i] = (char)(i * 7 + 3);
+    crc_init();
+    return (int)crc32(len);
+}
+)";
+
+// ---------------------------------------------------------------------
+// saxpy / vector kernels (epic style): pragma-independent streams —
+// the paper's Figure 10 pipelining showcase.
+// ---------------------------------------------------------------------
+const char* kSaxpySrc = R"(
+int xs[4096];
+int ys[4096];
+int zs[4096];
+
+void saxpy(int* x, int* y, int* z, int a, int n)
+{
+    #pragma independent x y
+    #pragma independent x z
+    #pragma independent y z
+    int i;
+    for (i = 0; i < n; i++)
+        z[i] = a * x[i] + y[i];
+}
+
+int saxpy_run(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        xs[i] = i * 3 + 1;
+        ys[i] = i - 7;
+    }
+    saxpy(xs, ys, zs, 5, n);
+    int sum = 0;
+    for (i = 0; i < n; i++)
+        sum += zs[i];
+    return sum;
+}
+)";
+
+// ---------------------------------------------------------------------
+// pointer chase (130.li style): linked structure through index arrays.
+// ---------------------------------------------------------------------
+const char* kChaseSrc = R"(
+int nextIdx[1024];
+int weight[1024];
+
+int chase(int start, int steps)
+{
+    int cur = start;
+    int acc = 0;
+    int i;
+    for (i = 0; i < steps; i++) {
+        acc += weight[cur];
+        cur = nextIdx[cur];
+    }
+    return acc;
+}
+
+int chase_run(int steps)
+{
+    int i;
+    for (i = 0; i < 1024; i++) {
+        nextIdx[i] = (i * 167 + 31) % 1024;
+        weight[i] = i % 17;
+    }
+    return chase(0, steps);
+}
+)";
+
+// ---------------------------------------------------------------------
+// matrix multiply (mesa/ijpeg style): classic three-deep loop nest.
+// ---------------------------------------------------------------------
+const char* kMatmulSrc = R"(
+int A[32 * 32];
+int B[32 * 32];
+int C[32 * 32];
+
+void matmul(int n)
+{
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            int acc = 0;
+            for (k = 0; k < n; k++)
+                acc += A[i * 32 + k] * B[k * 32 + j];
+            C[i * 32 + j] = acc;
+        }
+    }
+}
+
+int matmul_run(int n)
+{
+    int i;
+    for (i = 0; i < 32 * 32; i++) {
+        A[i] = i % 13;
+        B[i] = (i * 5) % 11;
+    }
+    matmul(n);
+    int sum = 0;
+    for (i = 0; i < n * 32; i++)
+        sum += C[i];
+    return sum;
+}
+)";
+
+// ---------------------------------------------------------------------
+// g721-style predictor update: scalar state machine with memory taps.
+// ---------------------------------------------------------------------
+const char* kG721Src = R"(
+int dq[8];
+int b[8];
+int predictor(int samples)
+{
+    int i;
+    int k;
+    for (i = 0; i < 8; i++) {
+        dq[i] = 0;
+        b[i] = 0;
+    }
+    int seed = 321;
+    int se = 0;
+    for (k = 0; k < samples; k++) {
+        seed = seed * 1103515245 + 12345;
+        int d = (seed >> 20) % 256 - 128;
+        se = 0;
+        for (i = 0; i < 8; i++)
+            se += (b[i] * dq[i]) >> 8;
+        int err = d - se;
+        for (i = 0; i < 8; i++) {
+            if ((err ^ dq[i]) >= 0)
+                b[i] += (dq[i] != 0) * 32;
+            else
+                b[i] -= (dq[i] != 0) * 32;
+        }
+        for (i = 7; i > 0; i--)
+            dq[i] = dq[i - 1];
+        dq[0] = d;
+    }
+    return se;
+}
+
+int g721_run(int samples)
+{
+    return predictor(samples);
+}
+)";
+
+// ---------------------------------------------------------------------
+// compress-style run-length coder: byte in, byte out with a mode flag
+// (stresses §2-style redundant access patterns).
+// ---------------------------------------------------------------------
+const char* kRleSrc = R"(
+char rawbuf[4096];
+char packed[8192];
+
+int rle_encode(int n)
+{
+    int i = 0;
+    int o = 0;
+    while (i < n) {
+        char c = rawbuf[i];
+        int run = 1;
+        while (i + run < n && rawbuf[i + run] == c && run < 127)
+            run++;
+        packed[o] = (char)run;
+        packed[o + 1] = c;
+        o += 2;
+        i += run;
+    }
+    return o;
+}
+
+int rle_run(int n)
+{
+    int i;
+    int seed = 17;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        if ((seed >> 16) & 3)
+            rawbuf[i] = 65;
+        else
+            rawbuf[i] = (char)((seed >> 18) % 26 + 65);
+    }
+    return rle_encode(n);
+}
+)";
+
+// ---------------------------------------------------------------------
+// stencil with fixed dependence distance (Fortran-style; §6.3 target).
+// ---------------------------------------------------------------------
+const char* kStencilSrc = R"(
+int cells[8192];
+
+int stencil(int n)
+{
+    int i;
+    for (i = 0; i + 3 < n; i++)
+        cells[i + 3] = (cells[i] + cells[i + 3]) >> 1;
+    return cells[n - 1];
+}
+
+int stencil_run(int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        cells[i] = i * 37 % 256;
+    return stencil(n);
+}
+)";
+
+// ---------------------------------------------------------------------
+// The paper's §2 motivating example wrapped in a runnable harness.
+// ---------------------------------------------------------------------
+const char* kMemoptSrc = R"(
+unsigned table[64];
+unsigned src[1];
+
+void f(unsigned* p, unsigned* a, int i)
+{
+    #pragma independent p a
+    if (p) a[i] += *p;
+    else a[i] = 1;
+    a[i] <<= a[i + 1];
+}
+
+int memopt_run(int useNull)
+{
+    int i;
+    for (i = 0; i < 64; i++)
+        table[i] = (unsigned)(i + 1);
+    src[0] = 3u;
+    if (useNull)
+        f((unsigned*)0, table, 5);
+    else
+        f(src, table, 5);
+    return (int)table[5];
+}
+)";
+
+// ---------------------------------------------------------------------
+// gsm-style LPC autocorrelation: sliding dot products over a signal.
+// ---------------------------------------------------------------------
+const char* kAutocorrSrc = R"(
+int samples[1024];
+int acf[9];
+
+void autocorr(int n)
+{
+    int k;
+    int i;
+    for (k = 0; k <= 8; k++) {
+        int acc = 0;
+        for (i = k; i < n; i++)
+            acc += (samples[i] >> 4) * (samples[i - k] >> 4);
+        acf[k] = acc;
+    }
+}
+
+int autocorr_run(int n)
+{
+    int i;
+    int seed = 44;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        samples[i] = (seed >> 17) % 4096 - 2048;
+    }
+    autocorr(n);
+    int s = 0;
+    for (i = 0; i <= 8; i++)
+        s ^= acf[i] + i;
+    return s;
+}
+)";
+
+// ---------------------------------------------------------------------
+// epic-style Haar wavelet: in-place butterflies at halving strides
+// (distance-carried dependences at varying distances).
+// ---------------------------------------------------------------------
+const char* kWaveletSrc = R"(
+int wv[1024];
+int tmpw[1024];
+
+void haar(int n)
+{
+    int len = n;
+    int i;
+    while (len > 1) {
+        int half = len / 2;
+        for (i = 0; i < half; i++) {
+            int a = wv[2 * i];
+            int b = wv[2 * i + 1];
+            tmpw[i] = (a + b) >> 1;
+            tmpw[half + i] = a - b;
+        }
+        for (i = 0; i < len; i++)
+            wv[i] = tmpw[i];
+        len = half;
+    }
+}
+
+int wavelet_run(int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        wv[i] = (i * 31 + 7) % 509;
+    haar(n);
+    int s = 0;
+    for (i = 0; i < n; i++)
+        s += wv[i] * (i + 1);
+    return s;
+}
+)";
+
+// ---------------------------------------------------------------------
+// jpeg-style zigzag + quantization: permutation table reads, constant
+// divisor table (immutable loads), independent output stream.
+// ---------------------------------------------------------------------
+const char* kQuantSrc = R"(
+const int zigzag[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+const int qtable[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68,109,103, 77,
+    24, 35, 55, 64, 81,104,113, 92,
+    49, 64, 78, 87,103,121,120,101,
+    72, 92, 95, 98,112,100,103, 99
+};
+int coefs[64];
+int quantized[64];
+
+void quantize(void)
+{
+    int i;
+    for (i = 0; i < 64; i++) {
+        int c = coefs[zigzag[i]];
+        quantized[i] = c / qtable[i];
+    }
+}
+
+int quant_run(int blocks)
+{
+    int b;
+    int i;
+    int s = 0;
+    for (b = 0; b < blocks; b++) {
+        for (i = 0; i < 64; i++)
+            coefs[i] = ((i * 13 + b * 7) % 255 - 128) * 8;
+        quantize();
+        for (i = 0; i < 64; i++)
+            s += quantized[i];
+    }
+    return s;
+}
+)";
+
+// ---------------------------------------------------------------------
+// mpeg2-style motion-estimation SAD over two pragma-independent
+// frames: the read-only splitting showcase with real arithmetic.
+// ---------------------------------------------------------------------
+const char* kSadSrc = R"(
+char ref[4096];
+char cur[4096];
+
+int sad16(char* a, char* b2, int stride)
+{
+    #pragma independent a b2
+    int y;
+    int x;
+    int acc = 0;
+    for (y = 0; y < 16; y++) {
+        for (x = 0; x < 16; x++) {
+            int d = a[y * stride + x] - b2[y * stride + x];
+            if (d < 0) d = -d;
+            acc += d;
+        }
+    }
+    return acc;
+}
+
+int sad_run(int tries)
+{
+    int i;
+    int seed = 9;
+    for (i = 0; i < 4096; i++) {
+        seed = seed * 1103515245 + 12345;
+        ref[i] = (char)((seed >> 16) & 127);
+        cur[i] = (char)((seed >> 18) & 127);
+    }
+    int best = 1 << 30;
+    for (i = 0; i < tries; i++) {
+        int s = sad16(ref, cur + i * 8, 64);
+        if (s < best) best = s;
+    }
+    return best;
+}
+)";
+
+// ---------------------------------------------------------------------
+// 130.li-style mark phase: a cons-cell heap in index arrays, with a
+// worklist traversal (irregular control + data-dependent loads).
+// ---------------------------------------------------------------------
+const char* kMarkSrc = R"(
+int carIdx[512];
+int cdrIdx[512];
+int mark[512];
+int stack[512];
+
+int markFrom(int root)
+{
+    int sp = 0;
+    int count = 0;
+    stack[sp] = root;
+    sp = 1;
+    while (sp > 0) {
+        sp -= 1;
+        int cell = stack[sp];
+        if (cell < 0)
+            continue;
+        if (mark[cell])
+            continue;
+        mark[cell] = 1;
+        count += 1;
+        stack[sp] = carIdx[cell];
+        sp += 1;
+        stack[sp] = cdrIdx[cell];
+        sp += 1;
+    }
+    return count;
+}
+
+int mark_run(int cells)
+{
+    int i;
+    for (i = 0; i < cells; i++) {
+        mark[i] = 0;
+        carIdx[i] = (i * 2 + 1 < cells) ? i * 2 + 1 : -1;
+        cdrIdx[i] = (i * 2 + 2 < cells) ? i * 2 + 2 : -1;
+    }
+    return markFrom(0);
+}
+)";
+
+// ---------------------------------------------------------------------
+// 099.go-style board scan: neighbor counting on a 2-D grid encoded in
+// one array, heavy predication in the inner loop.
+// ---------------------------------------------------------------------
+const char* kBoardSrc = R"(
+char board[361];
+
+int liberties(int n)
+{
+    int i;
+    int libs = 0;
+    for (i = 0; i < n * n; i++) {
+        if (board[i] != 0)
+            continue;
+        int r = i / n;
+        int c = i % n;
+        int occupied = 0;
+        if (r > 0 && board[i - n]) occupied += 1;
+        if (r < n - 1 && board[i + n]) occupied += 1;
+        if (c > 0 && board[i - 1]) occupied += 1;
+        if (c < n - 1 && board[i + 1]) occupied += 1;
+        libs += 4 - occupied;
+    }
+    return libs;
+}
+
+int board_run(int n)
+{
+    int i;
+    int seed = 77;
+    for (i = 0; i < n * n; i++) {
+        seed = seed * 1103515245 + 12345;
+        board[i] = (char)(((seed >> 16) % 3 == 0) ? 1 : 0);
+    }
+    return liberties(n);
+}
+)";
+
+// ---------------------------------------------------------------------
+// 147.vortex-style record store: fixed-width records with field
+// updates through a pointer parameter (store forwarding food).
+// ---------------------------------------------------------------------
+const char* kRecordSrc = R"(
+int store_[1024];
+
+void upsert(int* recs, int key, int val)
+{
+    int i;
+    for (i = 0; i < 128; i++) {
+        int base = i * 4;
+        if (recs[base] == key) {
+            recs[base + 1] = val;
+            recs[base + 2] += 1;
+            return;
+        }
+        if (recs[base] == 0) {
+            recs[base] = key;
+            recs[base + 1] = val;
+            recs[base + 2] = 1;
+            recs[base + 3] = i;
+            return;
+        }
+    }
+}
+
+int record_run(int ops)
+{
+    int i;
+    for (i = 0; i < 1024; i++)
+        store_[i] = 0;
+    int seed = 3;
+    for (i = 0; i < ops; i++) {
+        seed = seed * 1103515245 + 12345;
+        int key = ((seed >> 16) % 50) + 1;
+        upsert(store_, key, i);
+    }
+    int s = 0;
+    for (i = 0; i < 128; i++)
+        s += store_[i * 4 + 1] + store_[i * 4 + 2];
+    return s;
+}
+)";
+
+std::vector<Kernel>
+makeSuite()
+{
+    std::vector<Kernel> suite;
+    auto add = [&](const char* name, const char* domain,
+                   const char* desc, const char* src, const char* entry,
+                   std::vector<uint32_t> args, int pragmas) {
+        Kernel k;
+        k.name = name;
+        k.domain = domain;
+        k.description = desc;
+        k.source = src;
+        k.entry = entry;
+        k.args = std::move(args);
+        k.pragmas = pragmas;
+        suite.push_back(std::move(k));
+    };
+
+    add("adpcm", "adpcm_e", "ADPCM encoder with constant step tables",
+        kAdpcmSrc, "adpcm_run", {256}, 0);
+    add("fir", "gsm_e", "16-tap FIR filter over a signal buffer",
+        kFirSrc, "fir_run", {512}, 1);
+    add("dct", "mpeg2_d", "8x8 integer transform row/column passes",
+        kDctSrc, "dct_run", {8}, 0);
+    add("histogram", "jpeg_e", "byte histogram with data-dependent "
+        "stores", kHistogramSrc, "histogram_run", {1024}, 0);
+    add("strsearch", "pegwit_e", "naive substring search over bytes",
+        kStrSearchSrc, "strsearch_run", {1024}, 0);
+    add("crc", "129.compress", "table-driven CRC-32 over a message",
+        kCrcSrc, "crc_run", {1024}, 0);
+    add("saxpy", "epic_e", "streaming a*x+y with independent arrays",
+        kSaxpySrc, "saxpy_run", {1024}, 3);
+    add("chase", "130.li", "pointer chasing through an index array",
+        kChaseSrc, "chase_run", {2048}, 0);
+    add("matmul", "mesa", "32x32 integer matrix multiply",
+        kMatmulSrc, "matmul_run", {16}, 0);
+    add("g721", "g721_e", "adaptive predictor state machine",
+        kG721Src, "g721_run", {128}, 0);
+    add("rle", "129.compress", "run-length encoder over bytes",
+        kRleSrc, "rle_run", {1024}, 0);
+    add("stencil", "124.m88ksim", "distance-3 recurrence (loop "
+        "decoupling target)", kStencilSrc, "stencil_run", {2048}, 0);
+    add("memopt", "section-2", "the paper's motivating example",
+        kMemoptSrc, "memopt_run", {0}, 1);
+    add("autocorr", "gsm_d", "LPC autocorrelation dot products",
+        kAutocorrSrc, "autocorr_run", {512}, 0);
+    add("wavelet", "epic_d", "in-place Haar wavelet butterflies",
+        kWaveletSrc, "wavelet_run", {256}, 0);
+    add("quant", "jpeg_d", "zigzag + quantization with const tables",
+        kQuantSrc, "quant_run", {8}, 0);
+    add("sad", "mpeg2_e", "16x16 motion-estimation SAD",
+        kSadSrc, "sad_run", {8}, 1);
+    add("mark", "130.li", "mark phase over a cons-cell heap",
+        kMarkSrc, "mark_run", {400}, 0);
+    add("goboard", "099.go", "liberty counting on a go board",
+        kBoardSrc, "board_run", {19}, 0);
+    add("vortexdb", "147.vortex", "record-store upserts",
+        kRecordSrc, "record_run", {256}, 0);
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Kernel>&
+kernelSuite()
+{
+    static const std::vector<Kernel> suite = makeSuite();
+    return suite;
+}
+
+const Kernel&
+kernelByName(const std::string& name)
+{
+    for (const Kernel& k : kernelSuite())
+        if (k.name == name)
+            return k;
+    fatal("unknown kernel: " + name);
+}
+
+std::string
+section2ExampleSource()
+{
+    return kMemoptSrc;
+}
+
+std::string
+decouplingExampleSource()
+{
+    return kStencilSrc;
+}
+
+std::string
+figure12Source()
+{
+    return R"(
+int a[4096];
+int b[4097];
+int psrc[1];
+
+void g(int* p, int n)
+{
+    #pragma independent p a
+    #pragma independent p b
+    int i;
+    for (i = 0; i < n; i++) {
+        b[i + 1] = i & 0xf;
+        a[i] = b[i] + *p;
+    }
+}
+
+int fig12_run(int n)
+{
+    int i;
+    for (i = 0; i <= n; i++)
+        b[i] = 0;
+    psrc[0] = 42;
+    g(psrc, n);
+    int sum = 0;
+    for (i = 0; i < n; i++)
+        sum += a[i] + b[i];
+    return sum;
+}
+)";
+}
+
+} // namespace cash

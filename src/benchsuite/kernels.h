@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Mini-C kernel suite standing in for the paper's MediaBench and
+ * SPECint95 programs (§7, Table 2).  Each kernel is a self-contained
+ * Mini-C translation unit with an integer-only entry point so that
+ * tests, benchmarks and examples can compile and run it uniformly.
+ *
+ * Kernels are chosen to exercise the same phenomena the paper's
+ * benchmarks exhibit: redundant loads/stores, disambiguable arrays,
+ * pointer parameters with `#pragma independent`, constant tables
+ * (immutable loads), monotone induction stores, read-only sweeps and
+ * fixed-distance loop-carried dependences.
+ */
+#ifndef CASH_BENCHSUITE_KERNELS_H
+#define CASH_BENCHSUITE_KERNELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cash {
+
+struct Kernel
+{
+    std::string name;
+    std::string domain;       ///< MediaBench/SPEC family it models.
+    std::string description;
+    std::string source;       ///< Mini-C translation unit.
+    std::string entry;        ///< Entry function (scalar args only).
+    std::vector<uint32_t> args;
+    int pragmas = 0;          ///< #pragma independent count (Table 2).
+};
+
+/** The whole suite. */
+const std::vector<Kernel>& kernelSuite();
+
+/** Lookup by name (fatal if missing). */
+const Kernel& kernelByName(const std::string& name);
+
+/** The paper's §2 motivating example (Figure 1). */
+std::string section2ExampleSource();
+
+/** The paper's §6.3 loop-decoupling example (Figure 15). */
+std::string decouplingExampleSource();
+
+/** The paper's Figure 12 read-only / monotone loop. */
+std::string figure12Source();
+
+} // namespace cash
+
+#endif // CASH_BENCHSUITE_KERNELS_H

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Three-address control-flow-graph IR.
+ *
+ * The Mini-C AST is lowered onto this IR (cfg/lower.h); hyperblock
+ * formation, liveness and the Pegasus builder all consume it.  All
+ * scalar values live in an unbounded space of virtual registers —
+ * spatial computation never spills (paper §7.2).
+ */
+#ifndef CASH_CFG_CFG_H
+#define CASH_CFG_CFG_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/memloc.h"
+#include "frontend/ast.h"
+
+namespace cash {
+
+/** Operation codes; signedness is baked into the opcode. */
+enum class Op
+{
+    // Binary
+    Add, Sub, Mul, DivS, DivU, RemS, RemU,
+    And, Or, Xor, Shl, ShrS, ShrU,
+    LtS, LtU, LeS, LeU, Eq, Ne,
+    // Unary
+    Neg, NotBool, BitNot, SextB, ZextB,
+    Copy,
+};
+
+const char* opName(Op op);
+bool opIsUnary(Op op);
+/** True for comparison opcodes producing 0/1. */
+bool opIsCompare(Op op);
+
+/** An instruction operand: nothing, a virtual register or a constant. */
+struct Operand
+{
+    enum class Kind { None, Reg, Const };
+    Kind kind = Kind::None;
+    int reg = -1;
+    int64_t cval = 0;
+
+    static Operand none() { return {}; }
+    static Operand regOf(int r)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = r;
+        return o;
+    }
+    static Operand constOf(int64_t v)
+    {
+        Operand o;
+        o.kind = Kind::Const;
+        o.cval = v;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isConst() const { return kind == Kind::Const; }
+    bool isNone() const { return kind == Kind::None; }
+    std::string str() const;
+};
+
+enum class InstrKind { Bin, Un, Copy, Load, Store, Call };
+
+/**
+ * One three-address instruction.  A discriminated record rather than a
+ * class hierarchy: the instruction set is small and fixed.
+ */
+struct Instr
+{
+    InstrKind kind = InstrKind::Copy;
+    Op op = Op::Copy;
+    int dst = -1;            ///< Destination register (-1 = none).
+    Operand a, b;            ///< Bin/Un/Copy operands.
+
+    // Memory access fields (Load/Store).
+    Operand addr;
+    Operand value;           ///< Stored value.
+    int size = 4;            ///< Access width in bytes (1 or 4).
+    bool signExtend = true;  ///< Byte loads: sign- vs zero-extend.
+    LocationSet rwSet;       ///< May-touch set (filled by points-to).
+    int memId = -1;          ///< Dense id among memory ops of a function.
+
+    // Call fields.
+    const FuncDecl* callee = nullptr;
+    std::vector<Operand> args;
+
+    SourceLoc loc;
+
+    std::string str() const;
+};
+
+/** Block terminator. */
+struct Terminator
+{
+    enum class Kind { None, Jump, CondBranch, Return };
+    Kind kind = Kind::None;
+    Operand cond;            ///< CondBranch condition (true → target0).
+    int target0 = -1;        ///< Jump target / taken target.
+    int target1 = -1;        ///< Fall-through target.
+    Operand retValue;        ///< Return value (may be None).
+
+    std::string str() const;
+};
+
+struct BasicBlock
+{
+    int id = -1;
+    std::vector<Instr> instrs;
+    Terminator term;
+    std::vector<int> succs;
+    std::vector<int> preds;
+};
+
+/**
+ * A function in CFG form.
+ */
+class CfgFunction
+{
+  public:
+    const FuncDecl* decl = nullptr;
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+    int entry = 0;
+    int numRegs = 0;            ///< Total virtual registers.
+    int numParams = 0;          ///< Registers [0, numParams) are params.
+    std::vector<bool> regIsPointer;  ///< Provenance for points-to.
+    int numMemOps = 0;          ///< Count of Load/Store instructions.
+    /**
+     * Implicit extra input holding the activation-frame base address,
+     * or -1 when the function has no memory-resident locals.
+     */
+    int frameBaseReg = -1;
+    /**
+     * Point-to seeds: registers that lowering *knows* hold the address
+     * of a specific object (e.g. frameBase+offset computations).  The
+     * points-to analysis uses the seed verbatim for these registers.
+     */
+    std::map<int, LocationSet> addrSeeds;
+
+    BasicBlock* block(int id) { return blocks.at(id).get(); }
+    const BasicBlock* block(int id) const { return blocks.at(id).get(); }
+
+    BasicBlock*
+    newBlock()
+    {
+        auto b = std::make_unique<BasicBlock>();
+        b->id = static_cast<int>(blocks.size());
+        blocks.push_back(std::move(b));
+        return blocks.back().get();
+    }
+
+    int
+    newReg(bool isPointer = false)
+    {
+        regIsPointer.push_back(isPointer);
+        return numRegs++;
+    }
+
+    /** Recompute preds/succs from terminators. */
+    void computeEdges();
+
+    /** Remove blocks unreachable from the entry. */
+    void pruneUnreachable();
+
+    /** Blocks in reverse postorder from the entry. */
+    std::vector<int> reversePostorder() const;
+
+    std::string str() const;
+};
+
+/** A whole lowered program plus its alias oracle. */
+struct CfgProgram
+{
+    std::vector<std::unique_ptr<CfgFunction>> functions;
+    AliasOracle oracle;
+    /** External location id for pointer param (function, varId). */
+    std::vector<std::vector<int>> paramLocation;
+
+    CfgFunction* find(const std::string& name) const;
+};
+
+} // namespace cash
+
+#endif // CASH_CFG_CFG_H

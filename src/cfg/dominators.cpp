@@ -1,0 +1,64 @@
+#include "cfg/dominators.h"
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+DominatorTree::DominatorTree(const CfgFunction& fn)
+{
+    int n = static_cast<int>(fn.blocks.size());
+    idom_.assign(n, -1);
+    rpoIndex_.assign(n, -1);
+    rpo_ = fn.reversePostorder();
+    for (size_t i = 0; i < rpo_.size(); i++)
+        rpoIndex_[rpo_[i]] = static_cast<int>(i);
+
+    // Cooper-Harvey-Kennedy "engineered" iterative dominators.
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpoIndex_[a] > rpoIndex_[b])
+                a = idom_[a];
+            while (rpoIndex_[b] > rpoIndex_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[fn.entry] = fn.entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo_) {
+            if (b == fn.entry)
+                continue;
+            int newIdom = -1;
+            for (int p : fn.block(b)->preds) {
+                if (rpoIndex_[p] < 0 || idom_[p] < 0)
+                    continue;  // unreachable or not processed yet
+                newIdom = newIdom < 0 ? p : intersect(p, newIdom);
+            }
+            if (newIdom >= 0 && idom_[b] != newIdom) {
+                idom_[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    // Normalize: entry's idom is -1 externally.
+    idom_[fn.entry] = -1;
+}
+
+bool
+DominatorTree::dominates(int a, int b) const
+{
+    if (a == b)
+        return true;
+    int cur = b;
+    while (cur >= 0) {
+        cur = idom_[cur];
+        if (cur == a)
+            return true;
+    }
+    return false;
+}
+
+} // namespace cash

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Dominator tree over a CfgFunction (Cooper-Harvey-Kennedy iterative
+ * algorithm).
+ */
+#ifndef CASH_CFG_DOMINATORS_H
+#define CASH_CFG_DOMINATORS_H
+
+#include <vector>
+
+#include "cfg/cfg.h"
+
+namespace cash {
+
+/** Immediate-dominator tree for one function. */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const CfgFunction& fn);
+
+    /** Immediate dominator of @p block (-1 for the entry/unreachable). */
+    int idom(int block) const { return idom_.at(block); }
+
+    /** Does @p a dominate @p b (reflexive)? */
+    bool dominates(int a, int b) const;
+
+    /** Blocks in reverse postorder (cached). */
+    const std::vector<int>& rpo() const { return rpo_; }
+
+    /** Reverse-postorder index of a block (-1 = unreachable). */
+    int rpoIndex(int block) const { return rpoIndex_.at(block); }
+
+  private:
+    std::vector<int> idom_;
+    std::vector<int> rpo_;
+    std::vector<int> rpoIndex_;
+};
+
+} // namespace cash
+
+#endif // CASH_CFG_DOMINATORS_H

@@ -1,0 +1,100 @@
+#include "cfg/liveness.h"
+
+namespace cash {
+
+std::vector<int>
+Liveness::uses(const Instr& i)
+{
+    std::vector<int> out;
+    auto add = [&](const Operand& o) {
+        if (o.isReg())
+            out.push_back(o.reg);
+    };
+    switch (i.kind) {
+      case InstrKind::Bin:
+        add(i.a);
+        add(i.b);
+        break;
+      case InstrKind::Un:
+      case InstrKind::Copy:
+        add(i.a);
+        break;
+      case InstrKind::Load:
+        add(i.addr);
+        break;
+      case InstrKind::Store:
+        add(i.addr);
+        add(i.value);
+        break;
+      case InstrKind::Call:
+        for (const Operand& a : i.args)
+            add(a);
+        break;
+    }
+    return out;
+}
+
+int
+Liveness::def(const Instr& i)
+{
+    return i.dst;
+}
+
+std::vector<int>
+Liveness::uses(const Terminator& t)
+{
+    std::vector<int> out;
+    if (t.kind == Terminator::Kind::CondBranch && t.cond.isReg())
+        out.push_back(t.cond.reg);
+    if (t.kind == Terminator::Kind::Return && t.retValue.isReg())
+        out.push_back(t.retValue.reg);
+    return out;
+}
+
+Liveness::Liveness(const CfgFunction& fn)
+{
+    size_t n = fn.blocks.size();
+    liveIn_.assign(n, {});
+    liveOut_.assign(n, {});
+
+    // Per-block use/def.
+    std::vector<std::set<int>> use(n), defSet(n);
+    for (const auto& b : fn.blocks) {
+        std::set<int>& u = use[b->id];
+        std::set<int>& d = defSet[b->id];
+        for (const Instr& i : b->instrs) {
+            for (int r : uses(i))
+                if (!d.count(r))
+                    u.insert(r);
+            int dr = def(i);
+            if (dr >= 0)
+                d.insert(dr);
+        }
+        for (int r : uses(b->term))
+            if (!d.count(r))
+                u.insert(r);
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate in reverse block order (approximate reverse CFG).
+        for (size_t k = n; k-- > 0;) {
+            const BasicBlock* b = fn.block(static_cast<int>(k));
+            std::set<int> out;
+            for (int s : b->succs)
+                out.insert(liveIn_[s].begin(), liveIn_[s].end());
+            std::set<int> in = use[k];
+            for (int r : out)
+                if (!defSet[k].count(r))
+                    in.insert(r);
+            if (out != liveOut_[k] || in != liveIn_[k]) {
+                liveOut_[k] = std::move(out);
+                liveIn_[k] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace cash

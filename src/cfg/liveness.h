@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Live-variable analysis over virtual registers.
+ *
+ * The Pegasus builder uses liveness at hyperblock boundaries to decide
+ * which values need eta/merge nodes (paper §3.1).
+ */
+#ifndef CASH_CFG_LIVENESS_H
+#define CASH_CFG_LIVENESS_H
+
+#include <set>
+#include <vector>
+
+#include "cfg/cfg.h"
+
+namespace cash {
+
+/** Backward may-liveness of virtual registers per block. */
+class Liveness
+{
+  public:
+    explicit Liveness(const CfgFunction& fn);
+
+    const std::set<int>& liveIn(int block) const
+    {
+        return liveIn_.at(block);
+    }
+    const std::set<int>& liveOut(int block) const
+    {
+        return liveOut_.at(block);
+    }
+
+    /** Registers used by instruction @p i (operand registers). */
+    static std::vector<int> uses(const Instr& i);
+    /** Register defined by @p i, or -1. */
+    static int def(const Instr& i);
+    /** Registers used by terminator @p t. */
+    static std::vector<int> uses(const Terminator& t);
+
+  private:
+    std::vector<std::set<int>> liveIn_;
+    std::vector<std::set<int>> liveOut_;
+};
+
+} // namespace cash
+
+#endif // CASH_CFG_LIVENESS_H

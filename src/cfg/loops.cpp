@@ -1,0 +1,98 @@
+#include "cfg/loops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cash {
+
+LoopForest::LoopForest(const CfgFunction& fn, const DominatorTree& dom)
+{
+    std::map<int, NaturalLoop> byHeader;
+
+    for (const auto& b : fn.blocks) {
+        for (int s : b->succs) {
+            if (dom.rpoIndex(b->id) < 0)
+                continue;  // unreachable
+            if (dom.dominates(s, b->id)) {
+                // Back edge b → s; s is a loop header.
+                backEdges_.insert({b->id, s});
+                NaturalLoop& loop = byHeader[s];
+                loop.header = s;
+                loop.backEdgeSources.push_back(b->id);
+                // Collect the natural loop body by backwards walk.
+                std::vector<int> work{b->id};
+                loop.blocks.insert(s);
+                while (!work.empty()) {
+                    int cur = work.back();
+                    work.pop_back();
+                    if (loop.blocks.count(cur))
+                        continue;
+                    loop.blocks.insert(cur);
+                    for (int p : fn.block(cur)->preds)
+                        if (dom.rpoIndex(p) >= 0)
+                            work.push_back(p);
+                }
+            }
+        }
+    }
+
+    for (auto& [header, loop] : byHeader)
+        loops_.push_back(std::move(loop));
+
+    // Nesting: loop A is inside B iff A's header is in B and A != B.
+    for (size_t i = 0; i < loops_.size(); i++) {
+        int best = -1;
+        size_t bestSize = SIZE_MAX;
+        for (size_t j = 0; j < loops_.size(); j++) {
+            if (i == j)
+                continue;
+            if (loops_[j].blocks.count(loops_[i].header) &&
+                loops_[j].blocks.size() < bestSize) {
+                best = static_cast<int>(j);
+                bestSize = loops_[j].blocks.size();
+            }
+        }
+        loops_[i].parent = best;
+    }
+    for (auto& loop : loops_) {
+        int d = 1;
+        int p = loop.parent;
+        while (p >= 0) {
+            d++;
+            p = loops_[p].parent;
+        }
+        loop.depth = d;
+    }
+}
+
+int
+LoopForest::innermostLoopOf(int block) const
+{
+    int best = -1;
+    size_t bestSize = SIZE_MAX;
+    for (size_t i = 0; i < loops_.size(); i++) {
+        if (loops_[i].blocks.count(block) &&
+            loops_[i].blocks.size() < bestSize) {
+            best = static_cast<int>(i);
+            bestSize = loops_[i].blocks.size();
+        }
+    }
+    return best;
+}
+
+bool
+LoopForest::isHeader(int block) const
+{
+    for (const auto& l : loops_)
+        if (l.header == block)
+            return true;
+    return false;
+}
+
+bool
+LoopForest::isBackEdge(int src, int dst) const
+{
+    return backEdges_.count({src, dst}) != 0;
+}
+
+} // namespace cash

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Natural-loop detection over a CfgFunction.
+ */
+#ifndef CASH_CFG_LOOPS_H
+#define CASH_CFG_LOOPS_H
+
+#include <set>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "cfg/dominators.h"
+
+namespace cash {
+
+/** One natural loop: a header and the set of blocks it contains. */
+struct NaturalLoop
+{
+    int header = -1;
+    std::set<int> blocks;
+    std::vector<int> backEdgeSources;
+    int parent = -1;  ///< Index of enclosing loop, -1 at top level.
+    int depth = 1;
+};
+
+/** All natural loops of a function (merged per header). */
+class LoopForest
+{
+  public:
+    LoopForest(const CfgFunction& fn, const DominatorTree& dom);
+
+    const std::vector<NaturalLoop>& loops() const { return loops_; }
+
+    /** Index of the innermost loop containing @p block, or -1. */
+    int innermostLoopOf(int block) const;
+
+    /** Is @p block a loop header? */
+    bool isHeader(int block) const;
+
+    /** Is CFG edge @p src → @p dst a back edge? */
+    bool isBackEdge(int src, int dst) const;
+
+  private:
+    std::vector<NaturalLoop> loops_;
+    std::set<std::pair<int, int>> backEdges_;
+};
+
+} // namespace cash
+
+#endif // CASH_CFG_LOOPS_H

@@ -1,0 +1,751 @@
+#include "cfg/lower.h"
+
+#include <map>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+bool
+isPointerish(const TypePtr& t)
+{
+    return t->isPointer() || t->isArray();
+}
+
+/** Element stride for pointer arithmetic on @p t (pointer or array). */
+int64_t
+strideOf(const TypePtr& t)
+{
+    CASH_ASSERT(isPointerish(t), "stride of non-pointer");
+    return t->element->sizeBytes();
+}
+
+class FunctionLowerer
+{
+  public:
+    FunctionLowerer(const Program& prog, const MemoryLayout& layout,
+                    const FuncDecl* decl, CfgFunction* fn)
+        : prog_(prog), layout_(layout), decl_(decl), fn_(fn)
+    {
+    }
+
+    void
+    run()
+    {
+        fn_->decl = decl_;
+        fn_->numParams = static_cast<int>(decl_->params.size());
+        // Registers: params, then local register scalars (ids assigned
+        // by sema), then the frame base, then temporaries.
+        for (const VarDecl* p : decl_->params)
+            fn_->newReg(isPointerish(p->type));
+        for (const VarDecl* l : decl_->locals) {
+            if (l->varId >= 0) {
+                int r = fn_->newReg(isPointerish(l->type));
+                CASH_ASSERT(r == l->varId, "register numbering mismatch");
+            }
+        }
+        if (layout_.frameSize(decl_) > 0)
+            fn_->frameBaseReg = fn_->newReg(true);
+
+        cur_ = fn_->newBlock();
+        fn_->entry = cur_->id;
+        lowerStmt(decl_->body);
+        if (!terminated())
+            setReturn(Operand::none());
+
+        fn_->computeEdges();
+        fn_->pruneUnreachable();
+        numberMemOps();
+    }
+
+  private:
+    // -----------------------------------------------------------------
+    // Emission helpers
+    // -----------------------------------------------------------------
+
+    bool terminated() const
+    {
+        return cur_->term.kind != Terminator::Kind::None;
+    }
+
+    void
+    emit(Instr i)
+    {
+        CASH_ASSERT(!terminated(), "emitting into terminated block");
+        cur_->instrs.push_back(std::move(i));
+    }
+
+    Operand
+    emitBin(Op op, Operand a, Operand b, bool ptrResult = false)
+    {
+        Instr i;
+        i.kind = InstrKind::Bin;
+        i.op = op;
+        i.dst = fn_->newReg(ptrResult);
+        i.a = a;
+        i.b = b;
+        int dst = i.dst;
+        emit(std::move(i));
+        return Operand::regOf(dst);
+    }
+
+    Operand
+    emitUn(Op op, Operand a)
+    {
+        Instr i;
+        i.kind = InstrKind::Un;
+        i.op = op;
+        i.dst = fn_->newReg(false);
+        i.a = a;
+        int dst = i.dst;
+        emit(std::move(i));
+        return Operand::regOf(dst);
+    }
+
+    void
+    emitCopyTo(int dstReg, Operand a)
+    {
+        Instr i;
+        i.kind = InstrKind::Copy;
+        i.dst = dstReg;
+        i.a = a;
+        emit(std::move(i));
+    }
+
+    Operand
+    emitLoad(Operand addr, int size, bool sext, SourceLoc loc)
+    {
+        Instr i;
+        i.kind = InstrKind::Load;
+        i.dst = fn_->newReg(false);
+        i.addr = addr;
+        i.size = size;
+        i.signExtend = sext;
+        i.loc = loc;
+        int dst = i.dst;
+        emit(std::move(i));
+        return Operand::regOf(dst);
+    }
+
+    void
+    emitStore(Operand addr, Operand value, int size, SourceLoc loc)
+    {
+        Instr i;
+        i.kind = InstrKind::Store;
+        i.addr = addr;
+        i.value = value;
+        i.size = size;
+        i.loc = loc;
+        emit(std::move(i));
+    }
+
+    void
+    setJump(int target)
+    {
+        cur_->term.kind = Terminator::Kind::Jump;
+        cur_->term.target0 = target;
+    }
+
+    void
+    setBranch(Operand cond, int t, int f)
+    {
+        cur_->term.kind = Terminator::Kind::CondBranch;
+        cur_->term.cond = cond;
+        cur_->term.target0 = t;
+        cur_->term.target1 = f;
+    }
+
+    void
+    setReturn(Operand v)
+    {
+        cur_->term.kind = Terminator::Kind::Return;
+        cur_->term.retValue = v;
+    }
+
+    /** Continue emission in a fresh (possibly dead) block. */
+    void
+    startBlock(BasicBlock* b)
+    {
+        cur_ = b;
+    }
+
+    // -----------------------------------------------------------------
+    // Addresses
+    // -----------------------------------------------------------------
+
+    /** Operand holding the address of memory object @p d. */
+    Operand
+    objectAddress(const VarDecl* d)
+    {
+        CASH_ASSERT(d->objectId >= 0, "no object for variable");
+        const MemObject& obj = layout_.object(d->objectId);
+        if (obj.isGlobal)
+            return Operand::constOf(obj.address);
+        // Frame local: frameBase + offset; seed the points-to set.
+        CASH_ASSERT(fn_->frameBaseReg >= 0, "frame object without frame");
+        Operand r = emitBin(Op::Add, Operand::regOf(fn_->frameBaseReg),
+                            Operand::constOf(obj.address), true);
+        fn_->addrSeeds[r.reg] = LocationSet::single(obj.id);
+        return r;
+    }
+
+    // An lvalue is either a register or a memory address.
+    struct LV
+    {
+        bool isReg = false;
+        int reg = -1;
+        Operand addr;
+        int size = 4;
+        bool sext = true;
+        SourceLoc loc;
+    };
+
+    LV
+    lowerLValue(const Expr* e)
+    {
+        LV lv;
+        lv.loc = e->loc;
+        switch (e->kind) {
+          case ExprKind::VarRef: {
+            const VarDecl* d = static_cast<const VarRefExpr*>(e)->decl;
+            if (!d->inMemory) {
+                lv.isReg = true;
+                lv.reg = d->varId;
+                return lv;
+            }
+            lv.addr = objectAddress(d);
+            lv.size = d->type->accessSize();
+            lv.sext = d->type->kind != TypeKind::UChar;
+            return lv;
+          }
+          case ExprKind::Index: {
+            auto* i = static_cast<const IndexExpr*>(e);
+            Operand base = lowerExpr(i->base);
+            Operand idx = lowerExpr(i->index);
+            int64_t stride = e->type->accessSize();
+            Operand off = scaleIndex(idx, stride);
+            lv.addr = emitBin(Op::Add, base, off, true);
+            lv.size = e->type->accessSize();
+            lv.sext = e->type->kind != TypeKind::UChar;
+            return lv;
+          }
+          case ExprKind::Deref: {
+            auto* d = static_cast<const DerefExpr*>(e);
+            lv.addr = lowerExpr(d->pointer);
+            lv.size = e->type->accessSize();
+            lv.sext = e->type->kind != TypeKind::UChar;
+            return lv;
+          }
+          default:
+            fatalAt(e->loc, "not an lvalue in lowering");
+        }
+    }
+
+    Operand
+    scaleIndex(Operand idx, int64_t stride)
+    {
+        if (stride == 1)
+            return idx;
+        if (idx.isConst())
+            return Operand::constOf(idx.cval * stride);
+        return emitBin(Op::Mul, idx, Operand::constOf(stride));
+    }
+
+    Operand
+    readLV(const LV& lv)
+    {
+        if (lv.isReg)
+            return Operand::regOf(lv.reg);
+        return emitLoad(lv.addr, lv.size, lv.sext, lv.loc);
+    }
+
+    void
+    writeLV(const LV& lv, Operand v)
+    {
+        if (lv.isReg)
+            emitCopyTo(lv.reg, v);
+        else
+            emitStore(lv.addr, v, lv.size, lv.loc);
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------
+
+    Operand
+    lowerExpr(const Expr* e)
+    {
+        switch (e->kind) {
+          case ExprKind::IntLit:
+            return Operand::constOf(
+                static_cast<const IntLitExpr*>(e)->value);
+          case ExprKind::StrLit: {
+            const VarDecl* g = static_cast<const StrLitExpr*>(e)->object;
+            return Operand::constOf(layout_.object(g->objectId).address);
+          }
+          case ExprKind::VarRef: {
+            const VarDecl* d = static_cast<const VarRefExpr*>(e)->decl;
+            if (d->type->isArray())
+                return objectAddress(d);  // decay
+            if (!d->inMemory)
+                return Operand::regOf(d->varId);
+            return emitLoad(objectAddress(d), d->type->accessSize(),
+                            d->type->kind != TypeKind::UChar, e->loc);
+          }
+          case ExprKind::Unary: {
+            auto* u = static_cast<const UnaryExpr*>(e);
+            Operand v = lowerExpr(u->operand);
+            switch (u->op) {
+              case UnaryOp::Neg: return emitUn(Op::Neg, v);
+              case UnaryOp::Not: return emitUn(Op::NotBool, v);
+              case UnaryOp::BitNot: return emitUn(Op::BitNot, v);
+              case UnaryOp::Plus: return v;
+            }
+            return v;
+          }
+          case ExprKind::Binary:
+            return lowerBinary(static_cast<const BinaryExpr*>(e));
+          case ExprKind::Assign:
+            return lowerAssign(static_cast<const AssignExpr*>(e));
+          case ExprKind::Index:
+          case ExprKind::Deref: {
+            LV lv = lowerLValue(e);
+            return readLV(lv);
+          }
+          case ExprKind::AddrOf: {
+            auto* a = static_cast<const AddrOfExpr*>(e);
+            if (a->lvalue->kind == ExprKind::VarRef) {
+                const VarDecl* d =
+                    static_cast<const VarRefExpr*>(a->lvalue)->decl;
+                return objectAddress(d);
+            }
+            LV lv = lowerLValue(a->lvalue);
+            CASH_ASSERT(!lv.isReg, "address of register lvalue");
+            return lv.addr;
+          }
+          case ExprKind::Call:
+            return lowerCall(static_cast<const CallExpr*>(e));
+          case ExprKind::Cast: {
+            auto* c = static_cast<const CastExpr*>(e);
+            Operand v = lowerExpr(c->operand);
+            switch (c->target->kind) {
+              case TypeKind::Char: return emitUn(Op::SextB, v);
+              case TypeKind::UChar: return emitUn(Op::ZextB, v);
+              default: return v;
+            }
+          }
+          case ExprKind::Cond: {
+            auto* c = static_cast<const CondExpr*>(e);
+            int res = fn_->newReg(isPointerish(c->type) ||
+                                  isPointerish(decayType(c->thenExpr)));
+            Operand cond = lowerExpr(c->cond);
+            BasicBlock* bbT = fn_->newBlock();
+            BasicBlock* bbF = fn_->newBlock();
+            BasicBlock* bbJ = fn_->newBlock();
+            setBranch(cond, bbT->id, bbF->id);
+            startBlock(bbT);
+            emitCopyTo(res, lowerExpr(c->thenExpr));
+            setJump(bbJ->id);
+            startBlock(bbF);
+            emitCopyTo(res, lowerExpr(c->elseExpr));
+            setJump(bbJ->id);
+            startBlock(bbJ);
+            return Operand::regOf(res);
+          }
+          case ExprKind::IncDec: {
+            auto* i = static_cast<const IncDecExpr*>(e);
+            LV lv = lowerLValue(i->lvalue);
+            Operand cur = readLV(lv);
+            TypePtr lt = i->lvalue->type;
+            Operand step = Operand::constOf(
+                lt->isPointer() ? strideOf(lt) : 1);
+            Operand next = emitBin(i->isIncrement ? Op::Add : Op::Sub,
+                                   cur, step, lt->isPointer());
+            writeLV(lv, next);
+            return i->isPrefix ? next : cur;
+          }
+        }
+        return Operand::none();
+    }
+
+    TypePtr
+    decayType(const Expr* e) const
+    {
+        return e->type;
+    }
+
+    Operand
+    lowerBinary(const BinaryExpr* b)
+    {
+        // Short-circuit operators need control flow.
+        if (b->op == BinaryOp::LogAnd || b->op == BinaryOp::LogOr)
+            return lowerShortCircuit(b);
+
+        Operand l = lowerExpr(b->lhs);
+        Operand r = lowerExpr(b->rhs);
+        TypePtr lt = b->lhs->type, rt = b->rhs->type;
+        bool ptrL = isPointerish(lt), ptrR = isPointerish(rt);
+        bool uns = lt->isUnsignedInt() || rt->isUnsignedInt() ||
+                   ptrL || ptrR;
+
+        switch (b->op) {
+          case BinaryOp::Add:
+            if (ptrL)
+                return emitBin(Op::Add, l, scaleIndex(r, strideOf(lt)),
+                               true);
+            if (ptrR)
+                return emitBin(Op::Add, r, scaleIndex(l, strideOf(rt)),
+                               true);
+            return emitBin(Op::Add, l, r);
+          case BinaryOp::Sub:
+            if (ptrL && ptrR) {
+                Operand diff = emitBin(Op::Sub, l, r);
+                int64_t s = strideOf(lt);
+                if (s == 1)
+                    return diff;
+                return emitBin(Op::DivS, diff, Operand::constOf(s));
+            }
+            if (ptrL)
+                return emitBin(Op::Sub, l, scaleIndex(r, strideOf(lt)),
+                               true);
+            return emitBin(Op::Sub, l, r);
+          case BinaryOp::Mul: return emitBin(Op::Mul, l, r);
+          case BinaryOp::Div:
+            return emitBin(uns ? Op::DivU : Op::DivS, l, r);
+          case BinaryOp::Rem:
+            return emitBin(uns ? Op::RemU : Op::RemS, l, r);
+          case BinaryOp::And: return emitBin(Op::And, l, r);
+          case BinaryOp::Or: return emitBin(Op::Or, l, r);
+          case BinaryOp::Xor: return emitBin(Op::Xor, l, r);
+          case BinaryOp::Shl: return emitBin(Op::Shl, l, r);
+          case BinaryOp::Shr:
+            return emitBin(lt->isUnsignedInt() ? Op::ShrU : Op::ShrS,
+                           l, r);
+          case BinaryOp::Lt:
+            return emitBin(uns ? Op::LtU : Op::LtS, l, r);
+          case BinaryOp::Le:
+            return emitBin(uns ? Op::LeU : Op::LeS, l, r);
+          case BinaryOp::Gt:
+            return emitBin(uns ? Op::LtU : Op::LtS, r, l);
+          case BinaryOp::Ge:
+            return emitBin(uns ? Op::LeU : Op::LeS, r, l);
+          case BinaryOp::Eq: return emitBin(Op::Eq, l, r);
+          case BinaryOp::Ne: return emitBin(Op::Ne, l, r);
+          default:
+            panic("unhandled binary op in lowering");
+        }
+    }
+
+    Operand
+    lowerShortCircuit(const BinaryExpr* b)
+    {
+        bool isAnd = b->op == BinaryOp::LogAnd;
+        int res = fn_->newReg(false);
+        Operand l = lowerExpr(b->lhs);
+        BasicBlock* bbRhs = fn_->newBlock();
+        BasicBlock* bbShort = fn_->newBlock();
+        BasicBlock* bbJoin = fn_->newBlock();
+        if (isAnd)
+            setBranch(l, bbRhs->id, bbShort->id);
+        else
+            setBranch(l, bbShort->id, bbRhs->id);
+
+        startBlock(bbRhs);
+        Operand r = lowerExpr(b->rhs);
+        emitCopyTo(res, emitUn(Op::NotBool, emitUn(Op::NotBool, r)));
+        setJump(bbJoin->id);
+
+        startBlock(bbShort);
+        emitCopyTo(res, Operand::constOf(isAnd ? 0 : 1));
+        setJump(bbJoin->id);
+
+        startBlock(bbJoin);
+        return Operand::regOf(res);
+    }
+
+    Operand
+    lowerAssign(const AssignExpr* a)
+    {
+        if (a->op == AssignOp::Assign) {
+            Operand v = lowerExpr(a->rhs);
+            v = narrowForStore(v, a->lhs->type);
+            LV lv = lowerLValue(a->lhs);
+            writeLV(lv, v);
+            return v;
+        }
+        // Compound assignment: single address computation (the paper's
+        // `a[i] += *p` produces one load and one store at the *same*
+        // address node, which store-forwarding relies on).
+        LV lv = lowerLValue(a->lhs);
+        Operand cur = readLV(lv);
+        Operand rhs = lowerExpr(a->rhs);
+        TypePtr lt = a->lhs->type;
+        bool uns = lt->isUnsignedInt() || lt->isPointer();
+        Operand v;
+        switch (a->op) {
+          case AssignOp::Add:
+            v = lt->isPointer()
+                    ? emitBin(Op::Add, cur, scaleIndex(rhs, strideOf(lt)),
+                              true)
+                    : emitBin(Op::Add, cur, rhs);
+            break;
+          case AssignOp::Sub:
+            v = lt->isPointer()
+                    ? emitBin(Op::Sub, cur, scaleIndex(rhs, strideOf(lt)),
+                              true)
+                    : emitBin(Op::Sub, cur, rhs);
+            break;
+          case AssignOp::Mul: v = emitBin(Op::Mul, cur, rhs); break;
+          case AssignOp::Div:
+            v = emitBin(uns ? Op::DivU : Op::DivS, cur, rhs);
+            break;
+          case AssignOp::Rem:
+            v = emitBin(uns ? Op::RemU : Op::RemS, cur, rhs);
+            break;
+          case AssignOp::And: v = emitBin(Op::And, cur, rhs); break;
+          case AssignOp::Or: v = emitBin(Op::Or, cur, rhs); break;
+          case AssignOp::Xor: v = emitBin(Op::Xor, cur, rhs); break;
+          case AssignOp::Shl: v = emitBin(Op::Shl, cur, rhs); break;
+          case AssignOp::Shr:
+            v = emitBin(lt->isUnsignedInt() ? Op::ShrU : Op::ShrS, cur,
+                        rhs);
+            break;
+          case AssignOp::Assign:
+            panic("plain assign handled above");
+        }
+        v = narrowForStore(v, lt);
+        writeLV(lv, v);
+        return v;
+    }
+
+    /** Chars are stored through their low byte; registers hold the
+     *  widened value, so narrow register-resident char writes. */
+    Operand
+    narrowForStore(Operand v, const TypePtr& t)
+    {
+        if (t->kind == TypeKind::Char)
+            return emitUn(Op::SextB, v);
+        if (t->kind == TypeKind::UChar)
+            return emitUn(Op::ZextB, v);
+        return v;
+    }
+
+    Operand
+    lowerCall(const CallExpr* c)
+    {
+        Instr i;
+        i.kind = InstrKind::Call;
+        i.callee = c->decl;
+        i.loc = c->loc;
+        i.rwSet = LocationSet::top();
+        for (const Expr* a : c->args)
+            i.args.push_back(lowerExpr(a));
+        if (!c->decl->returnType->isVoid())
+            i.dst = fn_->newReg(c->decl->returnType->isPointer());
+        int dst = i.dst;
+        emit(std::move(i));
+        return dst >= 0 ? Operand::regOf(dst) : Operand::none();
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    void
+    lowerStmt(const Stmt* s)
+    {
+        if (terminated() && s->kind != StmtKind::Empty) {
+            // Dead code after return/break: lower into a fresh
+            // unreachable block so the IR stays well-formed.
+            startBlock(fn_->newBlock());
+        }
+        switch (s->kind) {
+          case StmtKind::Expr:
+            lowerExpr(static_cast<const ExprStmt*>(s)->expr);
+            break;
+          case StmtKind::Decl:
+            for (const VarDecl* d :
+                 static_cast<const DeclStmt*>(s)->decls)
+                lowerLocalInit(d);
+            break;
+          case StmtKind::If: {
+            auto* i = static_cast<const IfStmt*>(s);
+            Operand cond = lowerExpr(i->cond);
+            BasicBlock* bbT = fn_->newBlock();
+            BasicBlock* bbJ = fn_->newBlock();
+            BasicBlock* bbF = i->elseStmt ? fn_->newBlock() : bbJ;
+            setBranch(cond, bbT->id, bbF->id);
+            startBlock(bbT);
+            lowerStmt(i->thenStmt);
+            if (!terminated())
+                setJump(bbJ->id);
+            if (i->elseStmt) {
+                startBlock(bbF);
+                lowerStmt(i->elseStmt);
+                if (!terminated())
+                    setJump(bbJ->id);
+            }
+            startBlock(bbJ);
+            break;
+          }
+          case StmtKind::While: {
+            auto* w = static_cast<const WhileStmt*>(s);
+            BasicBlock* header = fn_->newBlock();
+            setJump(header->id);
+            startBlock(header);
+            Operand cond = lowerExpr(w->cond);
+            BasicBlock* body = fn_->newBlock();
+            BasicBlock* exit = fn_->newBlock();
+            setBranch(cond, body->id, exit->id);
+            loops_.push_back({header->id, exit->id});
+            startBlock(body);
+            lowerStmt(w->body);
+            if (!terminated())
+                setJump(header->id);
+            loops_.pop_back();
+            startBlock(exit);
+            break;
+          }
+          case StmtKind::DoWhile: {
+            auto* w = static_cast<const DoWhileStmt*>(s);
+            BasicBlock* body = fn_->newBlock();
+            BasicBlock* condBlock = fn_->newBlock();
+            BasicBlock* exit = fn_->newBlock();
+            setJump(body->id);
+            loops_.push_back({condBlock->id, exit->id});
+            startBlock(body);
+            lowerStmt(w->body);
+            if (!terminated())
+                setJump(condBlock->id);
+            loops_.pop_back();
+            startBlock(condBlock);
+            Operand cond = lowerExpr(w->cond);
+            setBranch(cond, body->id, exit->id);
+            startBlock(exit);
+            break;
+          }
+          case StmtKind::For: {
+            auto* f = static_cast<const ForStmt*>(s);
+            if (f->init)
+                lowerStmt(f->init);
+            BasicBlock* header = fn_->newBlock();
+            if (!terminated())
+                setJump(header->id);
+            startBlock(header);
+            BasicBlock* body = fn_->newBlock();
+            BasicBlock* step = fn_->newBlock();
+            BasicBlock* exit = fn_->newBlock();
+            if (f->cond) {
+                Operand cond = lowerExpr(f->cond);
+                setBranch(cond, body->id, exit->id);
+            } else {
+                setJump(body->id);
+            }
+            loops_.push_back({step->id, exit->id});
+            startBlock(body);
+            lowerStmt(f->body);
+            if (!terminated())
+                setJump(step->id);
+            loops_.pop_back();
+            startBlock(step);
+            if (f->step)
+                lowerExpr(f->step);
+            setJump(header->id);
+            startBlock(exit);
+            break;
+          }
+          case StmtKind::Return: {
+            auto* r = static_cast<const ReturnStmt*>(s);
+            Operand v =
+                r->value ? lowerExpr(r->value) : Operand::none();
+            setReturn(v);
+            break;
+          }
+          case StmtKind::Break:
+            CASH_ASSERT(!loops_.empty(), "break outside loop");
+            setJump(loops_.back().second);
+            break;
+          case StmtKind::Continue:
+            CASH_ASSERT(!loops_.empty(), "continue outside loop");
+            setJump(loops_.back().first);
+            break;
+          case StmtKind::Block:
+            for (const Stmt* sub :
+                 static_cast<const BlockStmt*>(s)->stmts)
+                lowerStmt(sub);
+            break;
+          case StmtKind::Empty:
+            break;
+        }
+    }
+
+    void
+    lowerLocalInit(const VarDecl* d)
+    {
+        if (d->init) {
+            Operand v = lowerExpr(d->init);
+            v = narrowForStore(v, d->type);
+            if (d->inMemory) {
+                emitStore(objectAddress(d), v, d->type->accessSize(),
+                          d->loc);
+            } else {
+                emitCopyTo(d->varId, v);
+            }
+        }
+        if (!d->initList.empty()) {
+            Operand base = objectAddress(d);
+            int esize = d->type->element->accessSize();
+            for (size_t i = 0; i < d->initList.size(); i++) {
+                Operand v = lowerExpr(d->initList[i]);
+                Operand addr = emitBin(
+                    Op::Add, base,
+                    Operand::constOf(static_cast<int64_t>(i) * esize),
+                    true);
+                if (d->objectId >= 0)
+                    fn_->addrSeeds[addr.reg] =
+                        LocationSet::single(d->objectId);
+                emitStore(addr, v, esize, d->loc);
+            }
+        }
+    }
+
+    void
+    numberMemOps()
+    {
+        int next = 0;
+        for (auto& b : fn_->blocks)
+            for (Instr& i : b->instrs)
+                if (i.kind == InstrKind::Load ||
+                    i.kind == InstrKind::Store)
+                    i.memId = next++;
+        fn_->numMemOps = next;
+    }
+
+    const Program& prog_;
+    const MemoryLayout& layout_;
+    const FuncDecl* decl_;
+    CfgFunction* fn_;
+    BasicBlock* cur_ = nullptr;
+    std::vector<std::pair<int, int>> loops_;  ///< (continue, break)
+};
+
+} // namespace
+
+std::unique_ptr<CfgProgram>
+lowerProgram(const Program& program, const MemoryLayout& layout)
+{
+    auto cfg = std::make_unique<CfgProgram>();
+    for (const FuncDecl* f : program.functions) {
+        if (!f->body)
+            continue;
+        auto fn = std::make_unique<CfgFunction>();
+        FunctionLowerer lowerer(program, layout, f, fn.get());
+        lowerer.run();
+        cfg->functions.push_back(std::move(fn));
+    }
+    return cfg;
+}
+
+} // namespace cash

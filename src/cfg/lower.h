@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Lowering from the Mini-C AST to the three-address CFG IR.
+ */
+#ifndef CASH_CFG_LOWER_H
+#define CASH_CFG_LOWER_H
+
+#include <memory>
+
+#include "cfg/cfg.h"
+#include "frontend/ast.h"
+#include "frontend/layout.h"
+
+namespace cash {
+
+/**
+ * Lower every defined function of @p program onto CFG form.
+ *
+ * Requires sema and layout to have run.  Global variable addresses are
+ * folded as constants; frame-resident locals are addressed relative to
+ * an implicit frame-base input register.  `#pragma independent`
+ * annotations are recorded for the points-to analysis.
+ */
+std::unique_ptr<CfgProgram> lowerProgram(const Program& program,
+                                         const MemoryLayout& layout);
+
+} // namespace cash
+
+#endif // CASH_CFG_LOWER_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The CASH compilation pipeline: Mini-C source → AST → CFG →
+ * hyperblocks → Pegasus → optimizations → spatial simulation.
+ *
+ * This is the library's primary entry point:
+ * @code
+ *   CompileResult r = compileSource(src, {OptLevel::Full});
+ *   DataflowSimulator sim(r.graphPtrs(), *r.layout,
+ *                         MemConfig::realistic());
+ *   SimResult out = sim.run("main", {});
+ * @endcode
+ */
+#ifndef CASH_DRIVER_COMPILER_H
+#define CASH_DRIVER_COMPILER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "frontend/ast.h"
+#include "frontend/layout.h"
+#include "opt/pass.h"
+#include "pegasus/graph.h"
+#include "support/stats.h"
+
+namespace cash {
+
+struct CompileOptions
+{
+    OptLevel level = OptLevel::Full;
+    /** Run the graph verifier after construction and each pass. */
+    bool verify = true;
+    /**
+     * Use read/write sets during token construction (§3.3).  Turned
+     * off by OptLevel::None to produce the coarse program-order token
+     * chain.
+     */
+    bool pointsToInConstruction = true;
+};
+
+/** Everything produced by one compilation. */
+struct CompileResult
+{
+    std::shared_ptr<Program> ast;
+    std::shared_ptr<MemoryLayout> layout;
+    std::unique_ptr<CfgProgram> cfg;
+    std::vector<std::unique_ptr<Graph>> graphs;
+    StatSet stats;
+
+    const Graph* graph(const std::string& name) const;
+    std::vector<const Graph*> graphPtrs() const;
+
+    /** Static memory-operation counts over all graphs. */
+    int64_t staticLoads() const;
+    int64_t staticStores() const;
+    int64_t totalNodes() const;
+};
+
+/** Compile Mini-C source text through the full pipeline. */
+CompileResult compileSource(const std::string& source,
+                            const CompileOptions& options = {});
+
+} // namespace cash
+
+#endif // CASH_DRIVER_COMPILER_H

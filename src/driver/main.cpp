@@ -1,0 +1,147 @@
+/**
+ * @file
+ * `cashc` — command-line driver: compile a Mini-C file to Pegasus,
+ * optionally dump the graph (text or dot) and run it on the spatial
+ * simulator.
+ *
+ * Usage:
+ *   cashc [options] file.c
+ *     -O none|medium|full   optimization level (default full)
+ *     --dump-cfg            print the three-address CFG
+ *     --dump-graph          print the Pegasus graphs (text)
+ *     --dot                 print Graphviz dot for all graphs
+ *     --run f(a,b,...)      simulate calling f with integer args
+ *     --mem perfect|real1|real2|real4   memory system for --run
+ *     --stats               print compile + run statistics
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/compiler.h"
+#include "pegasus/dot.h"
+#include "sim/dataflow_sim.h"
+#include "support/strings.h"
+
+using namespace cash;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: cashc [-O none|medium|full] [--dump-cfg] "
+        "[--dump-graph] [--dot]\n"
+        "             [--run 'f(1,2)'] [--mem perfect|real1|real2|real4]"
+        " [--stats] file.c\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string file;
+    std::string runSpec;
+    std::string memSpec = "real2";
+    bool dumpCfg = false, dumpGraph = false, dumpDot = false;
+    bool showStats = false;
+    CompileOptions opts;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "-O" && i + 1 < argc) {
+            std::string lvl = argv[++i];
+            if (lvl == "none")
+                opts.level = OptLevel::None;
+            else if (lvl == "medium")
+                opts.level = OptLevel::Medium;
+            else if (lvl == "full")
+                opts.level = OptLevel::Full;
+            else
+                return usage();
+        } else if (arg == "--dump-cfg") {
+            dumpCfg = true;
+        } else if (arg == "--dump-graph") {
+            dumpGraph = true;
+        } else if (arg == "--dot") {
+            dumpDot = true;
+        } else if (arg == "--trace") {
+            traceLevel = 2;
+        } else if (arg == "--stats") {
+            showStats = true;
+        } else if (arg == "--run" && i + 1 < argc) {
+            runSpec = argv[++i];
+        } else if (arg == "--mem" && i + 1 < argc) {
+            memSpec = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            file = arg;
+        }
+    }
+    if (file.empty())
+        return usage();
+
+    std::ifstream in(file);
+    if (!in) {
+        std::cerr << "cashc: cannot open " << file << "\n";
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    try {
+        CompileResult r = compileSource(buf.str(), opts);
+
+        if (dumpCfg)
+            for (const auto& fn : r.cfg->functions)
+                std::cout << fn->str();
+        if (dumpGraph)
+            for (const auto& g : r.graphs)
+                std::cout << toText(*g);
+        if (dumpDot)
+            for (const auto& g : r.graphs)
+                std::cout << toDot(*g);
+
+        if (!runSpec.empty()) {
+            size_t open = runSpec.find('(');
+            std::string fname = open == std::string::npos
+                                    ? runSpec
+                                    : runSpec.substr(0, open);
+            std::vector<uint32_t> args;
+            if (open != std::string::npos) {
+                size_t close = runSpec.rfind(')');
+                std::string inner =
+                    runSpec.substr(open + 1, close - open - 1);
+                for (const std::string& s : split(inner, ','))
+                    if (!trim(s).empty())
+                        args.push_back(static_cast<uint32_t>(
+                            std::stoll(trim(s))));
+            }
+            MemConfig mc = MemConfig::realistic(2);
+            if (memSpec == "perfect")
+                mc = MemConfig::perfectMemory();
+            else if (memSpec == "real1")
+                mc = MemConfig::realistic(1);
+            else if (memSpec == "real4")
+                mc = MemConfig::realistic(4);
+
+            DataflowSimulator sim(r.graphPtrs(), *r.layout, mc);
+            SimResult out = sim.run(fname, args);
+            std::cout << fname << " returned " << out.returnValue
+                      << " in " << out.cycles << " cycles ("
+                      << mc.name << " memory)\n";
+            if (showStats)
+                std::cout << out.stats.str();
+        }
+        if (showStats)
+            std::cout << r.stats.str();
+    } catch (const FatalError& e) {
+        std::cerr << "cashc: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

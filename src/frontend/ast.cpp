@@ -1,0 +1,273 @@
+#include "frontend/ast.h"
+
+#include <sstream>
+
+namespace cash {
+
+TypePtr
+Type::makeVoid()
+{
+    auto t = std::make_shared<Type>();
+    t->kind = TypeKind::Void;
+    return t;
+}
+
+TypePtr
+Type::makeInt()
+{
+    auto t = std::make_shared<Type>();
+    t->kind = TypeKind::Int;
+    return t;
+}
+
+TypePtr
+Type::makeUInt()
+{
+    auto t = std::make_shared<Type>();
+    t->kind = TypeKind::UInt;
+    return t;
+}
+
+TypePtr
+Type::makeChar()
+{
+    auto t = std::make_shared<Type>();
+    t->kind = TypeKind::Char;
+    return t;
+}
+
+TypePtr
+Type::makeUChar()
+{
+    auto t = std::make_shared<Type>();
+    t->kind = TypeKind::UChar;
+    return t;
+}
+
+TypePtr
+Type::makePointer(TypePtr pointee)
+{
+    auto t = std::make_shared<Type>();
+    t->kind = TypeKind::Pointer;
+    t->element = std::move(pointee);
+    return t;
+}
+
+TypePtr
+Type::makeArray(TypePtr elem, int64_t count)
+{
+    auto t = std::make_shared<Type>();
+    t->kind = TypeKind::Array;
+    t->element = std::move(elem);
+    t->arraySize = count;
+    return t;
+}
+
+TypePtr
+Type::makeConst(TypePtr base)
+{
+    auto t = std::make_shared<Type>(*base);
+    t->isConst = true;
+    return t;
+}
+
+int64_t
+Type::sizeBytes() const
+{
+    switch (kind) {
+      case TypeKind::Void: return 0;
+      case TypeKind::Int:
+      case TypeKind::UInt: return 4;
+      case TypeKind::Char:
+      case TypeKind::UChar: return 1;
+      case TypeKind::Pointer: return 4;
+      case TypeKind::Array: return element->sizeBytes() * arraySize;
+    }
+    return 0;
+}
+
+int
+Type::accessSize() const
+{
+    switch (kind) {
+      case TypeKind::Char:
+      case TypeKind::UChar: return 1;
+      default: return 4;
+    }
+}
+
+std::string
+Type::str() const
+{
+    std::string c = isConst ? "const " : "";
+    switch (kind) {
+      case TypeKind::Void: return c + "void";
+      case TypeKind::Int: return c + "int";
+      case TypeKind::UInt: return c + "unsigned";
+      case TypeKind::Char: return c + "char";
+      case TypeKind::UChar: return c + "unsigned char";
+      case TypeKind::Pointer: return c + element->str() + "*";
+      case TypeKind::Array:
+        return c + element->str() + "[" +
+               (arraySize ? std::to_string(arraySize) : "") + "]";
+    }
+    return "<bad type>";
+}
+
+bool
+sameType(const TypePtr& a, const TypePtr& b)
+{
+    if (!a || !b)
+        return a == b;
+    if (a->kind != b->kind)
+        return false;
+    switch (a->kind) {
+      case TypeKind::Pointer:
+        return sameType(a->element, b->element);
+      case TypeKind::Array:
+        return a->arraySize == b->arraySize &&
+               sameType(a->element, b->element);
+      default:
+        return true;
+    }
+}
+
+FuncDecl*
+Program::findFunction(const std::string& name) const
+{
+    for (FuncDecl* f : functions)
+        if (f->name == name)
+            return f;
+    return nullptr;
+}
+
+VarDecl*
+Program::findGlobal(const std::string& name) const
+{
+    for (VarDecl* g : globals)
+        if (g->name == name)
+            return g;
+    return nullptr;
+}
+
+const char*
+unaryOpName(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::Neg: return "-";
+      case UnaryOp::Not: return "!";
+      case UnaryOp::BitNot: return "~";
+      case UnaryOp::Plus: return "+";
+    }
+    return "?";
+}
+
+const char*
+binaryOpName(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Rem: return "%";
+      case BinaryOp::And: return "&";
+      case BinaryOp::Or: return "|";
+      case BinaryOp::Xor: return "^";
+      case BinaryOp::Shl: return "<<";
+      case BinaryOp::Shr: return ">>";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::Ne: return "!=";
+      case BinaryOp::LogAnd: return "&&";
+      case BinaryOp::LogOr: return "||";
+    }
+    return "?";
+}
+
+std::string
+exprToString(const Expr* e)
+{
+    if (!e)
+        return "<null>";
+    std::ostringstream os;
+    switch (e->kind) {
+      case ExprKind::IntLit:
+        os << static_cast<const IntLitExpr*>(e)->value;
+        break;
+      case ExprKind::StrLit:
+        os << '"' << static_cast<const StrLitExpr*>(e)->value << '"';
+        break;
+      case ExprKind::VarRef:
+        os << static_cast<const VarRefExpr*>(e)->name;
+        break;
+      case ExprKind::Unary: {
+        auto* u = static_cast<const UnaryExpr*>(e);
+        os << "(" << unaryOpName(u->op) << exprToString(u->operand) << ")";
+        break;
+      }
+      case ExprKind::Binary: {
+        auto* b = static_cast<const BinaryExpr*>(e);
+        os << "(" << exprToString(b->lhs) << " " << binaryOpName(b->op)
+           << " " << exprToString(b->rhs) << ")";
+        break;
+      }
+      case ExprKind::Assign: {
+        auto* a = static_cast<const AssignExpr*>(e);
+        os << "(" << exprToString(a->lhs) << " = " << exprToString(a->rhs)
+           << ")";
+        break;
+      }
+      case ExprKind::Index: {
+        auto* i = static_cast<const IndexExpr*>(e);
+        os << exprToString(i->base) << "[" << exprToString(i->index) << "]";
+        break;
+      }
+      case ExprKind::Deref:
+        os << "(*" << exprToString(static_cast<const DerefExpr*>(e)->pointer)
+           << ")";
+        break;
+      case ExprKind::AddrOf:
+        os << "(&"
+           << exprToString(static_cast<const AddrOfExpr*>(e)->lvalue) << ")";
+        break;
+      case ExprKind::Call: {
+        auto* c = static_cast<const CallExpr*>(e);
+        os << c->callee << "(";
+        for (size_t i = 0; i < c->args.size(); i++) {
+            if (i)
+                os << ", ";
+            os << exprToString(c->args[i]);
+        }
+        os << ")";
+        break;
+      }
+      case ExprKind::Cast: {
+        auto* c = static_cast<const CastExpr*>(e);
+        os << "(" << c->target->str() << ")" << exprToString(c->operand);
+        break;
+      }
+      case ExprKind::Cond: {
+        auto* c = static_cast<const CondExpr*>(e);
+        os << "(" << exprToString(c->cond) << " ? "
+           << exprToString(c->thenExpr) << " : "
+           << exprToString(c->elseExpr) << ")";
+        break;
+      }
+      case ExprKind::IncDec: {
+        auto* i = static_cast<const IncDecExpr*>(e);
+        const char* op = i->isIncrement ? "++" : "--";
+        if (i->isPrefix)
+            os << "(" << op << exprToString(i->lvalue) << ")";
+        else
+            os << "(" << exprToString(i->lvalue) << op << ")";
+        break;
+      }
+    }
+    return os.str();
+}
+
+} // namespace cash

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Abstract syntax tree for Mini-C.
+ *
+ * All nodes are owned by an AstContext arena; the tree itself holds raw
+ * pointers.  Semantic analysis (sema.h) annotates expressions with types
+ * and resolves identifier references in place.
+ */
+#ifndef CASH_FRONTEND_AST_H
+#define CASH_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+// ---------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------
+
+/** Scalar/aggregate type kinds supported by Mini-C. */
+enum class TypeKind
+{
+    Void,
+    Int,     ///< signed 32-bit
+    UInt,    ///< unsigned 32-bit
+    Char,    ///< signed 8-bit
+    UChar,   ///< unsigned 8-bit
+    Pointer,
+    Array,
+};
+
+/**
+ * A Mini-C type.  Types are immutable once built; they are created via
+ * the static factories and shared freely.
+ */
+class Type
+{
+  public:
+    TypeKind kind = TypeKind::Int;
+    std::shared_ptr<Type> element;  ///< Pointee / array element.
+    int64_t arraySize = 0;          ///< 0 = unknown extent (extern arrays).
+    bool isConst = false;           ///< Declared const (immutable object).
+
+    static std::shared_ptr<Type> makeVoid();
+    static std::shared_ptr<Type> makeInt();
+    static std::shared_ptr<Type> makeUInt();
+    static std::shared_ptr<Type> makeChar();
+    static std::shared_ptr<Type> makeUChar();
+    static std::shared_ptr<Type> makePointer(std::shared_ptr<Type> pointee);
+    static std::shared_ptr<Type> makeArray(std::shared_ptr<Type> elem,
+                                           int64_t count);
+    /** Copy of @p t with isConst set. */
+    static std::shared_ptr<Type> makeConst(std::shared_ptr<Type> t);
+
+    bool isVoid() const { return kind == TypeKind::Void; }
+    bool isPointer() const { return kind == TypeKind::Pointer; }
+    bool isArray() const { return kind == TypeKind::Array; }
+    bool isInteger() const
+    {
+        return kind == TypeKind::Int || kind == TypeKind::UInt ||
+               kind == TypeKind::Char || kind == TypeKind::UChar;
+    }
+    bool isUnsignedInt() const
+    {
+        return kind == TypeKind::UInt || kind == TypeKind::UChar;
+    }
+    /** Size in bytes (pointers are 4 bytes: a 32-bit address space). */
+    int64_t sizeBytes() const;
+    /** Size of the value loaded/stored when accessing this scalar. */
+    int accessSize() const;
+
+    std::string str() const;
+};
+
+using TypePtr = std::shared_ptr<Type>;
+
+/** Structural type equality. */
+bool sameType(const TypePtr& a, const TypePtr& b);
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+enum class ExprKind
+{
+    IntLit, StrLit, VarRef, Unary, Binary, Assign, Index, Deref,
+    AddrOf, Call, Cast, Cond, IncDec,
+};
+
+enum class UnaryOp { Neg, Not, BitNot, Plus };
+
+enum class BinaryOp
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    LogAnd, LogOr,
+};
+
+/** Compound-assignment flavors; Assign means plain '='. */
+enum class AssignOp
+{
+    Assign, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+};
+
+struct VarDecl;
+struct FuncDecl;
+
+/** Base class of all expressions. */
+struct Expr
+{
+    ExprKind kind;
+    SourceLoc loc;
+    TypePtr type;  ///< Filled in by sema.
+
+    explicit Expr(ExprKind k) : kind(k) {}
+    virtual ~Expr() = default;
+};
+
+struct IntLitExpr : Expr
+{
+    int64_t value = 0;
+    bool isUnsignedLit = false;
+    IntLitExpr() : Expr(ExprKind::IntLit) {}
+};
+
+/** A string literal; sema materializes it as a const char array object. */
+struct StrLitExpr : Expr
+{
+    std::string value;
+    VarDecl* object = nullptr;  ///< Hidden const-char-array global (sema).
+    StrLitExpr() : Expr(ExprKind::StrLit) {}
+};
+
+struct VarRefExpr : Expr
+{
+    std::string name;
+    VarDecl* decl = nullptr;  ///< Resolved by sema.
+    VarRefExpr() : Expr(ExprKind::VarRef) {}
+};
+
+struct UnaryExpr : Expr
+{
+    UnaryOp op = UnaryOp::Neg;
+    Expr* operand = nullptr;
+    UnaryExpr() : Expr(ExprKind::Unary) {}
+};
+
+struct BinaryExpr : Expr
+{
+    BinaryOp op = BinaryOp::Add;
+    Expr* lhs = nullptr;
+    Expr* rhs = nullptr;
+    BinaryExpr() : Expr(ExprKind::Binary) {}
+};
+
+struct AssignExpr : Expr
+{
+    AssignOp op = AssignOp::Assign;
+    Expr* lhs = nullptr;  ///< An lvalue expression.
+    Expr* rhs = nullptr;
+    AssignExpr() : Expr(ExprKind::Assign) {}
+};
+
+struct IndexExpr : Expr
+{
+    Expr* base = nullptr;
+    Expr* index = nullptr;
+    IndexExpr() : Expr(ExprKind::Index) {}
+};
+
+struct DerefExpr : Expr
+{
+    Expr* pointer = nullptr;
+    DerefExpr() : Expr(ExprKind::Deref) {}
+};
+
+struct AddrOfExpr : Expr
+{
+    Expr* lvalue = nullptr;
+    AddrOfExpr() : Expr(ExprKind::AddrOf) {}
+};
+
+struct CallExpr : Expr
+{
+    std::string callee;
+    std::vector<Expr*> args;
+    FuncDecl* decl = nullptr;  ///< Resolved by sema.
+    CallExpr() : Expr(ExprKind::Call) {}
+};
+
+struct CastExpr : Expr
+{
+    TypePtr target;
+    Expr* operand = nullptr;
+    CastExpr() : Expr(ExprKind::Cast) {}
+};
+
+struct CondExpr : Expr
+{
+    Expr* cond = nullptr;
+    Expr* thenExpr = nullptr;
+    Expr* elseExpr = nullptr;
+    CondExpr() : Expr(ExprKind::Cond) {}
+};
+
+/** ++x / x++ / --x / x-- */
+struct IncDecExpr : Expr
+{
+    Expr* lvalue = nullptr;
+    bool isIncrement = true;
+    bool isPrefix = true;
+    IncDecExpr() : Expr(ExprKind::IncDec) {}
+};
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+enum class StmtKind
+{
+    Expr, Decl, If, While, DoWhile, For, Return, Break, Continue,
+    Block, Empty,
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    SourceLoc loc;
+    explicit Stmt(StmtKind k) : kind(k) {}
+    virtual ~Stmt() = default;
+};
+
+struct ExprStmt : Stmt
+{
+    Expr* expr = nullptr;
+    ExprStmt() : Stmt(StmtKind::Expr) {}
+};
+
+struct DeclStmt : Stmt
+{
+    std::vector<VarDecl*> decls;
+    DeclStmt() : Stmt(StmtKind::Decl) {}
+};
+
+struct IfStmt : Stmt
+{
+    Expr* cond = nullptr;
+    Stmt* thenStmt = nullptr;
+    Stmt* elseStmt = nullptr;  ///< May be null.
+    IfStmt() : Stmt(StmtKind::If) {}
+};
+
+struct WhileStmt : Stmt
+{
+    Expr* cond = nullptr;
+    Stmt* body = nullptr;
+    WhileStmt() : Stmt(StmtKind::While) {}
+};
+
+struct DoWhileStmt : Stmt
+{
+    Stmt* body = nullptr;
+    Expr* cond = nullptr;
+    DoWhileStmt() : Stmt(StmtKind::DoWhile) {}
+};
+
+struct ForStmt : Stmt
+{
+    Stmt* init = nullptr;   ///< ExprStmt, DeclStmt or null.
+    Expr* cond = nullptr;   ///< Null means "true".
+    Expr* step = nullptr;   ///< May be null.
+    Stmt* body = nullptr;
+    ForStmt() : Stmt(StmtKind::For) {}
+};
+
+struct ReturnStmt : Stmt
+{
+    Expr* value = nullptr;  ///< Null for void return.
+    ReturnStmt() : Stmt(StmtKind::Return) {}
+};
+
+struct BreakStmt : Stmt
+{
+    BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+struct ContinueStmt : Stmt
+{
+    ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+struct BlockStmt : Stmt
+{
+    std::vector<Stmt*> stmts;
+    BlockStmt() : Stmt(StmtKind::Block) {}
+};
+
+struct EmptyStmt : Stmt
+{
+    EmptyStmt() : Stmt(StmtKind::Empty) {}
+};
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+enum class Storage { Global, Local, Param };
+
+/** A variable declaration (global, local or parameter). */
+struct VarDecl
+{
+    std::string name;
+    TypePtr type;
+    Storage storage = Storage::Local;
+    Expr* init = nullptr;                  ///< Scalar initializer.
+    std::vector<Expr*> initList;           ///< Array initializer list.
+    bool isExtern = false;
+    SourceLoc loc;
+
+    // --- Filled in by sema / layout ---
+    bool addressTaken = false;  ///< &x appears somewhere.
+    bool inMemory = false;      ///< Lives in memory (vs. a virtual register).
+    int objectId = -1;          ///< Memory-object id when inMemory.
+    int varId = -1;             ///< Dense per-function id for register vars.
+};
+
+/** A `#pragma independent p q` annotation (paper §7.1). */
+struct PragmaIndependent
+{
+    std::string funcName;  ///< Enclosing function ("" = file scope).
+    std::string first;
+    std::string second;
+    SourceLoc loc;
+};
+
+/** A function definition. */
+struct FuncDecl
+{
+    std::string name;
+    TypePtr returnType;
+    std::vector<VarDecl*> params;
+    BlockStmt* body = nullptr;  ///< Null for a bare declaration/prototype.
+    SourceLoc loc;
+
+    // --- Filled in by sema ---
+    std::vector<VarDecl*> locals;  ///< All block-scope declarations.
+    int numRegisterVars = 0;       ///< Count of varId-numbered scalars.
+};
+
+/**
+ * Arena owning every AST node of one translation unit.
+ */
+class AstContext
+{
+  public:
+    template <typename T, typename... Args>
+    T*
+    make(Args&&... args)
+    {
+        auto node = std::make_unique<T>(std::forward<Args>(args)...);
+        T* raw = node.get();
+        owned_.push_back(std::move(node));
+        return raw;
+    }
+
+    VarDecl*
+    makeVar()
+    {
+        auto node = std::make_unique<VarDecl>();
+        VarDecl* raw = node.get();
+        ownedVars_.push_back(std::move(node));
+        return raw;
+    }
+
+    FuncDecl*
+    makeFunc()
+    {
+        auto node = std::make_unique<FuncDecl>();
+        FuncDecl* raw = node.get();
+        ownedFuncs_.push_back(std::move(node));
+        return raw;
+    }
+
+  private:
+    // shared_ptr<void> captures the concrete deleter at make<T>() time,
+    // so heterogeneous node types destruct correctly.
+    std::vector<std::shared_ptr<void>> owned_;
+    std::vector<std::unique_ptr<VarDecl>> ownedVars_;
+    std::vector<std::unique_ptr<FuncDecl>> ownedFuncs_;
+};
+
+/** A parsed translation unit. */
+struct Program
+{
+    std::shared_ptr<AstContext> arena = std::make_shared<AstContext>();
+    std::vector<VarDecl*> globals;
+    std::vector<FuncDecl*> functions;
+    std::vector<PragmaIndependent> pragmas;
+
+    FuncDecl* findFunction(const std::string& name) const;
+    VarDecl* findGlobal(const std::string& name) const;
+};
+
+/** Printable operator spellings (for dumps and diagnostics). */
+const char* unaryOpName(UnaryOp op);
+const char* binaryOpName(BinaryOp op);
+
+/** Pretty-print an expression (mostly for tests and dumps). */
+std::string exprToString(const Expr* e);
+
+} // namespace cash
+
+#endif // CASH_FRONTEND_AST_H

@@ -1,0 +1,153 @@
+#include "frontend/layout.h"
+
+#include "frontend/sema.h"
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+uint32_t
+alignUp(uint32_t v, uint32_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+/** Concrete storage size of a declared variable. */
+uint32_t
+storageSize(const TypePtr& t)
+{
+    if (t->isArray() && t->arraySize == 0) {
+        // Extern array of unknown extent: give it simulated backing.
+        return static_cast<uint32_t>(t->element->sizeBytes() *
+                                     MemoryLayout::kExternArrayElems);
+    }
+    int64_t s = t->sizeBytes();
+    CASH_ASSERT(s > 0, "object with zero size");
+    return static_cast<uint32_t>(s);
+}
+
+} // namespace
+
+void
+MemoryLayout::build(Program& program)
+{
+    objects_.clear();
+    frameSizes_.clear();
+    globalTop_ = kGlobalBase;
+
+    for (VarDecl* g : program.globals)
+        placeGlobal(g);
+
+    image_.assign(globalTop_ - kGlobalBase, 0);
+    for (const MemObject& obj : objects_)
+        if (obj.isGlobal)
+            writeInit(obj, obj.decl);
+
+    // Frame layout per function.
+    for (FuncDecl* f : program.functions) {
+        if (!f->body)
+            continue;
+        uint32_t offset = 0;
+        for (VarDecl* l : f->locals) {
+            if (!l->inMemory)
+                continue;
+            uint32_t size = storageSize(l->type);
+            uint32_t align = l->type->accessSize();
+            offset = alignUp(offset, align);
+            MemObject obj;
+            obj.id = static_cast<int>(objects_.size());
+            obj.name = f->name + "." + l->name;
+            obj.decl = l;
+            obj.func = f;
+            obj.address = offset;
+            obj.size = size;
+            obj.isGlobal = false;
+            obj.isConst = l->type->isConst;
+            l->objectId = obj.id;
+            objects_.push_back(obj);
+            offset += size;
+        }
+        frameSizes_[f] = alignUp(offset, 4);
+    }
+}
+
+void
+MemoryLayout::placeGlobal(VarDecl* g)
+{
+    uint32_t size = storageSize(g->type);
+    uint32_t align = g->type->accessSize();
+    globalTop_ = alignUp(globalTop_, align);
+
+    MemObject obj;
+    obj.id = static_cast<int>(objects_.size());
+    obj.name = g->name;
+    obj.decl = g;
+    obj.address = globalTop_;
+    obj.size = size;
+    obj.isGlobal = true;
+    obj.isConst = g->type->isConst;
+    g->objectId = obj.id;
+    objects_.push_back(obj);
+
+    globalTop_ += size;
+}
+
+void
+MemoryLayout::storeBytes(uint32_t addr, int64_t value, int size)
+{
+    uint32_t off = addr - kGlobalBase;
+    CASH_ASSERT(off + size <= image_.size(), "initializer out of range");
+    for (int i = 0; i < size; i++)
+        image_[off + i] = static_cast<uint8_t>((value >> (8 * i)) & 0xff);
+}
+
+void
+MemoryLayout::writeInit(const MemObject& obj, const VarDecl* g)
+{
+    if (!g)
+        return;
+    if (g->init) {
+        int64_t v;
+        if (g->init->kind == ExprKind::VarRef) {
+            // `int* p = arr;` — pointer to a global array.
+            const VarDecl* target =
+                static_cast<const VarRefExpr*>(g->init)->decl;
+            if (!target || target->objectId < 0)
+                fatalAt(g->loc, "global pointer initializer must name "
+                                "a global object");
+            v = objects_.at(target->objectId).address;
+        } else {
+            v = evalConstExpr(g->init);
+        }
+        storeBytes(obj.address, v, g->type->accessSize());
+    }
+    if (!g->initList.empty()) {
+        if (!g->type->isArray())
+            fatalAt(g->loc, "initializer list on non-array global");
+        int esize = g->type->element->accessSize();
+        for (size_t i = 0; i < g->initList.size(); i++) {
+            int64_t v = evalConstExpr(g->initList[i]);
+            storeBytes(obj.address + static_cast<uint32_t>(i * esize),
+                       v, esize);
+        }
+    }
+}
+
+uint32_t
+MemoryLayout::frameSize(const FuncDecl* f) const
+{
+    auto it = frameSizes_.find(f);
+    return it == frameSizes_.end() ? 0 : it->second;
+}
+
+int
+MemoryLayout::findGlobal(const std::string& name) const
+{
+    for (const MemObject& o : objects_)
+        if (o.isGlobal && o.name == name)
+            return o.id;
+    return -1;
+}
+
+} // namespace cash

@@ -1,0 +1,385 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace cash {
+
+const char*
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::Identifier: return "identifier";
+      case Tok::IntLiteral: return "integer literal";
+      case Tok::CharLiteral: return "character literal";
+      case Tok::StringLiteral: return "string literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwUnsigned: return "'unsigned'";
+      case Tok::KwChar: return "'char'";
+      case Tok::KwLong: return "'long'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwConst: return "'const'";
+      case Tok::KwExtern: return "'extern'";
+      case Tok::KwStatic: return "'static'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwDo: return "'do'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::KwSigned: return "'signed'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Semicolon: return "';'";
+      case Tok::Comma: return "','";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Bang: return "'!'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Lt: return "'<'";
+      case Tok::Gt: return "'>'";
+      case Tok::Le: return "'<='";
+      case Tok::Ge: return "'>='";
+      case Tok::EqEq: return "'=='";
+      case Tok::NotEq: return "'!='";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Assign: return "'='";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::StarAssign: return "'*='";
+      case Tok::SlashAssign: return "'/='";
+      case Tok::PercentAssign: return "'%='";
+      case Tok::ShlAssign: return "'<<='";
+      case Tok::ShrAssign: return "'>>='";
+      case Tok::AmpAssign: return "'&='";
+      case Tok::PipeAssign: return "'|='";
+      case Tok::CaretAssign: return "'^='";
+      case Tok::PlusPlus: return "'++'";
+      case Tok::MinusMinus: return "'--'";
+      case Tok::Question: return "'?'";
+      case Tok::Colon: return "':'";
+      case Tok::Pragma: return "pragma";
+      case Tok::EndOfFile: return "end of file";
+    }
+    return "<bad token>";
+}
+
+namespace {
+
+const std::map<std::string, Tok> kKeywords = {
+    {"int", Tok::KwInt},       {"unsigned", Tok::KwUnsigned},
+    {"char", Tok::KwChar},     {"long", Tok::KwLong},
+    {"void", Tok::KwVoid},     {"const", Tok::KwConst},
+    {"extern", Tok::KwExtern}, {"static", Tok::KwStatic},
+    {"if", Tok::KwIf},         {"else", Tok::KwElse},
+    {"while", Tok::KwWhile},   {"for", Tok::KwFor},
+    {"do", Tok::KwDo},         {"return", Tok::KwReturn},
+    {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+    {"signed", Tok::KwSigned},
+};
+
+} // namespace
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> out;
+    for (;;) {
+        Token t = next();
+        bool done = t.is(Tok::EndOfFile);
+        out.push_back(std::move(t));
+        if (done)
+            break;
+    }
+    return out;
+}
+
+char
+Lexer::peek(int ahead) const
+{
+    size_t p = pos_ + ahead;
+    return p < src_.size() ? src_[p] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = peek();
+    if (c == '\0')
+        return c;
+    pos_++;
+    if (c == '\n') {
+        line_++;
+        col_ = 1;
+    } else {
+        col_++;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char expected)
+{
+    if (peek() != expected)
+        return false;
+    advance();
+    return true;
+}
+
+SourceLoc
+Lexer::here() const
+{
+    return SourceLoc{line_, col_};
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    for (;;) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (peek() != '\n' && peek() != '\0')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            SourceLoc start = here();
+            advance();
+            advance();
+            while (!(peek() == '*' && peek(1) == '/')) {
+                if (peek() == '\0')
+                    fatalAt(start, "unterminated block comment");
+                advance();
+            }
+            advance();
+            advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(Tok kind)
+{
+    Token t;
+    t.kind = kind;
+    t.loc = tokenStart_;
+    return t;
+}
+
+Token
+Lexer::lexNumber()
+{
+    Token t = makeToken(Tok::IntLiteral);
+    int64_t value = 0;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        bool any = false;
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+            char c = advance();
+            int digit = std::isdigit(static_cast<unsigned char>(c))
+                            ? c - '0'
+                            : std::tolower(c) - 'a' + 10;
+            value = value * 16 + digit;
+            any = true;
+        }
+        if (!any)
+            fatalAt(tokenStart_, "malformed hex literal");
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            value = value * 10 + (advance() - '0');
+    }
+    // Accept (and record) integer suffixes.
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
+        if (peek() == 'u' || peek() == 'U')
+            t.isUnsigned = true;
+        advance();
+    }
+    t.intValue = value;
+    return t;
+}
+
+Token
+Lexer::lexIdentifier()
+{
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        text += advance();
+    auto it = kKeywords.find(text);
+    Token t = makeToken(it == kKeywords.end() ? Tok::Identifier : it->second);
+    t.text = std::move(text);
+    return t;
+}
+
+Token
+Lexer::lexCharLiteral()
+{
+    advance(); // opening quote
+    char c = advance();
+    if (c == '\\') {
+        char esc = advance();
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '\'': c = '\''; break;
+          default: fatalAt(tokenStart_, "unknown escape in char literal");
+        }
+    }
+    if (!match('\''))
+        fatalAt(tokenStart_, "unterminated character literal");
+    Token t = makeToken(Tok::CharLiteral);
+    t.intValue = static_cast<unsigned char>(c);
+    return t;
+}
+
+Token
+Lexer::lexStringLiteral()
+{
+    advance(); // opening quote
+    std::string text;
+    while (peek() != '"') {
+        if (peek() == '\0' || peek() == '\n')
+            fatalAt(tokenStart_, "unterminated string literal");
+        char c = advance();
+        if (c == '\\') {
+            char esc = advance();
+            switch (esc) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case '0': c = '\0'; break;
+              case '\\': c = '\\'; break;
+              case '"': c = '"'; break;
+              default: fatalAt(tokenStart_, "unknown escape in string");
+            }
+        }
+        text += c;
+    }
+    advance(); // closing quote
+    Token t = makeToken(Tok::StringLiteral);
+    t.text = std::move(text);
+    return t;
+}
+
+Token
+Lexer::lexPragma()
+{
+    // '#' already seen; collect the rest of the line.
+    std::string body;
+    while (peek() != '\n' && peek() != '\0')
+        body += advance();
+    Token t = makeToken(Tok::Pragma);
+    t.text = body;
+    return t;
+}
+
+Token
+Lexer::next()
+{
+    skipWhitespaceAndComments();
+    tokenStart_ = here();
+    char c = peek();
+    if (c == '\0')
+        return makeToken(Tok::EndOfFile);
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return lexNumber();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+        return lexIdentifier();
+    if (c == '\'')
+        return lexCharLiteral();
+    if (c == '"')
+        return lexStringLiteral();
+    if (c == '#') {
+        advance();
+        return lexPragma();
+    }
+
+    advance();
+    switch (c) {
+      case '(': return makeToken(Tok::LParen);
+      case ')': return makeToken(Tok::RParen);
+      case '{': return makeToken(Tok::LBrace);
+      case '}': return makeToken(Tok::RBrace);
+      case '[': return makeToken(Tok::LBracket);
+      case ']': return makeToken(Tok::RBracket);
+      case ';': return makeToken(Tok::Semicolon);
+      case ',': return makeToken(Tok::Comma);
+      case '?': return makeToken(Tok::Question);
+      case ':': return makeToken(Tok::Colon);
+      case '~': return makeToken(Tok::Tilde);
+      case '+':
+        if (match('+')) return makeToken(Tok::PlusPlus);
+        if (match('=')) return makeToken(Tok::PlusAssign);
+        return makeToken(Tok::Plus);
+      case '-':
+        if (match('-')) return makeToken(Tok::MinusMinus);
+        if (match('=')) return makeToken(Tok::MinusAssign);
+        return makeToken(Tok::Minus);
+      case '*':
+        if (match('=')) return makeToken(Tok::StarAssign);
+        return makeToken(Tok::Star);
+      case '/':
+        if (match('=')) return makeToken(Tok::SlashAssign);
+        return makeToken(Tok::Slash);
+      case '%':
+        if (match('=')) return makeToken(Tok::PercentAssign);
+        return makeToken(Tok::Percent);
+      case '&':
+        if (match('&')) return makeToken(Tok::AmpAmp);
+        if (match('=')) return makeToken(Tok::AmpAssign);
+        return makeToken(Tok::Amp);
+      case '|':
+        if (match('|')) return makeToken(Tok::PipePipe);
+        if (match('=')) return makeToken(Tok::PipeAssign);
+        return makeToken(Tok::Pipe);
+      case '^':
+        if (match('=')) return makeToken(Tok::CaretAssign);
+        return makeToken(Tok::Caret);
+      case '!':
+        if (match('=')) return makeToken(Tok::NotEq);
+        return makeToken(Tok::Bang);
+      case '=':
+        if (match('=')) return makeToken(Tok::EqEq);
+        return makeToken(Tok::Assign);
+      case '<':
+        if (match('<')) {
+            if (match('=')) return makeToken(Tok::ShlAssign);
+            return makeToken(Tok::Shl);
+        }
+        if (match('=')) return makeToken(Tok::Le);
+        return makeToken(Tok::Lt);
+      case '>':
+        if (match('>')) {
+            if (match('=')) return makeToken(Tok::ShrAssign);
+            return makeToken(Tok::Shr);
+        }
+        if (match('=')) return makeToken(Tok::Ge);
+        return makeToken(Tok::Gt);
+      default:
+        fatalAt(tokenStart_,
+                std::string("unexpected character '") + c + "'");
+    }
+}
+
+} // namespace cash

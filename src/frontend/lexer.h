@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hand-written lexer for Mini-C.
+ */
+#ifndef CASH_FRONTEND_LEXER_H
+#define CASH_FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace cash {
+
+/**
+ * Converts a Mini-C source buffer into a token stream.
+ *
+ * Comments (both styles) are skipped.  `#pragma` lines become Pragma
+ * tokens carrying the pragma body; any other preprocessor-style line is
+ * rejected (Mini-C has no preprocessor).
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Lex the whole buffer; always ends with an EndOfFile token. */
+    std::vector<Token> lexAll();
+
+  private:
+    Token next();
+    char peek(int ahead = 0) const;
+    char advance();
+    bool match(char expected);
+    void skipWhitespaceAndComments();
+    Token makeToken(Tok kind);
+    Token lexNumber();
+    Token lexIdentifier();
+    Token lexCharLiteral();
+    Token lexStringLiteral();
+    Token lexPragma();
+    SourceLoc here() const;
+
+    std::string src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    SourceLoc tokenStart_;
+};
+
+} // namespace cash
+
+#endif // CASH_FRONTEND_LEXER_H

@@ -1,0 +1,594 @@
+#include "frontend/sema.h"
+
+#include <map>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+/** Lexically scoped symbol table for variable names. */
+class Scopes
+{
+  public:
+    void push() { scopes_.emplace_back(); }
+    void pop() { scopes_.pop_back(); }
+
+    void
+    declare(VarDecl* var)
+    {
+        auto& top = scopes_.back();
+        if (top.count(var->name))
+            fatalAt(var->loc, "redeclaration of '" + var->name + "'");
+        top[var->name] = var;
+    }
+
+    VarDecl*
+    lookup(const std::string& name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        return nullptr;
+    }
+
+  private:
+    std::vector<std::map<std::string, VarDecl*>> scopes_;
+};
+
+/** Integer promotion: char/uchar promote to int. */
+TypePtr
+promote(const TypePtr& t)
+{
+    if (t->kind == TypeKind::Char || t->kind == TypeKind::UChar)
+        return Type::makeInt();
+    return t;
+}
+
+/** Usual arithmetic conversions over the int/uint lattice. */
+TypePtr
+arith(const TypePtr& a, const TypePtr& b)
+{
+    TypePtr pa = promote(a), pb = promote(b);
+    if (pa->kind == TypeKind::UInt || pb->kind == TypeKind::UInt)
+        return Type::makeUInt();
+    return Type::makeInt();
+}
+
+/** Decay array types to pointers for rvalue contexts. */
+TypePtr
+decay(const TypePtr& t)
+{
+    if (t->isArray()) {
+        TypePtr p = Type::makePointer(t->element);
+        p->isConst = t->isConst;
+        return p;
+    }
+    return t;
+}
+
+class Sema
+{
+  public:
+    explicit Sema(Program& program) : prog_(program) {}
+
+    void
+    run()
+    {
+        // Declare all globals and functions first: Mini-C allows
+        // forward references at file scope.
+        scopes_.push();
+        for (VarDecl* g : prog_.globals) {
+            g->inMemory = true;
+            scopes_.declare(g);
+        }
+        // Type-check global initializers (layout folds them later).
+        for (size_t i = 0; i < prog_.globals.size(); i++) {
+            VarDecl* g = prog_.globals[i];
+            if (g->init)
+                checkExpr(g->init);
+            for (Expr* e : g->initList)
+                checkExpr(e);
+        }
+        for (FuncDecl* f : prog_.functions)
+            declareFunction(f);
+        for (FuncDecl* f : prog_.functions)
+            if (f->body)
+                checkFunction(f);
+        scopes_.pop();
+    }
+
+  private:
+    void
+    declareFunction(FuncDecl* f)
+    {
+        auto it = funcs_.find(f->name);
+        if (it != funcs_.end()) {
+            FuncDecl* prev = it->second;
+            if (prev->body && f->body)
+                fatalAt(f->loc, "redefinition of '" + f->name + "'");
+            // Prefer the definition.
+            if (f->body)
+                it->second = f;
+        } else {
+            funcs_[f->name] = f;
+        }
+    }
+
+    void
+    checkFunction(FuncDecl* f)
+    {
+        curFunc_ = f;
+        loopDepth_ = 0;
+        nextVarId_ = 0;
+        scopes_.push();
+        for (VarDecl* p : f->params) {
+            if (p->type->isVoid())
+                fatalAt(p->loc, "parameter of void type");
+            p->varId = nextVarId_++;
+            scopes_.declare(p);
+        }
+        checkStmt(f->body);
+        scopes_.pop();
+        f->numRegisterVars = nextVarId_;
+        curFunc_ = nullptr;
+    }
+
+    void
+    declareLocal(VarDecl* var)
+    {
+        if (var->type->isVoid())
+            fatalAt(var->loc, "variable of void type");
+        if (var->type->isArray() && var->type->arraySize <= 0)
+            fatalAt(var->loc, "local array needs a constant size");
+        scopes_.declare(var);
+        curFunc_->locals.push_back(var);
+        // Arrays always live in memory; scalars provisionally get a
+        // register and are demoted if their address is taken (second
+        // pass below handles the demotion).
+        if (var->type->isArray())
+            var->inMemory = true;
+        else
+            var->varId = nextVarId_++;
+        if (var->init) {
+            checkExpr(var->init);
+            requireScalar(var->init, "initializer");
+        }
+        for (Expr* e : var->initList)
+            checkExpr(e);
+        if (!var->initList.empty() && !var->type->isArray())
+            fatalAt(var->loc, "initializer list on non-array");
+    }
+
+    void
+    checkStmt(Stmt* s)
+    {
+        switch (s->kind) {
+          case StmtKind::Expr:
+            checkExpr(static_cast<ExprStmt*>(s)->expr);
+            break;
+          case StmtKind::Decl:
+            for (VarDecl* d : static_cast<DeclStmt*>(s)->decls)
+                declareLocal(d);
+            break;
+          case StmtKind::If: {
+            auto* i = static_cast<IfStmt*>(s);
+            checkExpr(i->cond);
+            checkStmt(i->thenStmt);
+            if (i->elseStmt)
+                checkStmt(i->elseStmt);
+            break;
+          }
+          case StmtKind::While: {
+            auto* w = static_cast<WhileStmt*>(s);
+            checkExpr(w->cond);
+            loopDepth_++;
+            checkStmt(w->body);
+            loopDepth_--;
+            break;
+          }
+          case StmtKind::DoWhile: {
+            auto* w = static_cast<DoWhileStmt*>(s);
+            loopDepth_++;
+            checkStmt(w->body);
+            loopDepth_--;
+            checkExpr(w->cond);
+            break;
+          }
+          case StmtKind::For: {
+            auto* f = static_cast<ForStmt*>(s);
+            scopes_.push();
+            if (f->init)
+                checkStmt(f->init);
+            if (f->cond)
+                checkExpr(f->cond);
+            if (f->step)
+                checkExpr(f->step);
+            loopDepth_++;
+            checkStmt(f->body);
+            loopDepth_--;
+            scopes_.pop();
+            break;
+          }
+          case StmtKind::Return: {
+            auto* r = static_cast<ReturnStmt*>(s);
+            if (r->value) {
+                if (curFunc_->returnType->isVoid())
+                    fatalAt(r->loc, "returning a value from void function");
+                checkExpr(r->value);
+            } else if (!curFunc_->returnType->isVoid()) {
+                fatalAt(r->loc, "non-void function must return a value");
+            }
+            break;
+          }
+          case StmtKind::Break:
+          case StmtKind::Continue:
+            if (loopDepth_ == 0)
+                fatalAt(s->loc, "break/continue outside loop");
+            break;
+          case StmtKind::Block: {
+            scopes_.push();
+            for (Stmt* sub : static_cast<BlockStmt*>(s)->stmts)
+                checkStmt(sub);
+            scopes_.pop();
+            break;
+          }
+          case StmtKind::Empty:
+            break;
+        }
+    }
+
+    void
+    requireScalar(Expr* e, const std::string& what)
+    {
+        TypePtr t = decay(e->type);  // arrays decay to pointers
+        if (!t->isInteger() && !t->isPointer())
+            fatalAt(e->loc, what + " must have scalar type, has " +
+                                e->type->str());
+    }
+
+    /** True when @p e may appear on the left of an assignment. */
+    bool
+    isLvalue(const Expr* e) const
+    {
+        switch (e->kind) {
+          case ExprKind::VarRef:
+            return !static_cast<const VarRefExpr*>(e)->decl->type->isArray();
+          case ExprKind::Index:
+          case ExprKind::Deref:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    void
+    markAddressTaken(Expr* e)
+    {
+        if (e->kind == ExprKind::VarRef) {
+            VarDecl* d = static_cast<VarRefExpr*>(e)->decl;
+            d->addressTaken = true;
+            if (d->storage == Storage::Param)
+                fatalAt(e->loc,
+                        "taking the address of a parameter is unsupported");
+            if (!d->type->isArray() && d->storage == Storage::Local) {
+                // Demote from register to memory.
+                d->inMemory = true;
+            }
+        }
+        // &a[i] and &*p take no new object's address.
+    }
+
+    void
+    checkExpr(Expr* e)
+    {
+        switch (e->kind) {
+          case ExprKind::IntLit: {
+            auto* lit = static_cast<IntLitExpr*>(e);
+            e->type = lit->isUnsignedLit ? Type::makeUInt()
+                                         : Type::makeInt();
+            break;
+          }
+          case ExprKind::StrLit: {
+            auto* lit = static_cast<StrLitExpr*>(e);
+            // Materialize a hidden const char array global.
+            VarDecl* g = prog_.arena->makeVar();
+            g->name = "__str" + std::to_string(nextString_++);
+            TypePtr arr = Type::makeArray(
+                Type::makeChar(),
+                static_cast<int64_t>(lit->value.size()) + 1);
+            g->type = Type::makeConst(arr);
+            g->storage = Storage::Global;
+            g->inMemory = true;
+            g->loc = e->loc;
+            for (size_t i = 0; i < lit->value.size(); i++) {
+                auto* c = prog_.arena->make<IntLitExpr>();
+                c->value = static_cast<unsigned char>(lit->value[i]);
+                c->type = Type::makeChar();
+                g->initList.push_back(c);
+            }
+            auto* nul = prog_.arena->make<IntLitExpr>();
+            nul->value = 0;
+            nul->type = Type::makeChar();
+            g->initList.push_back(nul);
+            prog_.globals.push_back(g);
+            lit->object = g;
+            TypePtr pc = Type::makePointer(Type::makeChar());
+            pc->isConst = true;
+            e->type = pc;
+            break;
+          }
+          case ExprKind::VarRef: {
+            auto* ref = static_cast<VarRefExpr*>(e);
+            VarDecl* d = scopes_.lookup(ref->name);
+            if (!d)
+                fatalAt(e->loc, "undeclared identifier '" + ref->name + "'");
+            ref->decl = d;
+            e->type = d->type;
+            break;
+          }
+          case ExprKind::Unary: {
+            auto* u = static_cast<UnaryExpr*>(e);
+            checkExpr(u->operand);
+            if (u->op == UnaryOp::Not) {
+                requireScalar(u->operand, "operand of '!'");
+                e->type = Type::makeInt();
+            } else {
+                if (!decay(u->operand->type)->isInteger())
+                    fatalAt(e->loc, "unary arithmetic on non-integer");
+                e->type = promote(u->operand->type);
+            }
+            break;
+          }
+          case ExprKind::Binary: {
+            auto* b = static_cast<BinaryExpr*>(e);
+            checkExpr(b->lhs);
+            checkExpr(b->rhs);
+            TypePtr lt = decay(b->lhs->type);
+            TypePtr rt = decay(b->rhs->type);
+            switch (b->op) {
+              case BinaryOp::Add:
+                if (lt->isPointer() && rt->isInteger())
+                    e->type = lt;
+                else if (lt->isInteger() && rt->isPointer())
+                    e->type = rt;
+                else if (lt->isInteger() && rt->isInteger())
+                    e->type = arith(lt, rt);
+                else
+                    fatalAt(e->loc, "invalid operands to '+'");
+                break;
+              case BinaryOp::Sub:
+                if (lt->isPointer() && rt->isPointer())
+                    e->type = Type::makeInt();
+                else if (lt->isPointer() && rt->isInteger())
+                    e->type = lt;
+                else if (lt->isInteger() && rt->isInteger())
+                    e->type = arith(lt, rt);
+                else
+                    fatalAt(e->loc, "invalid operands to '-'");
+                break;
+              case BinaryOp::Shl:
+              case BinaryOp::Shr:
+                if (!lt->isInteger() || !rt->isInteger())
+                    fatalAt(e->loc, "shift of non-integer");
+                e->type = promote(lt);
+                break;
+              case BinaryOp::Lt: case BinaryOp::Le:
+              case BinaryOp::Gt: case BinaryOp::Ge:
+              case BinaryOp::Eq: case BinaryOp::Ne:
+              case BinaryOp::LogAnd: case BinaryOp::LogOr:
+                e->type = Type::makeInt();
+                break;
+              default:
+                if (!lt->isInteger() || !rt->isInteger())
+                    fatalAt(e->loc, "arithmetic on non-integer operands");
+                e->type = arith(lt, rt);
+                break;
+            }
+            break;
+          }
+          case ExprKind::Assign: {
+            auto* a = static_cast<AssignExpr*>(e);
+            checkExpr(a->lhs);
+            checkExpr(a->rhs);
+            if (!isLvalue(a->lhs))
+                fatalAt(a->loc, "assignment target is not an lvalue");
+            requireScalar(a->lhs, "assignment target");
+            e->type = a->lhs->type;
+            break;
+          }
+          case ExprKind::Index: {
+            auto* i = static_cast<IndexExpr*>(e);
+            checkExpr(i->base);
+            checkExpr(i->index);
+            TypePtr bt = decay(i->base->type);
+            if (!bt->isPointer())
+                fatalAt(e->loc, "subscripted value is not array/pointer");
+            if (!decay(i->index->type)->isInteger())
+                fatalAt(e->loc, "array subscript is not an integer");
+            e->type = bt->element;
+            if (bt->isConst && !e->type->isConst)
+                e->type = Type::makeConst(e->type);
+            break;
+          }
+          case ExprKind::Deref: {
+            auto* d = static_cast<DerefExpr*>(e);
+            checkExpr(d->pointer);
+            TypePtr pt = decay(d->pointer->type);
+            if (!pt->isPointer())
+                fatalAt(e->loc, "dereference of non-pointer");
+            e->type = pt->element;
+            if (pt->isConst && !e->type->isConst)
+                e->type = Type::makeConst(e->type);
+            break;
+          }
+          case ExprKind::AddrOf: {
+            auto* a = static_cast<AddrOfExpr*>(e);
+            checkExpr(a->lvalue);
+            if (!isLvalue(a->lvalue) &&
+                !(a->lvalue->kind == ExprKind::VarRef &&
+                  static_cast<VarRefExpr*>(a->lvalue)
+                      ->decl->type->isArray()))
+                fatalAt(e->loc, "cannot take the address of this expression");
+            markAddressTaken(a->lvalue);
+            e->type = Type::makePointer(decay(a->lvalue->type));
+            // &array means pointer-to-first-element in Mini-C.
+            if (a->lvalue->type->isArray())
+                e->type = Type::makePointer(a->lvalue->type->element);
+            break;
+          }
+          case ExprKind::Call: {
+            auto* c = static_cast<CallExpr*>(e);
+            auto it = funcs_.find(c->callee);
+            if (it == funcs_.end())
+                fatalAt(e->loc, "call to undeclared function '" +
+                                    c->callee + "'");
+            FuncDecl* f = it->second;
+            c->decl = f;
+            if (c->args.size() != f->params.size())
+                fatalAt(e->loc, "wrong number of arguments to '" +
+                                    c->callee + "'");
+            for (Expr* a : c->args) {
+                checkExpr(a);
+                if (!decay(a->type)->isInteger() &&
+                    !decay(a->type)->isPointer())
+                    fatalAt(a->loc, "argument must be scalar");
+            }
+            e->type = f->returnType;
+            break;
+          }
+          case ExprKind::Cast: {
+            auto* c = static_cast<CastExpr*>(e);
+            checkExpr(c->operand);
+            e->type = c->target;
+            break;
+          }
+          case ExprKind::Cond: {
+            auto* c = static_cast<CondExpr*>(e);
+            checkExpr(c->cond);
+            checkExpr(c->thenExpr);
+            checkExpr(c->elseExpr);
+            TypePtr tt = decay(c->thenExpr->type);
+            TypePtr et = decay(c->elseExpr->type);
+            if (tt->isPointer() || et->isPointer())
+                e->type = tt->isPointer() ? tt : et;
+            else
+                e->type = arith(tt, et);
+            break;
+          }
+          case ExprKind::IncDec: {
+            auto* i = static_cast<IncDecExpr*>(e);
+            checkExpr(i->lvalue);
+            if (!isLvalue(i->lvalue))
+                fatalAt(e->loc, "++/-- target is not an lvalue");
+            requireScalar(i->lvalue, "++/-- target");
+            e->type = i->lvalue->type;
+            break;
+          }
+        }
+    }
+
+    Program& prog_;
+    Scopes scopes_;
+    std::map<std::string, FuncDecl*> funcs_;
+    FuncDecl* curFunc_ = nullptr;
+    int loopDepth_ = 0;
+    int nextVarId_ = 0;
+    int nextString_ = 0;
+};
+
+} // namespace
+
+void
+analyzeProgram(Program& program)
+{
+    Sema sema(program);
+    sema.run();
+
+    // Second pass: locals demoted to memory by address-taking keep their
+    // (now unused) varId; compact ids so lowering sees a dense space.
+    for (FuncDecl* f : program.functions) {
+        if (!f->body)
+            continue;
+        int next = 0;
+        for (VarDecl* p : f->params)
+            p->varId = next++;
+        for (VarDecl* l : f->locals) {
+            if (l->inMemory)
+                l->varId = -1;
+            else
+                l->varId = next++;
+        }
+        f->numRegisterVars = next;
+    }
+}
+
+int64_t
+evalConstExpr(const Expr* e)
+{
+    if (!e)
+        fatal("null constant expression");
+    switch (e->kind) {
+      case ExprKind::IntLit:
+        return static_cast<const IntLitExpr*>(e)->value;
+      case ExprKind::Unary: {
+        auto* u = static_cast<const UnaryExpr*>(e);
+        int64_t v = evalConstExpr(u->operand);
+        switch (u->op) {
+          case UnaryOp::Neg: return -v;
+          case UnaryOp::Not: return !v;
+          case UnaryOp::BitNot: return ~v;
+          case UnaryOp::Plus: return v;
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        auto* b = static_cast<const BinaryExpr*>(e);
+        int64_t l = evalConstExpr(b->lhs);
+        int64_t r = evalConstExpr(b->rhs);
+        switch (b->op) {
+          case BinaryOp::Add: return l + r;
+          case BinaryOp::Sub: return l - r;
+          case BinaryOp::Mul: return l * r;
+          case BinaryOp::Div:
+            if (!r)
+                fatal("division by zero in constant expression");
+            return l / r;
+          case BinaryOp::Rem:
+            if (!r)
+                fatal("remainder by zero in constant expression");
+            return l % r;
+          case BinaryOp::And: return l & r;
+          case BinaryOp::Or: return l | r;
+          case BinaryOp::Xor: return l ^ r;
+          case BinaryOp::Shl: return l << (r & 31);
+          case BinaryOp::Shr: return l >> (r & 31);
+          case BinaryOp::Lt: return l < r;
+          case BinaryOp::Le: return l <= r;
+          case BinaryOp::Gt: return l > r;
+          case BinaryOp::Ge: return l >= r;
+          case BinaryOp::Eq: return l == r;
+          case BinaryOp::Ne: return l != r;
+          case BinaryOp::LogAnd: return l && r;
+          case BinaryOp::LogOr: return l || r;
+        }
+        break;
+      }
+      case ExprKind::Cast:
+        return evalConstExpr(static_cast<const CastExpr*>(e)->operand);
+      case ExprKind::Cond: {
+        auto* c = static_cast<const CondExpr*>(e);
+        return evalConstExpr(c->cond) ? evalConstExpr(c->thenExpr)
+                                      : evalConstExpr(c->elseExpr);
+      }
+      default:
+        break;
+    }
+    fatalAt(e->loc, "expression is not a compile-time constant");
+}
+
+} // namespace cash

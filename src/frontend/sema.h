@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Semantic analysis for Mini-C.
+ *
+ * Resolves identifiers, type-checks and annotates every expression,
+ * marks address-taken variables, decides which variables live in memory
+ * versus virtual registers (the paper's flow-insensitive scalar
+ * classification, §3.3), and materializes string literals as hidden
+ * const global objects.
+ */
+#ifndef CASH_FRONTEND_SEMA_H
+#define CASH_FRONTEND_SEMA_H
+
+#include "frontend/ast.h"
+
+namespace cash {
+
+/**
+ * Run semantic analysis over @p program in place.
+ * Throws FatalError on semantic errors.
+ */
+void analyzeProgram(Program& program);
+
+/**
+ * Evaluate a constant integer expression (literals and arithmetic over
+ * them).  Used for global initializers.  Throws FatalError if the
+ * expression is not constant.
+ */
+int64_t evalConstExpr(const Expr* e);
+
+} // namespace cash
+
+#endif // CASH_FRONTEND_SEMA_H

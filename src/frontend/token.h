@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Token definitions for the Mini-C lexer.
+ *
+ * Mini-C is the C subset consumed by this CASH reproduction: integer
+ * scalar types, pointers, one-dimensional arrays, functions, structured
+ * control flow, and the `#pragma independent` annotation from the paper.
+ */
+#ifndef CASH_FRONTEND_TOKEN_H
+#define CASH_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+/** Lexical token kinds. */
+enum class Tok
+{
+    // Literals and identifiers
+    Identifier, IntLiteral, CharLiteral, StringLiteral,
+
+    // Keywords
+    KwInt, KwUnsigned, KwChar, KwLong, KwVoid, KwConst, KwExtern,
+    KwStatic, KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak,
+    KwContinue, KwSigned,
+
+    // Punctuation / operators
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semicolon, Comma,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    AmpAmp, PipePipe,
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    PercentAssign, ShlAssign, ShrAssign, AmpAssign, PipeAssign,
+    CaretAssign,
+    PlusPlus, MinusMinus,
+    Question, Colon,
+
+    // `#pragma independent p q` is lexed into a single token carrying
+    // the raw pragma text; the parser interprets it.
+    Pragma,
+
+    EndOfFile,
+};
+
+/** Printable name of a token kind (for diagnostics). */
+const char* tokName(Tok t);
+
+/** One lexical token. */
+struct Token
+{
+    Tok kind = Tok::EndOfFile;
+    std::string text;       ///< Raw text (identifier spelling, pragma body).
+    int64_t intValue = 0;   ///< Value for IntLiteral / CharLiteral.
+    bool isUnsigned = false;///< Literal carried a 'u' suffix.
+    SourceLoc loc;
+
+    bool is(Tok t) const { return kind == t; }
+};
+
+} // namespace cash
+
+#endif // CASH_FRONTEND_TOKEN_H

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Dead-code elimination, including predicated-false memory operations
+ * (paper §4.1) and structural simplification of muxes, merges, etas
+ * and combines.
+ */
+#include <vector>
+
+#include "opt/opt_util.h"
+#include "opt/pass.h"
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+bool
+isConstVal(const PortRef& p, int64_t v)
+{
+    return p.node->kind == NodeKind::Const && p.node->constValue == v;
+}
+
+bool
+isConstFalse(const PortRef& p)
+{
+    return isConstVal(p, 0);
+}
+
+bool
+isConstTrue(const PortRef& p)
+{
+    return p.node->kind == NodeKind::Const && p.node->constValue != 0;
+}
+
+class DeadCodePass : public Pass
+{
+  public:
+    const char* name() const override { return "dead_code"; }
+
+    bool
+    run(Graph& g, OptContext& ctx) override
+    {
+        bool anyChange = false;
+        bool changed = true;
+        int guard = 0;
+        while (changed && guard++ < 64) {
+            changed = false;
+            for (Node* n : g.liveNodes()) {
+                if (n->dead)
+                    continue;
+                changed |= simplify(g, n, ctx);
+            }
+            anyChange |= changed;
+        }
+        return anyChange;
+    }
+
+  private:
+    bool
+    simplify(Graph& g, Node* n, OptContext& ctx)
+    {
+        switch (n->kind) {
+          case NodeKind::Arith:
+          case NodeKind::Mux:
+            if (n->uses().empty()) {
+                g.erase(n);
+                ctx.count("opt.dead_code.pure");
+                return true;
+            }
+            if (n->kind == NodeKind::Mux)
+                return simplifyMux(g, n, ctx);
+            return false;
+
+          case NodeKind::Const:
+            if (n->uses().empty()) {
+                g.erase(n);
+                return true;
+            }
+            return false;
+
+          case NodeKind::Combine:
+            return simplifyCombine(g, n, ctx);
+
+          case NodeKind::Merge:
+            return simplifyMerge(g, n, ctx);
+
+          case NodeKind::Eta:
+            return simplifyEta(g, n, ctx);
+
+          case NodeKind::Load:
+            // §4.1: false predicate → the op never runs; its token
+            // flows straight through.  A load whose value is unused is
+            // equally dead.
+            if (isConstFalse(n->input(0)) || dataUnused(n)) {
+                bool predFalse = isConstFalse(n->input(0));
+                Node* zero = g.newConst(0, VT::Word, n->hyperblock);
+                g.replaceAllUses({n, 0}, {zero, 0});
+                g.bypassToken(n, n->input(1));
+                g.erase(n);
+                if (zero->uses().empty())
+                    g.erase(zero);
+                ctx.count(predFalse ? "opt.dead_code.falseLoad"
+                                    : "opt.dead_code.unusedLoad");
+                return true;
+            }
+            return false;
+
+          case NodeKind::Store:
+            if (isConstFalse(n->input(0))) {
+                g.bypassToken(n, n->input(1));
+                g.erase(n);
+                ctx.count("opt.dead_code.falseStore");
+                return true;
+            }
+            return false;
+
+          case NodeKind::Call:
+            if (isConstFalse(n->input(0))) {
+                Node* zero = g.newConst(0, VT::Word, n->hyperblock);
+                g.replaceAllUses({n, 0}, {zero, 0});
+                g.bypassToken(n, n->input(1));
+                g.erase(n);
+                if (zero->uses().empty())
+                    g.erase(zero);
+                ctx.count("opt.dead_code.falseCall");
+                return true;
+            }
+            return false;
+
+          default:
+            return false;
+        }
+    }
+
+    bool
+    dataUnused(const Node* n) const
+    {
+        for (const Use& u : n->uses())
+            if (u.user->input(u.index) == PortRef{const_cast<Node*>(n), 0})
+                return false;
+        return true;
+    }
+
+    bool
+    simplifyMux(Graph& g, Node* n, OptContext& ctx)
+    {
+        // Drop arms with constant-false predicates.
+        for (int i = 0; i < n->numInputs(); i += 2) {
+            if (isConstFalse(n->input(i))) {
+                g.removeInput(n, i + 1);
+                g.removeInput(n, i);
+                ctx.count("opt.dead_code.muxArm");
+                return true;
+            }
+        }
+        // A constant-true arm dominates (predicates are one-hot).
+        for (int i = 0; i < n->numInputs(); i += 2) {
+            if (isConstTrue(n->input(i))) {
+                PortRef v = n->input(i + 1);
+                g.replaceAllUses({n, 0}, v);
+                g.erase(n);
+                ctx.count("opt.dead_code.muxConst");
+                return true;
+            }
+        }
+        if (n->numInputs() == 2) {
+            PortRef v = n->input(1);
+            g.replaceAllUses({n, 0}, v);
+            g.erase(n);
+            ctx.count("opt.dead_code.muxSingle");
+            return true;
+        }
+        // All arms carry the same value.
+        bool allSame = n->numInputs() >= 2;
+        for (int i = 3; i < n->numInputs(); i += 2)
+            if (n->input(i) != n->input(1))
+                allSame = false;
+        if (allSame && n->numInputs() > 2) {
+            PortRef v = n->input(1);
+            g.replaceAllUses({n, 0}, v);
+            g.erase(n);
+            ctx.count("opt.dead_code.muxUniform");
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    simplifyCombine(Graph& g, Node* n, OptContext& ctx)
+    {
+        if (n->uses().empty()) {
+            g.erase(n);
+            return true;
+        }
+        // Dedupe inputs.
+        for (int i = 0; i < n->numInputs(); i++) {
+            for (int j = i + 1; j < n->numInputs(); j++) {
+                if (n->input(i) == n->input(j)) {
+                    g.removeInput(n, j);
+                    ctx.count("opt.dead_code.combineDup");
+                    return true;
+                }
+            }
+        }
+        if (n->numInputs() == 1) {
+            g.replaceAllUses({n, 0}, n->input(0));
+            g.erase(n);
+            ctx.count("opt.dead_code.combineSingle");
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    simplifyMerge(Graph& g, Node* n, OptContext& ctx)
+    {
+        if (n->uses().empty()) {
+            g.erase(n);
+            ctx.count("opt.dead_code.merge");
+            return true;
+        }
+        // A mu-merge whose back inputs all vanished degenerates to a
+        // plain merge; drop the now-meaningless decider.
+        if (n->deciderIndex >= 0) {
+            bool hasBack = false;
+            for (int i = 0; i < n->numInputs(); i++)
+                if (i != n->deciderIndex && n->inputIsBackEdge(i))
+                    hasBack = true;
+            if (!hasBack) {
+                g.removeDecider(n);
+                ctx.count("opt.dead_code.decider");
+                return true;
+            }
+        }
+        if (n->numInputs() == 1 && !n->inputIsBackEdge(0) &&
+            n->input(0).node->kind != NodeKind::Eta) {
+            // Eta-fed merges stay: they filter the end-of-stream
+            // markers etas emit on not-taken activations.
+            g.replaceAllUses({n, 0}, n->input(0));
+            g.erase(n);
+            ctx.count("opt.dead_code.mergeSingle");
+            return true;
+        }
+        if (n->numInputs() == 0) {
+            // The hyperblock is unreachable; constants let downstream
+            // predicates fold to false.
+            Node* zero = g.newConst(0, n->type, n->hyperblock);
+            g.replaceAllUses({n, 0}, {zero, 0});
+            g.erase(n);
+            ctx.count("opt.dead_code.mergeEmpty");
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    simplifyEta(Graph& g, Node* n, OptContext& ctx)
+    {
+        if (n->uses().empty()) {
+            g.erase(n);
+            ctx.count("opt.dead_code.eta");
+            return true;
+        }
+        if (isConstFalse(n->input(1))) {
+            // Never fires: remove the merge input slots it feeds.
+            std::vector<Use> uses(n->uses().begin(), n->uses().end());
+            for (const Use& u : uses) {
+                CASH_ASSERT(u.user->kind == NodeKind::Merge,
+                            "token/value eta feeding non-merge");
+                g.removeInput(u.user, u.index);
+            }
+            g.erase(n);
+            ctx.count("opt.dead_code.etaFalse");
+            return true;
+        }
+        if (isConstTrue(n->input(1))) {
+            g.replaceAllUses({n, 0}, n->input(0));
+            g.erase(n);
+            ctx.count("opt.dead_code.etaTrue");
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeDeadCode()
+{
+    return std::make_unique<DeadCodePass>();
+}
+
+} // namespace cash

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Immutable-object loads (paper §4.2): accesses through pointers to
+ * constants need no serialization.  If the address is itself constant
+ * the load folds to the initializer value; otherwise the load is taken
+ * out of the token network (constant token input, token output
+ * bypassed).
+ */
+#include <map>
+
+#include "opt/opt_util.h"
+#include "opt/pass.h"
+
+namespace cash {
+
+namespace {
+
+class ImmutableLoadsPass : public Pass
+{
+  public:
+    const char* name() const override { return "immutable_loads"; }
+
+    bool
+    run(Graph& g, OptContext& ctx) override
+    {
+        if (!ctx.layout)
+            return false;
+        tokenConst_.clear();
+        for (Node* n : g.liveNodes())
+            if (!n->dead && n->kind == NodeKind::Const &&
+                n->type == VT::Token)
+                tokenConst_[n->hyperblock] = n;
+        bool changed = false;
+        for (Node* n : g.liveNodes()) {
+            if (n->dead || n->kind != NodeKind::Load)
+                continue;
+            if (!allConstLocations(n->rwSet, *ctx.layout))
+                continue;
+            changed |= rewrite(g, n, ctx);
+        }
+        return changed;
+    }
+
+  private:
+    static bool
+    allConstLocations(const LocationSet& s, const MemoryLayout& layout)
+    {
+        if (s.isTop() || s.empty())
+            return false;
+        for (int loc : s.locations()) {
+            if (loc >= static_cast<int>(layout.objects().size()))
+                return false;  // external location
+            if (!layout.object(loc).isConst)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    rewrite(Graph& g, Node* n, OptContext& ctx)
+    {
+        const MemoryLayout& layout = *ctx.layout;
+
+        // Statically known address → fold to the initializer value.
+        const Node* addr = n->input(2).node;
+        if (addr->kind == NodeKind::Const &&
+            n->input(0).node->kind == NodeKind::Const &&
+            n->input(0).node->constValue != 0) {
+            uint32_t a = static_cast<uint32_t>(addr->constValue);
+            uint32_t off = a - MemoryLayout::kGlobalBase;
+            const std::vector<uint8_t>& img = layout.globalImage();
+            if (off + n->size <= img.size()) {
+                uint32_t v = 0;
+                for (int i = 0; i < n->size; i++)
+                    v |= static_cast<uint32_t>(img[off + i]) << (8 * i);
+                if (n->size == 1 && n->signExtend)
+                    v = static_cast<uint32_t>(static_cast<int32_t>(
+                        static_cast<int8_t>(v & 0xff)));
+                Node* c = g.newConst(v, VT::Word, n->hyperblock);
+                g.replaceAllUses({n, 0}, {c, 0});
+                g.bypassToken(n, n->input(1));
+                g.erase(n);
+                ctx.count("opt.immutable.folded");
+                return true;
+            }
+        }
+
+        // Already detached from the token network?
+        if (n->input(1).node->kind == NodeKind::Const)
+            return false;
+
+        // Detach: constant token in, bypass token out.  One shared
+        // token constant per hyperblock, so identical detached loads
+        // become mergeable by §5.1.
+        g.bypassToken(n, n->input(1));
+        Node*& tok = tokenConst_[n->hyperblock];
+        if (!tok || tok->dead)
+            tok = g.newConst(0, VT::Token, n->hyperblock);
+        g.setInput(n, 1, {tok, 0});
+        ctx.count("opt.immutable.detached");
+        return true;
+    }
+
+    std::map<int, Node*> tokenConst_;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeImmutableLoads()
+{
+    return std::make_unique<ImmutableLoadsPass>();
+}
+
+} // namespace cash

@@ -1,0 +1,81 @@
+#include "opt/opt_util.h"
+
+#include <vector>
+
+namespace cash {
+namespace optutil {
+
+namespace {
+
+/** Push onto @p out the users of @p n's token outputs. */
+void
+tokenUsers(const Node* n, std::vector<const Node*>& out)
+{
+    for (const Use& u : n->uses()) {
+        const Node* user = u.user;
+        if (user->dead)
+            continue;
+        if (user->inputIsBackEdge(u.index))
+            continue;  // loop-carried: not intra-activation order
+        const PortRef& in = user->input(u.index);
+        if (in.node != n || in.node->outputType(in.port) != VT::Token)
+            continue;
+        out.push_back(user);
+    }
+}
+
+/** May ordering be followed *through* this node?  Combines are
+ *  transparent plumbing; side-effect ops propagate order; etas,
+ *  merges and token generators forward conditionally (or across
+ *  iterations) and act as barriers. */
+bool
+traversable(const Node* n)
+{
+    return n->kind == NodeKind::Combine || n->kind == NodeKind::Load ||
+           n->kind == NodeKind::Store || n->kind == NodeKind::Call;
+}
+
+} // namespace
+
+bool
+orderedAfter(const Node* from, const Node* to)
+{
+    std::vector<const Node*> work;
+    tokenUsers(from, work);
+    std::set<const Node*> seen;
+    while (!work.empty()) {
+        const Node* cur = work.back();
+        work.pop_back();
+        if (!seen.insert(cur).second)
+            continue;
+        if (cur == to)
+            return true;
+        if (traversable(cur))
+            tokenUsers(cur, work);
+    }
+    return false;
+}
+
+std::vector<Node*>
+directTokenConsumers(const Node* from)
+{
+    std::vector<Node*> out;
+    std::vector<const Node*> work;
+    tokenUsers(from, work);
+    std::set<const Node*> seen;
+    while (!work.empty()) {
+        const Node* cur = work.back();
+        work.pop_back();
+        if (!seen.insert(cur).second)
+            continue;
+        if (cur->kind == NodeKind::Combine) {
+            tokenUsers(cur, work);
+        } else {
+            out.push_back(const_cast<Node*>(cur));
+        }
+    }
+    return out;
+}
+
+} // namespace optutil
+} // namespace cash

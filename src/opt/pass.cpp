@@ -1,0 +1,73 @@
+#include "opt/pass.h"
+
+#include "pegasus/verifier.h"
+#include "support/diagnostics.h"
+
+namespace cash {
+
+const char*
+optLevelName(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::None: return "none";
+      case OptLevel::Medium: return "medium";
+      case OptLevel::Full: return "full";
+    }
+    return "?";
+}
+
+std::vector<std::unique_ptr<Pass>>
+standardPipeline(OptLevel level)
+{
+    std::vector<std::unique_ptr<Pass>> passes;
+    passes.push_back(makeScalarOpts());
+    passes.push_back(makeDeadCode());
+    if (level == OptLevel::None)
+        return passes;
+
+    // "Medium": memory parallelism (§4).
+    passes.push_back(makeImmutableLoads());
+    passes.push_back(makeTokenRemoval());
+    passes.push_back(makeTransitiveReduction());
+    passes.push_back(makeMonotonePipelining());
+
+    if (level == OptLevel::Full) {
+        // Redundancy elimination (§5).
+        passes.push_back(makeMemoryMerge());
+        passes.push_back(makeStoreForwarding());
+        passes.push_back(makeDeadStore());
+        passes.push_back(makeLoopInvariant());
+        // Loop pipelining (§6).
+        passes.push_back(makeReadonlySplit());
+        passes.push_back(makeLoopDecoupling());
+    }
+    passes.push_back(makeScalarOpts());
+    passes.push_back(makeDeadCode());
+    return passes;
+}
+
+int
+optimizeGraph(Graph& g, OptLevel level, OptContext& ctx)
+{
+    std::vector<std::unique_ptr<Pass>> passes = standardPipeline(level);
+    const int maxRounds = 8;
+    int round = 0;
+    bool changed = true;
+    while (changed && round < maxRounds) {
+        changed = false;
+        round++;
+        for (auto& pass : passes) {
+            bool c = pass->run(g, ctx);
+            if (c)
+                ctx.count(std::string("opt.") + pass->name() +
+                          ".changed");
+            if (ctx.verifyAfterEachPass)
+                verifyOrDie(g, std::string("after ") + pass->name());
+            changed |= c;
+        }
+    }
+    g.compact();
+    return round;
+}
+
+} // namespace cash

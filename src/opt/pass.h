@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Optimization pass framework for Pegasus graphs.
+ *
+ * Passes are local graph rewriters (term rewriting, §2): each returns
+ * whether it changed the graph, and the manager iterates the pipeline
+ * to a fixed point.  Optimization levels match the paper's Figure 19
+ * configurations.
+ */
+#ifndef CASH_OPT_PASS_H
+#define CASH_OPT_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/memloc.h"
+#include "frontend/layout.h"
+#include "pegasus/graph.h"
+#include "support/stats.h"
+
+namespace cash {
+
+/** Shared state available to every pass. */
+struct OptContext
+{
+    const AliasOracle* oracle = nullptr;
+    const MemoryLayout* layout = nullptr;
+    StatSet* stats = nullptr;
+    bool verifyAfterEachPass = false;
+
+    void
+    count(const std::string& name, int64_t delta = 1) const
+    {
+        if (stats)
+            stats->add(name, delta);
+    }
+};
+
+/** Base class of all Pegasus optimization passes. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    virtual const char* name() const = 0;
+    /** Returns true when the graph changed. */
+    virtual bool run(Graph& g, OptContext& ctx) = 0;
+};
+
+/** Optimization levels (Figure 19 configurations). */
+enum class OptLevel
+{
+    /** Coarse token graph, scalar cleanup only. */
+    None,
+    /**
+     * Pointer analysis during construction, token-edge removal by
+     * address disambiguation, transitive reduction, immutable loads
+     * and induction-variable loop pipelining ("Medium").
+     */
+    Medium,
+    /** Medium + redundancy elimination (§5) + read-only splitting and
+     *  loop decoupling (§6). */
+    Full,
+};
+
+const char* optLevelName(OptLevel level);
+
+// Factory functions, one per paper optimization.
+std::unique_ptr<Pass> makeScalarOpts();           // folding, CSE
+std::unique_ptr<Pass> makeDeadCode();             // §4.1
+std::unique_ptr<Pass> makeTransitiveReduction();  // §3.4
+std::unique_ptr<Pass> makeTokenRemoval();         // §4.3
+std::unique_ptr<Pass> makeImmutableLoads();       // §4.2
+std::unique_ptr<Pass> makeMemoryMerge();          // §5.1
+std::unique_ptr<Pass> makeStoreForwarding();      // §5.3
+std::unique_ptr<Pass> makeDeadStore();            // §5.2
+std::unique_ptr<Pass> makeLoopInvariant();        // §5.4
+std::unique_ptr<Pass> makeReadonlySplit();        // §6.1
+std::unique_ptr<Pass> makeMonotonePipelining();   // §6.2
+std::unique_ptr<Pass> makeLoopDecoupling();       // §6.3
+
+/** The pass pipeline for @p level. */
+std::vector<std::unique_ptr<Pass>> standardPipeline(OptLevel level);
+
+/**
+ * Run the pipeline over @p g until a fixed point (bounded rounds).
+ * Returns the number of rounds executed.
+ */
+int optimizeGraph(Graph& g, OptLevel level, OptContext& ctx);
+
+} // namespace cash
+
+#endif // CASH_OPT_PASS_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared machinery for the §6 loop-pipelining transformations.
+ *
+ * All three passes (read-only splitting §6.1, address-monotonicity
+ * §6.2, loop decoupling §6.3) rewrite a partition's token ring into
+ * the generator/collector shape:
+ *
+ *  - the ring merge becomes a *generator*: its back eta recirculates
+ *    the merge output directly, so iteration i+1's operations no
+ *    longer wait for iteration i's to complete;
+ *  - a *collector* ring gathers every iteration's dangling tokens so
+ *    the loop's exit etas (and everything after the loop) still wait
+ *    for all outstanding accesses;
+ *  - decoupling additionally gates some operations with token
+ *    generators tk(d) fed by the operation they depend on at
+ *    dependence distance d, bounding the slip (Figure 16).
+ */
+#ifndef CASH_OPT_RING_SPLIT_H
+#define CASH_OPT_RING_SPLIT_H
+
+#include <optional>
+#include <vector>
+
+#include "analysis/loop_rings.h"
+#include "opt/pass.h"
+#include "pegasus/graph.h"
+
+namespace cash {
+namespace ringsplit {
+
+/** One slip bound: @p follower may run at most @p distance iterations
+ *  ahead of @p leader. */
+struct Gate
+{
+    Node* follower = nullptr;
+    Node* leader = nullptr;
+    int64_t distance = 0;
+};
+
+/**
+ * Cross-iteration dependence analysis over a ring's operations.
+ * Returns the required gates, or nullopt when the ring cannot be
+ * safely pipelined (unknown strides, mismatched steps, distances that
+ * are not compile-time constants, within-stride overlap).  An empty
+ * gate list means full splitting is safe (the §6.2 monotone case).
+ */
+std::optional<std::vector<Gate>> analyzeRingDependences(Graph& g,
+                                                        TokenRing& ring);
+
+/**
+ * Apply the generator/collector rewrite with the given gates.
+ * The ring must come fresh from findTokenRing with !alreadySplit.
+ */
+void splitRing(Graph& g, TokenRing& ring, const std::vector<Gate>& gates,
+               OptContext& ctx);
+
+} // namespace ringsplit
+} // namespace cash
+
+#endif // CASH_OPT_RING_SPLIT_H

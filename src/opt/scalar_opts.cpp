@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Scalar optimizations on the Pegasus graph: constant folding,
+ * algebraic simplification and common-subexpression elimination
+ * (within a hyperblock; merging across hyperblocks would break the
+ * per-activation dataflow discipline).
+ */
+#include <map>
+#include <tuple>
+
+#include "opt/pass.h"
+#include "sim/value.h"
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+bool
+constOf(const PortRef& p, int64_t* v)
+{
+    if (p.node->kind == NodeKind::Const) {
+        *v = p.node->constValue;
+        return true;
+    }
+    return false;
+}
+
+/** Is one operand the boolean negation of the other? */
+bool
+isNegationOf(const PortRef& x, const PortRef& y)
+{
+    if (x.node->kind == NodeKind::Arith && x.node->op == Op::NotBool &&
+        x.node->input(0) == y)
+        return true;
+    if (y.node->kind == NodeKind::Arith && y.node->op == Op::NotBool &&
+        y.node->input(0) == x)
+        return true;
+    return false;
+}
+
+class ScalarOptsPass : public Pass
+{
+  public:
+    const char* name() const override { return "scalar_opts"; }
+
+    bool
+    run(Graph& g, OptContext& ctx) override
+    {
+        bool anyChange = false;
+        bool changed = true;
+        int guard = 0;
+        while (changed && guard++ < 32) {
+            changed = false;
+            for (Node* n : g.liveNodes()) {
+                if (n->dead || n->kind != NodeKind::Arith)
+                    continue;
+                changed |= foldOrSimplify(g, n, ctx);
+            }
+            changed |= cse(g, ctx);
+            anyChange |= changed;
+        }
+        return anyChange;
+    }
+
+  private:
+    void
+    replaceWithConst(Graph& g, Node* n, uint32_t value)
+    {
+        Node* c = g.newConst(
+            n->type == VT::Pred ? (value ? 1 : 0)
+                                : static_cast<int64_t>(value),
+            n->type, n->hyperblock);
+        g.replaceAllUses({n, 0}, {c, 0});
+        g.erase(n);
+    }
+
+    bool
+    foldOrSimplify(Graph& g, Node* n, OptContext& ctx)
+    {
+        if (n->op == Op::Copy || opIsUnary(n->op)) {
+            int64_t a;
+            if (constOf(n->input(0), &a)) {
+                replaceWithConst(
+                    g, n, evalUnary(n->op, static_cast<uint32_t>(a)));
+                ctx.count("opt.scalar.fold");
+                return true;
+            }
+            if (n->op == Op::Copy) {
+                g.replaceAllUses({n, 0}, n->input(0));
+                g.erase(n);
+                return true;
+            }
+            // !!x on the 0/1 predicate domain.
+            if (n->op == Op::NotBool) {
+                Node* in = n->input(0).node;
+                if (in->kind == NodeKind::Arith &&
+                    in->op == Op::NotBool &&
+                    (in->outputType(0) == VT::Pred ||
+                     in->input(0).node->outputType(
+                         in->input(0).port) == VT::Pred)) {
+                    g.replaceAllUses({n, 0}, in->input(0));
+                    g.erase(n);
+                    ctx.count("opt.scalar.notnot");
+                    return true;
+                }
+            }
+            return false;
+        }
+
+        int64_t a = 0, b = 0;
+        bool ca = constOf(n->input(0), &a);
+        bool cb = constOf(n->input(1), &b);
+        if (ca && cb) {
+            replaceWithConst(g, n,
+                             evalBinary(n->op, static_cast<uint32_t>(a),
+                                        static_cast<uint32_t>(b)));
+            ctx.count("opt.scalar.fold");
+            return true;
+        }
+
+        // Algebraic identities.
+        PortRef x = n->input(0), y = n->input(1);
+        auto wire = [&](PortRef v) {
+            g.replaceAllUses({n, 0}, v);
+            g.erase(n);
+            ctx.count("opt.scalar.algebra");
+            return true;
+        };
+        auto toConst = [&](uint32_t v) {
+            replaceWithConst(g, n, v);
+            ctx.count("opt.scalar.algebra");
+            return true;
+        };
+
+        switch (n->op) {
+          case Op::Add:
+            if (cb && b == 0)
+                return wire(x);
+            if (ca && a == 0)
+                return wire(y);
+            break;
+          case Op::Sub:
+            if (cb && b == 0)
+                return wire(x);
+            if (x == y)
+                return toConst(0);
+            break;
+          case Op::Mul:
+            if (cb && b == 1)
+                return wire(x);
+            if (ca && a == 1)
+                return wire(y);
+            if ((cb && b == 0) || (ca && a == 0))
+                return toConst(0);
+            break;
+          case Op::And:
+            if (n->type == VT::Pred) {
+                if (cb)
+                    return b ? wire(x) : toConst(0);
+                if (ca)
+                    return a ? wire(y) : toConst(0);
+                if (isNegationOf(x, y))
+                    return toConst(0);  // x ∧ ¬x
+            } else {
+                if ((cb && b == 0) || (ca && a == 0))
+                    return toConst(0);
+                if (cb && static_cast<uint32_t>(b) == 0xffffffffu)
+                    return wire(x);
+            }
+            if (x == y)
+                return wire(x);
+            break;
+          case Op::Or:
+            if (n->type == VT::Pred) {
+                if (cb)
+                    return b ? toConst(1) : wire(x);
+                if (ca)
+                    return a ? toConst(1) : wire(y);
+                if (isNegationOf(x, y))
+                    return toConst(1);  // x ∨ ¬x
+                // (a∧b) ∨ (a∧¬b) = a — the shape complementary
+                // path predicates take (§5.3's collective domination).
+                if (x.node->kind == NodeKind::Arith &&
+                    x.node->op == Op::And &&
+                    y.node->kind == NodeKind::Arith &&
+                    y.node->op == Op::And) {
+                    for (int i = 0; i < 2; i++) {
+                        for (int j = 0; j < 2; j++) {
+                            if (x.node->input(i) == y.node->input(j) &&
+                                isNegationOf(x.node->input(1 - i),
+                                             y.node->input(1 - j)))
+                                return wire(x.node->input(i));
+                        }
+                    }
+                }
+            } else {
+                if (cb && b == 0)
+                    return wire(x);
+                if (ca && a == 0)
+                    return wire(y);
+            }
+            if (x == y)
+                return wire(x);
+            break;
+          case Op::Xor:
+            if (cb && b == 0)
+                return wire(x);
+            if (ca && a == 0)
+                return wire(y);
+            if (x == y)
+                return toConst(0);
+            break;
+          case Op::Shl:
+          case Op::ShrS:
+          case Op::ShrU:
+            if (cb && b == 0)
+                return wire(x);
+            break;
+          case Op::Eq:
+            if (x == y)
+                return toConst(1);
+            break;
+          case Op::Ne:
+            if (x == y)
+                return toConst(0);
+            break;
+          default:
+            break;
+        }
+        return false;
+    }
+
+    bool
+    cse(Graph& g, OptContext& ctx)
+    {
+        using Key = std::tuple<int, Op, VT, const Node*, int,
+                               const Node*, int>;
+        std::map<Key, Node*> table;
+        bool changed = false;
+        for (Node* n : g.liveNodes()) {
+            if (n->dead || n->kind != NodeKind::Arith)
+                continue;
+            PortRef x = n->input(0);
+            PortRef y = n->numInputs() > 1 ? n->input(1) : PortRef{};
+            // Canonical operand order for commutative operators.
+            switch (n->op) {
+              case Op::Add: case Op::Mul: case Op::And: case Op::Or:
+              case Op::Xor: case Op::Eq: case Op::Ne:
+                if (y.valid() &&
+                    (x.node->id > y.node->id ||
+                     (x.node == y.node && x.port > y.port)))
+                    std::swap(x, y);
+                break;
+              default:
+                break;
+            }
+            Key key{n->hyperblock, n->op, n->type, x.node, x.port,
+                    y.node, y.port};
+            auto [it, inserted] = table.try_emplace(key, n);
+            if (!inserted && it->second != n) {
+                g.replaceAllUses({n, 0}, {it->second, 0});
+                g.erase(n);
+                ctx.count("opt.scalar.cse");
+                changed = true;
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeScalarOpts()
+{
+    return std::make_unique<ScalarOptsPass>();
+}
+
+} // namespace cash

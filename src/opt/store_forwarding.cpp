@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Load-after-store removal (paper §5.3, Figure 9; step B→C of the §2
+ * example).
+ *
+ * A load whose token sources include stores to the same address
+ * bypasses them: a decoded mux selects the stored value when the
+ * corresponding store executed, and the load itself runs only when no
+ * forwarding store did.  When the stores collectively dominate the
+ * load (Gupta), the residual load predicate folds to false and dead
+ * code elimination removes the load entirely.
+ */
+#include "analysis/boolean.h"
+#include "opt/opt_util.h"
+#include "opt/pass.h"
+#include "pegasus/reachability.h"
+
+namespace cash {
+
+namespace {
+
+class StoreForwardingPass : public Pass
+{
+  public:
+    const char* name() const override { return "store_forwarding"; }
+
+    bool
+    run(Graph& g, OptContext& ctx) override
+    {
+        bool changed = false;
+        std::vector<Node*> loads;
+        g.forEach([&](Node* n) {
+            if (n->kind == NodeKind::Load && !n->storeForwarded)
+                loads.push_back(n);
+        });
+        for (Node* load : loads) {
+            if (!load->dead)
+                changed |= forward(g, load, ctx);
+        }
+        return changed;
+    }
+
+  private:
+    bool
+    forward(Graph& g, Node* load, OptContext& ctx)
+    {
+        std::vector<PortRef> sources =
+            optutil::expandTokenSources(load->input(1));
+        std::vector<Node*> stores;
+        for (const PortRef& s : sources) {
+            if (s.node->kind == NodeKind::Store &&
+                s.node->input(2) == load->input(2) &&
+                s.node->size == load->size)
+                stores.push_back(s.node);
+        }
+        if (stores.empty())
+            return false;
+
+        // Cycle guard: the stores' predicates and data must not derive
+        // from this load's output.
+        ReachabilityCache reach(g);
+        for (Node* s : stores) {
+            if (reach.reaches(load, s->input(0).node) ||
+                reach.reaches(load, s->input(3).node))
+                return false;
+        }
+
+        PortRef pl = load->input(0);
+        int hb = load->hyperblock;
+
+        // anyStore = pS1 ∨ pS2 ∨ ...
+        PortRef anyStore = stores[0]->input(0);
+        for (size_t i = 1; i < stores.size(); i++)
+            anyStore = {g.newArith(Op::Or, anyStore,
+                                   stores[i]->input(0), hb, VT::Pred),
+                        0};
+
+        // Residual load predicate: pl ∧ ¬anyStore.
+        PortRef residual;
+        bool dominated = predImplies(pl, anyStore);
+        if (dominated) {
+            residual = {g.newConst(0, VT::Pred, hb), 0};
+        } else {
+            Node* notAny = g.newArith1(Op::NotBool, anyStore, hb,
+                                       VT::Pred);
+            residual = {g.newArith(Op::And, pl, {notAny, 0}, hb,
+                                   VT::Pred),
+                        0};
+        }
+
+        // Mux: stored values, then the residual load.
+        Node* mux = g.newNode(NodeKind::Mux, VT::Word, hb);
+        g.replaceAllUses({load, 0}, {mux, 0});
+        for (Node* s : stores) {
+            g.addInput(mux, s->input(0));
+            g.addInput(mux, s->input(3));
+        }
+        g.addInput(mux, residual);
+        g.addInput(mux, {load, 0});
+
+        g.setInput(load, 0, residual);
+        load->storeForwarded = true;
+        ctx.count(dominated ? "opt.store_forwarding.removed"
+                            : "opt.store_forwarding.bypassed");
+        return true;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeStoreForwarding()
+{
+    return std::make_unique<StoreForwardingPass>();
+}
+
+} // namespace cash

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Token-edge removal by address disambiguation (paper §4.3).
+ *
+ * For each pair of directly synchronized memory operations, try to
+ * prove they can never touch the same address:
+ *  (1) symbolic comparison of the affine address expressions,
+ *  (2) induction-variable analysis (two IVs with the same step and
+ *      provably different starts cancel inside the affine machinery),
+ *  (3) disjoint read/write sets from the pointer analysis (this pays
+ *      off on coarsely-built graphs).
+ * When the proof succeeds the edge is removed and replacement edges
+ * preserve the transitive closure (Figure 5): the consumer inherits
+ * the producer's sources, and the consumer's own token consumers gain
+ * a direct edge from the producer.
+ */
+#include "analysis/induction.h"
+#include "analysis/symbolic.h"
+#include "opt/opt_util.h"
+#include "opt/pass.h"
+
+namespace cash {
+
+namespace {
+
+class TokenRemovalPass : public Pass
+{
+  public:
+    const char* name() const override { return "token_removal"; }
+
+    bool
+    run(Graph& g, OptContext& ctx) override
+    {
+        InductionAnalysis ivs(g);
+        SymbolicAddress sym(&ivs);
+        bool changed = false;
+
+        for (Node* n : g.liveNodes()) {
+            if (n->dead || !n->isMemoryAccess())
+                continue;
+            changed |= tryRemoveIncoming(g, n, sym, ctx);
+        }
+        return changed;
+    }
+
+  private:
+    bool
+    disambiguate(const Node* a, const Node* b, SymbolicAddress& sym,
+                 OptContext& ctx) const
+    {
+        // Pointer analysis: disjoint read/write sets.
+        if (ctx.oracle && !ctx.oracle->mayOverlap(a->rwSet, b->rwSet))
+            return true;
+        // Symbolic / induction-variable address comparison.
+        AffineExpr ea = sym.expr(a->input(2));
+        AffineExpr eb = sym.expr(b->input(2));
+        return SymbolicAddress::disjoint(ea, a->size, eb, b->size);
+    }
+
+    bool
+    tryRemoveIncoming(Graph& g, Node* n, SymbolicAddress& sym,
+                      OptContext& ctx)
+    {
+        int ti = n->tokenInIndex();
+        std::vector<PortRef> srcs =
+            optutil::expandTokenSources(n->input(ti));
+
+        for (const PortRef& s : srcs) {
+            Node* j = s.node;
+            if (!j->isMemoryAccess())
+                continue;  // ring merges / calls stay
+            if (!disambiguate(n, j, sym, ctx))
+                continue;
+
+            // Remove edge j → n, preserving the transitive closure.
+            std::vector<PortRef> newSrcs;
+            for (const PortRef& o : srcs)
+                if (!(o == s))
+                    newSrcs.push_back(o);
+            for (const PortRef& inh :
+                 optutil::expandTokenSources(j->input(j->tokenInIndex())))
+            {
+                bool dup = false;
+                for (const PortRef& o : newSrcs)
+                    if (o == inh)
+                        dup = true;
+                if (!dup)
+                    newSrcs.push_back(inh);
+            }
+            CASH_ASSERT(!newSrcs.empty(),
+                        "token removal left op with no ordering source");
+
+            // n's token consumers must still be ordered after j.
+            int jPort = j->tokenOutPort();
+            for (Node* c : optutil::directTokenConsumers(n))
+                optutil::addTokenSource(g, c, {j, jPort});
+
+            optutil::setTokenInput(g, n, ti, newSrcs);
+            ctx.count("opt.token_removal.removed");
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeTokenRemoval()
+{
+    return std::make_unique<TokenRemovalPass>();
+}
+
+} // namespace cash

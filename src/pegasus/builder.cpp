@@ -1,0 +1,814 @@
+#include "pegasus/builder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cfg/dominators.h"
+#include "cfg/hyperblock.h"
+#include "cfg/liveness.h"
+#include "cfg/loops.h"
+#include "analysis/points_to.h"
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+/**
+ * Builds the Pegasus graph of one function.
+ */
+class GraphBuilder
+{
+  public:
+    GraphBuilder(const CfgFunction& fn, const CfgProgram& cfg,
+                 const MemoryLayout& layout, const BuildOptions& opts)
+        : fn_(fn), cfg_(cfg), layout_(layout), opts_(opts),
+          dom_(fn), loops_(fn, dom_), hbp_(fn, dom_, loops_),
+          live_(fn)
+    {
+    }
+
+    std::unique_ptr<Graph>
+    build()
+    {
+        g_ = std::make_unique<Graph>();
+        g_->name = fn_.decl->name;
+        g_->decl = fn_.decl;
+        g_->numParams = fn_.numParams;
+        g_->hasFrame = fn_.frameBaseReg >= 0;
+        g_->frameBytes = layout_.frameSize(fn_.decl);
+
+        entryHb_ = hbp_.hbOf(fn_.entry);
+
+        if (opts_.usePointsTo) {
+            parts_ = computePartitions(fn_, cfg_.oracle);
+        } else {
+            parts_.numPartitions = 1;
+            parts_.memOpPartition.assign(fn_.numMemOps, 0);
+        }
+        g_->numPartitions = parts_.numPartitions;
+
+        // Distinguished inputs.
+        for (int p = 0; p < fn_.numParams; p++) {
+            Node* n = g_->newNode(NodeKind::Param, VT::Word, entryHb_);
+            n->paramIndex = p;
+            g_->paramNodes.push_back(n);
+        }
+        if (g_->hasFrame) {
+            Node* n = g_->newNode(NodeKind::Param, VT::Word, entryHb_);
+            n->paramIndex = fn_.numParams;
+            g_->paramNodes.push_back(n);
+        }
+        g_->initialToken =
+            g_->newNode(NodeKind::InitialToken, VT::Token, entryHb_);
+
+        createHbInfosAndMerges();
+        for (const Hyperblock& hb : hbp_.hyperblocks())
+            processHyperblock(hb);
+        attachDeciders();
+
+        return std::move(g_);
+    }
+
+  private:
+    // =================================================================
+    // Merges / hyperblock scaffolding
+    // =================================================================
+
+    void
+    createHbInfosAndMerges()
+    {
+        for (const Hyperblock& hb : hbp_.hyperblocks()) {
+            HbInfo info;
+            info.id = hb.id;
+            info.isLoop = hb.isLoop;
+            info.loopDepth = hb.loopDepth;
+            for (const HbExit& e : hb.exits)
+                if (std::find(info.successors.begin(),
+                              info.successors.end(),
+                              e.targetHb) == info.successors.end())
+                    info.successors.push_back(e.targetHb);
+            g_->hyperblocks.push_back(info);
+
+            bool hasIncoming = !hb.incoming.empty();
+            if (!hasIncoming) {
+                CASH_ASSERT(hb.id == entryHb_,
+                            "non-entry hyperblock without incoming edges");
+                continue;
+            }
+            // Control merge: the activation pulse of the hyperblock
+            // (the paper's merge nodes "accepting control", Figure 2).
+            // It carries the constant-true predicate once per
+            // activation, giving every block predicate — and with it
+            // every eta and side-effect — a dynamic trigger even when
+            // all data in the hyperblock is constant.
+            {
+                Node* cm = g_->newNode(NodeKind::Merge, VT::Pred, hb.id);
+                ctrlMerge_[hb.id] = cm;
+                if (hb.id == entryHb_)
+                    g_->addInput(cm, {constNode(hb.id, 1, VT::Pred), 0});
+            }
+            // Scalar merges for every register live into the header.
+            for (int reg : live_.liveIn(hb.header)) {
+                Node* m = g_->newNode(NodeKind::Merge, VT::Word, hb.id);
+                scalarMerge_[{hb.id, reg}] = m;
+                if (hb.id == entryHb_)
+                    g_->addInput(m, entryValueOf(reg));
+            }
+            // One token-ring merge per memory partition.
+            for (int p = 0; p < parts_.numPartitions; p++) {
+                Node* m = g_->newNode(NodeKind::Merge, VT::Token, hb.id);
+                g_->ringMerge[{hb.id, p}] = m;
+                if (hb.id == entryHb_)
+                    g_->addInput(m, {g_->initialToken, 0});
+            }
+        }
+    }
+
+    /** Function-entry value of a register (params or zero). */
+    PortRef
+    entryValueOf(int reg)
+    {
+        if (reg < fn_.numParams)
+            return {g_->paramNodes[reg], 0};
+        if (reg == fn_.frameBaseReg)
+            return {g_->paramNodes[fn_.numParams], 0};
+        return {constNode(entryHb_, 0, VT::Word), 0};
+    }
+
+    // =================================================================
+    // Small node factories with folding
+    // =================================================================
+
+    Node*
+    constNode(int hb, int64_t v, VT vt)
+    {
+        auto key = std::make_tuple(hb, v, vt);
+        auto it = constCache_.find(key);
+        if (it != constCache_.end())
+            return it->second;
+        Node* n = g_->newConst(v, vt, hb);
+        constCache_[key] = n;
+        return n;
+    }
+
+    bool
+    isConstPred(PortRef p, int64_t* out) const
+    {
+        if (p.node->kind == NodeKind::Const) {
+            *out = p.node->constValue;
+            return true;
+        }
+        return false;
+    }
+
+    PortRef
+    predAnd(PortRef a, PortRef b, int hb)
+    {
+        int64_t v;
+        if (isConstPred(a, &v))
+            return v ? b : a;
+        if (isConstPred(b, &v))
+            return v ? a : b;
+        if (a == b)
+            return a;
+        return {g_->newArith(Op::And, a, b, hb, VT::Pred), 0};
+    }
+
+    PortRef
+    predOr(PortRef a, PortRef b, int hb)
+    {
+        int64_t v;
+        if (isConstPred(a, &v))
+            return v ? a : b;
+        if (isConstPred(b, &v))
+            return v ? b : a;
+        if (a == b)
+            return a;
+        return {g_->newArith(Op::Or, a, b, hb, VT::Pred), 0};
+    }
+
+    PortRef
+    predNot(PortRef a, int hb)
+    {
+        int64_t v;
+        if (isConstPred(a, &v))
+            return {constNode(hb, v ? 0 : 1, VT::Pred), 0};
+        if (a.node->kind == NodeKind::Arith &&
+            a.node->op == Op::NotBool)
+            return a.node->input(0);
+        return {g_->newArith1(Op::NotBool, a, hb, VT::Pred), 0};
+    }
+
+    /** Convert a Word value into a predicate (v != 0). */
+    PortRef
+    boolify(PortRef v, int hb)
+    {
+        if (v.node->kind == NodeKind::Const)
+            return {constNode(hb, v.node->constValue != 0, VT::Pred), 0};
+        if (v.node->kind == NodeKind::Arith && opIsCompare(v.node->op)) {
+            // Recreate the comparison as a predicate-typed node.
+            auto key = std::make_pair(v.node, 0);
+            auto it = predView_.find(key);
+            if (it != predView_.end())
+                return {it->second, 0};
+            Node* n = g_->newArith(v.node->op, v.node->input(0),
+                                   v.node->input(1), hb, VT::Pred);
+            predView_[key] = n;
+            return {n, 0};
+        }
+        return {g_->newArith(Op::Ne, v, {constNode(hb, 0, VT::Word), 0},
+                             hb, VT::Pred),
+                0};
+    }
+
+    // =================================================================
+    // Per-hyperblock processing
+    // =================================================================
+
+    struct TOp
+    {
+        Node* node = nullptr;
+        int block = -1;
+        int order = -1;
+        bool isRead = false;
+        LocationSet rw;
+        int part = -1;  ///< -1 = touches every partition (call/return).
+    };
+
+    void
+    processHyperblock(const Hyperblock& hb)
+    {
+        blockPred_.clear();
+        outMap_.clear();
+        inMemo_.clear();
+        tops_.clear();
+        curHb_ = &hb;
+
+        // Phase 1: scalar dataflow + memory op creation.
+        for (int b : hb.blocks) {
+            computeBlockPred(b);
+            processBlock(b);
+        }
+        // Phase 2: token wiring.
+        wireTokens(hb);
+        // Phase 3: exits.
+        processExits(hb);
+    }
+
+    void
+    computeBlockPred(int b)
+    {
+        const Hyperblock& hb = *curHb_;
+        if (b == hb.header) {
+            auto cm = ctrlMerge_.find(hb.id);
+            blockPred_[b] = cm != ctrlMerge_.end()
+                                ? PortRef{cm->second, 0}
+                                : PortRef{constNode(hb.id, 1, VT::Pred),
+                                          0};
+            return;
+        }
+        PortRef acc{};
+        for (int p : fn_.block(b)->preds) {
+            if (hbp_.hbOf(p) != hb.id || p == b)
+                continue;
+            if (!hb.blockSet.count(p))
+                continue;
+            PortRef pathPred = edgePred(p, b);
+            acc = acc.valid() ? predOr(acc, pathPred, hb.id) : pathPred;
+        }
+        CASH_ASSERT(acc.valid(), "block without in-hyperblock preds");
+        blockPred_[b] = acc;
+    }
+
+    /** Predicate of CFG edge p→b: blockPred(p) ∧ branch condition. */
+    PortRef
+    edgePred(int p, int b)
+    {
+        const Terminator& t = fn_.block(p)->term;
+        PortRef bp = blockPred_.at(p);
+        if (t.kind == Terminator::Kind::Jump)
+            return bp;
+        CASH_ASSERT(t.kind == Terminator::Kind::CondBranch,
+                    "edge from non-branch block");
+        if (t.target0 == t.target1)
+            return bp;
+        PortRef cond = boolify(operandValue(p, t.cond), curHb_->id);
+        if (t.target0 == b)
+            return predAnd(bp, cond, curHb_->id);
+        CASH_ASSERT(t.target1 == b, "edge target mismatch");
+        return predAnd(bp, predNot(cond, curHb_->id), curHb_->id);
+    }
+
+    // ------------------------------------------------------------------
+    // Value lookup with mux insertion
+    // ------------------------------------------------------------------
+
+    /** Value of @p reg at the end of block @p b. */
+    PortRef
+    lookup(int b, int reg)
+    {
+        auto& om = outMap_[b];
+        auto it = om.find(reg);
+        if (it != om.end())
+            return it->second;
+        return inValue(b, reg);
+    }
+
+    /** Value of @p reg at the entry of block @p b. */
+    PortRef
+    inValue(int b, int reg)
+    {
+        auto key = std::make_pair(b, reg);
+        auto memo = inMemo_.find(key);
+        if (memo != inMemo_.end())
+            return memo->second;
+
+        const Hyperblock& hb = *curHb_;
+        PortRef result;
+        if (b == hb.header) {
+            result = headerValue(reg);
+        } else {
+            // Gather reaching values from in-hyperblock predecessors.
+            std::vector<std::pair<PortRef, PortRef>> arms;  // (pred, val)
+            bool allSame = true;
+            PortRef first{};
+            for (int p : fn_.block(b)->preds) {
+                if (hbp_.hbOf(p) != hb.id || !hb.blockSet.count(p))
+                    continue;
+                PortRef v = lookup(p, reg);
+                if (!first.valid())
+                    first = v;
+                else if (v != first)
+                    allSame = false;
+                arms.push_back({edgePred(p, b), v});
+            }
+            CASH_ASSERT(!arms.empty(), "no reaching definitions");
+            if (allSame) {
+                result = first;
+            } else {
+                Node* mux = g_->newNode(NodeKind::Mux, VT::Word, hb.id);
+                for (auto& [p, v] : arms) {
+                    g_->addInput(mux, p);
+                    g_->addInput(mux, v);
+                }
+                result = {mux, 0};
+            }
+        }
+        inMemo_[key] = result;
+        return result;
+    }
+
+    PortRef
+    headerValue(int reg)
+    {
+        const Hyperblock& hb = *curHb_;
+        auto it = scalarMerge_.find({hb.id, reg});
+        if (it != scalarMerge_.end())
+            return {it->second, 0};
+        if (hb.id == entryHb_)
+            return entryValueOf(reg);
+        // Not live into the header: a definition must precede any use,
+        // but keep construction total with a zero.
+        return {constNode(hb.id, 0, VT::Word), 0};
+    }
+
+    PortRef
+    operandValue(int b, const Operand& o)
+    {
+        if (o.isConst())
+            return {constNode(curHb_->id, o.cval, VT::Word), 0};
+        CASH_ASSERT(o.isReg(), "evaluating empty operand");
+        return lookup(b, o.reg);
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction processing
+    // ------------------------------------------------------------------
+
+    void
+    processBlock(int b)
+    {
+        const Hyperblock& hb = *curHb_;
+        for (const Instr& i : fn_.block(b)->instrs) {
+            switch (i.kind) {
+              case InstrKind::Bin: {
+                Node* n = g_->newArith(i.op, operandValue(b, i.a),
+                                       operandValue(b, i.b), hb.id);
+                outMap_[b][i.dst] = {n, 0};
+                break;
+              }
+              case InstrKind::Un: {
+                Node* n = g_->newArith1(i.op, operandValue(b, i.a),
+                                        hb.id);
+                outMap_[b][i.dst] = {n, 0};
+                break;
+              }
+              case InstrKind::Copy:
+                outMap_[b][i.dst] = operandValue(b, i.a);
+                break;
+              case InstrKind::Load: {
+                Node* n = g_->newNode(NodeKind::Load, VT::Word, hb.id);
+                n->size = i.size;
+                n->signExtend = i.signExtend;
+                n->rwSet = opts_.usePointsTo ? i.rwSet
+                                             : LocationSet::top();
+                n->partition =
+                    i.memId >= 0 ? parts_.memOpPartition[i.memId] : 0;
+                n->memId = i.memId;
+                n->loc = i.loc;
+                g_->addInput(n, blockPred_.at(b));
+                g_->addInput(n, {g_->initialToken, 0});  // placeholder
+                g_->addInput(n, operandValue(b, i.addr));
+                outMap_[b][i.dst] = {n, 0};
+                tops_.push_back({n, b, static_cast<int>(tops_.size()),
+                                 true, n->rwSet, n->partition});
+                break;
+              }
+              case InstrKind::Store: {
+                Node* n = g_->newNode(NodeKind::Store, VT::Token, hb.id);
+                n->size = i.size;
+                n->rwSet = opts_.usePointsTo ? i.rwSet
+                                             : LocationSet::top();
+                n->partition =
+                    i.memId >= 0 ? parts_.memOpPartition[i.memId] : 0;
+                n->memId = i.memId;
+                n->loc = i.loc;
+                g_->addInput(n, blockPred_.at(b));
+                g_->addInput(n, {g_->initialToken, 0});  // placeholder
+                g_->addInput(n, operandValue(b, i.addr));
+                g_->addInput(n, operandValue(b, i.value));
+                tops_.push_back({n, b, static_cast<int>(tops_.size()),
+                                 false, n->rwSet, n->partition});
+                break;
+              }
+              case InstrKind::Call: {
+                Node* n = g_->newNode(NodeKind::Call, VT::Word, hb.id);
+                n->callee = i.callee;
+                n->rwSet = LocationSet::top();
+                n->partition = -1;
+                n->loc = i.loc;
+                g_->addInput(n, blockPred_.at(b));
+                g_->addInput(n, {g_->initialToken, 0});  // placeholder
+                for (const Operand& a : i.args)
+                    g_->addInput(n, operandValue(b, a));
+                if (i.dst >= 0)
+                    outMap_[b][i.dst] = {n, 0};
+                tops_.push_back({n, b, static_cast<int>(tops_.size()),
+                                 false, LocationSet::top(), -1});
+                break;
+              }
+            }
+        }
+        // Return terminators become Return sink nodes.
+        const Terminator& t = fn_.block(b)->term;
+        if (t.kind == Terminator::Kind::Return) {
+            Node* n = g_->newNode(NodeKind::Return, VT::Word, hb.id);
+            g_->addInput(n, blockPred_.at(b));
+            g_->addInput(n, {g_->initialToken, 0});  // placeholder
+            if (!t.retValue.isNone())
+                g_->addInput(n, operandValue(b, t.retValue));
+            g_->returnNodes.push_back(n);
+            tops_.push_back({n, b, static_cast<int>(tops_.size()),
+                             false, LocationSet::top(), -1});
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Token wiring (paper §3.3 + §3.4)
+    // ------------------------------------------------------------------
+
+    /** Token source entering this hyperblock for partition @p p. */
+    PortRef
+    entryTokenSource(const Hyperblock& hb, int p)
+    {
+        auto it = g_->ringMerge.find({hb.id, p});
+        if (it != g_->ringMerge.end())
+            return {it->second, 0};
+        CASH_ASSERT(hb.id == entryHb_, "missing ring merge");
+        return {g_->initialToken, 0};
+    }
+
+    /** Do ops @p a and @p b need an ordering edge? */
+    bool
+    conflicts(const TOp& a, const TOp& b) const
+    {
+        if (a.isRead && b.isRead)
+            return false;
+        if (!opts_.usePointsTo)
+            return true;
+        return cfg_.oracle.mayOverlap(a.rw, b.rw);
+    }
+
+    /** Does op @p o touch partition @p p? */
+    bool
+    touchesPartition(const TOp& o, int p) const
+    {
+        return o.part == -1 || o.part == p;
+    }
+
+    void
+    wireTokens(const Hyperblock& hb)
+    {
+        int k = static_cast<int>(tops_.size());
+        int np = parts_.numPartitions;
+        // DAG nodes: [0,k) real ops, [k,k+np) entry virtuals,
+        // [k+np,k+2np) exit virtuals.
+        int n = k + 2 * np;
+        std::vector<std::vector<char>> edge(n, std::vector<char>(n, 0));
+
+        bool hasExits = !hb.exits.empty();
+        // Which blocks can reach a (non-return) exit edge.
+        auto reachesExit = [&](int block) {
+            for (const HbExit& e : hb.exits)
+                if (hbp_.reaches(block, e.srcBlock))
+                    return true;
+            return false;
+        };
+
+        auto hasPath = [&](const TOp& a, const TOp& b) {
+            if (a.block == b.block)
+                return a.order < b.order;
+            return hbp_.reaches(a.block, b.block);
+        };
+
+        for (int i = 0; i < k; i++) {
+            for (int j = i + 1; j < k; j++)
+                if (hasPath(tops_[i], tops_[j]) &&
+                    conflicts(tops_[i], tops_[j]))
+                    edge[i][j] = 1;
+        }
+        for (int p = 0; p < np; p++) {
+            int ev = k + p;
+            int xv = k + np + p;
+            for (int i = 0; i < k; i++) {
+                if (!touchesPartition(tops_[i], p))
+                    continue;
+                edge[ev][i] = 1;
+                if (hasExits && tops_[i].node->numOutputs() > 0 &&
+                    reachesExit(tops_[i].block))
+                    edge[i][xv] = 1;
+            }
+            if (hasExits)
+                edge[ev][xv] = 1;
+        }
+
+        // Transitive reduction: drop every edge implied by a longer
+        // path (the §3.4 invariant).
+        std::vector<std::vector<char>> reach = edge;
+        // Floyd-Warshall-style closure over the small DAG.
+        for (int m = 0; m < n; m++)
+            for (int i = 0; i < n; i++)
+                if (reach[i][m])
+                    for (int j = 0; j < n; j++)
+                        if (reach[m][j])
+                            reach[i][j] = 1;
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) {
+                if (!edge[i][j])
+                    continue;
+                // Is there an intermediate m with i→m ∧ m→j?
+                for (int m = 0; m < n; m++) {
+                    if (m == i || m == j)
+                        continue;
+                    if ((edge[i][m] || reach[i][m]) && reach[m][j]) {
+                        edge[i][j] = 0;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Materialize token inputs.
+        auto tokenOutOf = [&](int idx) -> PortRef {
+            if (idx < k) {
+                Node* nn = tops_[idx].node;
+                int port = nn->tokenOutPort();
+                CASH_ASSERT(port >= 0, "token from sink node");
+                return {nn, port};
+            }
+            CASH_ASSERT(idx < k + np, "token from exit virtual");
+            return entryTokenSource(hb, idx - k);
+        };
+
+        auto combineOf = [&](const std::vector<PortRef>& srcs,
+                             int hbId) -> PortRef {
+            CASH_ASSERT(!srcs.empty(), "op without token source");
+            if (srcs.size() == 1)
+                return srcs[0];
+            Node* c = g_->newNode(NodeKind::Combine, VT::Token, hbId);
+            for (const PortRef& s : srcs)
+                g_->addInput(c, s);
+            return {c, 0};
+        };
+
+        for (int j = 0; j < k; j++) {
+            std::vector<PortRef> srcs;
+            for (int i = 0; i < n; i++) {
+                if (i == j || !edge[i][j])
+                    continue;
+                PortRef t = tokenOutOf(i);
+                if (std::find(srcs.begin(), srcs.end(), t) == srcs.end())
+                    srcs.push_back(t);
+            }
+            Node* nn = tops_[j].node;
+            int ti = nn->tokenInIndex();
+            g_->setInput(nn, ti, combineOf(srcs, hb.id));
+        }
+
+        // Exit token state per partition.
+        exitToken_.assign(np, PortRef{});
+        if (hasExits) {
+            for (int p = 0; p < np; p++) {
+                int xv = k + np + p;
+                std::vector<PortRef> srcs;
+                for (int i = 0; i < k + np; i++) {
+                    if (!edge[i][xv])
+                        continue;
+                    PortRef t = tokenOutOf(i);
+                    if (std::find(srcs.begin(), srcs.end(), t) ==
+                        srcs.end())
+                        srcs.push_back(t);
+                }
+                exitToken_[p] = combineOf(srcs, hb.id);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hyperblock exits
+    // ------------------------------------------------------------------
+
+    /**
+     * Deliver @p value into @p targetMerge whenever the exit edge with
+     * predicate @p predE is taken.  Normally an eta; constant-true
+     * predicates (possible only in the single-activation entry
+     * hyperblock) wire directly, and constant-false edges vanish.
+     */
+    void
+    addEdgeDelivery(Node* targetMerge, PortRef value, PortRef predE,
+                    bool isBack, int srcHb, VT vt)
+    {
+        int64_t c;
+        if (isConstPred(predE, &c)) {
+            if (c == 0)
+                return;  // edge never taken
+            g_->addInput(targetMerge, value, isBack);
+            return;
+        }
+        Node* eta = g_->newNode(NodeKind::Eta, vt, srcHb);
+        g_->addInput(eta, value);
+        g_->addInput(eta, predE);
+        g_->addInput(targetMerge, {eta, 0}, isBack);
+    }
+
+    /**
+     * The loop-continuation decider of hyperblock @p hb: true on
+     * activations whose control stays inside @p hb's innermost loop
+     * (including the self back edge), false when the loop exits.
+     * Recorded here; attachDeciders() wires it to every mu-merge once
+     * all hyperblocks have contributed their back-edge inputs.
+     */
+    void
+    computeContinuePred(const Hyperblock& hb)
+    {
+        PortRef cont{};
+        for (const HbExit& e : hb.exits) {
+            bool staysInLoop = e.isBackEdge;
+            if (!staysInLoop && hb.loopIndex >= 0)
+                staysInLoop =
+                    loops_.loops()[hb.loopIndex].blocks.count(
+                        e.dstBlock) != 0;
+            if (!staysInLoop)
+                continue;
+            PortRef p = exitEdgePred(e);
+            cont = cont.valid() ? predOr(cont, p, hb.id) : p;
+        }
+        if (cont.valid())
+            continuePred_[hb.id] = cont;
+    }
+
+    void
+    attachDeciders()
+    {
+        g_->forEach([&](Node* m) {
+            if (m->dead || m->kind != NodeKind::Merge)
+                return;
+            bool hasBack = false;
+            for (int i = 0; i < m->numInputs(); i++)
+                if (m->inputIsBackEdge(i))
+                    hasBack = true;
+            if (!hasBack)
+                return;
+            auto it = continuePred_.find(m->hyperblock);
+            CASH_ASSERT(it != continuePred_.end(),
+                        "mu-merge without a continue predicate");
+            m->deciderIndex = m->numInputs();
+            g_->addInput(m, it->second, /*backEdge=*/true);
+        });
+    }
+
+    void
+    processExits(const Hyperblock& hb)
+    {
+        computeContinuePred(hb);
+        for (const HbExit& e : hb.exits) {
+            PortRef predE = exitEdgePred(e);
+            const Hyperblock& target = hbp_.hb(e.targetHb);
+            // Control pulse.
+            auto cm = ctrlMerge_.find(target.id);
+            CASH_ASSERT(cm != ctrlMerge_.end(),
+                        "exit into hyperblock without control merge");
+            addEdgeDelivery(cm->second,
+                            {constNode(hb.id, 1, VT::Pred), 0}, predE,
+                            e.isBackEdge, hb.id, VT::Pred);
+            // Scalar etas for registers the target has merges for.
+            for (int reg : live_.liveIn(target.header)) {
+                auto it = scalarMerge_.find({target.id, reg});
+                if (it == scalarMerge_.end())
+                    continue;
+                addEdgeDelivery(it->second, lookup(e.srcBlock, reg),
+                                predE, e.isBackEdge, hb.id, VT::Word);
+            }
+            // Token etas, one per partition ring.
+            for (int p = 0; p < parts_.numPartitions; p++) {
+                auto it = g_->ringMerge.find({target.id, p});
+                CASH_ASSERT(it != g_->ringMerge.end(),
+                            "target hyperblock lacks ring merge");
+                addEdgeDelivery(it->second, exitToken_.at(p), predE,
+                                e.isBackEdge, hb.id, VT::Token);
+            }
+        }
+    }
+
+    PortRef
+    exitEdgePred(const HbExit& e)
+    {
+        const Terminator& t = fn_.block(e.srcBlock)->term;
+        PortRef bp = blockPred_.at(e.srcBlock);
+        if (t.kind == Terminator::Kind::Jump)
+            return bp;
+        CASH_ASSERT(t.kind == Terminator::Kind::CondBranch,
+                    "exit from non-branch block");
+        if (t.target0 == t.target1)
+            return bp;
+        PortRef cond =
+            boolify(operandValue(e.srcBlock, t.cond), curHb_->id);
+        if (t.target0 == e.dstBlock)
+            return predAnd(bp, cond, curHb_->id);
+        return predAnd(bp, predNot(cond, curHb_->id), curHb_->id);
+    }
+
+    // =================================================================
+
+    const CfgFunction& fn_;
+    const CfgProgram& cfg_;
+    const MemoryLayout& layout_;
+    BuildOptions opts_;
+
+    DominatorTree dom_;
+    LoopForest loops_;
+    HyperblockPartition hbp_;
+    Liveness live_;
+    PartitionResult parts_;
+
+    std::unique_ptr<Graph> g_;
+    int entryHb_ = 0;
+
+    std::map<std::pair<int, int>, Node*> scalarMerge_;
+    std::map<int, Node*> ctrlMerge_;
+    std::map<int, PortRef> continuePred_;
+    std::map<std::tuple<int, int64_t, VT>, Node*> constCache_;
+    std::map<std::pair<Node*, int>, Node*> predView_;
+
+    // Per-hyperblock transient state.
+    const Hyperblock* curHb_ = nullptr;
+    std::map<int, PortRef> blockPred_;
+    std::map<int, std::map<int, PortRef>> outMap_;
+    std::map<std::pair<int, int>, PortRef> inMemo_;
+    std::vector<TOp> tops_;
+    std::vector<PortRef> exitToken_;
+};
+
+} // namespace
+
+std::unique_ptr<Graph>
+buildFunctionGraph(const CfgFunction& fn, const CfgProgram& cfg,
+                   const MemoryLayout& layout, const BuildOptions& options)
+{
+    GraphBuilder b(fn, cfg, layout, options);
+    return b.build();
+}
+
+std::vector<std::unique_ptr<Graph>>
+buildPegasus(const CfgProgram& cfg, const Program& program,
+             const MemoryLayout& layout, const BuildOptions& options)
+{
+    (void)program;
+    std::vector<std::unique_ptr<Graph>> out;
+    for (const auto& fn : cfg.functions)
+        out.push_back(buildFunctionGraph(*fn, cfg, layout, options));
+    return out;
+}
+
+} // namespace cash

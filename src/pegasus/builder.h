@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Construction of Pegasus graphs from the CFG IR (paper §3).
+ *
+ * Per function the builder:
+ *  1. forms hyperblocks and computes path predicates (PSSA);
+ *  2. converts scalar code to dataflow nodes, inserting decoded muxes
+ *     at joins inside hyperblocks;
+ *  3. creates eta/merge nodes to stitch hyperblocks together and to
+ *     carry values (and memory tokens) around loops;
+ *  4. inserts token edges between memory operations following the
+ *     synchronization-insertion algorithm of §3.3, with one token ring
+ *     per memory partition, and transitively reduces the token graph
+ *     (§3.4 invariant).
+ */
+#ifndef CASH_PEGASUS_BUILDER_H
+#define CASH_PEGASUS_BUILDER_H
+
+#include <memory>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "frontend/ast.h"
+#include "frontend/layout.h"
+#include "pegasus/graph.h"
+
+namespace cash {
+
+/** Options controlling construction precision. */
+struct BuildOptions
+{
+    /**
+     * When false, ignore read/write sets during token insertion and
+     * link all memory operations into a single program-order token
+     * chain (the "coarse" initial representation; §4's starting point
+     * and the unoptimized baseline of Figure 19).
+     */
+    bool usePointsTo = true;
+};
+
+/** Build Pegasus graphs for every function of @p cfg. */
+std::vector<std::unique_ptr<Graph>> buildPegasus(
+    const CfgProgram& cfg, const Program& program,
+    const MemoryLayout& layout, const BuildOptions& options = {});
+
+/** Build only @p fn. */
+std::unique_ptr<Graph> buildFunctionGraph(const CfgFunction& fn,
+                                          const CfgProgram& cfg,
+                                          const MemoryLayout& layout,
+                                          const BuildOptions& options);
+
+} // namespace cash
+
+#endif // CASH_PEGASUS_BUILDER_H

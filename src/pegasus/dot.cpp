@@ -1,0 +1,127 @@
+#include "pegasus/dot.h"
+
+#include <sstream>
+
+namespace cash {
+
+namespace {
+
+std::string
+nodeLabel(const Node* n)
+{
+    switch (n->kind) {
+      case NodeKind::Const:
+        return std::to_string(n->constValue);
+      case NodeKind::Param:
+        return "arg" + std::to_string(n->paramIndex);
+      case NodeKind::Arith:
+        return opName(n->op);
+      case NodeKind::Mux:
+        return "mux";
+      case NodeKind::Merge:
+        return "merge";
+      case NodeKind::Eta:
+        return "eta";
+      case NodeKind::Combine:
+        return "V";
+      case NodeKind::InitialToken:
+        return "*";
+      case NodeKind::Load:
+        return "=[ ]" + std::to_string(n->size);
+      case NodeKind::Store:
+        return "[ ]=" + std::to_string(n->size);
+      case NodeKind::Call:
+        return "call " + (n->callee ? n->callee->name : "?");
+      case NodeKind::Return:
+        return "ret";
+      case NodeKind::TokenGen:
+        return "tk(" + std::to_string(n->tkCount) + ")";
+    }
+    return "?";
+}
+
+std::string
+nodeShape(const Node* n)
+{
+    switch (n->kind) {
+      case NodeKind::Mux: return "trapezium";
+      case NodeKind::Merge: return "triangle";
+      case NodeKind::Eta: return "invtriangle";
+      case NodeKind::Combine: return "invhouse";
+      case NodeKind::Load:
+      case NodeKind::Store: return "box";
+      case NodeKind::Call: return "box3d";
+      case NodeKind::Return: return "doublecircle";
+      case NodeKind::TokenGen: return "diamond";
+      case NodeKind::Const:
+      case NodeKind::Param:
+      case NodeKind::InitialToken: return "plaintext";
+      default: return "ellipse";
+    }
+}
+
+} // namespace
+
+std::string
+toDot(const Graph& g)
+{
+    std::ostringstream os;
+    os << "digraph \"" << g.name << "\" {\n";
+    os << "  rankdir=TB;\n  node [fontsize=10];\n";
+
+    // Cluster nodes by hyperblock.
+    std::map<int, std::vector<const Node*>> byHb;
+    g.forEach([&](Node* n) { byHb[n->hyperblock].push_back(n); });
+
+    for (const auto& [hb, nodes] : byHb) {
+        os << "  subgraph cluster_hb" << hb << " {\n";
+        os << "    label=\"hyperblock " << hb << "\";\n";
+        for (const Node* n : nodes) {
+            os << "    n" << n->id << " [label=\"" << nodeLabel(n)
+               << "\", shape=" << nodeShape(n) << "];\n";
+        }
+        os << "  }\n";
+    }
+
+    g.forEach([&](Node* n) {
+        for (int i = 0; i < n->numInputs(); i++) {
+            const PortRef& in = n->input(i);
+            if (!in.valid())
+                continue;
+            VT vt = in.node->outputType(in.port);
+            os << "  n" << in.node->id << " -> n" << n->id;
+            std::vector<std::string> attrs;
+            if (vt == VT::Pred)
+                attrs.push_back("style=dotted");
+            else if (vt == VT::Token)
+                attrs.push_back("style=dashed");
+            if (n->inputIsBackEdge(i))
+                attrs.push_back("constraint=false, color=red");
+            if (!attrs.empty()) {
+                os << " [";
+                for (size_t k = 0; k < attrs.size(); k++) {
+                    if (k)
+                        os << ", ";
+                    os << attrs[k];
+                }
+                os << "]";
+            }
+            os << ";\n";
+        }
+    });
+
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+toText(const Graph& g)
+{
+    std::ostringstream os;
+    os << "graph " << g.name << " (" << g.numParams << " params, "
+       << g.numPartitions << " partitions)\n";
+    g.forEach([&](Node* n) { os << "  " << n->str() << "\n"; });
+    return os.str();
+}
+
+} // namespace cash

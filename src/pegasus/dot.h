@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Graphviz output for Pegasus graphs, in the visual style of the
+ * paper's figures: dotted edges carry predicates, dashed edges carry
+ * tokens, trapezoids are muxes, triangles are eta/merge nodes.
+ */
+#ifndef CASH_PEGASUS_DOT_H
+#define CASH_PEGASUS_DOT_H
+
+#include <string>
+
+#include "pegasus/graph.h"
+
+namespace cash {
+
+/** Render @p g as a Graphviz "dot" document. */
+std::string toDot(const Graph& g);
+
+/** Plain-text listing of all live nodes (stable for tests). */
+std::string toText(const Graph& g);
+
+} // namespace cash
+
+#endif // CASH_PEGASUS_DOT_H

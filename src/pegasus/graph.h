@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The Pegasus graph: node ownership and the mutation API used by the
+ * builder and every optimization pass.
+ */
+#ifndef CASH_PEGASUS_GRAPH_H
+#define CASH_PEGASUS_GRAPH_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pegasus/node.h"
+
+namespace cash {
+
+/** Static description of one hyperblock in a graph. */
+struct HbInfo
+{
+    int id = -1;
+    bool isLoop = false;      ///< Has a back edge onto itself.
+    int loopDepth = 0;
+    /** Ids of hyperblocks this one may transfer control to. */
+    std::vector<int> successors;
+};
+
+/**
+ * A Pegasus graph for one procedure.
+ */
+class Graph
+{
+  public:
+    std::string name;
+    const FuncDecl* decl = nullptr;
+    int numParams = 0;
+    bool hasFrame = false;     ///< Extra frame-base input after params.
+    uint32_t frameBytes = 0;
+    std::vector<HbInfo> hyperblocks;
+
+    // Distinguished nodes.
+    std::vector<Node*> paramNodes;   ///< Params (+ frame base last).
+    Node* initialToken = nullptr;
+    std::vector<Node*> returnNodes;
+
+    /** Number of memory partitions (token rings) in this procedure. */
+    int numPartitions = 0;
+    /** Token-ring merge node per (hyperblock, partition); builder-set,
+     *  maintained by the loop-pipelining passes. */
+    std::map<std::pair<int, int>, Node*> ringMerge;
+
+    // -----------------------------------------------------------------
+    // Construction
+    // -----------------------------------------------------------------
+
+    Node* newNode(NodeKind kind, VT type, int hyperblock);
+    Node* newConst(int64_t value, VT type, int hyperblock);
+    Node* newArith(Op op, PortRef a, PortRef b, int hyperblock,
+                   VT type = VT::Word);
+    Node* newArith1(Op op, PortRef a, int hyperblock,
+                    VT type = VT::Word);
+
+    /** Convenience predicate constants. */
+    Node* truePred(int hyperblock);
+    Node* falsePred(int hyperblock);
+
+    // -----------------------------------------------------------------
+    // Mutation (keeps use lists consistent)
+    // -----------------------------------------------------------------
+
+    /** Append an input to @p n. */
+    void addInput(Node* n, PortRef v, bool backEdge = false);
+
+    /** Replace input @p index of @p n with @p v. */
+    void setInput(Node* n, int index, PortRef v);
+
+    /** Remove input @p index of @p n (shifts the rest down). */
+    void removeInput(Node* n, int index);
+
+    /** Remove a mu-merge's decider input (when its back inputs are
+     *  gone and it degenerates to a plain merge). */
+    void removeDecider(Node* merge);
+
+    /** Redirect every use of @p from to @p to. */
+    void replaceAllUses(PortRef from, PortRef to);
+
+    /**
+     * Mark @p n dead and detach all its inputs.  The node must have no
+     * remaining uses.
+     */
+    void erase(Node* n);
+
+    /** Drop dead nodes from the node list (invalidates ids order). */
+    void compact();
+
+    // -----------------------------------------------------------------
+    // Inspection
+    // -----------------------------------------------------------------
+
+    /** All live nodes. */
+    std::vector<Node*> liveNodes() const;
+
+    /** Count of live nodes. */
+    int numLive() const;
+
+    /** Run @p fn over every live node. */
+    void forEach(const std::function<void(Node*)>& fn) const;
+
+    /** Total number of node slots (including dead). */
+    size_t size() const { return nodes_.size(); }
+    Node* node(size_t i) const { return nodes_[i].get(); }
+
+    /**
+     * The set of memory-token sources that feed @p n's token input,
+     * looking through Combine chains.  Returns the side-effect nodes
+     * (or ring merges / token generators / initial token) found.
+     */
+    std::vector<PortRef> tokenSources(const Node* n) const;
+
+    /**
+     * Rewire the consumers of a token output so that erasing a memory
+     * op keeps the token graph connected: every consumer of
+     * @p victim's token output instead consumes @p replacement.
+     */
+    void bypassToken(Node* victim, PortRef replacement);
+
+  private:
+    std::vector<std::unique_ptr<Node>> nodes_;
+    void unuse(Node* producer, Node* user, int index);
+};
+
+} // namespace cash
+
+#endif // CASH_PEGASUS_GRAPH_H

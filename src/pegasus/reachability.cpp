@@ -1,0 +1,40 @@
+#include "pegasus/reachability.h"
+
+#include <vector>
+
+namespace cash {
+
+const std::set<const Node*>&
+ReachabilityCache::reachableFrom(const Node* from)
+{
+    auto it = memo_.find(from);
+    if (it != memo_.end())
+        return it->second;
+
+    std::set<const Node*>& out = memo_[from];
+    std::vector<const Node*> work{from};
+    while (!work.empty()) {
+        const Node* cur = work.back();
+        work.pop_back();
+        if (out.count(cur))
+            continue;
+        out.insert(cur);
+        for (const Use& u : cur->uses()) {
+            if (u.user->dead)
+                continue;
+            if (u.user->inputIsBackEdge(u.index))
+                continue;
+            if (!out.count(u.user))
+                work.push_back(u.user);
+        }
+    }
+    return out;
+}
+
+bool
+ReachabilityCache::reaches(const Node* from, const Node* to)
+{
+    return reachableFrom(from).count(to) != 0;
+}
+
+} // namespace cash

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Forward reachability in a Pegasus graph, ignoring loop back edges.
+ *
+ * The paper's optimizations guard against creating cycles with "a
+ * reachability computation in the Pegasus DAG which ignores the
+ * back-edges", cached so a batch of rewrites amortizes to linear cost
+ * (§5).
+ */
+#ifndef CASH_PEGASUS_REACHABILITY_H
+#define CASH_PEGASUS_REACHABILITY_H
+
+#include <map>
+#include <set>
+
+#include "pegasus/graph.h"
+
+namespace cash {
+
+class ReachabilityCache
+{
+  public:
+    explicit ReachabilityCache(const Graph& g) : g_(g) {}
+
+    /**
+     * Can a value produced by @p from flow (transitively, through any
+     * ports, skipping back edges) into @p to?  Reflexive.
+     */
+    bool reaches(const Node* from, const Node* to);
+
+    /** Drop all cached sets after a graph mutation. */
+    void invalidate() { memo_.clear(); }
+
+  private:
+    const std::set<const Node*>& reachableFrom(const Node* from);
+
+    const Graph& g_;
+    std::map<const Node*, std::set<const Node*>> memo_;
+};
+
+} // namespace cash
+
+#endif // CASH_PEGASUS_REACHABILITY_H

@@ -1,0 +1,235 @@
+#include "pegasus/verifier.h"
+
+#include <map>
+#include <set>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+namespace {
+
+void
+expectInput(const Node* n, int idx, VT vt,
+            std::vector<std::string>& problems)
+{
+    if (idx >= n->numInputs()) {
+        problems.push_back(n->str() + ": missing input " +
+                           std::to_string(idx));
+        return;
+    }
+    const PortRef& in = n->input(idx);
+    if (!in.valid()) {
+        problems.push_back(n->str() + ": invalid input " +
+                           std::to_string(idx));
+        return;
+    }
+    if (in.node->dead) {
+        problems.push_back(n->str() + ": input " + std::to_string(idx) +
+                           " from dead node");
+        return;
+    }
+    if (in.port >= in.node->numOutputs()) {
+        problems.push_back(n->str() + ": input " + std::to_string(idx) +
+                           " reads nonexistent port");
+        return;
+    }
+    VT got = in.node->outputType(in.port);
+    // Word and Pred interconvert freely in practice (0/1 values); only
+    // token/value mismatches are hard errors.
+    bool ok = (got == vt) ||
+              (got != VT::Token && vt != VT::Token);
+    if (!ok) {
+        problems.push_back(n->str() + ": input " + std::to_string(idx) +
+                           " has type " + vtName(got) + ", expected " +
+                           vtName(vt));
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyGraph(const Graph& g)
+{
+    std::vector<std::string> problems;
+
+    g.forEach([&](Node* n) {
+        switch (n->kind) {
+          case NodeKind::Const:
+          case NodeKind::Param:
+          case NodeKind::InitialToken:
+            if (n->numInputs() != 0)
+                problems.push_back(n->str() + ": source with inputs");
+            break;
+          case NodeKind::Arith: {
+            int want = opIsUnary(n->op) ? 1 : 2;
+            if (n->op == Op::Copy)
+                want = 1;
+            if (n->numInputs() != want) {
+                problems.push_back(n->str() + ": arith arity");
+            } else {
+                for (int i = 0; i < want; i++)
+                    expectInput(n, i, VT::Word, problems);
+            }
+            break;
+          }
+          case NodeKind::Mux:
+            if (n->numInputs() < 2 || n->numInputs() % 2 != 0) {
+                problems.push_back(n->str() + ": mux arity");
+            } else {
+                for (int i = 0; i < n->numInputs(); i += 2) {
+                    expectInput(n, i, VT::Pred, problems);
+                    expectInput(n, i + 1, n->type, problems);
+                }
+            }
+            break;
+          case NodeKind::Merge: {
+            // Zero-input merges are legal: they belong to unreachable
+            // hyperblocks (e.g. past an infinite loop) and never fire;
+            // dead-code elimination replaces them with constants.
+            for (int i = 0; i < n->numInputs(); i++)
+                expectInput(n, i,
+                            i == n->deciderIndex ? VT::Pred : n->type,
+                            problems);
+            if (n->deciderIndex >= 0 &&
+                n->deciderIndex != n->numInputs() - 1)
+                problems.push_back(n->str() + ": decider not last");
+            bool hasBack = false;
+            for (int i = 0; i < n->numInputs(); i++)
+                if (i != n->deciderIndex && n->inputIsBackEdge(i))
+                    hasBack = true;
+            if (hasBack && n->deciderIndex < 0)
+                problems.push_back(n->str() +
+                                   ": back-edge merge without decider");
+            break;
+          }
+          case NodeKind::Eta:
+            if (n->numInputs() != 2) {
+                problems.push_back(n->str() + ": eta arity");
+            } else {
+                expectInput(n, 0, n->type, problems);
+                expectInput(n, 1, VT::Pred, problems);
+            }
+            break;
+          case NodeKind::Combine:
+            if (n->numInputs() < 1)
+                problems.push_back(n->str() + ": empty combine");
+            for (int i = 0; i < n->numInputs(); i++)
+                expectInput(n, i, VT::Token, problems);
+            break;
+          case NodeKind::Load:
+            if (n->numInputs() != 3) {
+                problems.push_back(n->str() + ": load arity");
+            } else {
+                expectInput(n, 0, VT::Pred, problems);
+                expectInput(n, 1, VT::Token, problems);
+                expectInput(n, 2, VT::Word, problems);
+            }
+            break;
+          case NodeKind::Store:
+            if (n->numInputs() != 4) {
+                problems.push_back(n->str() + ": store arity");
+            } else {
+                expectInput(n, 0, VT::Pred, problems);
+                expectInput(n, 1, VT::Token, problems);
+                expectInput(n, 2, VT::Word, problems);
+                expectInput(n, 3, VT::Word, problems);
+            }
+            break;
+          case NodeKind::Call:
+            if (n->numInputs() < 2) {
+                problems.push_back(n->str() + ": call arity");
+            } else {
+                expectInput(n, 0, VT::Pred, problems);
+                expectInput(n, 1, VT::Token, problems);
+                for (int i = 2; i < n->numInputs(); i++)
+                    expectInput(n, i, VT::Word, problems);
+            }
+            break;
+          case NodeKind::Return:
+            if (n->numInputs() < 2 || n->numInputs() > 3) {
+                problems.push_back(n->str() + ": return arity");
+            } else {
+                expectInput(n, 0, VT::Pred, problems);
+                expectInput(n, 1, VT::Token, problems);
+                if (n->numInputs() == 3)
+                    expectInput(n, 2, VT::Word, problems);
+            }
+            break;
+          case NodeKind::TokenGen:
+            if (n->numInputs() != 2) {
+                problems.push_back(n->str() + ": tokengen arity");
+            } else {
+                expectInput(n, 0, VT::Pred, problems);
+                expectInput(n, 1, VT::Token, problems);
+            }
+            break;
+        }
+
+        // Etas deliver to merges only: merges are the unique consumers
+        // of the end-of-stream markers etas emit on not-taken
+        // activations.
+        if (n->kind == NodeKind::Eta) {
+            for (const Use& u : n->uses()) {
+                if (!u.user->dead && u.user->kind != NodeKind::Merge)
+                    problems.push_back(n->str() +
+                                       ": eta feeding non-merge " +
+                                       u.user->str());
+            }
+        }
+
+        // Use-list consistency.
+        for (const Use& u : n->uses()) {
+            if (u.user->dead) {
+                problems.push_back(n->str() + ": used by dead node");
+                continue;
+            }
+            if (u.index >= u.user->numInputs() ||
+                u.user->input(u.index).node != n) {
+                problems.push_back(n->str() + ": stale use record");
+            }
+        }
+    });
+
+    // Acyclicity of the forward graph (back edges removed).
+    std::map<const Node*, int> state;  // 0 unseen, 1 open, 2 done
+    bool cyclic = false;
+    std::function<void(const Node*)> dfs = [&](const Node* n) {
+        if (cyclic)
+            return;
+        state[n] = 1;
+        for (int i = 0; i < n->numInputs(); i++) {
+            if (n->inputIsBackEdge(i))
+                continue;
+            const Node* in = n->input(i).node;
+            if (!in || in->dead)
+                continue;
+            int s = state[in];
+            if (s == 1) {
+                cyclic = true;
+                problems.push_back("cycle through " + in->str());
+                return;
+            }
+            if (s == 0)
+                dfs(in);
+        }
+        state[n] = 2;
+    };
+    g.forEach([&](Node* n) {
+        if (!cyclic && state[n] == 0)
+            dfs(n);
+    });
+
+    return problems;
+}
+
+void
+verifyOrDie(const Graph& g, const std::string& when)
+{
+    std::vector<std::string> problems = verifyGraph(g);
+    if (!problems.empty())
+        panic("graph verification failed " + when + ": " + problems[0] +
+              " (" + std::to_string(problems.size()) + " total)");
+}
+
+} // namespace cash

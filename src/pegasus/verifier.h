@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Structural verifier for Pegasus graphs.
+ *
+ * Run after construction and after every optimization pass in debug
+ * builds; panics (via returned diagnostics) on violated invariants:
+ * input arity/typing per node kind, use-list consistency, acyclicity
+ * of the forward graph (back edges excluded), and well-formed memory
+ * operations (predicate + token inputs present).
+ */
+#ifndef CASH_PEGASUS_VERIFIER_H
+#define CASH_PEGASUS_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "pegasus/graph.h"
+
+namespace cash {
+
+/** Returns a list of problems; empty means the graph is well-formed. */
+std::vector<std::string> verifyGraph(const Graph& g);
+
+/** Verify and panic with the first problem (for tests/pass pipeline). */
+void verifyOrDie(const Graph& g, const std::string& when);
+
+} // namespace cash
+
+#endif // CASH_PEGASUS_VERIFIER_H

@@ -1,0 +1,70 @@
+#include "sim/cache.h"
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+Cache::Cache(const char* name, uint32_t sizeBytes, int assoc,
+             uint32_t lineBytes, uint64_t hitLatency)
+    : name_(name), assoc_(assoc), lineBytes_(lineBytes),
+      hitLatency_(hitLatency)
+{
+    CASH_ASSERT(sizeBytes % (lineBytes * assoc) == 0,
+                "cache geometry must divide evenly");
+    numSets_ = sizeBytes / (lineBytes * assoc);
+    lines_.assign(static_cast<size_t>(numSets_) * assoc_, Line{});
+}
+
+void
+Cache::reset()
+{
+    for (Line& l : lines_)
+        l = Line{};
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    writebacks_ = 0;
+}
+
+Cache::AccessResult
+Cache::access(uint32_t addr, bool isWrite)
+{
+    tick_++;
+    uint32_t lineAddr = addr / lineBytes_;
+    uint32_t set = lineAddr % numSets_;
+    uint32_t tag = lineAddr / numSets_;
+    Line* base = &lines_[static_cast<size_t>(set) * assoc_];
+
+    AccessResult res;
+    res.latency = hitLatency_;
+
+    for (int w = 0; w < assoc_; w++) {
+        Line& l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = tick_;
+            l.dirty |= isWrite;
+            hits_++;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: allocate, evicting LRU.
+    misses_++;
+    Line* victim = base;
+    for (int w = 1; w < assoc_; w++)
+        if (!base[w].valid ||
+            (victim->valid && base[w].lastUse < victim->lastUse))
+            victim = &base[w];
+    if (victim->valid && victim->dirty) {
+        writebacks_++;
+        res.writeback = true;
+    }
+    victim->valid = true;
+    victim->dirty = isWrite;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    return res;
+}
+
+} // namespace cash

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A set-associative write-back write-allocate LRU cache model used for
+ * the L1 and L2 levels (paper §7.3: L1 = 8 KB / 2-cycle hit,
+ * L2 = 256 KB / 8-cycle hit).  Latency-only: state tracks tags and
+ * dirty bits; data lives in the shared MemoryImage.
+ */
+#ifndef CASH_SIM_CACHE_H
+#define CASH_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cash {
+
+class Cache
+{
+  public:
+    Cache(const char* name, uint32_t sizeBytes, int assoc,
+          uint32_t lineBytes, uint64_t hitLatency);
+
+    struct AccessResult
+    {
+        bool hit = false;
+        bool writeback = false;  ///< A dirty line was evicted.
+        uint64_t latency = 0;    ///< Hit latency at this level.
+    };
+
+    /**
+     * Look up @p addr; on a miss the line is allocated (the caller
+     * charges the next level's latency).
+     */
+    AccessResult access(uint32_t addr, bool isWrite);
+
+    void reset();
+
+    const char* name() const { return name_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+    uint32_t lineBytes() const { return lineBytes_; }
+    uint64_t hitLatency() const { return hitLatency_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    const char* name_;
+    int assoc_;
+    uint32_t lineBytes_;
+    uint32_t numSets_;
+    uint64_t hitLatency_;
+    std::vector<Line> lines_;  ///< numSets_ × assoc_.
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_CACHE_H

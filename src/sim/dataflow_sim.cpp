@@ -1,0 +1,606 @@
+#include "sim/dataflow_sim.h"
+
+#include "sim/latency.h"
+#include "sim/value.h"
+#include "support/diagnostics.h"
+
+namespace cash {
+
+DataflowSimulator::DataflowSimulator(
+    const std::vector<const Graph*>& graphs, const MemoryLayout& layout,
+    const MemConfig& cfg)
+    : layout_(layout), image_(layout), memsys_(cfg)
+{
+    for (const Graph* g : graphs)
+        buildIndex(g);
+}
+
+void
+DataflowSimulator::buildIndex(const Graph* g)
+{
+    GraphIndex gi;
+    gi.g = g;
+    std::vector<Node*> nodes = g->liveNodes();
+    for (size_t i = 0; i < nodes.size(); i++)
+        gi.dense[nodes[i]] = static_cast<int>(i);
+    gi.nodes.resize(nodes.size());
+    for (size_t i = 0; i < nodes.size(); i++) {
+        NodeIndex& ni = gi.nodes[i];
+        ni.n = nodes[i];
+        ni.inputs.resize(nodes[i]->numInputs());
+        for (int k = 0; k < nodes[i]->numInputs(); k++) {
+            const PortRef& in = nodes[i]->input(k);
+            CASH_ASSERT(in.valid() && !in.node->dead,
+                        "simulating graph with dangling input");
+            // Const inputs are always-ready, except on Merge *value*
+            // slots, where a one-shot initial value is injected
+            // instead (constant deciders stay always-ready).
+            if (in.node->kind == NodeKind::Const &&
+                (nodes[i]->kind != NodeKind::Merge ||
+                 k == nodes[i]->deciderIndex)) {
+                ni.inputs[k].isConst = true;
+                ni.inputs[k].constValue =
+                    static_cast<uint32_t>(in.node->constValue);
+            }
+        }
+        ni.consumers.resize(std::max(nodes[i]->numOutputs(), 1));
+        if (nodes[i]->kind == NodeKind::Merge) {
+            const Node* m = nodes[i];
+            ni.deciderIdx = m->deciderIndex;
+            ni.strictBack = true;
+            for (int k = 0; k < m->numInputs(); k++) {
+                if (k == m->deciderIndex)
+                    continue;
+                if (m->inputIsBackEdge(k)) {
+                    ni.backInputs.push_back(k);
+                    const Node* prod = m->input(k).node;
+                    if (prod->kind != NodeKind::Eta ||
+                        prod->hyperblock != m->hyperblock)
+                        ni.strictBack = false;
+                } else {
+                    ni.fwdInputs.push_back(k);
+                }
+            }
+        }
+    }
+    // Consumer lists.
+    for (size_t i = 0; i < nodes.size(); i++) {
+        Node* n = nodes[i];
+        for (int k = 0; k < n->numInputs(); k++) {
+            const PortRef& in = n->input(k);
+            if (gi.nodes[gi.dense[n]].inputs[k].isConst)
+                continue;
+            auto pit = gi.dense.find(in.node);
+            CASH_ASSERT(pit != gi.dense.end(), "input from foreign node");
+            gi.nodes[pit->second].consumers[in.port].push_back(
+                {static_cast<int>(i), k});
+        }
+    }
+    graphs_[g->name] = std::move(gi);
+}
+
+const DataflowSimulator::GraphIndex&
+DataflowSimulator::indexOf(const std::string& name)
+{
+    auto it = graphs_.find(name);
+    if (it == graphs_.end())
+        fatal("no compiled graph for function '" + name + "'");
+    return it->second;
+}
+
+void
+DataflowSimulator::reset()
+{
+    image_.reset();
+    memsys_.reset();
+    stackPtr_ = MemoryLayout::kStackTop;
+}
+
+DataflowSimulator::Activation*
+DataflowSimulator::startActivation(const GraphIndex& gi,
+                                   const std::vector<uint32_t>& args,
+                                   uint64_t when, Activation* parent,
+                                   int parentCallNode)
+{
+    auto act = std::make_unique<Activation>();
+    Activation* a = act.get();
+    a->id = static_cast<int>(activations_.size());
+    a->gi = &gi;
+    a->parent = parent;
+    a->parentCallNode = parentCallNode;
+    a->fifo.resize(gi.nodes.size());
+    a->portClock.resize(gi.nodes.size());
+    a->mergeMode.assign(gi.nodes.size(), Activation::MergeMode::Fwd);
+    for (size_t i = 0; i < gi.nodes.size(); i++) {
+        a->fifo[i].resize(gi.nodes[i].inputs.size());
+        a->portClock[i].assign(gi.nodes[i].consumers.size(), 0);
+    }
+    activations_.push_back(std::move(act));
+
+    const Graph* g = gi.g;
+    CASH_ASSERT(args.size() == static_cast<size_t>(g->numParams),
+                "bad simulated argument count for " + g->name);
+
+    if (g->hasFrame) {
+        a->frameSize = g->frameBytes;
+        if (stackPtr_ < a->frameSize + 0x1000)
+            fatal("simulated stack overflow");
+        stackPtr_ -= a->frameSize;
+        a->frameBase = stackPtr_;
+    }
+
+    // Inject parameters and the initial token.
+    for (size_t p = 0; p < g->paramNodes.size(); p++) {
+        uint32_t v = p < args.size() ? args[p] : a->frameBase;
+        output(a, gi.dense.at(g->paramNodes[p]), 0, v, when);
+    }
+    output(a, gi.dense.at(g->initialToken), 0, 0, when);
+
+    // One-shot initial values for merge inputs wired to constants.
+    for (size_t i = 0; i < gi.nodes.size(); i++) {
+        const Node* n = gi.nodes[i].n;
+        if (n->kind != NodeKind::Merge)
+            continue;
+        for (int k = 0; k < n->numInputs(); k++) {
+            if (k == n->deciderIndex)
+                continue;
+            if (n->input(k).node->kind == NodeKind::Const) {
+                deliver(a, static_cast<int>(i), k,
+                        Item{static_cast<uint32_t>(
+                                 n->input(k).node->constValue),
+                             false},
+                        when);
+            }
+        }
+    }
+    return a;
+}
+
+void
+DataflowSimulator::deliver(Activation* a, int node, int input,
+                           Item item, uint64_t when)
+{
+    Event e;
+    e.time = when;
+    e.seq = seq_++;
+    e.act = a;
+    e.node = node;
+    e.input = input;
+    e.item = item;
+    queue_.push(e);
+}
+
+void
+DataflowSimulator::output(Activation* a, int node, int port,
+                          uint32_t value, uint64_t when, bool eos)
+{
+    const NodeIndex& ni = a->gi->nodes[node];
+    if (port >= static_cast<int>(ni.consumers.size()))
+        return;
+    uint64_t& clock = a->portClock[node][port];
+    if (when < clock)
+        when = clock;  // in-order delivery per output port
+    clock = when;
+    for (const Consumer& c : ni.consumers[port])
+        deliver(a, c.node, c.input, Item{value, eos}, when);
+}
+
+bool
+DataflowSimulator::ready(const Activation* a, int node) const
+{
+    const NodeIndex& ni = a->gi->nodes[node];
+    NodeKind k = ni.n->kind;
+    if (k == NodeKind::TokenGen) {
+        if (!a->fifo[node][1].empty())
+            return true;  // token returns always processable
+        if (a->fifo[node][0].empty())
+            return false;
+        if (a->fifo[node][0].front().value)
+            return true;  // true predicate
+        // A false predicate (reset) must wait until all owed tokens
+        // have been paid back by the leading loop.
+        auto it = a->tkCounter.find(node);
+        int64_t c = it == a->tkCounter.end() ? ni.n->tkCount
+                                             : it->second;
+        return c >= 0;
+    }
+    if (k == NodeKind::Merge) {
+        switch (a->mergeMode[node]) {
+          case Activation::MergeMode::Fwd:
+            for (int i : ni.fwdInputs)
+                if (!a->fifo[node][i].empty())
+                    return true;
+            return false;
+          case Activation::MergeMode::AwaitDecider:
+            return ni.inputs[ni.deciderIdx].isConst ||
+                   !a->fifo[node][ni.deciderIdx].empty();
+          case Activation::MergeMode::Back:
+            if (ni.strictBack) {
+                for (int i : ni.backInputs)
+                    if (a->fifo[node][i].empty())
+                        return false;
+                return true;
+            }
+            for (int i : ni.backInputs)
+                if (!a->fifo[node][i].empty())
+                    return true;
+            return false;
+        }
+        return false;
+    }
+    for (size_t i = 0; i < ni.inputs.size(); i++)
+        if (!ni.inputs[i].isConst && a->fifo[node][i].empty())
+            return false;
+    return true;
+}
+
+uint32_t
+DataflowSimulator::take(Activation* a, int node, int input)
+{
+    const InputDesc& d = a->gi->nodes[node].inputs[input];
+    if (d.isConst)
+        return d.constValue;
+    auto& q = a->fifo[node][input];
+    CASH_ASSERT(!q.empty(), "taking from empty FIFO");
+    Item it = q.front();
+    q.pop_front();
+    CASH_ASSERT(!it.eos, "EOS item reached a non-merge consumer");
+    return it.value;
+}
+
+void
+DataflowSimulator::fireMerge(Activation* a, int node, uint64_t now)
+{
+    const NodeIndex& ni = a->gi->nodes[node];
+    auto& mode = a->mergeMode[node];
+    // After forwarding a value, a mu-merge consults its decider (the
+    // loop-continuation predicate of that activation) to choose
+    // between the back-edge and initial streams next.
+    auto afterEmit = [&]() {
+        mode = ni.deciderIdx >= 0 ? Activation::MergeMode::AwaitDecider
+                                  : Activation::MergeMode::Fwd;
+    };
+
+    switch (mode) {
+      case Activation::MergeMode::Fwd: {
+        // Discard EOS markers from not-taken edges; forward the first
+        // pending value.
+        for (int i : ni.fwdInputs) {
+            auto& q = a->fifo[node][i];
+            if (q.empty())
+                continue;
+            Item it = q.front();
+            q.pop_front();
+            if (it.eos)
+                return;  // retried while ready
+            output(a, node, 0, it.value, now);
+            afterEmit();
+            return;
+        }
+        panic("merge fired without forward inputs");
+      }
+      case Activation::MergeMode::AwaitDecider: {
+        uint32_t d = take(a, node, ni.deciderIdx);
+        mode = d ? Activation::MergeMode::Back
+                 : Activation::MergeMode::Fwd;
+        return;
+      }
+      case Activation::MergeMode::Back: {
+        if (ni.strictBack) {
+            // One item from every back eta; exactly one carries the
+            // iteration value.  An all-EOS round is the drained tail
+            // of the previous loop execution.
+            bool gotValue = false;
+            uint32_t value = 0;
+            for (int i : ni.backInputs) {
+                auto& q = a->fifo[node][i];
+                Item it = q.front();
+                q.pop_front();
+                if (!it.eos) {
+                    CASH_ASSERT(!gotValue,
+                                "two back-edge values in one iteration");
+                    gotValue = true;
+                    value = it.value;
+                }
+            }
+            if (gotValue) {
+                output(a, node, 0, value, now);
+                afterEmit();
+            }
+            return;
+        }
+        // Loose mode (back edges from other hyperblocks): consume
+        // items as they arrive, discarding stale EOS markers.
+        for (int i : ni.backInputs) {
+            auto& q = a->fifo[node][i];
+            if (q.empty())
+                continue;
+            Item it = q.front();
+            q.pop_front();
+            if (it.eos)
+                return;
+            output(a, node, 0, it.value, now);
+            afterEmit();
+            return;
+        }
+        panic("merge fired without back inputs");
+      }
+    }
+}
+
+void
+DataflowSimulator::tryFire(Activation* a, int node, uint64_t now)
+{
+    // Loop: a firing can unblock the same node again without a fresh
+    // delivery (e.g. a token generator whose deferred reset becomes
+    // processable after a token repayment).
+    while (ready(a, node))
+        fire(a, node, now);
+}
+
+void
+DataflowSimulator::fire(Activation* a, int node, uint64_t now)
+{
+    firings_++;
+    const NodeIndex& ni = a->gi->nodes[node];
+    const Node* n = ni.n;
+    if (traceLevel >= 2)
+        trace(2, "t=" + std::to_string(now) + " act" +
+                     std::to_string(a->id) + " fire " + n->str());
+
+    switch (n->kind) {
+      case NodeKind::Arith: {
+        uint32_t v;
+        if (n->op == Op::Copy || opIsUnary(n->op))
+            v = evalUnary(n->op, take(a, node, 0));
+        else {
+            uint32_t x = take(a, node, 0);
+            uint32_t y = take(a, node, 1);
+            v = evalBinary(n->op, x, y);
+        }
+        output(a, node, 0, v, now + nodeLatency(n));
+        break;
+      }
+      case NodeKind::Mux: {
+        uint32_t out = 0;
+        for (int i = 0; i < n->numInputs(); i += 2) {
+            uint32_t p = take(a, node, i);
+            uint32_t d = take(a, node, i + 1);
+            if (p)
+                out = d;
+        }
+        output(a, node, 0, out, now);
+        break;
+      }
+      case NodeKind::Merge:
+        fireMerge(a, node, now);
+        break;
+      case NodeKind::Eta: {
+        uint32_t v = take(a, node, 0);
+        uint32_t p = take(a, node, 1);
+        if (traceLevel >= 2)
+            trace(2, "  eta n" + std::to_string(n->id) + " v=" +
+                         std::to_string(v) + " p=" + std::to_string(p));
+        if (p)
+            output(a, node, 0, v, now);
+        else
+            output(a, node, 0, 0, now, /*eos=*/true);
+        break;
+      }
+      case NodeKind::Combine: {
+        for (int i = 0; i < n->numInputs(); i++)
+            take(a, node, i);
+        output(a, node, 0, 0, now);
+        break;
+      }
+      case NodeKind::Load: {
+        uint32_t p = take(a, node, 0);
+        take(a, node, 1);  // token
+        uint32_t addr = take(a, node, 2);
+        if (traceLevel >= 2)
+            trace(2, "  load n" + std::to_string(n->id) + " p=" +
+                         std::to_string(p) + " addr=" +
+                         std::to_string(addr));
+        if (!p) {
+            nullified_++;
+            output(a, node, 0, 0, now);  // arbitrary result (§3.1)
+            output(a, node, 1, 0, now);
+            break;
+        }
+        dynLoads_++;
+        uint32_t v = image_.load(addr, n->size, n->signExtend);
+        MemorySystem::Timing t =
+            memsys_.request(addr, false, n->size, now);
+        output(a, node, 0, v, t.complete);
+        // The token signals that the access is ordered; it may be
+        // generated before the data returns (§3.2).
+        output(a, node, 1, 0, t.start + 1);
+        break;
+      }
+      case NodeKind::Store: {
+        uint32_t p = take(a, node, 0);
+        take(a, node, 1);  // token
+        uint32_t addr = take(a, node, 2);
+        uint32_t v = take(a, node, 3);
+        if (traceLevel >= 2)
+            trace(2, "  store n" + std::to_string(n->id) + " p=" +
+                         std::to_string(p) + " addr=" +
+                         std::to_string(addr) + " v=" +
+                         std::to_string(v));
+        if (!p) {
+            nullified_++;
+            output(a, node, 0, 0, now);
+            break;
+        }
+        dynStores_++;
+        image_.store(addr, v, n->size);
+        MemorySystem::Timing t =
+            memsys_.request(addr, true, n->size, now);
+        output(a, node, 0, 0, t.start + 1);
+        break;
+      }
+      case NodeKind::Call: {
+        uint32_t p = take(a, node, 0);
+        take(a, node, 1);  // token
+        std::vector<uint32_t> args;
+        for (int i = 2; i < n->numInputs(); i++)
+            args.push_back(take(a, node, i));
+        if (!p) {
+            output(a, node, 0, 0, now);
+            output(a, node, 1, 0, now);
+            break;
+        }
+        callsMade_++;
+        CASH_ASSERT(n->callee, "call without callee");
+        const GraphIndex& gi = indexOf(n->callee->name);
+        startActivation(gi, args, now + 1, a, node);
+        break;
+      }
+      case NodeKind::Return: {
+        uint32_t p = take(a, node, 0);
+        take(a, node, 1);  // token
+        uint32_t v = 0;
+        bool hasV = n->numInputs() == 3;
+        if (hasV)
+            v = take(a, node, 2);
+        if (p)
+            finishActivation(a, v, hasV, now);
+        break;
+      }
+      case NodeKind::TokenGen: {
+        auto [it, inserted] = a->tkCounter.try_emplace(node, n->tkCount);
+        int64_t& c = it->second;
+        // Token returns have priority: they pay outstanding debts.
+        if (!a->fifo[node][1].empty()) {
+            take(a, node, 1);
+            bool owed = c < 0;
+            c++;
+            if (owed)
+                output(a, node, 0, 0, now);
+        } else {
+            // A false predicate (loop completed) may only be processed
+            // once every debt is paid; ready() guarantees that.
+            uint32_t p = take(a, node, 0);
+            if (p) {
+                c--;
+                if (c >= 0)
+                    output(a, node, 0, 0, now);
+            } else {
+                CASH_ASSERT(c >= 0, "token generator reset while owing");
+                c = n->tkCount;  // reset (§6.3)
+                // Emit the loop-completion token so per-activation
+                // token balance holds in the single-hyperblock ring
+                // encoding (see DESIGN.md).
+                output(a, node, 0, 0, now);
+            }
+        }
+        break;
+      }
+      case NodeKind::Const:
+      case NodeKind::Param:
+      case NodeKind::InitialToken:
+        panic("source node fired");
+    }
+}
+
+void
+DataflowSimulator::finishActivation(Activation* a, uint32_t value,
+                                    bool hasValue, uint64_t now)
+{
+    if (a->finished)
+        return;  // a second return firing would be a graph bug
+    a->finished = true;
+    if (a->frameSize && stackPtr_ == a->frameBase)
+        stackPtr_ += a->frameSize;
+    if (!a->parent) {
+        done_ = true;
+        rootResult_ = hasValue ? value : 0;
+        rootDoneTime_ = now;
+        return;
+    }
+    // Deliver result + token to the parent's call node consumers.
+    output(a->parent, a->parentCallNode, 0, hasValue ? value : 0,
+           now + 1);
+    output(a->parent, a->parentCallNode, 1, 0, now + 1);
+}
+
+SimResult
+DataflowSimulator::run(const std::string& name,
+                       const std::vector<uint32_t>& args)
+{
+    // Fresh dynamic state (memory and caches persist across runs).
+    queue_ = {};
+    seq_ = 0;
+    activations_.clear();
+    done_ = false;
+    rootResult_ = 0;
+    rootDoneTime_ = 0;
+    events_ = firings_ = dynLoads_ = dynStores_ = 0;
+    nullified_ = callsMade_ = 0;
+
+    const GraphIndex& gi = indexOf(name);
+    startActivation(gi, args, 0, nullptr, -1);
+
+    while (!queue_.empty() && !done_) {
+        Event e = queue_.top();
+        queue_.pop();
+        if (++events_ > maxEvents_)
+            fatal("simulation event limit exceeded (livelock?)");
+        if (e.act->finished && !e.act->parent)
+            continue;
+        auto& q = e.act->fifo[e.node][e.input];
+        q.push_back(e.item);
+        tryFire(e.act, e.node, e.time);
+    }
+
+    if (!done_) {
+        if (traceLevel >= 1) {
+            for (const auto& act : activations_) {
+                for (size_t i = 0; i < act->gi->nodes.size(); i++) {
+                    bool any = false, all = true;
+                    const NodeIndex& ni = act->gi->nodes[i];
+                    for (size_t k = 0; k < ni.inputs.size(); k++) {
+                        if (ni.inputs[k].isConst)
+                            continue;
+                        if (act->fifo[i][k].empty())
+                            all = false;
+                        else
+                            any = true;
+                    }
+                    if (any && !all) {
+                        std::string waits;
+                        for (size_t k = 0; k < ni.inputs.size(); k++)
+                            if (!ni.inputs[k].isConst &&
+                                act->fifo[i][k].empty())
+                                waits += " in" + std::to_string(k);
+                        trace(1, "starved act" +
+                                     std::to_string(act->id) + " " +
+                                     ni.n->str() + " waiting on" +
+                                     waits);
+                    }
+                }
+            }
+        }
+        fatal("dataflow simulation deadlocked in '" + name + "'");
+    }
+
+    SimResult r;
+    r.returnValue = rootResult_;
+    r.cycles = rootDoneTime_;
+    r.stats.set("sim.cycles", static_cast<int64_t>(rootDoneTime_));
+    r.stats.set("sim.events", static_cast<int64_t>(events_));
+    r.stats.set("sim.firings", static_cast<int64_t>(firings_));
+    r.stats.set("sim.dynLoads", static_cast<int64_t>(dynLoads_));
+    r.stats.set("sim.dynStores", static_cast<int64_t>(dynStores_));
+    r.stats.set("sim.nullified", static_cast<int64_t>(nullified_));
+    r.stats.set("sim.calls", static_cast<int64_t>(callsMade_));
+    // Spatial ILP: average operator firings per cycle (x100).
+    if (rootDoneTime_ > 0)
+        r.stats.set("sim.opsPerCycle_x100",
+                    static_cast<int64_t>(100 * firings_ /
+                                         rootDoneTime_));
+    memsys_.reportStats(r.stats);
+    return r;
+}
+
+} // namespace cash

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Event-driven execution of Pegasus graphs with asynchronous-handshake
+ * (Kahn network) semantics — the paper's "coarse hardware simulator"
+ * (§7.3).
+ *
+ * Every edge is an unbounded FIFO; a node fires when its required
+ * inputs are available, consumes them, and delivers outputs to its
+ * consumers after the operation latency.  Memory operations share a
+ * MemorySystem (LSQ + caches + TLB); data moves at fire time (token
+ * edges guarantee conflicting accesses are ordered), timing is modeled
+ * separately.  Loops execute by streaming successive values through
+ * merge/eta rings, which is what makes pipelining (§6) visible as
+ * reduced cycle counts.
+ */
+#ifndef CASH_SIM_DATAFLOW_SIM_H
+#define CASH_SIM_DATAFLOW_SIM_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "frontend/layout.h"
+#include "pegasus/graph.h"
+#include "sim/memory_image.h"
+#include "sim/memory_system.h"
+#include "support/stats.h"
+
+namespace cash {
+
+/** Result of one simulated invocation. */
+struct SimResult
+{
+    uint32_t returnValue = 0;
+    uint64_t cycles = 0;
+    StatSet stats;
+};
+
+class DataflowSimulator
+{
+  public:
+    /**
+     * @param graphs   all compiled procedures (callees resolved by name)
+     * @param layout   memory layout used to build the graphs
+     * @param cfg      memory-system configuration
+     */
+    DataflowSimulator(const std::vector<const Graph*>& graphs,
+                      const MemoryLayout& layout, const MemConfig& cfg);
+
+    /** Invoke @p name with @p args; memory persists across calls. */
+    SimResult run(const std::string& name,
+                  const std::vector<uint32_t>& args);
+
+    MemoryImage& memory() { return image_; }
+    const MemoryImage& memory() const { return image_; }
+
+    /** Reset memory, caches and the stack. */
+    void reset();
+
+    void setMaxEvents(uint64_t n) { maxEvents_ = n; }
+
+  private:
+    // --- static per-graph indexing -----------------------------------
+    struct InputDesc
+    {
+        bool isConst = false;
+        uint32_t constValue = 0;
+    };
+    struct Consumer
+    {
+        int node = -1;   ///< Dense consumer index.
+        int input = -1;  ///< Input slot on the consumer.
+    };
+    struct NodeIndex
+    {
+        const Node* n = nullptr;
+        std::vector<InputDesc> inputs;
+        /** Consumers per output port. */
+        std::vector<std::vector<Consumer>> consumers;
+        /** For merges: forward and back-edge input slots. */
+        std::vector<int> fwdInputs;
+        std::vector<int> backInputs;
+        int deciderIdx = -1;
+        /** All back producers are etas in this hyperblock, so one item
+         *  arrives on every back input each iteration (wait-for-all
+         *  consumption is deterministic). */
+        bool strictBack = false;
+    };
+    struct GraphIndex
+    {
+        const Graph* g = nullptr;
+        std::vector<NodeIndex> nodes;
+        std::map<const Node*, int> dense;
+    };
+
+    // --- dynamic state ------------------------------------------------
+    /**
+     * One FIFO slot.  `eos` marks an end-of-stream token: an eta whose
+     * predicate is false emits EOS instead of a value, so loop merges
+     * can deterministically switch between their initial and back-edge
+     * input streams (gated-SSA mu-node discipline).  Only Merge nodes
+     * consume EOS items; they are never forwarded.
+     */
+    struct Item
+    {
+        uint32_t value = 0;
+        bool eos = false;
+    };
+
+    struct Activation
+    {
+        int id = -1;
+        const GraphIndex* gi = nullptr;
+        std::vector<std::vector<std::deque<Item>>> fifo;
+        /** Per-merge consumption state (mu-node protocol). */
+        enum class MergeMode : uint8_t { Fwd, AwaitDecider, Back };
+        std::vector<MergeMode> mergeMode;
+        /**
+         * Monotonic delivery clock per (node, output port): a port
+         * delivers the results of successive firings in firing order,
+         * so a fast later result (e.g. a nullified memory op) cannot
+         * overtake a slow earlier one on the same wire.
+         */
+        std::vector<std::vector<uint64_t>> portClock;
+        std::map<int, int64_t> tkCounter;  ///< TokenGen state.
+        Activation* parent = nullptr;
+        int parentCallNode = -1;
+        uint32_t frameBase = 0;
+        uint32_t frameSize = 0;
+        bool finished = false;
+    };
+
+    struct Event
+    {
+        uint64_t time = 0;
+        uint64_t seq = 0;
+        Activation* act = nullptr;
+        int node = -1;
+        int input = -1;
+        Item item;
+        bool operator>(const Event& o) const
+        {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    const GraphIndex& indexOf(const std::string& name);
+    void buildIndex(const Graph* g);
+
+    Activation* startActivation(const GraphIndex& gi,
+                                const std::vector<uint32_t>& args,
+                                uint64_t when, Activation* parent,
+                                int parentCallNode);
+    void deliver(Activation* a, int node, int input, Item item,
+                 uint64_t when);
+    void output(Activation* a, int node, int port, uint32_t value,
+                uint64_t when, bool eos = false);
+    bool ready(const Activation* a, int node) const;
+    void tryFire(Activation* a, int node, uint64_t now);
+    void fire(Activation* a, int node, uint64_t now);
+    void fireMerge(Activation* a, int node, uint64_t now);
+    uint32_t take(Activation* a, int node, int input);
+    void finishActivation(Activation* a, uint32_t value, bool hasValue,
+                          uint64_t now);
+
+    std::map<std::string, GraphIndex> graphs_;
+    const MemoryLayout& layout_;
+    MemoryImage image_;
+    MemorySystem memsys_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue_;
+    uint64_t seq_ = 0;
+    std::vector<std::unique_ptr<Activation>> activations_;
+    uint32_t stackPtr_ = MemoryLayout::kStackTop;
+
+    bool done_ = false;
+    uint32_t rootResult_ = 0;
+    uint64_t rootDoneTime_ = 0;
+    uint64_t maxEvents_ = 200000000;
+
+    // Per-run counters.
+    uint64_t events_ = 0;
+    uint64_t firings_ = 0;
+    uint64_t dynLoads_ = 0;
+    uint64_t dynStores_ = 0;
+    uint64_t nullified_ = 0;  ///< Pred-false memory ops.
+    uint64_t callsMade_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_DATAFLOW_SIM_H

@@ -1,0 +1,32 @@
+#include "sim/latency.h"
+
+namespace cash {
+
+uint64_t
+nodeLatency(const Node* n)
+{
+    switch (n->kind) {
+      case NodeKind::Arith:
+        switch (n->op) {
+          case Op::Mul:
+            return 3;   // SimpleScalar IntMult
+          case Op::DivS:
+          case Op::DivU:
+          case Op::RemS:
+          case Op::RemU:
+            return 20;  // SimpleScalar IntDiv
+          default:
+            return 1;   // IntALU
+        }
+      case NodeKind::Mux:
+      case NodeKind::Merge:
+      case NodeKind::Eta:
+      case NodeKind::Combine:
+      case NodeKind::TokenGen:
+        return 0;  // steering/synchronization: wires in hardware
+      default:
+        return 0;
+    }
+}
+
+} // namespace cash

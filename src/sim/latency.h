@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Per-operation latencies (paper §7.3: "each operation has the same
+ * latency as in a pisa architecture SimpleScalar simulator").
+ */
+#ifndef CASH_SIM_LATENCY_H
+#define CASH_SIM_LATENCY_H
+
+#include <cstdint>
+
+#include "pegasus/node.h"
+
+namespace cash {
+
+/**
+ * Latency in cycles of a non-memory node.  Memory operations get their
+ * latency from the memory system; calls from the callee's execution.
+ */
+uint64_t nodeLatency(const Node* n);
+
+} // namespace cash
+
+#endif // CASH_SIM_LATENCY_H

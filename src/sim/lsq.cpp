@@ -1,0 +1,61 @@
+#include "sim/lsq.h"
+
+#include <algorithm>
+
+namespace cash {
+
+Lsq::Lsq(int size, int ports) : size_(size), ports_(ports)
+{
+    portFree_.assign(ports_, 0);
+}
+
+void
+Lsq::reset()
+{
+    std::fill(portFree_.begin(), portFree_.end(), 0);
+    while (!outstanding_.empty())
+        outstanding_.pop();
+    maxOccupancy_ = 0;
+    portStalls_ = 0;
+    fullStalls_ = 0;
+}
+
+uint64_t
+Lsq::issue(uint64_t now)
+{
+    // Free completed slots.
+    while (!outstanding_.empty() && outstanding_.top() <= now)
+        outstanding_.pop();
+
+    uint64_t t = now;
+    // Wait for a free LSQ slot.
+    if (static_cast<int>(outstanding_.size()) >= size_) {
+        while (!outstanding_.empty() &&
+               static_cast<int>(outstanding_.size()) >= size_) {
+            t = std::max(t, outstanding_.top());
+            outstanding_.pop();
+        }
+        fullStalls_++;
+    }
+
+    // Earliest-free port.
+    size_t best = 0;
+    for (size_t p = 1; p < portFree_.size(); p++)
+        if (portFree_[p] < portFree_[best])
+            best = p;
+    if (portFree_[best] > t)
+        portStalls_++;
+    t = std::max(t, portFree_[best]);
+    portFree_[best] = t + 1;  // one issue per port per cycle
+    return t;
+}
+
+void
+Lsq::complete(uint64_t when)
+{
+    outstanding_.push(when);
+    maxOccupancy_ = std::max(maxOccupancy_,
+                             static_cast<uint64_t>(outstanding_.size()));
+}
+
+} // namespace cash

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Load-store queue occupancy and port arbitration.
+ *
+ * Models a finite-size LSQ with a fixed number of issue ports: an
+ * access must first find a free LSQ slot (bounded outstanding
+ * accesses), then the earliest-free port.  The hierarchy is
+ * non-blocking: misses overlap; ports are occupied for one cycle per
+ * issued access.
+ */
+#ifndef CASH_SIM_LSQ_H
+#define CASH_SIM_LSQ_H
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace cash {
+
+class Lsq
+{
+  public:
+    Lsq(int size, int ports);
+
+    /**
+     * Reserve a slot+port for an access arriving at @p now that will
+     * occupy its LSQ slot until the completion time the caller later
+     * reports via complete().  Returns the issue (port-grant) time.
+     */
+    uint64_t issue(uint64_t now);
+
+    /** Record that the access issued at issue() finishes at @p when. */
+    void complete(uint64_t when);
+
+    void reset();
+
+    uint64_t maxOccupancy() const { return maxOccupancy_; }
+    uint64_t portStalls() const { return portStalls_; }
+    uint64_t fullStalls() const { return fullStalls_; }
+
+  private:
+    int size_;
+    int ports_;
+    std::vector<uint64_t> portFree_;
+    /** Completion times of outstanding accesses (min-heap). */
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<uint64_t>>
+        outstanding_;
+    uint64_t maxOccupancy_ = 0;
+    uint64_t portStalls_ = 0;
+    uint64_t fullStalls_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_LSQ_H

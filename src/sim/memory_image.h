@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The simulated flat byte-addressable memory shared by all functional
+ * units of a dataflow simulation.
+ */
+#ifndef CASH_SIM_MEMORY_IMAGE_H
+#define CASH_SIM_MEMORY_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "frontend/layout.h"
+
+namespace cash {
+
+class MemoryImage
+{
+  public:
+    explicit MemoryImage(const MemoryLayout& layout);
+
+    /** Restore the initial (global-initializer) contents. */
+    void reset();
+
+    uint32_t load(uint32_t addr, int size, bool signExtend) const;
+    void store(uint32_t addr, uint32_t value, int size);
+
+    uint32_t loadWord(uint32_t addr) const { return load(addr, 4, false); }
+    void storeWord(uint32_t addr, uint32_t v) { store(addr, v, 4); }
+
+    const std::vector<uint8_t>& bytes() const { return mem_; }
+    size_t size() const { return mem_.size(); }
+
+  private:
+    const MemoryLayout& layout_;
+    std::vector<uint8_t> mem_;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_MEMORY_IMAGE_H

@@ -1,0 +1,109 @@
+#include "sim/memory_system.h"
+
+namespace cash {
+
+MemConfig
+MemConfig::perfectMemory()
+{
+    MemConfig c;
+    c.name = "perfect";
+    c.perfect = true;
+    c.ports = 0;  // unlimited
+    return c;
+}
+
+MemConfig
+MemConfig::realistic(int ports)
+{
+    MemConfig c;
+    c.name = "realistic-" + std::to_string(ports) + "p";
+    c.ports = ports;
+    return c;
+}
+
+MemorySystem::MemorySystem(const MemConfig& cfg)
+    : cfg_(cfg),
+      lsq_(cfg.lsqSize, cfg.ports > 0 ? cfg.ports : 1)
+{
+    if (!cfg_.perfect) {
+        l1_ = std::make_unique<Cache>("l1", cfg_.l1Size, cfg_.l1Assoc,
+                                      cfg_.l1Line, cfg_.l1Latency);
+        l2_ = std::make_unique<Cache>("l2", cfg_.l2Size, cfg_.l2Assoc,
+                                      cfg_.l2Line, cfg_.l2Latency);
+        tlb_ = std::make_unique<Tlb>(cfg_.tlbEntries, cfg_.pageSize,
+                                     cfg_.tlbMissPenalty);
+    }
+}
+
+void
+MemorySystem::reset()
+{
+    lsq_.reset();
+    if (l1_)
+        l1_->reset();
+    if (l2_)
+        l2_->reset();
+    if (tlb_)
+        tlb_->reset();
+    accesses_ = 0;
+    dramAccesses_ = 0;
+}
+
+uint64_t
+MemorySystem::hierarchyLatency(uint32_t addr, bool isWrite)
+{
+    uint64_t lat = tlb_->access(addr);
+    Cache::AccessResult r1 = l1_->access(addr, isWrite);
+    lat += r1.latency;
+    if (r1.hit)
+        return lat;
+    Cache::AccessResult r2 = l2_->access(addr, isWrite);
+    lat += r2.latency;
+    if (r2.hit)
+        return lat;
+    // Line fill from DRAM: first word after dramLatency, then one word
+    // every dramWordGap cycles.
+    dramAccesses_++;
+    uint64_t words = cfg_.l2Line / 4;
+    lat += cfg_.dramLatency + (words - 1) * cfg_.dramWordGap;
+    return lat;
+}
+
+MemorySystem::Timing
+MemorySystem::request(uint32_t addr, bool isWrite, int size, uint64_t now)
+{
+    (void)size;
+    accesses_++;
+    Timing t;
+    if (cfg_.perfect) {
+        t.start = now;
+        t.complete = now + cfg_.perfectLatency;
+        return t;
+    }
+    t.start = lsq_.issue(now);
+    t.complete = t.start + hierarchyLatency(addr, isWrite);
+    lsq_.complete(t.complete);
+    return t;
+}
+
+void
+MemorySystem::reportStats(StatSet& stats) const
+{
+    stats.add("sim.mem.accesses", accesses_);
+    if (cfg_.perfect)
+        return;
+    stats.add("sim.mem.l1.hits", l1_->hits());
+    stats.add("sim.mem.l1.misses", l1_->misses());
+    stats.add("sim.mem.l1.writebacks", l1_->writebacks());
+    stats.add("sim.mem.l2.hits", l2_->hits());
+    stats.add("sim.mem.l2.misses", l2_->misses());
+    stats.add("sim.mem.l2.writebacks", l2_->writebacks());
+    stats.add("sim.mem.tlb.hits", tlb_->hits());
+    stats.add("sim.mem.tlb.misses", tlb_->misses());
+    stats.add("sim.mem.dram.accesses", dramAccesses_);
+    stats.add("sim.mem.lsq.portStalls", lsq_.portStalls());
+    stats.add("sim.mem.lsq.fullStalls", lsq_.fullStalls());
+    stats.add("sim.mem.lsq.maxOccupancy", lsq_.maxOccupancy());
+}
+
+} // namespace cash

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The load-store queue and memory hierarchy shared by all memory
+ * operations of a spatial computation (paper §7.3).
+ *
+ * "All memory operations inject requests into a load-store queue with
+ *  a finite number of ports and a finite size. ... The L1 cache has 2
+ *  cycles hit latency and 8kb, while the L2 cache has 8 cycles hit
+ *  latency and 256kb.  Memory latency is 72 cycles, with 4 cycles
+ *  between consecutive words.  The memory is dual-ported.  The data
+ *  TLB has 64 pages with a 30 cycle TLB miss cost."
+ */
+#ifndef CASH_SIM_MEMORY_SYSTEM_H
+#define CASH_SIM_MEMORY_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+
+#include "sim/cache.h"
+#include "sim/lsq.h"
+#include "sim/tlb.h"
+#include "support/stats.h"
+
+namespace cash {
+
+/** Memory-system configuration (several named presets below). */
+struct MemConfig
+{
+    std::string name = "realistic-2p";
+    bool perfect = false;       ///< Fixed-latency ideal memory.
+    uint64_t perfectLatency = 2;
+
+    int ports = 2;
+    int lsqSize = 32;
+
+    uint32_t l1Size = 8 * 1024;
+    int l1Assoc = 2;
+    uint32_t l1Line = 32;
+    uint64_t l1Latency = 2;
+
+    uint32_t l2Size = 256 * 1024;
+    int l2Assoc = 4;
+    uint32_t l2Line = 32;
+    uint64_t l2Latency = 8;
+
+    uint64_t dramLatency = 72;
+    uint64_t dramWordGap = 4;
+
+    int tlbEntries = 64;
+    uint32_t pageSize = 4096;
+    uint64_t tlbMissPenalty = 30;
+
+    /** Ideal memory: every access completes in perfectLatency cycles
+     *  with unlimited bandwidth. */
+    static MemConfig perfectMemory();
+    /** The paper's realistic two-level hierarchy with @p ports ports. */
+    static MemConfig realistic(int ports = 2);
+};
+
+/**
+ * Timing model for memory accesses.  Functional data movement happens
+ * in MemoryImage at node-fire time; this class answers "when".
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemConfig& cfg);
+
+    struct Timing
+    {
+        uint64_t start = 0;       ///< When the access left the LSQ port.
+        uint64_t complete = 0;    ///< When the data is available.
+    };
+
+    /**
+     * Issue an access at time @p now.  Accounts for LSQ occupancy,
+     * port contention, TLB and the cache hierarchy.
+     */
+    Timing request(uint32_t addr, bool isWrite, int size, uint64_t now);
+
+    void reset();
+
+    /** Dump counters into @p stats under the "sim.mem." prefix. */
+    void reportStats(StatSet& stats) const;
+
+    const MemConfig& config() const { return cfg_; }
+
+  private:
+    uint64_t hierarchyLatency(uint32_t addr, bool isWrite);
+
+    MemConfig cfg_;
+    Lsq lsq_;
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Tlb> tlb_;
+    uint64_t accesses_ = 0;
+    uint64_t dramAccesses_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_MEMORY_SYSTEM_H

@@ -1,0 +1,53 @@
+#include "sim/tlb.h"
+
+namespace cash {
+
+namespace {
+
+uint32_t
+log2u(uint32_t v)
+{
+    uint32_t s = 0;
+    while ((1u << s) < v)
+        s++;
+    return s;
+}
+
+} // namespace
+
+Tlb::Tlb(int entries, uint32_t pageSize, uint64_t missPenalty)
+    : entries_(entries), pageShift_(log2u(pageSize)),
+      missPenalty_(missPenalty)
+{
+}
+
+void
+Tlb::reset()
+{
+    lru_.clear();
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+uint64_t
+Tlb::access(uint32_t addr)
+{
+    uint32_t page = addr >> pageShift_;
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        hits_++;
+        return 0;
+    }
+    misses_++;
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+    if (static_cast<int>(lru_.size()) > entries_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return missPenalty_;
+}
+
+} // namespace cash

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A simple fully-associative LRU data TLB (paper §7.3: 64 pages,
+ * 30-cycle miss cost).
+ */
+#ifndef CASH_SIM_TLB_H
+#define CASH_SIM_TLB_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace cash {
+
+class Tlb
+{
+  public:
+    Tlb(int entries, uint32_t pageSize, uint64_t missPenalty);
+
+    /** Returns the extra cycles charged for this translation. */
+    uint64_t access(uint32_t addr);
+
+    void reset();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    int entries_;
+    uint32_t pageShift_;
+    uint64_t missPenalty_;
+    std::list<uint32_t> lru_;  ///< Front = most recent.
+    std::unordered_map<uint32_t, std::list<uint32_t>::iterator> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_TLB_H

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Scalar value semantics shared by the dataflow simulator and the
+ * compiler's constant folder: 32-bit wrapping arithmetic with
+ * speculation-safe division (divide-by-zero yields 0 instead of
+ * trapping, since predicated-false operations still execute
+ * speculatively in spatial hardware).
+ */
+#ifndef CASH_SIM_VALUE_H
+#define CASH_SIM_VALUE_H
+
+#include <cstdint>
+
+#include "cfg/cfg.h"
+
+namespace cash {
+
+/** Evaluate a binary opcode over 32-bit values. */
+uint32_t evalBinary(Op op, uint32_t a, uint32_t b);
+
+/** Evaluate a unary opcode. */
+uint32_t evalUnary(Op op, uint32_t a);
+
+} // namespace cash
+
+#endif // CASH_SIM_VALUE_H

@@ -1,0 +1,51 @@
+#include "support/diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace cash {
+
+int traceLevel = 0;
+
+std::string
+SourceLoc::str() const
+{
+    if (!valid())
+        return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+void
+fatalAt(SourceLoc loc, const std::string& msg)
+{
+    throw FatalError(loc.str() + ": " + msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+warn(const std::string& msg)
+{
+    std::cerr << "warning: " << msg << std::endl;
+}
+
+void
+trace(int level, const std::string& msg)
+{
+    if (traceLevel >= level)
+        std::cerr << "trace: " << msg << std::endl;
+}
+
+} // namespace cash

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error reporting and logging facilities for the CASH library.
+ *
+ * Follows the gem5 discipline: fatal() is for user errors (bad input
+ * program, bad configuration) and raises a recoverable exception;
+ * panic() is for internal invariant violations and aborts.
+ */
+#ifndef CASH_SUPPORT_DIAGNOSTICS_H
+#define CASH_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cash {
+
+/** A position in a Mini-C source buffer (1-based line/column). */
+struct SourceLoc
+{
+    int line = 0;
+    int column = 0;
+
+    bool valid() const { return line > 0; }
+    std::string str() const;
+};
+
+/**
+ * Exception raised for errors in the *user's* input: syntax errors,
+ * type errors, unsupported constructs, bad simulator configuration.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Raise a FatalError with printf-free streaming formatting. */
+[[noreturn]] void fatal(const std::string& msg);
+[[noreturn]] void fatalAt(SourceLoc loc, const std::string& msg);
+
+/** Abort on internal invariant violation (a CASH bug, not a user error). */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Non-fatal warning, written to stderr. */
+void warn(const std::string& msg);
+
+/** Global verbosity for debug tracing (0 = quiet). */
+extern int traceLevel;
+
+/** Emit a trace message at the given level when tracing is enabled. */
+void trace(int level, const std::string& msg);
+
+/** Internal assertion that panics with a message on failure. */
+#define CASH_ASSERT(cond, msg)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::cash::panic(std::string("assertion failed: ") + #cond +   \
+                          " — " + (msg));                               \
+        }                                                               \
+    } while (0)
+
+} // namespace cash
+
+#endif // CASH_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,54 @@
+#include "support/stats.h"
+
+#include <sstream>
+
+namespace cash {
+
+void
+StatSet::add(const std::string& name, int64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::set(const std::string& name, int64_t value)
+{
+    counters_[name] = value;
+}
+
+int64_t
+StatSet::get(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+StatSet::clear()
+{
+    counters_.clear();
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [k, v] : other.counters_)
+        counters_[k] += v;
+}
+
+std::string
+StatSet::str() const
+{
+    std::ostringstream os;
+    for (const auto& [k, v] : counters_)
+        os << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace cash

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A tiny named-counter statistics registry.
+ *
+ * Compiler passes and the dataflow simulator record named counters here
+ * (e.g. "opt.dead_store.removed", "sim.l1.misses").  Benchmark harnesses
+ * read them back to regenerate the paper's tables and figures.
+ */
+#ifndef CASH_SUPPORT_STATS_H
+#define CASH_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cash {
+
+/** A bag of named 64-bit counters. */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string& name, int64_t delta = 1);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string& name, int64_t value);
+
+    /** Read counter @p name; missing counters read as zero. */
+    int64_t get(const std::string& name) const;
+
+    /** True when the counter exists. */
+    bool has(const std::string& name) const;
+
+    /** Remove all counters. */
+    void clear();
+
+    /** Merge all counters of @p other into this set (summing). */
+    void merge(const StatSet& other);
+
+    const std::map<std::string, int64_t>& all() const { return counters_; }
+
+    /** Render as "name = value" lines, sorted by name. */
+    std::string str() const;
+
+  private:
+    std::map<std::string, int64_t> counters_;
+};
+
+} // namespace cash
+
+#endif // CASH_SUPPORT_STATS_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Boolean predicate reasoning (§5): implication and disjointness over
+ * And/Or/Not networks.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/boolean.h"
+#include "test_util.h"
+
+using namespace cash;
+
+namespace {
+
+struct PredFixture : ::testing::Test
+{
+    Graph g;
+    Node* x = nullptr;
+    Node* y = nullptr;
+    Node* z = nullptr;
+
+    void
+    SetUp() override
+    {
+        // Opaque predicate leaves (arith over params).
+        Node* p0 = g.newNode(NodeKind::Param, VT::Word, 0);
+        Node* p1 = g.newNode(NodeKind::Param, VT::Word, 0);
+        Node* zero = g.newConst(0, VT::Word, 0);
+        x = g.newArith(Op::Ne, {p0, 0}, {zero, 0}, 0, VT::Pred);
+        y = g.newArith(Op::Ne, {p1, 0}, {zero, 0}, 0, VT::Pred);
+        z = g.newArith(Op::LtS, {p0, 0}, {p1, 0}, 0, VT::Pred);
+    }
+
+    PortRef pr(Node* n) { return {n, 0}; }
+    PortRef land(Node* a, Node* b)
+    {
+        return {g.newArith(Op::And, {a, 0}, {b, 0}, 0, VT::Pred), 0};
+    }
+    PortRef lor(Node* a, Node* b)
+    {
+        return {g.newArith(Op::Or, {a, 0}, {b, 0}, 0, VT::Pred), 0};
+    }
+    PortRef lnot(Node* a)
+    {
+        return {g.newArith1(Op::NotBool, {a, 0}, 0, VT::Pred), 0};
+    }
+};
+
+TEST_F(PredFixture, Reflexive)
+{
+    EXPECT_TRUE(predImplies(pr(x), pr(x)));
+    EXPECT_FALSE(predImplies(pr(x), pr(y)));
+}
+
+TEST_F(PredFixture, ConstRules)
+{
+    PortRef t{g.newConst(1, VT::Pred, 0), 0};
+    PortRef f{g.newConst(0, VT::Pred, 0), 0};
+    EXPECT_TRUE(predImplies(pr(x), t));
+    EXPECT_TRUE(predImplies(f, pr(x)));
+    EXPECT_FALSE(predImplies(t, pr(x)));
+    EXPECT_TRUE(isTruePred(t));
+    EXPECT_TRUE(isFalsePred(f));
+}
+
+TEST_F(PredFixture, ConjunctionWeakens)
+{
+    PortRef xy = land(x, y);
+    EXPECT_TRUE(predImplies(xy, pr(x)));
+    EXPECT_TRUE(predImplies(xy, pr(y)));
+    EXPECT_FALSE(predImplies(pr(x), xy));
+}
+
+TEST_F(PredFixture, DisjunctionStrengthens)
+{
+    PortRef xy = lor(x, y);
+    EXPECT_TRUE(predImplies(pr(x), xy));
+    EXPECT_TRUE(predImplies(pr(y), xy));
+    EXPECT_FALSE(predImplies(xy, pr(x)));
+}
+
+TEST_F(PredFixture, OrOfBothImplies)
+{
+    // (x∧z) ∨ (y∧z) ⇒ z
+    PortRef lhs = lor(land(x, z).node, land(y, z).node);
+    EXPECT_TRUE(predImplies(lhs, pr(z)));
+}
+
+TEST_F(PredFixture, NegationDisjointness)
+{
+    PortRef nx = lnot(x);
+    EXPECT_TRUE(predDisjoint(pr(x), nx));
+    EXPECT_TRUE(predDisjoint(nx, pr(x)));
+    EXPECT_FALSE(predDisjoint(pr(x), pr(y)));
+}
+
+TEST_F(PredFixture, ConjunctsInheritDisjointness)
+{
+    // (x∧y) disjoint ¬x
+    PortRef xy = land(x, y);
+    EXPECT_TRUE(predDisjoint(xy, lnot(x)));
+    EXPECT_TRUE(predDisjoint(lnot(y), xy));
+}
+
+TEST_F(PredFixture, ImpliesNegationViaDisjointness)
+{
+    // (y ∧ ¬x) ⇒ ¬x.
+    PortRef lhs = land(y, lnot(x).node);
+    EXPECT_TRUE(predImplies(lhs, lnot(x)));
+    // x ⇒ ¬(¬x): q=¬r with r=¬x disjoint from x.
+    EXPECT_TRUE(predImplies(pr(x), lnot(lnot(x).node)));
+}
+
+TEST_F(PredFixture, StoreDominanceShape)
+{
+    // §5.2: prior store pred (c∧x) implies later store pred (c):
+    // post-dominance via the path predicate structure.
+    PortRef prior = land(z, x);
+    EXPECT_TRUE(predImplies(prior, pr(z)));
+    // Paper's Figure 1: both branch preds imply constant-true.
+    PortRef t{g.newConst(1, VT::Pred, 0), 0};
+    EXPECT_TRUE(predImplies(land(z, x), t));
+    EXPECT_TRUE(predImplies(land(z, lnot(x).node), t));
+}
+
+TEST_F(PredFixture, DepthBoundTerminates)
+{
+    // A deep chain of conjunctions must not blow up or crash.
+    Node* cur = x;
+    for (int i = 0; i < 40; i++)
+        cur = g.newArith(Op::And, {cur, 0}, {y, 0}, 0, VT::Pred);
+    (void)predImplies({cur, 0}, pr(y));
+    SUCCEED();
+}
+
+} // namespace

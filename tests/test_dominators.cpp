@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Dominator tree and natural-loop detection over hand-built CFGs.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cfg/dominators.h"
+#include "cfg/loops.h"
+#include "cfg/lower.h"
+#include "test_util.h"
+
+using namespace cash;
+
+namespace {
+
+/** Build a CFG skeleton from an edge list. */
+CfgFunction
+makeCfg(int blocks, const std::vector<std::pair<int, int>>& edges)
+{
+    CfgFunction fn;
+    for (int i = 0; i < blocks; i++)
+        fn.newBlock();
+    // Determine terminators from out-degree.
+    std::map<int, std::vector<int>> out;
+    for (auto [a, b] : edges)
+        out[a].push_back(b);
+    for (int i = 0; i < blocks; i++) {
+        auto& succs = out[i];
+        BasicBlock* b = fn.block(i);
+        if (succs.empty()) {
+            b->term.kind = Terminator::Kind::Return;
+        } else if (succs.size() == 1) {
+            b->term.kind = Terminator::Kind::Jump;
+            b->term.target0 = succs[0];
+        } else {
+            b->term.kind = Terminator::Kind::CondBranch;
+            b->term.cond = Operand::regOf(fn.newReg());
+            b->term.target0 = succs[0];
+            b->term.target1 = succs[1];
+        }
+    }
+    fn.entry = 0;
+    fn.computeEdges();
+    return fn;
+}
+
+TEST(Dominators, Diamond)
+{
+    //    0 → {1,2} → 3
+    CfgFunction fn = makeCfg(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+    DominatorTree dom(fn);
+    EXPECT_EQ(dom.idom(1), 0);
+    EXPECT_EQ(dom.idom(2), 0);
+    EXPECT_EQ(dom.idom(3), 0);
+    EXPECT_TRUE(dom.dominates(0, 3));
+    EXPECT_FALSE(dom.dominates(1, 3));
+    EXPECT_TRUE(dom.dominates(3, 3));
+}
+
+TEST(Dominators, Chain)
+{
+    CfgFunction fn = makeCfg(3, {{0, 1}, {1, 2}});
+    DominatorTree dom(fn);
+    EXPECT_EQ(dom.idom(2), 1);
+    EXPECT_TRUE(dom.dominates(0, 2));
+    EXPECT_TRUE(dom.dominates(1, 2));
+}
+
+TEST(Dominators, LoopBackEdgeDoesNotBreakDominance)
+{
+    // 0 → 1 → 2 → 1, 2 → 3
+    CfgFunction fn = makeCfg(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+    DominatorTree dom(fn);
+    EXPECT_EQ(dom.idom(1), 0);
+    EXPECT_EQ(dom.idom(2), 1);
+    EXPECT_EQ(dom.idom(3), 2);
+}
+
+TEST(Dominators, RpoCoversReachableOnly)
+{
+    CfgFunction fn = makeCfg(4, {{0, 1}, {1, 2}});  // 3 unreachable
+    DominatorTree dom(fn);
+    EXPECT_EQ(dom.rpo().size(), 3u);
+    EXPECT_EQ(dom.rpoIndex(3), -1);
+}
+
+TEST(Loops, SimpleLoopDetected)
+{
+    CfgFunction fn = makeCfg(4, {{0, 1}, {1, 2}, {2, 1}, {1, 3}});
+    DominatorTree dom(fn);
+    LoopForest loops(fn, dom);
+    ASSERT_EQ(loops.loops().size(), 1u);
+    const NaturalLoop& l = loops.loops()[0];
+    EXPECT_EQ(l.header, 1);
+    EXPECT_TRUE(l.blocks.count(1));
+    EXPECT_TRUE(l.blocks.count(2));
+    EXPECT_FALSE(l.blocks.count(3));
+    EXPECT_TRUE(loops.isBackEdge(2, 1));
+    EXPECT_FALSE(loops.isBackEdge(0, 1));
+}
+
+TEST(Loops, NestedLoopsHaveDepths)
+{
+    // 0 → 1(outer hdr) → 2(inner hdr) → 3 → 2, 3 → 4 → 1, 4 → 5
+    CfgFunction fn = makeCfg(
+        6, {{0, 1}, {1, 2}, {2, 3}, {3, 2}, {3, 4}, {4, 1}, {4, 5}});
+    DominatorTree dom(fn);
+    LoopForest loops(fn, dom);
+    ASSERT_EQ(loops.loops().size(), 2u);
+    int inner = loops.innermostLoopOf(3);
+    int outer = loops.innermostLoopOf(4);
+    ASSERT_GE(inner, 0);
+    ASSERT_GE(outer, 0);
+    EXPECT_NE(inner, outer);
+    EXPECT_EQ(loops.loops()[inner].depth, 2);
+    EXPECT_EQ(loops.loops()[outer].depth, 1);
+    EXPECT_EQ(loops.loops()[inner].parent, outer);
+}
+
+TEST(Loops, SelfLoop)
+{
+    CfgFunction fn = makeCfg(3, {{0, 1}, {1, 1}, {1, 2}});
+    DominatorTree dom(fn);
+    LoopForest loops(fn, dom);
+    ASSERT_EQ(loops.loops().size(), 1u);
+    EXPECT_EQ(loops.loops()[0].header, 1);
+    EXPECT_EQ(loops.loops()[0].blocks.size(), 1u);
+}
+
+TEST(Loops, MiniCLoopsFromSource)
+{
+    Program p = parseProgram(
+        "int f(int n) { int s = 0; int i; int j;"
+        " for (i = 0; i < n; i++)"
+        "   for (j = 0; j < i; j++)"
+        "     s += j;"
+        " return s; }");
+    analyzeProgram(p);
+    MemoryLayout layout;
+    layout.build(p);
+    auto cfg = lowerProgram(p, layout);
+    CfgFunction* fn = cfg->find("f");
+    DominatorTree dom(*fn);
+    LoopForest loops(*fn, dom);
+    EXPECT_EQ(loops.loops().size(), 2u);
+}
+
+} // namespace

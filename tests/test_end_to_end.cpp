@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+using namespace cash;
+using testutil::crossCheck;
+using testutil::interpret;
+using testutil::simulate;
+
+namespace {
+
+TEST(EndToEnd, ReturnConstant)
+{
+    EXPECT_EQ(crossCheck("int f(void) { return 7; }", "f"), 7u);
+}
+
+TEST(EndToEnd, StraightLineArith)
+{
+    EXPECT_EQ(crossCheck("int f(int a, int b)"
+                         "{ return (a + b) * (a - b) / 3; }",
+                         "f", {9, 4}),
+              (9u + 4) * (9 - 4) / 3);
+}
+
+TEST(EndToEnd, IfElseJoin)
+{
+    const char* src = "int f(int x) { int r;"
+                      " if (x > 2) r = x * 2; else r = x + 100;"
+                      " return r; }";
+    crossCheck(src, "f", {5});
+    crossCheck(src, "f", {1});
+}
+
+TEST(EndToEnd, NestedIf)
+{
+    const char* src =
+        "int f(int x) {"
+        "  int r = 0;"
+        "  if (x > 0) { if (x > 10) r = 1; else r = 2; }"
+        "  else { if (x < -10) r = 3; else r = 4; }"
+        "  return r; }";
+    for (uint32_t v : {0u, 5u, 20u, static_cast<uint32_t>(-5),
+                       static_cast<uint32_t>(-20)})
+        crossCheck(src, "f", {v});
+}
+
+TEST(EndToEnd, ScalarLoop)
+{
+    const char* src = "int f(int n) { int s = 0; int i;"
+                      " for (i = 0; i < n; i++) s += i * i;"
+                      " return s; }";
+    crossCheck(src, "f", {0});
+    crossCheck(src, "f", {1});
+    crossCheck(src, "f", {17});
+}
+
+TEST(EndToEnd, Fibonacci)
+{
+    // The paper's Figure 2 program.
+    const char* src =
+        "int fib(int k) { int a = 0; int b = 1;"
+        " while (k != 0) { int tmp = a; a = b; b = tmp + b; k -= 1; }"
+        " return a; }";
+    EXPECT_EQ(crossCheck(src, "fib", {10}), 55u);
+    crossCheck(src, "fib", {0});
+    crossCheck(src, "fib", {1});
+}
+
+TEST(EndToEnd, MemoryLoopStoresAndLoads)
+{
+    const char* src =
+        "int a[64];"
+        "int f(int n) { int i;"
+        " for (i = 0; i < n; i++) a[i] = i * 2;"
+        " int s = 0;"
+        " for (i = 0; i < n; i++) s += a[i];"
+        " return s; }";
+    crossCheck(src, "f", {32});
+}
+
+TEST(EndToEnd, PointerParams)
+{
+    const char* src =
+        "int xs[16]; int ys[16];"
+        "void copy(int* d, int* s, int n)"
+        "{ int i; for (i = 0; i < n; i++) d[i] = s[i]; }"
+        "int f(int n) { int i;"
+        " for (i = 0; i < n; i++) xs[i] = i + 5;"
+        " copy(ys, xs, n);"
+        " int t = 0; for (i = 0; i < n; i++) t += ys[i];"
+        " return t; }";
+    crossCheck(src, "f", {12});
+}
+
+TEST(EndToEnd, CallsAndRecursion)
+{
+    const char* src =
+        "int fact(int n) { if (n <= 1) return 1;"
+        " return n * fact(n - 1); }"
+        "int f(int n) { return fact(n) + fact(n - 1); }";
+    EXPECT_EQ(crossCheck(src, "f", {5}), 120u + 24u);
+}
+
+TEST(EndToEnd, BreakAndContinue)
+{
+    const char* src =
+        "int f(int n) { int s = 0; int i;"
+        " for (i = 0; i < n; i++) {"
+        "   if ((i & 1) == 0) continue;"
+        "   if (i > 20) break;"
+        "   s += i; }"
+        " return s; }";
+    crossCheck(src, "f", {40});
+}
+
+TEST(EndToEnd, Section2ExampleBothPaths)
+{
+    const char* src = R"(
+unsigned a[8];
+unsigned srcv[1];
+void f(unsigned* p, unsigned* arr, int i)
+{
+    #pragma independent p arr
+    if (p) arr[i] += *p;
+    else arr[i] = 1;
+    arr[i] <<= arr[i + 1];
+}
+int run(int useNull)
+{
+    a[5] = 2u; a[6] = 3u;
+    srcv[0] = 4u;
+    if (useNull) f((unsigned*)0, a, 5);
+    else f(srcv, a, 5);
+    return (int)a[5];
+}
+)";
+    EXPECT_EQ(crossCheck(src, "run", {0}), 48u);
+    EXPECT_EQ(crossCheck(src, "run", {1}), 8u);
+}
+
+TEST(EndToEnd, DoWhileLoop)
+{
+    const char* src =
+        "int f(int n) { int i = 0; int s = 0;"
+        " do { s += i; i++; } while (i < n);"
+        " return s; }";
+    crossCheck(src, "f", {1});
+    crossCheck(src, "f", {10});
+}
+
+TEST(EndToEnd, NestedLoops)
+{
+    const char* src =
+        "int f(int n) { int s = 0; int i; int j;"
+        " for (i = 0; i < n; i++)"
+        "   for (j = 0; j <= i; j++)"
+        "     s += i * j;"
+        " return s; }";
+    crossCheck(src, "f", {9});
+}
+
+TEST(EndToEnd, CharBuffers)
+{
+    const char* src =
+        "char buf[32];"
+        "int f(int n) { int i;"
+        " for (i = 0; i < n; i++) buf[i] = (char)(i * 7);"
+        " int s = 0; for (i = 0; i < n; i++) s += buf[i];"
+        " return s; }";
+    crossCheck(src, "f", {30});
+}
+
+TEST(EndToEnd, FrameLocalArray)
+{
+    const char* src =
+        "int f(int n) { int t[8]; int i;"
+        " for (i = 0; i < 8; i++) t[i] = i + n;"
+        " int s = 0; for (i = 0; i < 8; i++) s += t[i] * t[i];"
+        " return s; }";
+    crossCheck(src, "f", {3});
+}
+
+TEST(EndToEnd, CyclesAreCountedOnPerfectMemory)
+{
+    SimResult r = simulate("int f(void) { return 1 + 2; }", "f", {},
+                           OptLevel::Full);
+    EXPECT_EQ(r.returnValue, 3u);
+    // Constant-folded: the graph should finish almost immediately.
+    EXPECT_LE(r.cycles, 4u);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Hyperblock formation (§3.1): loop headers start hyperblocks,
+ * if-joins stay inside them, exits/back-edges are classified.
+ */
+#include <gtest/gtest.h>
+
+#include "cfg/hyperblock.h"
+#include "cfg/lower.h"
+#include "test_util.h"
+
+using namespace cash;
+
+namespace {
+
+struct Built
+{
+    Program prog;
+    MemoryLayout layout;
+    std::unique_ptr<CfgProgram> cfg;
+    CfgFunction* fn = nullptr;
+    std::unique_ptr<DominatorTree> dom;
+    std::unique_ptr<LoopForest> loops;
+    std::unique_ptr<HyperblockPartition> hbp;
+};
+
+Built
+form(const std::string& src, const std::string& fname = "f")
+{
+    Built b;
+    b.prog = parseProgram(src);
+    analyzeProgram(b.prog);
+    b.layout.build(b.prog);
+    b.cfg = lowerProgram(b.prog, b.layout);
+    b.fn = b.cfg->find(fname);
+    b.dom = std::make_unique<DominatorTree>(*b.fn);
+    b.loops = std::make_unique<LoopForest>(*b.fn, *b.dom);
+    b.hbp = std::make_unique<HyperblockPartition>(*b.fn, *b.dom,
+                                                  *b.loops);
+    return b;
+}
+
+TEST(Hyperblock, StraightLineIsOneHyperblock)
+{
+    Built b = form("int f(int a) { return a + 1; }");
+    EXPECT_EQ(b.hbp->hyperblocks().size(), 1u);
+}
+
+TEST(Hyperblock, IfElseStaysInOneHyperblock)
+{
+    // Predication folds the diamond into the entry hyperblock.
+    Built b = form("int f(int x) { int r;"
+                   " if (x) r = 1; else r = 2;"
+                   " return r + x; }");
+    EXPECT_EQ(b.hbp->hyperblocks().size(), 1u);
+}
+
+TEST(Hyperblock, LoopHeaderStartsHyperblock)
+{
+    Built b = form("int f(int n) { int s = 0; int i;"
+                   " for (i = 0; i < n; i++) s += i;"
+                   " return s; }");
+    // entry, loop, exit.
+    EXPECT_EQ(b.hbp->hyperblocks().size(), 3u);
+    int loopHbs = 0;
+    for (const Hyperblock& hb : b.hbp->hyperblocks())
+        if (hb.isLoop)
+            loopHbs++;
+    EXPECT_EQ(loopHbs, 1);
+}
+
+TEST(Hyperblock, LoopBodyDiamondJoinsLoopHyperblock)
+{
+    Built b = form("int f(int n) { int s = 0; int i;"
+                   " for (i = 0; i < n; i++) {"
+                   "   if (i & 1) s += i; else s -= i;"
+                   " }"
+                   " return s; }");
+    // The if-else inside the loop must not create extra hyperblocks.
+    EXPECT_EQ(b.hbp->hyperblocks().size(), 3u);
+}
+
+TEST(Hyperblock, SelfLoopHasBackEdgeExit)
+{
+    Built b = form("int f(int n) { int i = 0;"
+                   " while (i < n) i++; return i; }");
+    const Hyperblock* loop = nullptr;
+    for (const Hyperblock& hb : b.hbp->hyperblocks())
+        if (hb.isLoop)
+            loop = &hb;
+    ASSERT_NE(loop, nullptr);
+    bool back = false, forward = false;
+    for (const HbExit& e : loop->exits) {
+        if (e.isBackEdge && e.targetHb == loop->id)
+            back = true;
+        if (!e.isBackEdge && e.targetHb != loop->id)
+            forward = true;
+    }
+    EXPECT_TRUE(back);
+    EXPECT_TRUE(forward);
+}
+
+TEST(Hyperblock, NestedLoopsMakeSeparateHyperblocks)
+{
+    Built b = form("int f(int n) { int s = 0; int i; int j;"
+                   " for (i = 0; i < n; i++)"
+                   "   for (j = 0; j < i; j++)"
+                   "     s += j;"
+                   " return s; }");
+    int loopHbs = 0;
+    for (const Hyperblock& hb : b.hbp->hyperblocks())
+        if (hb.loopIndex >= 0 &&
+            b.loops->loops()[hb.loopIndex].header == hb.header)
+            loopHbs++;
+    EXPECT_EQ(loopHbs, 2);
+    // The inner hyperblock is a self-loop; the outer spans several
+    // hyperblocks, so its header HB is not self-looping.
+    int selfLoops = 0;
+    for (const Hyperblock& hb : b.hbp->hyperblocks())
+        if (hb.isLoop)
+            selfLoops++;
+    EXPECT_EQ(selfLoops, 1);
+}
+
+TEST(Hyperblock, IncomingEdgesMatchExits)
+{
+    Built b = form("int f(int n) { int s = 0; int i;"
+                   " for (i = 0; i < n; i++) s += i;"
+                   " return s; }");
+    for (const Hyperblock& hb : b.hbp->hyperblocks()) {
+        for (const HbEntry& in : hb.incoming) {
+            const Hyperblock& src = b.hbp->hb(in.fromHb);
+            ASSERT_LT(static_cast<size_t>(in.exitIndex),
+                      src.exits.size());
+            EXPECT_EQ(src.exits[in.exitIndex].targetHb, hb.id);
+        }
+    }
+}
+
+TEST(Hyperblock, InHyperblockReachability)
+{
+    Built b = form("int f(int x) { int r;"
+                   " if (x) r = 1; else r = 2;"
+                   " return r; }");
+    const Hyperblock& hb = b.hbp->hyperblocks()[0];
+    int header = hb.header;
+    // Header reaches every block of its hyperblock.
+    for (int blk : hb.blocks)
+        EXPECT_TRUE(b.hbp->reaches(header, blk));
+    // The two branch arms do not reach each other.
+    if (hb.blocks.size() >= 4) {
+        int thenB = hb.blocks[1], elseB = hb.blocks[2];
+        EXPECT_FALSE(b.hbp->reaches(thenB, elseB));
+        EXPECT_FALSE(b.hbp->reaches(elseB, thenB));
+    }
+}
+
+TEST(Hyperblock, BreakBlockLeavesLoopHyperblock)
+{
+    Built b = form("int f(int n) { int i;"
+                   " for (i = 0; i < n; i++)"
+                   "   if (i == 7) break;"
+                   " return i; }");
+    // The break target and loop body partition correctly: every block
+    // belongs to exactly one hyperblock.
+    std::set<int> seen;
+    for (const Hyperblock& hb : b.hbp->hyperblocks()) {
+        for (int blk : hb.blocks) {
+            EXPECT_FALSE(seen.count(blk));
+            seen.insert(blk);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+using namespace cash;
+using testutil::interpret;
+
+namespace {
+
+TEST(Interpreter, ReturnConstant)
+{
+    EXPECT_EQ(interpret("int f(void) { return 42; }", "f"), 42u);
+}
+
+TEST(Interpreter, Arithmetic)
+{
+    EXPECT_EQ(interpret("int f(int a, int b) { return a * b + a - b; }",
+                        "f", {7, 3}),
+              7u * 3 + 7 - 3);
+}
+
+TEST(Interpreter, SignedDivision)
+{
+    EXPECT_EQ(interpret("int f(int a, int b) { return a / b; }", "f",
+                        {static_cast<uint32_t>(-7), 2}),
+              static_cast<uint32_t>(-3));
+    EXPECT_EQ(interpret("int f(int a, int b) { return a % b; }", "f",
+                        {static_cast<uint32_t>(-7), 2}),
+              static_cast<uint32_t>(-1));
+}
+
+TEST(Interpreter, UnsignedOps)
+{
+    EXPECT_EQ(interpret("unsigned f(unsigned a) { return a >> 1; }",
+                        "f", {0x80000000u}),
+              0x40000000u);
+    EXPECT_EQ(interpret("int f(int a) { return a >> 1; }", "f",
+                        {0x80000000u}),
+              0xC0000000u);
+}
+
+TEST(Interpreter, IfElse)
+{
+    const char* src = "int f(int x) { if (x > 10) return 1;"
+                      " else return 2; }";
+    EXPECT_EQ(interpret(src, "f", {11}), 1u);
+    EXPECT_EQ(interpret(src, "f", {10}), 2u);
+}
+
+TEST(Interpreter, WhileLoopSum)
+{
+    const char* src = "int f(int n) { int s = 0; int i = 0;"
+                      " while (i < n) { s += i; i++; } return s; }";
+    EXPECT_EQ(interpret(src, "f", {10}), 45u);
+}
+
+TEST(Interpreter, ForLoopWithBreakContinue)
+{
+    const char* src =
+        "int f(int n) { int s = 0; int i;"
+        " for (i = 0; i < n; i++) {"
+        "   if (i == 5) continue;"
+        "   if (i == 8) break;"
+        "   s += i; }"
+        " return s; }";
+    EXPECT_EQ(interpret(src, "f", {100}), 0u + 1 + 2 + 3 + 4 + 6 + 7);
+}
+
+TEST(Interpreter, GlobalArrayStores)
+{
+    const char* src =
+        "int a[10];"
+        "int f(int n) { int i; for (i = 0; i < n; i++) a[i] = i * i;"
+        " int s = 0; for (i = 0; i < n; i++) s += a[i]; return s; }";
+    EXPECT_EQ(interpret(src, "f", {5}), 0u + 1 + 4 + 9 + 16);
+}
+
+TEST(Interpreter, GlobalInitializers)
+{
+    const char* src = "int t[4] = {10, 20, 30, 40}; int base = 5;"
+                      "int f(void) { return base + t[2]; }";
+    EXPECT_EQ(interpret(src, "f"), 35u);
+}
+
+TEST(Interpreter, PointerArithmetic)
+{
+    const char* src =
+        "int a[8];"
+        "int f(void) { int* p = a; int i;"
+        " for (i = 0; i < 8; i++) { *p = i + 1; p++; }"
+        " return *(a + 3) + a[7]; }";
+    EXPECT_EQ(interpret(src, "f"), 4u + 8);
+}
+
+TEST(Interpreter, CharArraysSignExtend)
+{
+    const char* src =
+        "char c[4];"
+        "int f(void) { c[0] = (char)200; return c[0]; }";
+    EXPECT_EQ(interpret(src, "f"),
+              static_cast<uint32_t>(static_cast<int8_t>(200)));
+}
+
+TEST(Interpreter, UnsignedCharZeroExtends)
+{
+    const char* src =
+        "unsigned char c[4];"
+        "int f(void) { c[0] = (unsigned char)200; return c[0]; }";
+    EXPECT_EQ(interpret(src, "f"), 200u);
+}
+
+TEST(Interpreter, FunctionCalls)
+{
+    const char* src =
+        "int sq(int x) { return x * x; }"
+        "int f(int n) { return sq(n) + sq(n + 1); }";
+    EXPECT_EQ(interpret(src, "f", {3}), 9u + 16);
+}
+
+TEST(Interpreter, Recursion)
+{
+    const char* src =
+        "int fact(int n) { if (n <= 1) return 1;"
+        " return n * fact(n - 1); }";
+    EXPECT_EQ(interpret(src, "fact", {6}), 720u);
+}
+
+TEST(Interpreter, AddressTakenLocal)
+{
+    const char* src =
+        "void inc(int* p) { *p += 1; }"
+        "int f(void) { int x = 10; inc(&x); inc(&x); return x; }";
+    EXPECT_EQ(interpret(src, "f"), 12u);
+}
+
+TEST(Interpreter, LocalArrayOnFrame)
+{
+    const char* src =
+        "int f(int n) { int buf[16]; int i;"
+        " for (i = 0; i < n; i++) buf[i] = i * 3;"
+        " int s = 0; for (i = 0; i < n; i++) s += buf[i]; return s; }";
+    EXPECT_EQ(interpret(src, "f", {8}), 3u * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(Interpreter, ShortCircuitEvaluation)
+{
+    const char* src =
+        "int g_calls;"
+        "int bump(void) { g_calls += 1; return 1; }"
+        "int f(int x) { if (x && bump()) return g_calls;"
+        " return g_calls + 100; }";
+    EXPECT_EQ(interpret(src, "f", {0}), 100u);
+    EXPECT_EQ(interpret(src, "f", {1}), 1u);
+}
+
+TEST(Interpreter, TernaryExpression)
+{
+    EXPECT_EQ(interpret("int f(int x) { return x > 0 ? x : -x; }", "f",
+                        {static_cast<uint32_t>(-5)}),
+              5u);
+}
+
+TEST(Interpreter, StringLiteralAccess)
+{
+    const char* src = "int f(void) { char* s = \"AB\"; return s[1]; }";
+    EXPECT_EQ(interpret(src, "f"), static_cast<uint32_t>('B'));
+}
+
+TEST(Interpreter, DivisionByZeroFails)
+{
+    EXPECT_THROW(interpret("int f(int a) { return a / 0; }", "f", {1}),
+                 FatalError);
+}
+
+TEST(Interpreter, StepLimitCatchesInfiniteLoop)
+{
+    Program prog = parseProgram("int f(void) { while (1) {} return 0; }");
+    analyzeProgram(prog);
+    MemoryLayout layout;
+    layout.build(prog);
+    Interpreter interp(prog, layout);
+    interp.setStepLimit(10000);
+    EXPECT_THROW(interp.call("f", {}), FatalError);
+}
+
+TEST(Interpreter, Section2Example)
+{
+    // The paper's motivating example: a[i] += *p; a[i] <<= a[i+1].
+    const char* src = R"(
+unsigned a[8];
+void f(unsigned* p, unsigned* arr, int i)
+{
+    if (p) arr[i] += *p;
+    else arr[i] = 1;
+    arr[i] <<= arr[i + 1];
+}
+unsigned src0[1];
+int run(int useNull)
+{
+    a[5] = 2u; a[6] = 3u;
+    src0[0] = 4u;
+    if (useNull) f((unsigned*)0, a, 5);
+    else f(src0, a, 5);
+    return (int)a[5];
+}
+)";
+    // p != 0: a[5] = (2+4) << 3 = 48.
+    EXPECT_EQ(interpret(src, "run", {0}), 48u);
+    // p == 0: a[5] = 1 << 3 = 8.
+    EXPECT_EQ(interpret(src, "run", {1}), 8u);
+}
+
+} // namespace

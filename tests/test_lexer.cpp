@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+using namespace cash;
+
+namespace {
+
+std::vector<Token>
+lex(const std::string& s)
+{
+    Lexer lexer(s);
+    return lexer.lexAll();
+}
+
+TEST(Lexer, EmptyInputYieldsEof)
+{
+    std::vector<Token> toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_TRUE(toks[0].is(Tok::EndOfFile));
+}
+
+TEST(Lexer, Identifiers)
+{
+    std::vector<Token> toks = lex("foo _bar baz123");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "foo");
+    EXPECT_EQ(toks[1].text, "_bar");
+    EXPECT_EQ(toks[2].text, "baz123");
+}
+
+TEST(Lexer, Keywords)
+{
+    std::vector<Token> toks = lex("int unsigned char if else while for "
+                                  "return break continue const extern");
+    EXPECT_TRUE(toks[0].is(Tok::KwInt));
+    EXPECT_TRUE(toks[1].is(Tok::KwUnsigned));
+    EXPECT_TRUE(toks[2].is(Tok::KwChar));
+    EXPECT_TRUE(toks[3].is(Tok::KwIf));
+    EXPECT_TRUE(toks[4].is(Tok::KwElse));
+    EXPECT_TRUE(toks[5].is(Tok::KwWhile));
+    EXPECT_TRUE(toks[6].is(Tok::KwFor));
+    EXPECT_TRUE(toks[7].is(Tok::KwReturn));
+    EXPECT_TRUE(toks[8].is(Tok::KwBreak));
+    EXPECT_TRUE(toks[9].is(Tok::KwContinue));
+    EXPECT_TRUE(toks[10].is(Tok::KwConst));
+    EXPECT_TRUE(toks[11].is(Tok::KwExtern));
+}
+
+TEST(Lexer, DecimalLiterals)
+{
+    std::vector<Token> toks = lex("0 42 1234567");
+    EXPECT_EQ(toks[0].intValue, 0);
+    EXPECT_EQ(toks[1].intValue, 42);
+    EXPECT_EQ(toks[2].intValue, 1234567);
+}
+
+TEST(Lexer, HexLiterals)
+{
+    std::vector<Token> toks = lex("0x0 0xff 0xDEAD 0xedb88320");
+    EXPECT_EQ(toks[0].intValue, 0);
+    EXPECT_EQ(toks[1].intValue, 0xff);
+    EXPECT_EQ(toks[2].intValue, 0xDEAD);
+    EXPECT_EQ(toks[3].intValue, 0xedb88320LL);
+}
+
+TEST(Lexer, UnsignedSuffix)
+{
+    std::vector<Token> toks = lex("3u 4U 5ul");
+    EXPECT_TRUE(toks[0].isUnsigned);
+    EXPECT_TRUE(toks[1].isUnsigned);
+    EXPECT_TRUE(toks[2].isUnsigned);
+}
+
+TEST(Lexer, CharLiterals)
+{
+    std::vector<Token> toks = lex("'a' '\\n' '\\0' '\\\\'");
+    EXPECT_EQ(toks[0].intValue, 'a');
+    EXPECT_EQ(toks[1].intValue, '\n');
+    EXPECT_EQ(toks[2].intValue, 0);
+    EXPECT_EQ(toks[3].intValue, '\\');
+}
+
+TEST(Lexer, StringLiterals)
+{
+    std::vector<Token> toks = lex("\"hello\\n\"");
+    ASSERT_TRUE(toks[0].is(Tok::StringLiteral));
+    EXPECT_EQ(toks[0].text, "hello\n");
+}
+
+TEST(Lexer, CompoundOperators)
+{
+    std::vector<Token> toks =
+        lex("<<= >>= << >> <= >= == != && || += -= *= /= %= &= |= ^= "
+            "++ --");
+    EXPECT_TRUE(toks[0].is(Tok::ShlAssign));
+    EXPECT_TRUE(toks[1].is(Tok::ShrAssign));
+    EXPECT_TRUE(toks[2].is(Tok::Shl));
+    EXPECT_TRUE(toks[3].is(Tok::Shr));
+    EXPECT_TRUE(toks[4].is(Tok::Le));
+    EXPECT_TRUE(toks[5].is(Tok::Ge));
+    EXPECT_TRUE(toks[6].is(Tok::EqEq));
+    EXPECT_TRUE(toks[7].is(Tok::NotEq));
+    EXPECT_TRUE(toks[8].is(Tok::AmpAmp));
+    EXPECT_TRUE(toks[9].is(Tok::PipePipe));
+    EXPECT_TRUE(toks[10].is(Tok::PlusAssign));
+    EXPECT_TRUE(toks[17].is(Tok::CaretAssign));
+    EXPECT_TRUE(toks[18].is(Tok::PlusPlus));
+    EXPECT_TRUE(toks[19].is(Tok::MinusMinus));
+}
+
+TEST(Lexer, CommentsAreSkipped)
+{
+    std::vector<Token> toks =
+        lex("a // line comment\n b /* block\n comment */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, PragmaBecomesToken)
+{
+    std::vector<Token> toks = lex("#pragma independent p q\nint x;");
+    ASSERT_TRUE(toks[0].is(Tok::Pragma));
+    EXPECT_EQ(toks[0].text, "pragma independent p q");
+    EXPECT_TRUE(toks[1].is(Tok::KwInt));
+}
+
+TEST(Lexer, SourceLocationsTrackLines)
+{
+    std::vector<Token> toks = lex("a\n  b\nc");
+    EXPECT_EQ(toks[0].loc.line, 1);
+    EXPECT_EQ(toks[1].loc.line, 2);
+    EXPECT_EQ(toks[1].loc.column, 3);
+    EXPECT_EQ(toks[2].loc.line, 3);
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails)
+{
+    EXPECT_THROW(lex("/* never closed"), FatalError);
+}
+
+TEST(Lexer, UnknownCharacterFails)
+{
+    EXPECT_THROW(lex("int @x;"), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Scalar graph optimizations: constant folding, algebraic identities,
+ * CSE, and structural dead-code elimination.
+ */
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+using namespace cash;
+
+namespace {
+
+int
+countKind(const Graph& g, NodeKind k)
+{
+    int n = 0;
+    g.forEach([&](Node* node) {
+        if (node->kind == k)
+            n++;
+    });
+    return n;
+}
+
+int
+countArith(const Graph& g)
+{
+    return countKind(g, NodeKind::Arith);
+}
+
+TEST(ScalarOpts, ConstantFolding)
+{
+    CompileResult r = compileSource(
+        "int f(void) { return (3 + 4) * (10 - 2) / 2; }");
+    const Graph* g = r.graph("f");
+    EXPECT_EQ(countArith(*g), 0);
+    EXPECT_EQ(testutil::simulate(
+                  "int f(void) { return (3 + 4) * (10 - 2) / 2; }",
+                  "f")
+                  .returnValue,
+              28u);
+}
+
+TEST(ScalarOpts, AlgebraicIdentities)
+{
+    const char* src = "int f(int x)"
+                      "{ return (x + 0) * 1 + (x - x) + (x ^ 0); }";
+    CompileResult r = compileSource(src);
+    // x*1, x+0, x^0 all fold: remaining arithmetic is the single add
+    // of x + x.
+    EXPECT_LE(countArith(*r.graph("f")), 1);
+    EXPECT_EQ(testutil::crossCheck(src, "f", {21}), 42u);
+}
+
+TEST(ScalarOpts, MulByZero)
+{
+    CompileResult r =
+        compileSource("int f(int x) { return x * 0 + 5; }");
+    EXPECT_EQ(countArith(*r.graph("f")), 0);
+}
+
+TEST(ScalarOpts, CseDeduplicatesWithinHyperblock)
+{
+    const char* src =
+        "int f(int a, int b)"
+        "{ return (a * b + 1) + (a * b + 1); }";
+    CompileResult r = compileSource(src);
+    const Graph* g = r.graph("f");
+    // a*b and +1 computed once, plus the final add: 3 arith nodes.
+    EXPECT_LE(countArith(*g), 3);
+    testutil::crossCheck(src, "f", {6, 7});
+}
+
+TEST(ScalarOpts, CommutativeCse)
+{
+    const char* src = "int f(int a, int b) { return a * b + b * a; }";
+    CompileResult r = compileSource(src);
+    EXPECT_LE(countArith(*r.graph("f")), 2);
+    testutil::crossCheck(src, "f", {3, 9});
+}
+
+TEST(ScalarOpts, TautologyFolding)
+{
+    // if/else arms joined by complementary predicates: the combined
+    // predicate folds to true, enabling Figure 1's store removal.
+    const char* src =
+        "int g;"
+        "int f(int x) { if (x) g = 1; else g = 2; g = 3; return g; }";
+    CompileResult r = compileSource(src);
+    int stores = 0;
+    r.graph("f")->forEach([&](Node* n) {
+        if (n->kind == NodeKind::Store)
+            stores++;
+    });
+    EXPECT_EQ(stores, 1);  // both branch stores proven dead
+    testutil::crossCheck(src, "f", {1});
+    testutil::crossCheck(src, "f", {0});
+}
+
+TEST(DeadCode, UnusedComputationRemoved)
+{
+    const char* src = "int f(int a) { int unused = a * 17 + 3;"
+                      " return a; }";
+    CompileResult r = compileSource(src);
+    EXPECT_EQ(countArith(*r.graph("f")), 0);
+}
+
+TEST(DeadCode, FalseBranchEliminated)
+{
+    const char* src = "int g;"
+                      "int f(int a) { if (0) g = a; return a + 1; }";
+    CompileResult r = compileSource(src);
+    int stores = 0;
+    r.graph("f")->forEach([&](Node* n) {
+        if (n->kind == NodeKind::Store)
+            stores++;
+    });
+    EXPECT_EQ(stores, 0);
+}
+
+TEST(DeadCode, ConstantConditionCollapses)
+{
+    const char* src = "int f(int a) { int r;"
+                      " if (1) r = a * 2; else r = a * 3;"
+                      " return r; }";
+    EXPECT_EQ(testutil::crossCheck(src, "f", {5}), 10u);
+    CompileResult r = compileSource(src);
+    EXPECT_EQ(countKind(*r.graph("f"), NodeKind::Mux), 0);
+}
+
+TEST(DeadCode, UnusedLoadRemoved)
+{
+    const char* src = "int g;"
+                      "int f(int a) { int x = g; return a; }";
+    CompileResult r = compileSource(src);
+    int loads = 0;
+    r.graph("f")->forEach([&](Node* n) {
+        if (n->kind == NodeKind::Load)
+            loads++;
+    });
+    EXPECT_EQ(loads, 0);
+}
+
+TEST(DeadCode, IrSizeShrinks)
+{
+    const char* src =
+        "int f(int a, int b) {"
+        "  int t1 = a + b; int t2 = a + b; int t3 = t1 * t2;"
+        "  int dead = t3 * 99;"
+        "  if (0) return dead;"
+        "  return t3;"
+        "}";
+    CompileResult r = compileSource(src);
+    EXPECT_LT(r.stats.get("ir.nodes.final"),
+              r.stats.get("ir.nodes.initial"));
+}
+
+TEST(ScalarOpts, PredicateNetworkSimplifies)
+{
+    // Nested ifs with the same condition: inner predicate And(c, c)
+    // must simplify.
+    const char* src =
+        "int f(int c, int a)"
+        "{ int r = 0; if (c) { if (c) r = a; } return r; }";
+    testutil::crossCheck(src, "f", {1, 9});
+    testutil::crossCheck(src, "f", {0, 9});
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+
+using namespace cash;
+
+namespace {
+
+TEST(Parser, GlobalScalars)
+{
+    Program p = parseProgram("int a; unsigned b = 5; char c;");
+    ASSERT_EQ(p.globals.size(), 3u);
+    EXPECT_EQ(p.globals[0]->name, "a");
+    EXPECT_EQ(p.globals[1]->name, "b");
+    ASSERT_NE(p.globals[1]->init, nullptr);
+    EXPECT_EQ(p.globals[2]->type->kind, TypeKind::Char);
+}
+
+TEST(Parser, GlobalArrays)
+{
+    Program p = parseProgram("int a[10]; int b[4*4]; extern int c[];");
+    EXPECT_EQ(p.globals[0]->type->arraySize, 10);
+    EXPECT_EQ(p.globals[1]->type->arraySize, 16);
+    EXPECT_EQ(p.globals[2]->type->arraySize, 0);
+    EXPECT_TRUE(p.globals[2]->isExtern);
+}
+
+TEST(Parser, ArrayInitializerList)
+{
+    Program p = parseProgram("int t[4] = {1, 2, 3, 4};");
+    EXPECT_EQ(p.globals[0]->initList.size(), 4u);
+}
+
+TEST(Parser, ConstGlobal)
+{
+    Program p = parseProgram("const int k[2] = {1, 2};");
+    EXPECT_TRUE(p.globals[0]->type->isConst);
+}
+
+TEST(Parser, FunctionWithParams)
+{
+    Program p = parseProgram("int add(int a, int b) { return a + b; }");
+    ASSERT_EQ(p.functions.size(), 1u);
+    FuncDecl* f = p.functions[0];
+    EXPECT_EQ(f->name, "add");
+    ASSERT_EQ(f->params.size(), 2u);
+    EXPECT_EQ(f->params[0]->name, "a");
+    ASSERT_NE(f->body, nullptr);
+}
+
+TEST(Parser, PointerParamsAndArrayDecay)
+{
+    Program p = parseProgram("void f(int* p, int a[], char** q) {}");
+    FuncDecl* f = p.functions[0];
+    EXPECT_TRUE(f->params[0]->type->isPointer());
+    EXPECT_TRUE(f->params[1]->type->isPointer());
+    EXPECT_TRUE(f->params[2]->type->isPointer());
+    EXPECT_TRUE(f->params[2]->type->element->isPointer());
+}
+
+TEST(Parser, Prototypes)
+{
+    Program p = parseProgram("int g(int x); int g(int x) { return x; }");
+    EXPECT_EQ(p.functions.size(), 2u);
+    EXPECT_EQ(p.functions[0]->body, nullptr);
+    ASSERT_NE(p.functions[1]->body, nullptr);
+}
+
+TEST(Parser, PrecedenceMulOverAdd)
+{
+    Program p = parseProgram("int f(int x) { return 1 + x * 2; }");
+    auto* ret = static_cast<ReturnStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(exprToString(ret->value), "(1 + (x * 2))");
+}
+
+TEST(Parser, PrecedenceShiftAndCompare)
+{
+    Program p = parseProgram("int f(int x) { return x << 2 < 8; }");
+    auto* ret = static_cast<ReturnStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(exprToString(ret->value), "((x << 2) < 8)");
+}
+
+TEST(Parser, TernaryAndAssignAreRightAssociative)
+{
+    Program p =
+        parseProgram("int f(int x, int y) { x = y = x ? 1 : 2; "
+                     "return x; }");
+    auto* es = static_cast<ExprStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(exprToString(es->expr), "(x = (y = (x ? 1 : 2)))");
+}
+
+TEST(Parser, CompoundAssignOnArrayElement)
+{
+    Program p =
+        parseProgram("int a[4]; void f(int i) { a[i] <<= a[i+1]; }");
+    auto* es = static_cast<ExprStmt*>(p.functions[0]->body->stmts[0]);
+    ASSERT_EQ(es->expr->kind, ExprKind::Assign);
+    EXPECT_EQ(static_cast<AssignExpr*>(es->expr)->op, AssignOp::Shl);
+}
+
+TEST(Parser, DerefAndAddressOf)
+{
+    Program p = parseProgram("void f(int* p) { *p = *(p + 1); }");
+    auto* es = static_cast<ExprStmt*>(p.functions[0]->body->stmts[0]);
+    auto* a = static_cast<AssignExpr*>(es->expr);
+    EXPECT_EQ(a->lhs->kind, ExprKind::Deref);
+    EXPECT_EQ(a->rhs->kind, ExprKind::Deref);
+}
+
+TEST(Parser, CastExpression)
+{
+    Program p = parseProgram("int f(int x) { return (char)x; }");
+    auto* ret = static_cast<ReturnStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(ret->value->kind, ExprKind::Cast);
+}
+
+TEST(Parser, CastToPointer)
+{
+    Program p = parseProgram("void f(void) { int* p; p = (int*)0; }");
+    ASSERT_EQ(p.functions.size(), 1u);
+}
+
+TEST(Parser, ForLoopPieces)
+{
+    Program p = parseProgram(
+        "int f(int n) { int s = 0; int i;"
+        " for (i = 0; i < n; i++) s += i; return s; }");
+    auto* fs = static_cast<ForStmt*>(p.functions[0]->body->stmts[2]);
+    EXPECT_NE(fs->init, nullptr);
+    EXPECT_NE(fs->cond, nullptr);
+    EXPECT_NE(fs->step, nullptr);
+}
+
+TEST(Parser, ForWithDeclInit)
+{
+    Program p = parseProgram(
+        "int f(int n) { int s = 0;"
+        " for (int i = 0; i < n; i++) s += i; return s; }");
+    auto* fs = static_cast<ForStmt*>(p.functions[0]->body->stmts[1]);
+    EXPECT_EQ(fs->init->kind, StmtKind::Decl);
+}
+
+TEST(Parser, DoWhile)
+{
+    Program p = parseProgram(
+        "int f(int n) { int i = 0; do { i++; } while (i < n);"
+        " return i; }");
+    EXPECT_EQ(p.functions[0]->body->stmts[1]->kind, StmtKind::DoWhile);
+}
+
+TEST(Parser, PragmaInsideFunctionIsScoped)
+{
+    Program p = parseProgram(
+        "void f(int* p, int* q) {\n#pragma independent p q\n *p = *q; }");
+    ASSERT_EQ(p.pragmas.size(), 1u);
+    EXPECT_EQ(p.pragmas[0].funcName, "f");
+    EXPECT_EQ(p.pragmas[0].first, "p");
+    EXPECT_EQ(p.pragmas[0].second, "q");
+}
+
+TEST(Parser, MultipleDeclaratorsPerLine)
+{
+    Program p = parseProgram("void f(void) { int a = 1, b = 2, c; }");
+    auto* ds = static_cast<DeclStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(ds->decls.size(), 3u);
+}
+
+TEST(Parser, SyntaxErrorsThrow)
+{
+    EXPECT_THROW(parseProgram("int f( { }"), FatalError);
+    EXPECT_THROW(parseProgram("int x = ;"), FatalError);
+    EXPECT_THROW(parseProgram("void f(void) { if }"), FatalError);
+    EXPECT_THROW(parseProgram("void f(void) { return 1 }"), FatalError);
+}
+
+TEST(Parser, LogicalOperatorsParse)
+{
+    Program p = parseProgram(
+        "int f(int a, int b) { return a && b || !a; }");
+    auto* ret = static_cast<ReturnStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(exprToString(ret->value), "((a && b) || (!a))");
+}
+
+TEST(Parser, FuzzedSourcesNeverCrash)
+{
+    // Robustness property: arbitrary mutations of valid sources must
+    // either parse or raise FatalError — never crash or hang.
+    const std::string base =
+        "int a[8]; int f(int n) { int s = 0; int i;"
+        " for (i = 0; i < n; i++) { if (i & 1) s += a[i]; }"
+        " return s; }";
+    std::mt19937 rng(1234);
+    for (int trial = 0; trial < 400; trial++) {
+        std::string src = base;
+        int edits = 1 + static_cast<int>(rng() % 4);
+        for (int e = 0; e < edits; e++) {
+            size_t pos = rng() % src.size();
+            switch (rng() % 3) {
+              case 0:  // delete a chunk
+                src.erase(pos, 1 + rng() % 5);
+                break;
+              case 1:  // duplicate a chunk
+                src.insert(pos, src.substr(pos, 1 + rng() % 5));
+                break;
+              default: {  // splice random punctuation
+                const char* bits[] = {"(", ")", "{", "}", ";", "+",
+                                      "*",  "=", "[", "]", "if", "0"};
+                src.insert(pos, bits[rng() % 12]);
+                break;
+              }
+            }
+        }
+        try {
+            Program p = parseProgram(src);
+            (void)p;
+        } catch (const FatalError&) {
+            // expected for malformed inputs
+        }
+    }
+    SUCCEED();
+}
+
+TEST(Parser, FuzzedSourcesThroughSema)
+{
+    const std::string base =
+        "int g; int f(int* p, int n) { int i;"
+        " for (i = 0; i < n; i++) g += p[i];"
+        " return g; }";
+    std::mt19937 rng(77);
+    for (int trial = 0; trial < 200; trial++) {
+        std::string src = base;
+        size_t pos = rng() % src.size();
+        src.erase(pos, 1 + rng() % 8);
+        try {
+            Program p = parseProgram(src);
+            analyzeProgram(p);
+        } catch (const FatalError&) {
+        }
+    }
+    SUCCEED();
+}
+
+} // namespace

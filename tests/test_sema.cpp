@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Semantic analysis: name resolution, typing, address-taken marking,
+ * register/memory classification, and error detection.
+ */
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+using namespace cash;
+
+namespace {
+
+Program
+analyze(const std::string& src)
+{
+    Program p = parseProgram(src);
+    analyzeProgram(p);
+    return p;
+}
+
+TEST(Sema, ResolvesGlobalsAndLocals)
+{
+    Program p = analyze("int g; int f(int x) { int y = g + x;"
+                        " return y; }");
+    FuncDecl* f = p.functions[0];
+    ASSERT_EQ(f->locals.size(), 1u);
+    EXPECT_EQ(f->locals[0]->name, "y");
+    EXPECT_GE(f->locals[0]->varId, 0);
+}
+
+TEST(Sema, UndeclaredIdentifierFails)
+{
+    EXPECT_THROW(analyze("int f(void) { return zz; }"), FatalError);
+}
+
+TEST(Sema, RedeclarationInSameScopeFails)
+{
+    EXPECT_THROW(analyze("int f(void) { int a; int a; return 0; }"),
+                 FatalError);
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed)
+{
+    Program p = analyze("int f(int a) { { int a = 2; a += 1; }"
+                        " return a; }");
+    EXPECT_EQ(p.functions[0]->locals.size(), 1u);
+}
+
+TEST(Sema, GlobalsLiveInMemory)
+{
+    Program p = analyze("int g; void f(void) { g = 1; }");
+    EXPECT_TRUE(p.globals[0]->inMemory);
+    EXPECT_FALSE(p.globals[0]->addressTaken);
+}
+
+TEST(Sema, ScalarLocalsGetRegisters)
+{
+    Program p = analyze("int f(void) { int a = 1; int b = 2;"
+                        " return a + b; }");
+    for (VarDecl* l : p.functions[0]->locals) {
+        EXPECT_FALSE(l->inMemory) << l->name;
+        EXPECT_GE(l->varId, 0);
+    }
+}
+
+TEST(Sema, AddressTakenLocalDemotedToMemory)
+{
+    Program p = analyze("int f(void) { int a = 1; int* p = &a;"
+                        " return *p; }");
+    VarDecl* a = p.functions[0]->locals[0];
+    EXPECT_TRUE(a->addressTaken);
+    EXPECT_TRUE(a->inMemory);
+    EXPECT_EQ(a->varId, -1);
+}
+
+TEST(Sema, LocalArraysLiveInMemory)
+{
+    Program p = analyze("int f(void) { int t[4]; t[0] = 1;"
+                        " return t[0]; }");
+    EXPECT_TRUE(p.functions[0]->locals[0]->inMemory);
+}
+
+TEST(Sema, AddressOfParameterRejected)
+{
+    EXPECT_THROW(analyze("int f(int x) { return *(&x); }"), FatalError);
+}
+
+TEST(Sema, ArrayDecaysInCalls)
+{
+    Program p = analyze("int g(int* p) { return p[0]; }"
+                        "int a[4];"
+                        "int f(void) { return g(a); }");
+    (void)p;
+}
+
+TEST(Sema, WrongArgumentCountFails)
+{
+    EXPECT_THROW(analyze("int g(int a, int b) { return a; }"
+                         "int f(void) { return g(1); }"),
+                 FatalError);
+}
+
+TEST(Sema, CallToUndeclaredFunctionFails)
+{
+    EXPECT_THROW(analyze("int f(void) { return nosuch(1); }"),
+                 FatalError);
+}
+
+TEST(Sema, VoidReturnChecks)
+{
+    EXPECT_THROW(analyze("void f(void) { return 1; }"), FatalError);
+    EXPECT_THROW(analyze("int f(void) { return; }"), FatalError);
+}
+
+TEST(Sema, BreakOutsideLoopFails)
+{
+    EXPECT_THROW(analyze("void f(void) { break; }"), FatalError);
+    EXPECT_THROW(analyze("void f(void) { continue; }"), FatalError);
+}
+
+TEST(Sema, AssignToNonLvalueFails)
+{
+    EXPECT_THROW(analyze("void f(int a) { (a + 1) = 2; }"), FatalError);
+}
+
+TEST(Sema, AssignToArrayNameFails)
+{
+    EXPECT_THROW(analyze("int t[4]; void f(int* p) { t = p; }"),
+                 FatalError);
+}
+
+TEST(Sema, StringLiteralMaterializesConstGlobal)
+{
+    Program p = analyze("int f(void) { char* s = \"hi\"; "
+                        "return s[0]; }");
+    bool found = false;
+    for (VarDecl* g : p.globals) {
+        if (g->name.rfind("__str", 0) == 0) {
+            found = true;
+            EXPECT_TRUE(g->type->isConst);
+            EXPECT_EQ(g->type->arraySize, 3);  // 'h','i',NUL
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Sema, ConstArrayStaysConst)
+{
+    Program p = analyze("const int t[2] = {1, 2};"
+                        "int f(void) { return t[1]; }");
+    EXPECT_TRUE(p.globals[0]->type->isConst);
+}
+
+TEST(Sema, UsualArithmeticConversions)
+{
+    Program p = analyze("unsigned f(unsigned a, int b)"
+                        "{ return a + b; }");
+    auto* ret =
+        static_cast<ReturnStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(ret->value->type->kind, TypeKind::UInt);
+}
+
+TEST(Sema, CharPromotesToInt)
+{
+    Program p = analyze("char c[1]; int f(void) { return c[0] + 1; }");
+    auto* ret =
+        static_cast<ReturnStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(ret->value->type->kind, TypeKind::Int);
+}
+
+TEST(Sema, ComparisonsTypeAsInt)
+{
+    Program p = analyze("int f(int* p, int* q) { return p == q; }");
+    auto* ret =
+        static_cast<ReturnStmt*>(p.functions[0]->body->stmts[0]);
+    EXPECT_EQ(ret->value->type->kind, TypeKind::Int);
+}
+
+TEST(Sema, SubscriptOfNonPointerFails)
+{
+    EXPECT_THROW(analyze("int f(int a) { return a[0]; }"), FatalError);
+}
+
+TEST(Sema, DerefOfNonPointerFails)
+{
+    EXPECT_THROW(analyze("int f(int a) { return *a; }"), FatalError);
+}
+
+TEST(Sema, RedefinitionOfFunctionFails)
+{
+    EXPECT_THROW(analyze("int f(void) { return 1; }"
+                         "int f(void) { return 2; }"),
+                 FatalError);
+}
+
+TEST(Sema, PrototypeThenDefinitionOk)
+{
+    Program p = analyze("int f(int x);"
+                        "int g(void) { return f(1); }"
+                        "int f(int x) { return x; }");
+    // The call must resolve to the definition.
+    EXPECT_EQ(testutil::interpret("int f(int x);"
+                                  "int g(void) { return f(5); }"
+                                  "int f(int x) { return x * 2; }",
+                                  "g"),
+              10u);
+}
+
+} // namespace

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Dataflow-simulator semantics: operator behavior, eta/merge/mu
+ * protocol, token generators, speculation safety, timing properties.
+ */
+#include <gtest/gtest.h>
+
+#include "benchsuite/kernels.h"
+#include "test_util.h"
+
+using namespace cash;
+using testutil::crossCheck;
+using testutil::simulate;
+
+namespace {
+
+TEST(Simulator, SpeculativeDivByZeroIsSafe)
+{
+    // The division is on the not-taken path; spatial execution
+    // computes it speculatively and must not trap.
+    const char* src = "int f(int a, int b)"
+                      "{ int r; if (b != 0) r = a / b; else r = -1;"
+                      " return r; }";
+    EXPECT_EQ(crossCheck(src, "f", {10, 2}), 5u);
+    EXPECT_EQ(crossCheck(src, "f", {10, 0}),
+              static_cast<uint32_t>(-1));
+}
+
+TEST(Simulator, PredicatedLoadsDoNotTouchMemory)
+{
+    // Null-guarded deref: the load must not execute when p == 0.
+    const char* src = "int f(int usep, int* p)"
+                      "{ if (usep) return *p; return 7; }";
+    CompileResult r = compileSource(src, {});
+    DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                          MemConfig::perfectMemory());
+    SimResult out = sim.run("f", {0, 0});  // p = null
+    EXPECT_EQ(out.returnValue, 7u);
+    EXPECT_EQ(out.stats.get("sim.dynLoads"), 0);
+    EXPECT_GE(out.stats.get("sim.nullified"), 1);
+}
+
+TEST(Simulator, DynamicCountsMatchWork)
+{
+    const char* src =
+        "int a[64];"
+        "int f(int n) { int i;"
+        " for (i = 0; i < n; i++) a[i] = i;"
+        " int s = 0; for (i = 0; i < n; i++) s += a[i];"
+        " return s; }";
+    CompileResult r = compileSource(src, {});
+    DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                          MemConfig::perfectMemory());
+    SimResult out = sim.run("f", {16});
+    EXPECT_EQ(out.stats.get("sim.dynStores"), 16);
+    EXPECT_EQ(out.stats.get("sim.dynLoads"), 16);
+}
+
+TEST(Simulator, MemoryPersistsAcrossRuns)
+{
+    const char* src = "int g;"
+                      "int bump(int v) { g += v; return g; }";
+    CompileResult r = compileSource(src, {});
+    DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                          MemConfig::perfectMemory());
+    EXPECT_EQ(sim.run("bump", {5}).returnValue, 5u);
+    EXPECT_EQ(sim.run("bump", {7}).returnValue, 12u);
+    sim.reset();
+    EXPECT_EQ(sim.run("bump", {1}).returnValue, 1u);
+}
+
+TEST(Simulator, RecursionAllocatesFrames)
+{
+    const char* src =
+        "int sumbuf(int n) {"
+        "  int t[4];"
+        "  int i;"
+        "  for (i = 0; i < 4; i++) t[i] = n + i;"
+        "  int s = t[0] + t[1] + t[2] + t[3];"
+        "  if (n <= 0) return s;"
+        "  return s + sumbuf(n - 1);"
+        "}";
+    crossCheck(src, "sumbuf", {6});
+}
+
+TEST(Simulator, CallResultsAndTokensFlow)
+{
+    const char* src =
+        "int g;"
+        "void put(int v) { g = v; }"
+        "int get(void) { return g; }"
+        "int f(int v) { put(v * 3); return get() + 1; }";
+    EXPECT_EQ(crossCheck(src, "f", {5}), 16u);
+}
+
+TEST(Simulator, LoopCyclesScaleLinearly)
+{
+    const char* src = "int f(int n) { int s = 0; int i;"
+                      " for (i = 0; i < n; i++) s += i;"
+                      " return s; }";
+    SimResult small = simulate(src, "f", {64});
+    SimResult large = simulate(src, "f", {256});
+    double ratio = static_cast<double>(large.cycles) /
+                   static_cast<double>(small.cycles);
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.0);
+}
+
+TEST(Simulator, RealisticMemorySlowerThanPerfect)
+{
+    // Pointer chasing: each load's address depends on the previous
+    // load's data, so cache latency sits squarely on the critical
+    // path and cannot be hidden by pipelining.
+    const char* src =
+        "int nxt[4096];"
+        "int f(int n) { int i; int cur = 0;"
+        " for (i = 0; i < 4096; i++) nxt[i] = (i * 1117 + 7) & 4095;"
+        " for (i = 0; i < n; i++) cur = nxt[cur];"
+        " return cur; }";
+    SimResult ideal = simulate(src, "f", {2048}, OptLevel::Full,
+                               MemConfig::perfectMemory());
+    SimResult real = simulate(src, "f", {2048}, OptLevel::Full,
+                              MemConfig::realistic(2));
+    EXPECT_EQ(real.returnValue, ideal.returnValue);
+    EXPECT_GT(real.cycles, ideal.cycles);
+    EXPECT_GT(real.stats.get("sim.mem.l1.misses"), 0);
+}
+
+TEST(Simulator, DeadlockIsDetected)
+{
+    // An infinite loop must be caught by the event limit rather than
+    // hanging.
+    const char* src = "int f(void) { int i = 0;"
+                      " while (1) i++; return i; }";
+    CompileResult r = compileSource(src, {});
+    DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                          MemConfig::perfectMemory());
+    sim.setMaxEvents(100000);
+    EXPECT_THROW(sim.run("f", {}), FatalError);
+}
+
+TEST(Simulator, ZeroTripLoop)
+{
+    const char* src = "int a[4];"
+                      "int f(int n) { int s = 9; int i;"
+                      " for (i = 0; i < n; i++) s += a[i];"
+                      " return s; }";
+    EXPECT_EQ(crossCheck(src, "f", {0}), 9u);
+}
+
+TEST(Simulator, LoopReentry)
+{
+    // The same loop body re-executed by an outer loop: the mu-merges
+    // must cleanly switch back to their initial streams.
+    const char* src =
+        "int f(int n) { int total = 0; int k; int i;"
+        " for (k = 0; k < 3; k++) {"
+        "   int s = 0;"
+        "   for (i = 0; i < n; i++) s += i + k;"
+        "   total += s;"
+        " }"
+        " return total; }";
+    crossCheck(src, "f", {5});
+    crossCheck(src, "f", {0});
+}
+
+TEST(Simulator, TokenGeneratorSemantics)
+{
+    // Exercise tk(d) through the decoupled stencil at several sizes:
+    // results must match the interpreter exactly (ordering preserved)
+    // while decoupling overlaps iterations.
+    const char* src =
+        "int cells[512];"
+        "int f(int n) { int i;"
+        " for (i = 0; i < n; i++) cells[i] = i;"
+        " for (i = 0; i + 3 < n; i++)"
+        "   cells[i + 3] = cells[i] + 1;"
+        " return cells[n - 1]; }";
+    for (uint32_t n : {4u, 5u, 8u, 64u, 301u})
+        crossCheck(src, "f", {n});
+}
+
+TEST(Simulator, PortContentionThrottles)
+{
+    const char* src =
+        "int xs[4096]; int ys[4096]; int zs[4096]; int ws[4096];"
+        "int f(int n) { int i;"
+        " for (i = 0; i < n; i++) {"
+        "   xs[i] = i; ys[i] = i; zs[i] = i; ws[i] = i;"
+        " }"
+        " return n; }";
+    SimResult one = simulate(src, "f", {1024}, OptLevel::Full,
+                             MemConfig::realistic(1));
+    SimResult four = simulate(src, "f", {1024}, OptLevel::Full,
+                              MemConfig::realistic(4));
+    EXPECT_GT(one.cycles, four.cycles);
+}
+
+TEST(Simulator, DoWhileAtFunctionEntry)
+{
+    // The entry hyperblock itself is the loop header: its mu-merges
+    // take one-shot initial values plus back-edge streams.
+    const char* src =
+        "int f(int n) { int s = 0;"
+        " do { s += n; n -= 1; } while (n > 0);"
+        " return s; }";
+    crossCheck(src, "f", {5});
+    crossCheck(src, "f", {1});
+    crossCheck(src, "f", {0});  // body still runs once
+}
+
+TEST(Simulator, PipeliningRaisesMemoryOccupancy)
+{
+    // §6's point made dynamic: after ring splitting, many iterations'
+    // accesses are outstanding at once.
+    const Kernel& k = kernelByName("saxpy");
+    SimResult none = testutil::simulate(k.source, k.entry, k.args,
+                                        OptLevel::None,
+                                        MemConfig::realistic(2));
+    SimResult fullr = testutil::simulate(k.source, k.entry, k.args,
+                                         OptLevel::Full,
+                                         MemConfig::realistic(2));
+    EXPECT_GT(fullr.stats.get("sim.mem.lsq.maxOccupancy"),
+              none.stats.get("sim.mem.lsq.maxOccupancy"));
+    EXPECT_GT(fullr.stats.get("sim.opsPerCycle_x100"),
+              none.stats.get("sim.opsPerCycle_x100"));
+}
+
+TEST(Simulator, StackOverflowDetected)
+{
+    const char* src = "int f(int n) { int t[512]; t[0] = n;"
+                      " if (n <= 0) return t[0];"
+                      " return f(n - 1) + t[0]; }";
+    CompileResult r = compileSource(src, {});
+    DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                          MemConfig::perfectMemory());
+    EXPECT_THROW(sim.run("f", {5000}), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Support library: string helpers, the statistics registry, IR text
+ * rendering and the benchmark-suite registry.
+ */
+#include <gtest/gtest.h>
+
+#include "benchsuite/kernels.h"
+#include "pegasus/dot.h"
+#include "support/stats.h"
+#include "support/strings.h"
+#include "test_util.h"
+
+using namespace cash;
+
+namespace {
+
+TEST(Strings, JoinAndSplit)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    std::vector<std::string> parts = split("x,y,z", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "y");
+    EXPECT_EQ(split("one", ',').size(), 1u);
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsWithAndPadding)
+{
+    EXPECT_TRUE(startsWith("pragma independent", "pragma"));
+    EXPECT_FALSE(startsWith("pr", "pragma"));
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("7", 3), "7  ");
+    EXPECT_EQ(padLeft("1234", 3), "1234");
+}
+
+TEST(Strings, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 1), "2.0");
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("x"), 0);
+    EXPECT_FALSE(s.has("x"));
+    s.add("x");
+    s.add("x", 4);
+    EXPECT_EQ(s.get("x"), 5);
+    s.set("x", 2);
+    EXPECT_EQ(s.get("x"), 2);
+}
+
+TEST(Stats, MergeSums)
+{
+    StatSet a, b;
+    a.add("n", 3);
+    b.add("n", 4);
+    b.add("m", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("n"), 7);
+    EXPECT_EQ(a.get("m"), 1);
+}
+
+TEST(Stats, StrIsSorted)
+{
+    StatSet s;
+    s.add("b.z", 1);
+    s.add("a.y", 2);
+    std::string out = s.str();
+    EXPECT_LT(out.find("a.y"), out.find("b.z"));
+}
+
+TEST(Dot, RendersEveryLiveNode)
+{
+    CompileResult r = compileSource(
+        "int a[4]; int f(int i) { a[i] += 1; return a[i]; }");
+    const Graph* g = r.graph("f");
+    std::string dot = toDot(*g);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    int nodes = 0;
+    g->forEach([&](Node* n) {
+        nodes++;
+        EXPECT_NE(dot.find("n" + std::to_string(n->id) + " ["),
+                  std::string::npos)
+            << n->str();
+    });
+    EXPECT_GT(nodes, 0);
+    // Token edges render dashed; predicates dotted.
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+    EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(Dot, TextListingIsStable)
+{
+    CompileResult r =
+        compileSource("int f(int a) { return a * 2 + 1; }");
+    std::string t1 = toText(*r.graph("f"));
+    std::string t2 = toText(*r.graph("f"));
+    EXPECT_EQ(t1, t2);
+    EXPECT_NE(t1.find("graph f"), std::string::npos);
+}
+
+TEST(KernelRegistry, AllKernelsWellFormed)
+{
+    EXPECT_GE(kernelSuite().size(), 20u);
+    for (const Kernel& k : kernelSuite()) {
+        EXPECT_FALSE(k.name.empty());
+        EXPECT_FALSE(k.source.empty());
+        EXPECT_FALSE(k.entry.empty());
+        // Entry must exist and be defined.
+        Program p = parseProgram(k.source);
+        analyzeProgram(p);
+        FuncDecl* f = p.findFunction(k.entry);
+        ASSERT_NE(f, nullptr) << k.name;
+        EXPECT_NE(f->body, nullptr) << k.name;
+        EXPECT_EQ(f->params.size(), k.args.size()) << k.name;
+    }
+}
+
+TEST(KernelRegistry, PragmaCountsMatchSources)
+{
+    for (const Kernel& k : kernelSuite()) {
+        Program p = parseProgram(k.source);
+        EXPECT_EQ(static_cast<int>(p.pragmas.size()), k.pragmas)
+            << k.name;
+    }
+}
+
+TEST(KernelRegistry, LookupByName)
+{
+    EXPECT_EQ(kernelByName("saxpy").entry, "saxpy_run");
+    EXPECT_THROW(kernelByName("nonexistent"), FatalError);
+}
+
+TEST(Diagnostics, FatalThrowsPanicAborts)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    SourceLoc loc{3, 7};
+    try {
+        fatalAt(loc, "bad thing");
+        FAIL();
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("3:7"),
+                  std::string::npos);
+    }
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the CASH test suite: compile a Mini-C snippet and
+ * run it on the baseline interpreter and/or the dataflow simulator.
+ */
+#ifndef CASH_TESTS_TEST_UTIL_H
+#define CASH_TESTS_TEST_UTIL_H
+
+#include <string>
+#include <vector>
+
+#include "baseline/interpreter.h"
+#include "driver/compiler.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "sim/dataflow_sim.h"
+
+namespace cash {
+namespace testutil {
+
+/** Interpret @p fn(args) in @p source with the golden interpreter. */
+inline uint32_t
+interpret(const std::string& source, const std::string& fn,
+          const std::vector<uint32_t>& args = {})
+{
+    Program prog = parseProgram(source);
+    analyzeProgram(prog);
+    MemoryLayout layout;
+    layout.build(prog);
+    Interpreter interp(prog, layout);
+    return interp.call(fn, args).returnValue;
+}
+
+/** Compile at @p level and simulate @p fn(args); returns the result. */
+inline SimResult
+simulate(const std::string& source, const std::string& fn,
+         const std::vector<uint32_t>& args = {},
+         OptLevel level = OptLevel::Full,
+         MemConfig mem = MemConfig::perfectMemory())
+{
+    CompileOptions co;
+    co.level = level;
+    CompileResult r = compileSource(source, co);
+    DataflowSimulator sim(r.graphPtrs(), *r.layout, mem);
+    return sim.run(fn, args);
+}
+
+/**
+ * Assert-helper: simulated result *and final global memory image*
+ * equal the interpreter's at every optimization level.  Returns the
+ * interpreted value.
+ */
+inline uint32_t
+crossCheck(const std::string& source, const std::string& fn,
+           const std::vector<uint32_t>& args = {})
+{
+    Program prog = parseProgram(source);
+    analyzeProgram(prog);
+    MemoryLayout layout;
+    layout.build(prog);
+    Interpreter interp(prog, layout);
+    uint32_t expect = interp.call(fn, args).returnValue;
+
+    for (OptLevel level :
+         {OptLevel::None, OptLevel::Medium, OptLevel::Full}) {
+        CompileOptions co;
+        co.level = level;
+        CompileResult r = compileSource(source, co);
+        DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                              MemConfig::perfectMemory());
+        SimResult got = sim.run(fn, args);
+        if (got.returnValue != expect)
+            throw FatalError(
+                "cross-check failed for " + fn + " at level " +
+                optLevelName(level) + ": interpreter=" +
+                std::to_string(expect) + " sim=" +
+                std::to_string(got.returnValue));
+        for (const MemObject& obj : r.layout->objects()) {
+            if (!obj.isGlobal)
+                continue;
+            for (uint32_t a = obj.address;
+                 a < obj.address + obj.size; a++) {
+                if (sim.memory().bytes()[a] != interp.memory()[a])
+                    throw FatalError(
+                        "memory divergence for " + fn + " at level " +
+                        optLevelName(level) + ", object " + obj.name +
+                        " byte " + std::to_string(a - obj.address));
+            }
+        }
+    }
+    return expect;
+}
+
+} // namespace testutil
+} // namespace cash
+
+#endif // CASH_TESTS_TEST_UTIL_H
