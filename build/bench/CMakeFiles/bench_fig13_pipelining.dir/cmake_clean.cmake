@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pipelining.dir/bench_fig13_pipelining.cpp.o"
+  "CMakeFiles/bench_fig13_pipelining.dir/bench_fig13_pipelining.cpp.o.d"
+  "bench_fig13_pipelining"
+  "bench_fig13_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_decoupling.dir/bench_fig16_decoupling.cpp.o"
+  "CMakeFiles/bench_fig16_decoupling.dir/bench_fig16_decoupling.cpp.o.d"
+  "bench_fig16_decoupling"
+  "bench_fig16_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

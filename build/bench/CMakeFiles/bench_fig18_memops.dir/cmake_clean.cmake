@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_memops.dir/bench_fig18_memops.cpp.o"
+  "CMakeFiles/bench_fig18_memops.dir/bench_fig18_memops.cpp.o.d"
+  "bench_fig18_memops"
+  "bench_fig18_memops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_memops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

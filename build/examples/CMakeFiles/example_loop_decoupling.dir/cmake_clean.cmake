@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_loop_decoupling.dir/loop_decoupling.cpp.o"
+  "CMakeFiles/example_loop_decoupling.dir/loop_decoupling.cpp.o.d"
+  "example_loop_decoupling"
+  "example_loop_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_loop_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

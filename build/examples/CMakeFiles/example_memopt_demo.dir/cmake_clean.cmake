@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_memopt_demo.dir/memopt_demo.cpp.o"
+  "CMakeFiles/example_memopt_demo.dir/memopt_demo.cpp.o.d"
+  "example_memopt_demo"
+  "example_memopt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_memopt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_explorer.dir/pipeline_explorer.cpp.o"
+  "CMakeFiles/example_pipeline_explorer.dir/pipeline_explorer.cpp.o.d"
+  "example_pipeline_explorer"
+  "example_pipeline_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/boolean.cpp" "src/CMakeFiles/cash.dir/analysis/boolean.cpp.o" "gcc" "src/CMakeFiles/cash.dir/analysis/boolean.cpp.o.d"
+  "/root/repo/src/analysis/induction.cpp" "src/CMakeFiles/cash.dir/analysis/induction.cpp.o" "gcc" "src/CMakeFiles/cash.dir/analysis/induction.cpp.o.d"
+  "/root/repo/src/analysis/loop_rings.cpp" "src/CMakeFiles/cash.dir/analysis/loop_rings.cpp.o" "gcc" "src/CMakeFiles/cash.dir/analysis/loop_rings.cpp.o.d"
+  "/root/repo/src/analysis/memloc.cpp" "src/CMakeFiles/cash.dir/analysis/memloc.cpp.o" "gcc" "src/CMakeFiles/cash.dir/analysis/memloc.cpp.o.d"
+  "/root/repo/src/analysis/points_to.cpp" "src/CMakeFiles/cash.dir/analysis/points_to.cpp.o" "gcc" "src/CMakeFiles/cash.dir/analysis/points_to.cpp.o.d"
+  "/root/repo/src/analysis/symbolic.cpp" "src/CMakeFiles/cash.dir/analysis/symbolic.cpp.o" "gcc" "src/CMakeFiles/cash.dir/analysis/symbolic.cpp.o.d"
+  "/root/repo/src/baseline/interpreter.cpp" "src/CMakeFiles/cash.dir/baseline/interpreter.cpp.o" "gcc" "src/CMakeFiles/cash.dir/baseline/interpreter.cpp.o.d"
+  "/root/repo/src/benchsuite/kernels.cpp" "src/CMakeFiles/cash.dir/benchsuite/kernels.cpp.o" "gcc" "src/CMakeFiles/cash.dir/benchsuite/kernels.cpp.o.d"
+  "/root/repo/src/cfg/cfg.cpp" "src/CMakeFiles/cash.dir/cfg/cfg.cpp.o" "gcc" "src/CMakeFiles/cash.dir/cfg/cfg.cpp.o.d"
+  "/root/repo/src/cfg/dominators.cpp" "src/CMakeFiles/cash.dir/cfg/dominators.cpp.o" "gcc" "src/CMakeFiles/cash.dir/cfg/dominators.cpp.o.d"
+  "/root/repo/src/cfg/hyperblock.cpp" "src/CMakeFiles/cash.dir/cfg/hyperblock.cpp.o" "gcc" "src/CMakeFiles/cash.dir/cfg/hyperblock.cpp.o.d"
+  "/root/repo/src/cfg/liveness.cpp" "src/CMakeFiles/cash.dir/cfg/liveness.cpp.o" "gcc" "src/CMakeFiles/cash.dir/cfg/liveness.cpp.o.d"
+  "/root/repo/src/cfg/loops.cpp" "src/CMakeFiles/cash.dir/cfg/loops.cpp.o" "gcc" "src/CMakeFiles/cash.dir/cfg/loops.cpp.o.d"
+  "/root/repo/src/cfg/lower.cpp" "src/CMakeFiles/cash.dir/cfg/lower.cpp.o" "gcc" "src/CMakeFiles/cash.dir/cfg/lower.cpp.o.d"
+  "/root/repo/src/driver/compiler.cpp" "src/CMakeFiles/cash.dir/driver/compiler.cpp.o" "gcc" "src/CMakeFiles/cash.dir/driver/compiler.cpp.o.d"
+  "/root/repo/src/frontend/ast.cpp" "src/CMakeFiles/cash.dir/frontend/ast.cpp.o" "gcc" "src/CMakeFiles/cash.dir/frontend/ast.cpp.o.d"
+  "/root/repo/src/frontend/layout.cpp" "src/CMakeFiles/cash.dir/frontend/layout.cpp.o" "gcc" "src/CMakeFiles/cash.dir/frontend/layout.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/cash.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/cash.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/cash.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/cash.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/frontend/sema.cpp" "src/CMakeFiles/cash.dir/frontend/sema.cpp.o" "gcc" "src/CMakeFiles/cash.dir/frontend/sema.cpp.o.d"
+  "/root/repo/src/opt/dead_code.cpp" "src/CMakeFiles/cash.dir/opt/dead_code.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/dead_code.cpp.o.d"
+  "/root/repo/src/opt/dead_store.cpp" "src/CMakeFiles/cash.dir/opt/dead_store.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/dead_store.cpp.o.d"
+  "/root/repo/src/opt/immutable_loads.cpp" "src/CMakeFiles/cash.dir/opt/immutable_loads.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/immutable_loads.cpp.o.d"
+  "/root/repo/src/opt/loop_decoupling.cpp" "src/CMakeFiles/cash.dir/opt/loop_decoupling.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/loop_decoupling.cpp.o.d"
+  "/root/repo/src/opt/loop_invariant.cpp" "src/CMakeFiles/cash.dir/opt/loop_invariant.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/loop_invariant.cpp.o.d"
+  "/root/repo/src/opt/memory_merge.cpp" "src/CMakeFiles/cash.dir/opt/memory_merge.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/memory_merge.cpp.o.d"
+  "/root/repo/src/opt/monotone_pipelining.cpp" "src/CMakeFiles/cash.dir/opt/monotone_pipelining.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/monotone_pipelining.cpp.o.d"
+  "/root/repo/src/opt/opt_util.cpp" "src/CMakeFiles/cash.dir/opt/opt_util.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/opt_util.cpp.o.d"
+  "/root/repo/src/opt/pass.cpp" "src/CMakeFiles/cash.dir/opt/pass.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/pass.cpp.o.d"
+  "/root/repo/src/opt/readonly_split.cpp" "src/CMakeFiles/cash.dir/opt/readonly_split.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/readonly_split.cpp.o.d"
+  "/root/repo/src/opt/ring_split.cpp" "src/CMakeFiles/cash.dir/opt/ring_split.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/ring_split.cpp.o.d"
+  "/root/repo/src/opt/scalar_opts.cpp" "src/CMakeFiles/cash.dir/opt/scalar_opts.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/scalar_opts.cpp.o.d"
+  "/root/repo/src/opt/store_forwarding.cpp" "src/CMakeFiles/cash.dir/opt/store_forwarding.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/store_forwarding.cpp.o.d"
+  "/root/repo/src/opt/token_removal.cpp" "src/CMakeFiles/cash.dir/opt/token_removal.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/token_removal.cpp.o.d"
+  "/root/repo/src/opt/transitive_reduction.cpp" "src/CMakeFiles/cash.dir/opt/transitive_reduction.cpp.o" "gcc" "src/CMakeFiles/cash.dir/opt/transitive_reduction.cpp.o.d"
+  "/root/repo/src/pegasus/builder.cpp" "src/CMakeFiles/cash.dir/pegasus/builder.cpp.o" "gcc" "src/CMakeFiles/cash.dir/pegasus/builder.cpp.o.d"
+  "/root/repo/src/pegasus/dot.cpp" "src/CMakeFiles/cash.dir/pegasus/dot.cpp.o" "gcc" "src/CMakeFiles/cash.dir/pegasus/dot.cpp.o.d"
+  "/root/repo/src/pegasus/graph.cpp" "src/CMakeFiles/cash.dir/pegasus/graph.cpp.o" "gcc" "src/CMakeFiles/cash.dir/pegasus/graph.cpp.o.d"
+  "/root/repo/src/pegasus/node.cpp" "src/CMakeFiles/cash.dir/pegasus/node.cpp.o" "gcc" "src/CMakeFiles/cash.dir/pegasus/node.cpp.o.d"
+  "/root/repo/src/pegasus/reachability.cpp" "src/CMakeFiles/cash.dir/pegasus/reachability.cpp.o" "gcc" "src/CMakeFiles/cash.dir/pegasus/reachability.cpp.o.d"
+  "/root/repo/src/pegasus/verifier.cpp" "src/CMakeFiles/cash.dir/pegasus/verifier.cpp.o" "gcc" "src/CMakeFiles/cash.dir/pegasus/verifier.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/cash.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/cash.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/dataflow_sim.cpp" "src/CMakeFiles/cash.dir/sim/dataflow_sim.cpp.o" "gcc" "src/CMakeFiles/cash.dir/sim/dataflow_sim.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "src/CMakeFiles/cash.dir/sim/latency.cpp.o" "gcc" "src/CMakeFiles/cash.dir/sim/latency.cpp.o.d"
+  "/root/repo/src/sim/lsq.cpp" "src/CMakeFiles/cash.dir/sim/lsq.cpp.o" "gcc" "src/CMakeFiles/cash.dir/sim/lsq.cpp.o.d"
+  "/root/repo/src/sim/memory_image.cpp" "src/CMakeFiles/cash.dir/sim/memory_image.cpp.o" "gcc" "src/CMakeFiles/cash.dir/sim/memory_image.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/CMakeFiles/cash.dir/sim/memory_system.cpp.o" "gcc" "src/CMakeFiles/cash.dir/sim/memory_system.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/CMakeFiles/cash.dir/sim/tlb.cpp.o" "gcc" "src/CMakeFiles/cash.dir/sim/tlb.cpp.o.d"
+  "/root/repo/src/sim/value.cpp" "src/CMakeFiles/cash.dir/sim/value.cpp.o" "gcc" "src/CMakeFiles/cash.dir/sim/value.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/cash.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/cash.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/cash.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/cash.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/CMakeFiles/cash.dir/support/strings.cpp.o" "gcc" "src/CMakeFiles/cash.dir/support/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cashc.dir/driver/main.cpp.o"
+  "CMakeFiles/cashc.dir/driver/main.cpp.o.d"
+  "cashc"
+  "cashc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cashc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_boolean.cpp" "tests/CMakeFiles/cash_tests.dir/test_boolean.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_boolean.cpp.o.d"
+  "/root/repo/tests/test_builder.cpp" "tests/CMakeFiles/cash_tests.dir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/cash_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/cash_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_dominators.cpp" "tests/CMakeFiles/cash_tests.dir/test_dominators.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_dominators.cpp.o.d"
+  "/root/repo/tests/test_end_to_end.cpp" "tests/CMakeFiles/cash_tests.dir/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/test_hyperblock.cpp" "tests/CMakeFiles/cash_tests.dir/test_hyperblock.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_hyperblock.cpp.o.d"
+  "/root/repo/tests/test_interpreter.cpp" "tests/CMakeFiles/cash_tests.dir/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_interpreter.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/cash_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/cash_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/cash_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_memsystem.cpp" "tests/CMakeFiles/cash_tests.dir/test_memsystem.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_memsystem.cpp.o.d"
+  "/root/repo/tests/test_opt_loops.cpp" "tests/CMakeFiles/cash_tests.dir/test_opt_loops.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_opt_loops.cpp.o.d"
+  "/root/repo/tests/test_opt_memory.cpp" "tests/CMakeFiles/cash_tests.dir/test_opt_memory.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_opt_memory.cpp.o.d"
+  "/root/repo/tests/test_opt_scalar.cpp" "tests/CMakeFiles/cash_tests.dir/test_opt_scalar.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_opt_scalar.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/cash_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_points_to.cpp" "tests/CMakeFiles/cash_tests.dir/test_points_to.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_points_to.cpp.o.d"
+  "/root/repo/tests/test_sema.cpp" "tests/CMakeFiles/cash_tests.dir/test_sema.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_sema.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/cash_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/cash_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_symbolic.cpp" "tests/CMakeFiles/cash_tests.dir/test_symbolic.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_symbolic.cpp.o.d"
+  "/root/repo/tests/test_verifier.cpp" "tests/CMakeFiles/cash_tests.dir/test_verifier.cpp.o" "gcc" "tests/CMakeFiles/cash_tests.dir/test_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cash_tests[1]_include.cmake")
+add_test(cli.run "/root/repo/build/src/cashc" "-O" "full" "--run" "run(64)" "--mem" "real2" "/root/repo/examples/programs/dotproduct.c")
+set_tests_properties(cli.run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.dumps "/root/repo/build/src/cashc" "-O" "medium" "--dump-cfg" "--dump-graph" "--dot" "--stats" "/root/repo/examples/programs/dotproduct.c")
+set_tests_properties(cli.dumps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.badfile "/root/repo/build/src/cashc" "/nonexistent.c")
+set_tests_properties(cli.badfile PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
