@@ -40,7 +40,7 @@ cyclesWith(const Kernel& k, const CompileOptions& co,
 }
 
 void
-ablationConstruction()
+ablationConstruction(benchutil::BenchReport& report)
 {
     std::printf("A. token construction: coarse program-order chain vs "
                 "read/write sets (§3.3),\n   both followed by the full "
@@ -49,8 +49,11 @@ ablationConstruction()
                 "rwsets(cyc)", "ratio");
     benchutil::rule(48);
     MemConfig mem = MemConfig::realistic(2);
-    for (const char* name :
-         {"saxpy", "dct", "fir", "adpcm", "stencil", "quant"}) {
+    std::vector<const char*> names = {"saxpy", "dct",     "fir",
+                                      "adpcm", "stencil", "quant"};
+    if (benchutil::smokeMode())
+        names = {"saxpy", "stencil"};
+    for (const char* name : names) {
         const Kernel& k = kernelByName(name);
         CompileOptions coarse;
         coarse.level = OptLevel::Full;
@@ -59,6 +62,10 @@ ablationConstruction()
         precise.level = OptLevel::Full;
         uint64_t c = cyclesWith(k, coarse, mem);
         uint64_t p = cyclesWith(k, precise, mem);
+        report.addRow({{"section", "construction"},
+                       {"kernel", name},
+                       {"cycles_coarse", c},
+                       {"cycles_rwsets", p}});
         std::printf("%-12s %12llu %12llu %8s\n", name,
                     static_cast<unsigned long long>(c),
                     static_cast<unsigned long long>(p),
@@ -75,7 +82,7 @@ ablationConstruction()
 }
 
 void
-ablationPragmas()
+ablationPragmas(benchutil::BenchReport& report)
 {
     std::printf("B. #pragma independent on vs stripped "
                 "(2-port realistic memory)\n\n");
@@ -83,7 +90,7 @@ ablationPragmas()
                 "with (cyc)", "without (cyc)", "gain");
     benchutil::rule(62);
     MemConfig mem = MemConfig::realistic(2);
-    for (const Kernel& k : kernelSuite()) {
+    for (const Kernel& k : benchutil::suiteForRun()) {
         if (k.pragmas == 0)
             continue;
         CompileOptions co;
@@ -92,6 +99,11 @@ ablationPragmas()
         Kernel stripped = k;
         stripped.source = stripPragmas(k.source);
         uint64_t without = cyclesWith(stripped, co, mem);
+        report.addRow({{"section", "pragmas"},
+                       {"kernel", k.name},
+                       {"pragmas", k.pragmas},
+                       {"cycles_with", with},
+                       {"cycles_without", without}});
         std::printf("%-12s %8d %14llu %14llu %8s\n", k.name.c_str(),
                     k.pragmas, static_cast<unsigned long long>(with),
                     static_cast<unsigned long long>(without),
@@ -108,7 +120,7 @@ ablationPragmas()
 }
 
 void
-ablationCompose()
+ablationCompose(benchutil::BenchReport& report)
 {
     std::printf("C. composition: Medium alone, Full-without-§6, and "
                 "Full (figure12 kernel,\n   2-port realistic "
@@ -127,6 +139,11 @@ ablationCompose()
     uint64_t cn = cyclesWith(k, none, mem);
     uint64_t cm = cyclesWith(k, medium, mem);
     uint64_t cf = cyclesWith(k, fullO, mem);
+    report.addRow({{"section", "composition"},
+                   {"kernel", "figure12"},
+                   {"cycles_none", cn},
+                   {"cycles_medium", cm},
+                   {"cycles_full", cf}});
     std::printf("  none:   %8llu cycles\n",
                 static_cast<unsigned long long>(cn));
     std::printf("  medium: %8llu cycles (%.2fx)\n",
@@ -150,8 +167,10 @@ main()
                 "choices\n");
     benchutil::rule(64);
     std::printf("\n");
-    ablationConstruction();
-    ablationPragmas();
-    ablationCompose();
+    benchutil::BenchReport report("ablation");
+    ablationConstruction(report);
+    ablationPragmas(report);
+    ablationCompose(report);
+    report.write();
     return 0;
 }

@@ -38,8 +38,9 @@ int readonly_run(int n)
 )";
 
 void
-row(const char* name, const std::string& source,
-    const std::string& entry, std::vector<uint32_t> args)
+row(benchutil::BenchReport& report, const char* name,
+    const std::string& source, const std::string& entry,
+    std::vector<uint32_t> args)
 {
     Kernel k;
     k.source = source;
@@ -61,6 +62,12 @@ row(const char* name, const std::string& source,
                 static_cast<unsigned long long>(rf.cycles),
                 fmtDouble(speed, 2).c_str(),
                 static_cast<long long>(rings));
+    report.addRow({{"workload", name},
+                   {"cycles_none", rn.cycles},
+                   {"cycles_medium", rm.cycles},
+                   {"cycles_full", rf.cycles},
+                   {"speedup_full", speed},
+                   {"rings", rings}});
 }
 
 } // namespace
@@ -75,12 +82,15 @@ main()
                 "rings");
     benchutil::rule(72);
 
-    row("figure12", figure12Source(), "fig12_run", {1024});
-    row("read-only", kReadOnlySrc, "readonly_run", {1024});
-    const Kernel& sax = kernelByName("saxpy");
-    row("saxpy", sax.source, sax.entry, sax.args);
-    const Kernel& fir = kernelByName("fir");
-    row("fir", fir.source, fir.entry, fir.args);
+    benchutil::BenchReport report("fig13_pipelining");
+    row(report, "figure12", figure12Source(), "fig12_run", {1024});
+    row(report, "read-only", kReadOnlySrc, "readonly_run", {1024});
+    if (!benchutil::smokeMode()) {
+        const Kernel& sax = kernelByName("saxpy");
+        row(report, "saxpy", sax.source, sax.entry, sax.args);
+        const Kernel& fir = kernelByName("fir");
+        row(report, "fir", fir.source, fir.entry, fir.args);
+    }
 
     benchutil::rule(72);
     std::printf("\n'rings' counts the generator/collector splits "
@@ -88,5 +98,6 @@ main()
                 "overlap successive iterations' memory accesses, so "
                 "the loop\nbound shifts from serialized round-trips "
                 "to memory bandwidth.\n");
+    report.write();
     return 0;
 }

@@ -54,11 +54,18 @@ main()
                 "full (cyc)", "full x", "tokengens");
     benchutil::rule(58);
 
-    for (int d : {1, 2, 3, 4, 8}) {
+    benchutil::BenchReport report("fig16_decoupling");
+    std::vector<int> distances = {1, 2, 3, 4, 8};
+    uint32_t n = 4096;
+    if (benchutil::smokeMode()) {
+        distances = {3};
+        n = 512;
+    }
+    for (int d : distances) {
         Kernel k;
         k.source = stencilSource(d);
         k.entry = "stencil_run";
-        k.args = {4096};
+        k.args = {n};
         MemConfig mem = MemConfig::realistic(2);
         SimResult rm = benchutil::runKernel(k, OptLevel::Medium, mem);
         SimResult rf = benchutil::runKernel(k, OptLevel::Full, mem);
@@ -72,13 +79,19 @@ main()
                     static_cast<unsigned long long>(rf.cycles),
                     fmtDouble(speed, 2).c_str(),
                     static_cast<long long>(tks));
+        report.addRow({{"distance", d},
+                       {"n", static_cast<int64_t>(n)},
+                       {"cycles_medium", rm.cycles},
+                       {"cycles_full", rf.cycles},
+                       {"speedup_full", speed},
+                       {"tokengens", tks}});
     }
     benchutil::rule(58);
 
     // Applicability across the suite (paper: 28 loops in all of
     // MediaBench+SPEC — i.e. rarely).
     int applicable = 0;
-    for (const Kernel& k : kernelSuite()) {
+    for (const Kernel& k : benchutil::suiteForRun()) {
         CompileResult r = benchutil::compileKernel(k, OptLevel::Full);
         if (r.stats.get("opt.loop_decoupling.loops") > 0)
             applicable++;
@@ -88,5 +101,7 @@ main()
                 "transformation is powerful but rarely applicable,\n"
                 "\"more applicable to Fortran-type loops\").\n",
                 applicable, kernelSuite().size());
+    report.meta("kernels_with_decoupling", applicable);
+    report.write();
     return 0;
 }

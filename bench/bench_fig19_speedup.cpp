@@ -23,12 +23,16 @@ main()
         const char* name;
         MemConfig cfg;
     };
-    const std::vector<MemRow> mems = {
+    std::vector<MemRow> mems = {
         {"perfect", MemConfig::perfectMemory()},
         {"real-1port", MemConfig::realistic(1)},
         {"real-2port", MemConfig::realistic(2)},
         {"real-4port", MemConfig::realistic(4)},
     };
+    if (benchutil::smokeMode())
+        mems = {{"perfect", MemConfig::perfectMemory()},
+                {"real-2port", MemConfig::realistic(2)}};
+    benchutil::BenchReport report("fig19_speedup");
 
     std::printf("Figure 19: speedup of optimization levels over the "
                 "unoptimized spatial\nimplementation (None), per "
@@ -43,7 +47,7 @@ main()
         benchutil::rule(72);
         double gmMed = 0, gmFull = 0;
         int n = 0;
-        for (const Kernel& k : kernelSuite()) {
+        for (const Kernel& k : benchutil::suiteForRun()) {
             SimResult rn =
                 benchutil::runKernel(k, OptLevel::None, mem.cfg);
             SimResult rm =
@@ -61,6 +65,13 @@ main()
                         static_cast<unsigned long long>(rf.cycles),
                         fmtDouble(sm, 2).c_str(),
                         fmtDouble(sf, 2).c_str());
+            report.addRow({{"kernel", k.name},
+                           {"mem", mem.name},
+                           {"cycles_none", rn.cycles},
+                           {"cycles_medium", rm.cycles},
+                           {"cycles_full", rf.cycles},
+                           {"speedup_medium", sm},
+                           {"speedup_full", sf}});
             gmMed += sm;
             gmFull += sf;
             n++;
@@ -76,5 +87,6 @@ main()
                 "improves with bandwidth but 1-2 ports already do "
                 "well;\n(3) read-only splitting and loop decoupling "
                 "help only a few kernels.\n");
+    report.write();
     return 0;
 }

@@ -79,5 +79,13 @@ main()
     std::printf("f(p==0) path: a[5] = 1 << a[6]        = %u\n",
                 untaken.returnValue);
 
+    benchutil::BenchReport report("fig1_example");
+    report.addRow({{"function", "f"},
+                   {"loads_none", ldN},
+                   {"loads_full", ldF},
+                   {"stores_none", stN},
+                   {"stores_full", stF},
+                   {"reproduced", shapeOk}});
+    report.write();
     return shapeOk ? 0 : 1;
 }

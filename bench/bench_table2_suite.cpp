@@ -36,9 +36,10 @@ printTable()
     std::printf("%-12s %-14s %6s %7s %8s %10s\n", "Benchmark",
                 "models", "Funcs", "Lines", "Pragmas", "IR nodes");
     benchutil::rule(64);
+    benchutil::BenchReport report("table2_suite");
     int tf = 0, tl = 0, tp = 0;
     int64_t tn = 0;
-    for (const Kernel& k : kernelSuite()) {
+    for (const Kernel& k : benchutil::suiteForRun()) {
         CompileResult r = benchutil::compileKernel(k, OptLevel::Full);
         int funcs = 0;
         for (const FuncDecl* f : r.ast->functions)
@@ -49,6 +50,12 @@ printTable()
         std::printf("%-12s %-14s %6d %7d %8d %10lld\n", k.name.c_str(),
                     k.domain.c_str(), funcs, lines, k.pragmas,
                     static_cast<long long>(nodes));
+        report.addRow({{"kernel", k.name},
+                       {"domain", k.domain},
+                       {"functions", funcs},
+                       {"lines", lines},
+                       {"pragmas", k.pragmas},
+                       {"ir_nodes", nodes}});
         tf += funcs;
         tl += lines;
         tp += k.pragmas;
@@ -64,7 +71,7 @@ printTable()
     // §7.1: "About half the time spent in CASH is spent on the
     // optimizations" — measure our frontend/optimizer split.
     int64_t fe = 0, op = 0;
-    for (const Kernel& k : kernelSuite()) {
+    for (const Kernel& k : benchutil::suiteForRun()) {
         CompileResult r = benchutil::compileKernel(k, OptLevel::Full);
         fe += r.stats.get("time.frontend.us");
         op += r.stats.get("time.optimize.us");
@@ -77,6 +84,9 @@ printTable()
                               static_cast<double>(fe + op),
                           0)
                     .c_str());
+    report.meta("time_frontend_us", fe);
+    report.meta("time_optimize_us", op);
+    report.write();
 }
 
 void
@@ -100,6 +110,8 @@ int
 main(int argc, char** argv)
 {
     printTable();
+    if (benchutil::smokeMode())
+        return 0;  // CI validates the JSON artifact only
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

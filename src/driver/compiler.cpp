@@ -72,21 +72,38 @@ compileSource(const std::string& source, const CompileOptions& options)
             .count();
     };
 
+    TraceRecorder* tracer = options.tracer;
     CompileResult r;
+    ScopedTimer whole(tracer, "compile", "compile");
+    whole.arg("level", optLevelName(options.level));
+
     Clock::time_point t0 = Clock::now();
-    r.ast = std::make_shared<Program>(parseProgram(source));
-    analyzeProgram(*r.ast);
-
-    r.layout = std::make_shared<MemoryLayout>();
-    r.layout->build(*r.ast);
-
-    r.cfg = lowerProgram(*r.ast, *r.layout);
-    runPointsTo(*r.cfg, *r.ast, *r.layout);
+    {
+        ScopedTimer t(tracer, "parse+sema", "frontend");
+        r.ast = std::make_shared<Program>(parseProgram(source));
+        analyzeProgram(*r.ast);
+    }
+    {
+        ScopedTimer t(tracer, "layout", "frontend");
+        r.layout = std::make_shared<MemoryLayout>();
+        r.layout->build(*r.ast);
+    }
+    {
+        ScopedTimer t(tracer, "lower", "frontend");
+        r.cfg = lowerProgram(*r.ast, *r.layout);
+    }
+    {
+        ScopedTimer t(tracer, "points-to", "frontend");
+        runPointsTo(*r.cfg, *r.ast, *r.layout);
+    }
 
     BuildOptions bo;
     bo.usePointsTo =
         options.pointsToInConstruction && options.level != OptLevel::None;
-    r.graphs = buildPegasus(*r.cfg, *r.ast, *r.layout, bo);
+    {
+        ScopedTimer t(tracer, "build-pegasus", "frontend");
+        r.graphs = buildPegasus(*r.cfg, *r.ast, *r.layout, bo);
+    }
     Clock::time_point t1 = Clock::now();
 
     for (auto& g : r.graphs) {
@@ -99,6 +116,7 @@ compileSource(const std::string& source, const CompileOptions& options)
     ctx.oracle = &r.cfg->oracle;
     ctx.layout = r.layout.get();
     ctx.stats = &r.stats;
+    ctx.tracer = tracer;
     ctx.verifyAfterEachPass = options.verify;
 
     for (auto& g : r.graphs) {

@@ -38,6 +38,12 @@ struct CompileOptions
      * chain.
      */
     bool pointsToInConstruction = true;
+    /**
+     * Observability sink: when set and enabled, the pipeline records
+     * per-phase spans and the pass manager records one span per pass
+     * run (see docs/OBSERVABILITY.md).
+     */
+    TraceRecorder* tracer = nullptr;
 };
 
 /** Everything produced by one compilation. */

@@ -13,6 +13,9 @@
  *     --run f(a,b,...)      simulate calling f with integer args
  *     --mem perfect|real1|real2|real4   memory system for --run
  *     --stats               print compile + run statistics
+ *     --stats-json FILE     write compile + run statistics as JSON
+ *     --trace FILE          write a Chrome trace-event file (Perfetto)
+ *     --verbose             debug logging to stderr (repeat for more)
  */
 #include <fstream>
 #include <iostream>
@@ -22,6 +25,7 @@
 #include "pegasus/dot.h"
 #include "sim/dataflow_sim.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 using namespace cash;
 
@@ -34,7 +38,9 @@ usage()
         "usage: cashc [-O none|medium|full] [--dump-cfg] "
         "[--dump-graph] [--dot]\n"
         "             [--run 'f(1,2)'] [--mem perfect|real1|real2|real4]"
-        " [--stats] file.c\n";
+        " [--stats]\n"
+        "             [--stats-json out.json] [--trace out.json]"
+        " [--verbose] file.c\n";
     return 2;
 }
 
@@ -46,6 +52,8 @@ main(int argc, char** argv)
     std::string file;
     std::string runSpec;
     std::string memSpec = "real2";
+    std::string traceFile;
+    std::string statsJsonFile;
     bool dumpCfg = false, dumpGraph = false, dumpDot = false;
     bool showStats = false;
     CompileOptions opts;
@@ -68,8 +76,12 @@ main(int argc, char** argv)
             dumpGraph = true;
         } else if (arg == "--dot") {
             dumpDot = true;
-        } else if (arg == "--trace") {
-            traceLevel = 2;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            traceFile = argv[++i];
+        } else if (arg == "--stats-json" && i + 1 < argc) {
+            statsJsonFile = argv[++i];
+        } else if (arg == "--verbose" || arg == "-v") {
+            traceLevel++;
         } else if (arg == "--stats") {
             showStats = true;
         } else if (arg == "--run" && i + 1 < argc) {
@@ -93,6 +105,14 @@ main(int argc, char** argv)
     std::stringstream buf;
     buf << in.rdbuf();
 
+    TraceRecorder& tracer = globalTracer();
+    if (!traceFile.empty()) {
+        tracer.enable();
+        opts.tracer = &tracer;
+    }
+
+    StatSet simStats;
+    bool ranSim = false;
     try {
         CompileResult r = compileSource(buf.str(), opts);
 
@@ -130,18 +150,54 @@ main(int argc, char** argv)
                 mc = MemConfig::realistic(4);
 
             DataflowSimulator sim(r.graphPtrs(), *r.layout, mc);
+            if (!traceFile.empty())
+                sim.setTracer(&tracer);
             SimResult out = sim.run(fname, args);
             std::cout << fname << " returned " << out.returnValue
                       << " in " << out.cycles << " cycles ("
                       << mc.name << " memory)\n";
             if (showStats)
                 std::cout << out.stats.str();
+            simStats = out.stats;
+            simStats.set("sim.returnValue",
+                         static_cast<int64_t>(out.returnValue));
+            ranSim = true;
         }
         if (showStats)
             std::cout << r.stats.str();
+
+        if (!statsJsonFile.empty()) {
+            std::ofstream os(statsJsonFile);
+            if (!os) {
+                std::cerr << "cashc: cannot write " << statsJsonFile
+                          << "\n";
+                return 1;
+            }
+            os << "{\n  \"schema\": \"cash-stats-v1\",\n"
+               << "  \"meta\": {\n"
+               << "    \"file\": \"" << jsonEscape(file) << "\",\n"
+               << "    \"opt_level\": \"" << optLevelName(opts.level)
+               << "\",\n"
+               << "    \"mem\": \"" << jsonEscape(memSpec) << "\",\n"
+               << "    \"run\": \"" << jsonEscape(runSpec) << "\"\n"
+               << "  },\n"
+               << "  \"compile\": " << statSetJson(r.stats, 2);
+            if (ranSim)
+                os << ",\n  \"sim\": " << statSetJson(simStats, 2);
+            os << "\n}\n";
+        }
     } catch (const FatalError& e) {
         std::cerr << "cashc: " << e.what() << "\n";
         return 1;
+    }
+
+    if (!traceFile.empty()) {
+        std::ofstream os(traceFile);
+        if (!os) {
+            std::cerr << "cashc: cannot write " << traceFile << "\n";
+            return 1;
+        }
+        tracer.writeChromeTrace(os);
     }
     return 0;
 }

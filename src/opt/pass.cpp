@@ -1,9 +1,27 @@
 #include "opt/pass.h"
 
+#include <chrono>
+
 #include "pegasus/verifier.h"
 #include "support/diagnostics.h"
 
 namespace cash {
+
+IrShape
+measureIr(const Graph& g)
+{
+    IrShape s;
+    g.forEach([&](Node* n) {
+        s.nodes++;
+        for (int i = 0; i < n->numInputs(); i++) {
+            s.edges++;
+            const PortRef& in = n->input(i);
+            if (in.node->outputType(in.port) == VT::Token)
+                s.tokenEdges++;
+        }
+    });
+    return s;
+}
 
 const char*
 optLevelName(OptLevel level)
@@ -46,9 +64,69 @@ standardPipeline(OptLevel level)
     return passes;
 }
 
+namespace {
+
+/** Run one pass and record its span, wall time and IR/stats deltas. */
+bool
+runInstrumented(Pass& pass, Graph& g, OptContext& ctx, int round)
+{
+    using Clock = std::chrono::steady_clock;
+    TraceRecorder* tracer =
+        ctx.tracer && ctx.tracer->enabled() ? ctx.tracer : nullptr;
+
+    IrShape before = measureIr(g);
+    StatSet statsBefore;
+    if (tracer && ctx.stats)
+        statsBefore = *ctx.stats;
+
+    uint64_t traceStart = tracer ? tracer->nowUs() : 0;
+    Clock::time_point t0 = Clock::now();
+    bool changed = pass.run(g, ctx);
+    int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     Clock::now() - t0)
+                     .count();
+    IrShape after = measureIr(g);
+    StatSet passDelta;
+    if (tracer && ctx.stats)
+        passDelta = ctx.stats->diff(statsBefore);
+
+    const std::string prefix = std::string("opt.pass.") + pass.name();
+    ctx.count(prefix + ".runs");
+    ctx.count(prefix + ".time_us", us);
+    ctx.count(prefix + ".nodes_removed", before.nodes - after.nodes);
+    ctx.count(prefix + ".edges_removed", before.edges - after.edges);
+    ctx.count(prefix + ".token_edges_removed",
+              before.tokenEdges - after.tokenEdges);
+    if (changed)
+        ctx.count(std::string("opt.") + pass.name() + ".changed");
+
+    if (tracer) {
+        std::vector<TraceArg> args;
+        args.emplace_back("graph", g.name);
+        args.emplace_back("round", round);
+        args.emplace_back("changed", changed ? 1 : 0);
+        args.emplace_back("nodes_before", before.nodes);
+        args.emplace_back("nodes_after", after.nodes);
+        args.emplace_back("edges_before", before.edges);
+        args.emplace_back("edges_after", after.edges);
+        args.emplace_back("token_edges_before", before.tokenEdges);
+        args.emplace_back("token_edges_after", after.tokenEdges);
+        // Counters the pass itself bumped (e.g. its removal tally).
+        for (const auto& [k, v] : passDelta.all())
+            args.emplace_back(k, v);
+        ctx.tracer->completeEvent(pass.name(), "opt", traceStart,
+                                  tracer->nowUs() - traceStart,
+                                  std::move(args));
+    }
+    return changed;
+}
+
+} // namespace
+
 int
 optimizeGraph(Graph& g, OptLevel level, OptContext& ctx)
 {
+    ScopedTimer whole(ctx.tracer, "optimize " + g.name, "opt.graph");
     std::vector<std::unique_ptr<Pass>> passes = standardPipeline(level);
     const int maxRounds = 8;
     int round = 0;
@@ -57,16 +135,15 @@ optimizeGraph(Graph& g, OptLevel level, OptContext& ctx)
         changed = false;
         round++;
         for (auto& pass : passes) {
-            bool c = pass->run(g, ctx);
-            if (c)
-                ctx.count(std::string("opt.") + pass->name() +
-                          ".changed");
+            bool c = runInstrumented(*pass, g, ctx, round);
             if (ctx.verifyAfterEachPass)
                 verifyOrDie(g, std::string("after ") + pass->name());
             changed |= c;
         }
     }
     g.compact();
+    whole.arg("rounds", round);
+    whole.arg("level", optLevelName(level));
     return round;
 }
 

@@ -18,6 +18,7 @@
 #include "frontend/layout.h"
 #include "pegasus/graph.h"
 #include "support/stats.h"
+#include "support/trace.h"
 
 namespace cash {
 
@@ -27,6 +28,8 @@ struct OptContext
     const AliasOracle* oracle = nullptr;
     const MemoryLayout* layout = nullptr;
     StatSet* stats = nullptr;
+    /** Observability sink for per-pass spans (may be disabled). */
+    TraceRecorder* tracer = nullptr;
     bool verifyAfterEachPass = false;
 
     void
@@ -64,6 +67,16 @@ enum class OptLevel
 };
 
 const char* optLevelName(OptLevel level);
+
+/** Size of a Pegasus graph, as reported in per-pass IR deltas. */
+struct IrShape
+{
+    int64_t nodes = 0;       ///< Live nodes.
+    int64_t edges = 0;       ///< Inputs over all live nodes.
+    int64_t tokenEdges = 0;  ///< Edges carrying a VT::Token value.
+};
+
+IrShape measureIr(const Graph& g);
 
 // Factory functions, one per paper optimization.
 std::unique_ptr<Pass> makeScalarOpts();           // folding, CSE

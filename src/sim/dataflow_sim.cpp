@@ -1,5 +1,7 @@
 #include "sim/dataflow_sim.h"
 
+#include <algorithm>
+
 #include "sim/latency.h"
 #include "sim/value.h"
 #include "support/diagnostics.h"
@@ -13,6 +15,14 @@ DataflowSimulator::DataflowSimulator(
 {
     for (const Graph* g : graphs)
         buildIndex(g);
+    fireCounts_.assign(static_cast<size_t>(NodeKind::TokenGen) + 1, 0);
+}
+
+void
+DataflowSimulator::setTracer(TraceRecorder* tracer)
+{
+    tracer_ = tracer;
+    memsys_.setTracer(tracer);
 }
 
 void
@@ -108,6 +118,7 @@ DataflowSimulator::startActivation(const GraphIndex& gi,
     a->gi = &gi;
     a->parent = parent;
     a->parentCallNode = parentCallNode;
+    a->startTime = when;
     a->fifo.resize(gi.nodes.size());
     a->portClock.resize(gi.nodes.size());
     a->mergeMode.assign(gi.nodes.size(), Activation::MergeMode::Fwd);
@@ -344,6 +355,7 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
     firings_++;
     const NodeIndex& ni = a->gi->nodes[node];
     const Node* n = ni.n;
+    fireCounts_[static_cast<size_t>(n->kind)]++;
     if (traceLevel >= 2)
         trace(2, "t=" + std::to_string(now) + " act" +
                      std::to_string(a->id) + " fire " + n->str());
@@ -510,6 +522,11 @@ DataflowSimulator::finishActivation(Activation* a, uint32_t value,
     if (a->finished)
         return;  // a second return firing would be a graph bug
     a->finished = true;
+    if (tracer_ && tracer_->enabled())
+        tracer_->completeEvent(a->gi->g->name, "sim.activation",
+                               a->startTime, now - a->startTime,
+                               {{"activation", a->id}},
+                               kTraceCyclePid);
     if (a->frameSize && stackPtr_ == a->frameBase)
         stackPtr_ += a->frameSize;
     if (!a->parent) {
@@ -537,7 +554,9 @@ DataflowSimulator::run(const std::string& name,
     rootDoneTime_ = 0;
     events_ = firings_ = dynLoads_ = dynStores_ = 0;
     nullified_ = callsMade_ = 0;
+    std::fill(fireCounts_.begin(), fireCounts_.end(), 0);
 
+    ScopedTimer span(tracer_, "sim.run " + name, "sim");
     const GraphIndex& gi = indexOf(name);
     startActivation(gi, args, 0, nullptr, -1);
 
@@ -594,6 +613,13 @@ DataflowSimulator::run(const std::string& name,
     r.stats.set("sim.dynStores", static_cast<int64_t>(dynStores_));
     r.stats.set("sim.nullified", static_cast<int64_t>(nullified_));
     r.stats.set("sim.calls", static_cast<int64_t>(callsMade_));
+    for (size_t k = 0; k < fireCounts_.size(); k++)
+        if (fireCounts_[k])
+            r.stats.set(std::string("sim.fire.") +
+                            nodeKindName(static_cast<NodeKind>(k)),
+                        static_cast<int64_t>(fireCounts_[k]));
+    span.arg("cycles", static_cast<int64_t>(rootDoneTime_));
+    span.arg("firings", static_cast<int64_t>(firings_));
     // Spatial ILP: average operator firings per cycle (x100).
     if (rootDoneTime_ > 0)
         r.stats.set("sim.opsPerCycle_x100",

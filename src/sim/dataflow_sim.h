@@ -63,6 +63,13 @@ class DataflowSimulator
 
     void setMaxEvents(uint64_t n) { maxEvents_ = n; }
 
+    /**
+     * Observability sink: when set and enabled, run() records one span
+     * per activation and LSQ-occupancy counter samples, all in the
+     * simulated-cycles time domain (see docs/OBSERVABILITY.md).
+     */
+    void setTracer(TraceRecorder* tracer);
+
   private:
     // --- static per-graph indexing -----------------------------------
     struct InputDesc
@@ -131,6 +138,7 @@ class DataflowSimulator
         int parentCallNode = -1;
         uint32_t frameBase = 0;
         uint32_t frameSize = 0;
+        uint64_t startTime = 0;
         bool finished = false;
     };
 
@@ -183,6 +191,8 @@ class DataflowSimulator
     uint64_t rootDoneTime_ = 0;
     uint64_t maxEvents_ = 200000000;
 
+    TraceRecorder* tracer_ = nullptr;
+
     // Per-run counters.
     uint64_t events_ = 0;
     uint64_t firings_ = 0;
@@ -190,6 +200,8 @@ class DataflowSimulator
     uint64_t dynStores_ = 0;
     uint64_t nullified_ = 0;  ///< Pred-false memory ops.
     uint64_t callsMade_ = 0;
+    /** Firings per NodeKind, reported as "sim.fire.<kind>". */
+    std::vector<uint64_t> fireCounts_;
 };
 
 } // namespace cash

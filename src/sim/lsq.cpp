@@ -7,6 +7,7 @@ namespace cash {
 Lsq::Lsq(int size, int ports) : size_(size), ports_(ports)
 {
     portFree_.assign(ports_, 0);
+    occupancyHist_.assign(size_ + 1, 0);
 }
 
 void
@@ -18,6 +19,7 @@ Lsq::reset()
     maxOccupancy_ = 0;
     portStalls_ = 0;
     fullStalls_ = 0;
+    occupancyHist_.assign(size_ + 1, 0);
 }
 
 uint64_t
@@ -53,6 +55,7 @@ Lsq::issue(uint64_t now)
 void
 Lsq::complete(uint64_t when)
 {
+    occupancyHist_[std::min<size_t>(outstanding_.size(), size_)]++;
     outstanding_.push(when);
     maxOccupancy_ = std::max(maxOccupancy_,
                              static_cast<uint64_t>(outstanding_.size()));

@@ -38,6 +38,18 @@ class Lsq
     uint64_t portStalls() const { return portStalls_; }
     uint64_t fullStalls() const { return fullStalls_; }
 
+    /** Accesses in flight right now (slots in use). */
+    uint64_t occupancy() const { return outstanding_.size(); }
+
+    /**
+     * Occupancy histogram: entry k counts accesses that found k other
+     * accesses outstanding when they entered the queue.
+     */
+    const std::vector<uint64_t>& occupancyHist() const
+    {
+        return occupancyHist_;
+    }
+
   private:
     int size_;
     int ports_;
@@ -49,6 +61,7 @@ class Lsq
     uint64_t maxOccupancy_ = 0;
     uint64_t portStalls_ = 0;
     uint64_t fullStalls_ = 0;
+    std::vector<uint64_t> occupancyHist_;
 };
 
 } // namespace cash

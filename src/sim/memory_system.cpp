@@ -47,6 +47,7 @@ MemorySystem::reset()
         tlb_->reset();
     accesses_ = 0;
     dramAccesses_ = 0;
+    latencyHist_.clear();
 }
 
 uint64_t
@@ -81,8 +82,13 @@ MemorySystem::request(uint32_t addr, bool isWrite, int size, uint64_t now)
         return t;
     }
     t.start = lsq_.issue(now);
-    t.complete = t.start + hierarchyLatency(addr, isWrite);
+    uint64_t lat = hierarchyLatency(addr, isWrite);
+    t.complete = t.start + lat;
     lsq_.complete(t.complete);
+    latencyHist_[histBucket(lat)]++;
+    if (tracer_ && tracer_->enabled())
+        tracer_->counterEvent("sim.lsq.occupancy", t.start,
+                              static_cast<int64_t>(lsq_.occupancy()));
     return t;
 }
 
@@ -104,6 +110,14 @@ MemorySystem::reportStats(StatSet& stats) const
     stats.add("sim.mem.lsq.portStalls", lsq_.portStalls());
     stats.add("sim.mem.lsq.fullStalls", lsq_.fullStalls());
     stats.add("sim.mem.lsq.maxOccupancy", lsq_.maxOccupancy());
+    const std::vector<uint64_t>& occ = lsq_.occupancyHist();
+    for (size_t k = 0; k < occ.size(); k++)
+        if (occ[k])
+            stats.add("sim.mem.lsq.occHist." + histBucket(k),
+                      static_cast<int64_t>(occ[k]));
+    for (const auto& [bucket, n] : latencyHist_)
+        stats.add("sim.mem.latencyHist." + bucket,
+                  static_cast<int64_t>(n));
 }
 
 } // namespace cash

@@ -14,6 +14,7 @@
 #define CASH_SIM_MEMORY_SYSTEM_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <queue>
 #include <string>
@@ -22,6 +23,7 @@
 #include "sim/lsq.h"
 #include "sim/tlb.h"
 #include "support/stats.h"
+#include "support/trace.h"
 
 namespace cash {
 
@@ -85,6 +87,9 @@ class MemorySystem
     /** Dump counters into @p stats under the "sim.mem." prefix. */
     void reportStats(StatSet& stats) const;
 
+    /** Record LSQ-occupancy counter samples into @p tracer. */
+    void setTracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
     const MemConfig& config() const { return cfg_; }
 
   private:
@@ -95,8 +100,11 @@ class MemorySystem
     std::unique_ptr<Cache> l1_;
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<Tlb> tlb_;
+    TraceRecorder* tracer_ = nullptr;
     uint64_t accesses_ = 0;
     uint64_t dramAccesses_ = 0;
+    /** Access-latency histogram, keyed by histBucket() label. */
+    std::map<std::string, uint64_t> latencyHist_;
 };
 
 } // namespace cash

@@ -42,6 +42,19 @@ StatSet::merge(const StatSet& other)
         counters_[k] += v;
 }
 
+StatSet
+StatSet::diff(const StatSet& before) const
+{
+    StatSet d;
+    for (const auto& [k, v] : counters_)
+        if (v != before.get(k))
+            d.set(k, v - before.get(k));
+    for (const auto& [k, v] : before.counters_)
+        if (!has(k))
+            d.set(k, -v);
+    return d;
+}
+
 std::string
 StatSet::str() const
 {

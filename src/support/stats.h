@@ -37,6 +37,12 @@ class StatSet
     /** Merge all counters of @p other into this set (summing). */
     void merge(const StatSet& other);
 
+    /**
+     * Counters that changed since snapshot @p before, each holding the
+     * change (this minus before).  Unchanged counters are omitted.
+     */
+    StatSet diff(const StatSet& before) const;
+
     const std::map<std::string, int64_t>& all() const { return counters_; }
 
     /** Render as "name = value" lines, sorted by name. */

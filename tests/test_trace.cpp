@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Observability layer: TraceRecorder / ScopedTimer spans, JSON
+ * escaping and well-formedness of the Chrome-trace export, stats-delta
+ * capture, and the end-to-end guarantee that a full compile records
+ * one trace event per optimization-pass run.
+ */
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "driver/compiler.h"
+#include "sim/dataflow_sim.h"
+#include "support/stats.h"
+#include "support/trace.h"
+#include "test_util.h"
+
+using namespace cash;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// A minimal JSON well-formedness checker (syntax only), so the tests
+// can assert that the Chrome-trace export would load in Perfetto
+// without depending on an external JSON library.
+// ---------------------------------------------------------------------
+
+struct JsonChecker
+{
+    const std::string& s;
+    size_t i = 0;
+
+    explicit JsonChecker(const std::string& text) : s(text) {}
+
+    void ws()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' ||
+                                s[i] == '\n' || s[i] == '\r'))
+            i++;
+    }
+
+    bool literal(const char* lit)
+    {
+        size_t n = std::strlen(lit);
+        if (s.compare(i, n, lit) != 0)
+            return false;
+        i += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (i >= s.size() || s[i] != '"')
+            return false;
+        i++;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                i++;
+                if (i >= s.size())
+                    return false;
+                char c = s[i];
+                if (c == 'u') {
+                    for (int k = 0; k < 4; k++)
+                        if (++i >= s.size() || !std::isxdigit(
+                                static_cast<unsigned char>(s[i])))
+                            return false;
+                } else if (!std::strchr("\"\\/bfnrt", c)) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(s[i]) < 0x20) {
+                return false;  // raw control char inside a string
+            }
+            i++;
+        }
+        if (i >= s.size())
+            return false;
+        i++;  // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        size_t start = i;
+        if (i < s.size() && s[i] == '-')
+            i++;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                s[i] == '+' || s[i] == '-'))
+            i++;
+        return i > start;
+    }
+
+    bool value()
+    {
+        ws();
+        if (i >= s.size())
+            return false;
+        switch (s[i]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        i++;  // '{'
+        ws();
+        if (i < s.size() && s[i] == '}') {
+            i++;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (i >= s.size() || s[i] != ':')
+                return false;
+            i++;
+            if (!value())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                i++;
+                continue;
+            }
+            break;
+        }
+        if (i >= s.size() || s[i] != '}')
+            return false;
+        i++;
+        return true;
+    }
+
+    bool array()
+    {
+        i++;  // '['
+        ws();
+        if (i < s.size() && s[i] == ']') {
+            i++;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                i++;
+                continue;
+            }
+            break;
+        }
+        if (i >= s.size() || s[i] != ']')
+            return false;
+        i++;
+        return true;
+    }
+
+    bool wellFormed()
+    {
+        bool ok = value();
+        ws();
+        return ok && i == s.size();
+    }
+};
+
+bool
+validJson(const std::string& text)
+{
+    JsonChecker c(text);
+    return c.wellFormed();
+}
+
+TEST(JsonChecker, SelfTest)
+{
+    EXPECT_TRUE(validJson("{\"a\": [1, 2.5, -3], \"b\": \"x\\ny\"}"));
+    EXPECT_TRUE(validJson("[]"));
+    EXPECT_FALSE(validJson("{\"a\": }"));
+    EXPECT_FALSE(validJson("[1, 2"));
+    EXPECT_FALSE(validJson("{\"a\" 1}"));
+}
+
+// ---------------------------------------------------------------------
+// JSON escaping
+// ---------------------------------------------------------------------
+
+TEST(Trace, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(jsonEscape(std::string("ctl\x01") + "x"), "ctl\\u0001x");
+    EXPECT_EQ(jsonEscape("\r\b\f"), "\\r\\b\\f");
+}
+
+TEST(Trace, HistBucket)
+{
+    EXPECT_EQ(histBucket(0), "0");
+    EXPECT_EQ(histBucket(1), "1");
+    EXPECT_EQ(histBucket(2), "2");
+    EXPECT_EQ(histBucket(3), "le4");
+    EXPECT_EQ(histBucket(4), "le4");
+    EXPECT_EQ(histBucket(5), "le8");
+    EXPECT_EQ(histBucket(100), "le128");
+    EXPECT_EQ(histBucket(1024), "le1024");
+    EXPECT_EQ(histBucket(5000), "gt1024");
+}
+
+// ---------------------------------------------------------------------
+// Timers and the recorder
+// ---------------------------------------------------------------------
+
+TEST(Trace, DisabledRecorderDropsEverything)
+{
+    TraceRecorder rec;  // disabled by default
+    {
+        ScopedTimer t(&rec, "outer", "test");
+    }
+    rec.counterEvent("c", 0, 1);
+    EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(Trace, TimerNesting)
+{
+    TraceRecorder rec;
+    rec.enable();
+    {
+        ScopedTimer outer(&rec, "outer", "test");
+        {
+            ScopedTimer inner(&rec, "inner", "test");
+            inner.arg("k", static_cast<int64_t>(7));
+        }
+    }
+    ASSERT_EQ(rec.events().size(), 2u);
+    // Inner closes first, so it is recorded first.
+    const TraceEvent& inner = rec.events()[0];
+    const TraceEvent& outer = rec.events()[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(inner.phase, 'X');
+    // Containment: the inner span lies within the outer span.
+    EXPECT_GE(inner.ts, outer.ts);
+    EXPECT_LE(inner.ts + inner.dur, outer.ts + outer.dur);
+    ASSERT_EQ(inner.args.size(), 1u);
+    EXPECT_EQ(inner.args[0].key, "k");
+    EXPECT_EQ(inner.args[0].i, 7);
+}
+
+TEST(Trace, MaxEventsCapCountsDrops)
+{
+    TraceRecorder rec;
+    rec.enable();
+    rec.setMaxEvents(3);
+    for (int i = 0; i < 10; i++)
+        rec.counterEvent("c", i, i);
+    EXPECT_EQ(rec.events().size(), 3u);
+    EXPECT_EQ(rec.dropped(), 7u);
+    rec.clear();
+    EXPECT_TRUE(rec.events().empty());
+    EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(Trace, ChromeTraceIsWellFormedJson)
+{
+    TraceRecorder rec;
+    rec.enable();
+    {
+        // Hostile names exercise the escaper through the writer.
+        ScopedTimer t(&rec, "name \"with\" quotes\n", "cat\\slash");
+        t.arg("str", std::string("v\t1"));
+        t.arg("num", static_cast<int64_t>(-5));
+    }
+    rec.counterEvent("sim.lsq.occupancy", 42, 3);
+    rec.instantEvent("marker", "test", 7);
+    std::string json = rec.chromeTraceJson();
+    EXPECT_TRUE(validJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Stats deltas
+// ---------------------------------------------------------------------
+
+TEST(Trace, StatsDeltaCapture)
+{
+    StatSet before;
+    before.add("opt.dead_code.removed", 3);
+    before.add("untouched", 1);
+    StatSet after = before;
+    after.add("opt.dead_code.removed", 2);
+    after.add("fresh.counter", 5);
+
+    StatSet d = after.diff(before);
+    EXPECT_EQ(d.get("opt.dead_code.removed"), 2);
+    EXPECT_EQ(d.get("fresh.counter"), 5);
+    EXPECT_FALSE(d.has("untouched"));
+
+    // A counter only present in the snapshot shows up negated.
+    StatSet empty;
+    StatSet d2 = empty.diff(before);
+    EXPECT_EQ(d2.get("untouched"), -1);
+}
+
+TEST(Trace, StatSetJsonIsWellFormed)
+{
+    StatSet s;
+    s.add("sim.cycles", 100);
+    s.add("weird\"name", 1);
+    EXPECT_TRUE(validJson(statSetJson(s)));
+    EXPECT_TRUE(validJson(statSetJson(StatSet{})));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: compile + simulate under a tracer
+// ---------------------------------------------------------------------
+
+const char* kProgram = R"(
+int a[64];
+int sum(int n) {
+    int s = 0; int i;
+    for (i = 0; i < n; i++) s += a[i];
+    return s;
+}
+int run(int n) {
+    int i;
+    for (i = 0; i < n; i++) a[i] = i;
+    return sum(n);
+}
+)";
+
+TEST(Trace, OneEventPerPassRun)
+{
+    TraceRecorder rec;
+    rec.enable();
+    CompileOptions co;
+    co.level = OptLevel::Full;
+    co.tracer = &rec;
+    CompileResult r = compileSource(kProgram, co);
+
+    // The pass manager bumps opt.pass.<name>.runs once per pass run
+    // and records exactly one "opt"-category span for each.
+    int64_t runs = 0;
+    for (const auto& [k, v] : r.stats.all())
+        if (k.rfind("opt.pass.", 0) == 0 &&
+            k.size() > 5 && k.compare(k.size() - 5, 5, ".runs") == 0)
+            runs += v;
+    ASSERT_GT(runs, 0);
+    EXPECT_EQ(static_cast<int64_t>(rec.byCategory("opt").size()), runs);
+
+    // Every span carries the IR-shape args.
+    for (const TraceEvent* ev : rec.byCategory("opt")) {
+        bool sawNodes = false, sawRound = false;
+        for (const TraceArg& a : ev->args) {
+            sawNodes |= a.key == "nodes_before";
+            sawRound |= a.key == "round";
+        }
+        EXPECT_TRUE(sawNodes) << ev->name;
+        EXPECT_TRUE(sawRound) << ev->name;
+    }
+
+    // Frontend phases and the per-graph optimize spans are present.
+    EXPECT_FALSE(rec.byCategory("frontend").empty());
+    EXPECT_EQ(rec.byCategory("opt.graph").size(), r.graphs.size());
+
+    // Per-pass wall time was accumulated in the stats alongside.
+    EXPECT_TRUE(r.stats.has("opt.pass.dead_code.time_us"));
+    EXPECT_TRUE(r.stats.has("opt.pass.dead_code.nodes_removed"));
+}
+
+TEST(Trace, SimulatorRecordsActivationsAndCounters)
+{
+    TraceRecorder rec;
+    rec.enable();
+    CompileOptions co;
+    co.level = OptLevel::Full;
+    co.tracer = &rec;
+    CompileResult r = compileSource(kProgram, co);
+
+    DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                          MemConfig::realistic(2));
+    sim.setTracer(&rec);
+    SimResult out = sim.run("run", {16});
+    EXPECT_EQ(out.returnValue, 120u);
+
+    // One activation span per procedure call: run + the sum callee.
+    EXPECT_EQ(rec.byCategory("sim.activation").size(), 2u);
+    // LSQ occupancy counter samples, one per memory access.
+    size_t counters = 0;
+    for (const TraceEvent& ev : rec.events())
+        if (ev.phase == 'C' && ev.name == "sim.lsq.occupancy")
+            counters++;
+    EXPECT_EQ(counters,
+              static_cast<size_t>(out.stats.get("sim.mem.accesses")));
+
+    // New simulator counter families.
+    EXPECT_GT(out.stats.get("sim.fire.load"), 0);
+    EXPECT_GT(out.stats.get("sim.fire.store"), 0);
+    int64_t occHist = 0, latHist = 0;
+    for (const auto& [k, v] : out.stats.all()) {
+        if (k.rfind("sim.mem.lsq.occHist.", 0) == 0)
+            occHist += v;
+        if (k.rfind("sim.mem.latencyHist.", 0) == 0)
+            latHist += v;
+    }
+    EXPECT_EQ(occHist, out.stats.get("sim.mem.accesses"));
+    EXPECT_EQ(latHist, out.stats.get("sim.mem.accesses"));
+
+    // The whole trace still serializes to well-formed JSON.
+    EXPECT_TRUE(validJson(rec.chromeTraceJson()));
+}
+
+} // namespace
