@@ -15,6 +15,7 @@ DataflowSimulator::DataflowSimulator(
 {
     for (const Graph* g : graphs)
         buildIndex(g);
+    linkCallees();
     fireCounts_.assign(static_cast<size_t>(NodeKind::TokenGen) + 1, 0);
 }
 
@@ -31,13 +32,27 @@ DataflowSimulator::buildIndex(const Graph* g)
     GraphIndex gi;
     gi.g = g;
     std::vector<Node*> nodes = g->liveNodes();
+    std::map<const Node*, int> dense;  // index-time only; the hot path
+                                       // uses the flat CSR arrays
     for (size_t i = 0; i < nodes.size(); i++)
-        gi.dense[nodes[i]] = static_cast<int>(i);
+        dense[nodes[i]] = static_cast<int>(i);
     gi.nodes.resize(nodes.size());
+    gi.hot.resize(nodes.size() + 1);  // +1: sentinel (input counts)
     for (size_t i = 0; i < nodes.size(); i++) {
         NodeIndex& ni = gi.nodes[i];
+        NodeHot& h = gi.hot[i];
         ni.n = nodes[i];
-        ni.inputs.resize(nodes[i]->numInputs());
+        h.kind = static_cast<uint8_t>(nodes[i]->kind);
+        h.latency = static_cast<uint8_t>(nodeLatency(nodes[i]));
+        if (nodes[i]->kind == NodeKind::Arith) {
+            h.op = static_cast<uint8_t>(nodes[i]->op);
+            h.unary = nodes[i]->op == Op::Copy ||
+                      opIsUnary(nodes[i]->op);
+        }
+        h.fifoBase = gi.numFifoSlots;
+        h.portBase = gi.numPortSlots;
+        gi.numFifoSlots += nodes[i]->numInputs();
+        gi.numPortSlots += std::max(nodes[i]->numOutputs(), 1);
         for (int k = 0; k < nodes[i]->numInputs(); k++) {
             const PortRef& in = nodes[i]->input(k);
             CASH_ASSERT(in.valid() && !in.node->dead,
@@ -45,15 +60,22 @@ DataflowSimulator::buildIndex(const Graph* g)
             // Const inputs are always-ready, except on Merge *value*
             // slots, where a one-shot initial value is injected
             // instead (constant deciders stay always-ready).
+            InputDesc d;
             if (in.node->kind == NodeKind::Const &&
                 (nodes[i]->kind != NodeKind::Merge ||
                  k == nodes[i]->deciderIndex)) {
-                ni.inputs[k].isConst = true;
-                ni.inputs[k].constValue =
+                d.isConst = true;
+                d.constValue =
                     static_cast<uint32_t>(in.node->constValue);
+            } else {
+                h.need++;
             }
+            gi.inDesc.push_back(d);
         }
-        ni.consumers.resize(std::max(nodes[i]->numOutputs(), 1));
+        if (nodes[i]->kind == NodeKind::TokenGen) {
+            ni.tkSlot = static_cast<int>(gi.tkInit.size());
+            gi.tkInit.push_back(nodes[i]->tkCount);
+        }
         if (nodes[i]->kind == NodeKind::Merge) {
             const Node* m = nodes[i];
             ni.deciderIdx = m->deciderIndex;
@@ -70,23 +92,76 @@ DataflowSimulator::buildIndex(const Graph* g)
                 } else {
                     ni.fwdInputs.push_back(k);
                 }
+                if (m->input(k).node->kind == NodeKind::Const)
+                    gi.mergeInits.push_back(
+                        {static_cast<int>(i), k,
+                         static_cast<uint32_t>(
+                             m->input(k).node->constValue)});
             }
         }
     }
-    // Consumer lists.
+    gi.hot[nodes.size()].fifoBase = gi.numFifoSlots;
+    gi.hot[nodes.size()].portBase = gi.numPortSlots;
+    // CSR consumer lists: count uses per producer port, then fill.
+    std::vector<int> counts(gi.numPortSlots, 0);
     for (size_t i = 0; i < nodes.size(); i++) {
         Node* n = nodes[i];
         for (int k = 0; k < n->numInputs(); k++) {
-            const PortRef& in = n->input(k);
-            if (gi.nodes[gi.dense[n]].inputs[k].isConst)
+            if (gi.inDesc[gi.hot[i].fifoBase + k].isConst)
                 continue;
-            auto pit = gi.dense.find(in.node);
-            CASH_ASSERT(pit != gi.dense.end(), "input from foreign node");
-            gi.nodes[pit->second].consumers[in.port].push_back(
-                {static_cast<int>(i), k});
+            const PortRef& in = n->input(k);
+            auto pit = dense.find(in.node);
+            CASH_ASSERT(pit != dense.end(), "input from foreign node");
+            counts[gi.hot[pit->second].portBase + in.port]++;
         }
     }
+    gi.consOff.resize(gi.numPortSlots + 1);
+    int total = 0;
+    for (int p = 0; p < gi.numPortSlots; p++) {
+        gi.consOff[p] = total;
+        total += counts[p];
+    }
+    gi.consOff[gi.numPortSlots] = total;
+    gi.cons.resize(total);
+    std::vector<int> fill(gi.consOff.begin(),
+                          gi.consOff.end() - 1);
+    for (size_t i = 0; i < nodes.size(); i++) {
+        Node* n = nodes[i];
+        for (int k = 0; k < n->numInputs(); k++) {
+            if (gi.inDesc[gi.hot[i].fifoBase + k].isConst)
+                continue;
+            const PortRef& in = n->input(k);
+            int prod = dense.find(in.node)->second;
+            int port = gi.hot[prod].portBase + in.port;
+            gi.cons[fill[port]++] = {static_cast<int32_t>(i),
+                                     gi.hot[i].fifoBase + k};
+        }
+    }
+    // Distinguished nodes, resolved once so activation start never
+    // touches a map.
+    for (const Node* p : g->paramNodes)
+        gi.paramDense.push_back(dense.at(p));
+    gi.initialTokenDense = dense.at(g->initialToken);
     graphs_[g->name] = std::move(gi);
+}
+
+void
+DataflowSimulator::linkCallees()
+{
+    // Resolve callee GraphIndex pointers after all graphs are indexed;
+    // std::map nodes are stable, so the pointers stay valid.  A call to
+    // a graph that was not provided stays null and is a fatal error if
+    // it ever fires (matching the old by-name lookup).
+    for (auto& [name, gi] : graphs_) {
+        (void)name;
+        for (NodeIndex& ni : gi.nodes) {
+            if (ni.n->kind != NodeKind::Call || !ni.n->callee)
+                continue;
+            auto it = graphs_.find(ni.n->callee->name);
+            if (it != graphs_.end())
+                ni.callee = &it->second;
+        }
+    }
 }
 
 const DataflowSimulator::GraphIndex&
@@ -112,21 +187,39 @@ DataflowSimulator::startActivation(const GraphIndex& gi,
                                    uint64_t when, Activation* parent,
                                    int parentCallNode)
 {
-    auto act = std::make_unique<Activation>();
-    Activation* a = act.get();
-    a->id = static_cast<int>(activations_.size());
+    Activation* a;
+    if (!freePool_.empty()) {
+        a = freePool_.back();
+        freePool_.pop_back();
+        a->pooled = false;
+        actRecycled_++;
+    } else {
+        activations_.push_back(std::make_unique<Activation>());
+        a = activations_.back().get();
+    }
+    a->id = nextActId_++;
     a->gi = &gi;
     a->parent = parent;
     a->parentCallNode = parentCallNode;
     a->startTime = when;
-    a->fifo.resize(gi.nodes.size());
-    a->portClock.resize(gi.nodes.size());
+    a->frameBase = 0;
+    a->frameSize = 0;
+    a->inflight = 0;
+    a->liveChildren = 0;
+    a->finished = false;
+    a->fifo.resize(gi.numFifoSlots);
+    for (ItemFifo& f : a->fifo)
+        f.clear();  // keeps spill capacity across recycling
+    a->portClock.assign(gi.numPortSlots, 0);
+    a->readyCnt.assign(gi.nodes.size(), 0);
     a->mergeMode.assign(gi.nodes.size(), Activation::MergeMode::Fwd);
-    for (size_t i = 0; i < gi.nodes.size(); i++) {
-        a->fifo[i].resize(gi.nodes[i].inputs.size());
-        a->portClock[i].assign(gi.nodes[i].consumers.size(), 0);
-    }
-    activations_.push_back(std::move(act));
+    a->tkCounter = gi.tkInit;
+    actSpawned_++;
+    liveActs_++;
+    if (liveActs_ > peakLiveActs_)
+        peakLiveActs_ = liveActs_;
+    if (parent)
+        parent->liveChildren++;
 
     const Graph* g = gi.g;
     CASH_ASSERT(args.size() == static_cast<size_t>(g->numParams),
@@ -141,128 +234,173 @@ DataflowSimulator::startActivation(const GraphIndex& gi,
     }
 
     // Inject parameters and the initial token.
-    for (size_t p = 0; p < g->paramNodes.size(); p++) {
+    for (size_t p = 0; p < gi.paramDense.size(); p++) {
         uint32_t v = p < args.size() ? args[p] : a->frameBase;
-        output(a, gi.dense.at(g->paramNodes[p]), 0, v, when);
+        output(a, gi.paramDense[p], 0, v, when);
     }
-    output(a, gi.dense.at(g->initialToken), 0, 0, when);
+    output(a, gi.initialTokenDense, 0, 0, when);
 
     // One-shot initial values for merge inputs wired to constants.
-    for (size_t i = 0; i < gi.nodes.size(); i++) {
-        const Node* n = gi.nodes[i].n;
-        if (n->kind != NodeKind::Merge)
-            continue;
-        for (int k = 0; k < n->numInputs(); k++) {
-            if (k == n->deciderIndex)
-                continue;
-            if (n->input(k).node->kind == NodeKind::Const) {
-                deliver(a, static_cast<int>(i), k,
-                        Item{static_cast<uint32_t>(
-                                 n->input(k).node->constValue),
-                             false},
-                        when);
-            }
-        }
-    }
+    for (const GraphIndex::MergeInit& mi : gi.mergeInits)
+        deliver(a, mi.node, gi.hot[mi.node].fifoBase + mi.input,
+                Item{mi.value, false}, when);
     return a;
 }
 
 void
-DataflowSimulator::deliver(Activation* a, int node, int input,
+DataflowSimulator::recycle(Activation* a)
+{
+    a->pooled = true;
+    freePool_.push_back(a);
+}
+
+void
+DataflowSimulator::releaseActivations()
+{
+    freePool_.clear();
+    activations_.clear();
+}
+
+// The three hottest paths in the system — one deliver per event, one
+// readiness check per delivery — are force-inlined into their (sole,
+// same-TU) callers; the compiler's size heuristics otherwise leave
+// them out of line.
+inline __attribute__((always_inline)) void
+DataflowSimulator::deliver(Activation* a, int node, int slot,
                            Item item, uint64_t when)
 {
     Event e;
-    e.time = when;
     e.seq = seq_++;
     e.act = a;
     e.node = node;
-    e.input = input;
+    e.slot = slot;
     e.item = item;
-    queue_.push(e);
+    a->inflight++;
+    if (when <= now_) {
+        // Zero-latency delivery (the common case: wires between
+        // combinational operators) — straight onto the worklist.
+        bucketOps_++;
+        ready_.push_back(e);
+    } else if (when - now_ <= kWheelSize) {
+        bucketOps_++;
+        wheel_[when & (kWheelSize - 1)].push_back(e);
+        wheelCount_++;
+    } else {
+        heapOps_++;
+        overflow_.push({when, e});
+    }
+}
+
+bool
+DataflowSimulator::advanceTime()
+{
+    if (wheelCount_ == 0 && overflow_.empty())
+        return false;
+    // The next pending timestamp: nearest non-empty wheel slot (at
+    // most kWheelSize probes) vs. the overflow heap's top.
+    uint64_t next = 0;
+    bool have = false;
+    if (wheelCount_ > 0) {
+        uint64_t t = now_ + 1;
+        while (wheel_[t & (kWheelSize - 1)].empty())
+            t++;
+        next = t;
+        have = true;
+    }
+    if (!overflow_.empty() &&
+        (!have || overflow_.top().time < next))
+        next = overflow_.top().time;
+    now_ = next;
+
+    // Drain the slot for now_.  Every event in a slot shares one
+    // timestamp: insertions only cover (now_, now_ + kWheelSize], a
+    // window that holds each residue class exactly once.
+    std::vector<Event>& slot = wheel_[now_ & (kWheelSize - 1)];
+    size_t fromWheel = slot.size();
+    wheelCount_ -= fromWheel;
+    bool merged = false;
+    while (!overflow_.empty() && overflow_.top().time == now_) {
+        slot.push_back(overflow_.top().e);
+        overflow_.pop();
+        merged = true;
+    }
+    // Wheel inserts and heap pops are each seq-sorted already; only a
+    // mix of both needs re-sorting to restore global (time, seq) order.
+    if (merged && fromWheel > 0)
+        std::sort(slot.begin(), slot.end(),
+                  [](const Event& x, const Event& y) {
+                      return x.seq < y.seq;
+                  });
+    // The caller drained ready_, so adopt the slot's buffer wholesale;
+    // the slot inherits the empty one for future inserts.
+    std::swap(ready_, slot);
+    return true;
 }
 
 void
 DataflowSimulator::output(Activation* a, int node, int port,
                           uint32_t value, uint64_t when, bool eos)
 {
-    const NodeIndex& ni = a->gi->nodes[node];
-    if (port >= static_cast<int>(ni.consumers.size()))
-        return;
-    uint64_t& clock = a->portClock[node][port];
+    const GraphIndex* gi = a->gi;
+    int p = gi->hot[node].portBase + port;
+    uint64_t& clock = a->portClock[p];
     if (when < clock)
         when = clock;  // in-order delivery per output port
     clock = when;
-    for (const Consumer& c : ni.consumers[port])
-        deliver(a, c.node, c.input, Item{value, eos}, when);
+    const Item item{value, eos};
+    for (int c = gi->consOff[p]; c < gi->consOff[p + 1]; c++)
+        deliver(a, gi->cons[c].node, gi->cons[c].slot, item, when);
 }
 
-bool
+inline __attribute__((always_inline)) bool
 DataflowSimulator::ready(const Activation* a, int node) const
 {
-    const NodeIndex& ni = a->gi->nodes[node];
-    NodeKind k = ni.n->kind;
+    const NodeHot& h = a->gi->hot[node];
+    NodeKind k = static_cast<NodeKind>(h.kind);
+    if (k != NodeKind::Merge && k != NodeKind::TokenGen)
+        return a->readyCnt[node] == h.need;
+    const ItemFifo* fifo = a->fifo.data() + h.fifoBase;
     if (k == NodeKind::TokenGen) {
-        if (!a->fifo[node][1].empty())
+        if (!fifo[1].empty())
             return true;  // token returns always processable
-        if (a->fifo[node][0].empty())
+        if (fifo[0].empty())
             return false;
-        if (a->fifo[node][0].front().value)
+        if (fifo[0].front().value)
             return true;  // true predicate
         // A false predicate (reset) must wait until all owed tokens
         // have been paid back by the leading loop.
-        auto it = a->tkCounter.find(node);
-        int64_t c = it == a->tkCounter.end() ? ni.n->tkCount
-                                             : it->second;
-        return c >= 0;
+        return a->tkCounter[a->gi->nodes[node].tkSlot] >= 0;
     }
-    if (k == NodeKind::Merge) {
-        switch (a->mergeMode[node]) {
-          case Activation::MergeMode::Fwd:
-            for (int i : ni.fwdInputs)
-                if (!a->fifo[node][i].empty())
-                    return true;
-            return false;
-          case Activation::MergeMode::AwaitDecider:
-            return ni.inputs[ni.deciderIdx].isConst ||
-                   !a->fifo[node][ni.deciderIdx].empty();
-          case Activation::MergeMode::Back:
-            if (ni.strictBack) {
-                for (int i : ni.backInputs)
-                    if (a->fifo[node][i].empty())
-                        return false;
+    const NodeIndex& ni = a->gi->nodes[node];
+    switch (a->mergeMode[node]) {
+      case Activation::MergeMode::Fwd:
+        for (int i : ni.fwdInputs)
+            if (!fifo[i].empty())
                 return true;
-            }
+        return false;
+      case Activation::MergeMode::AwaitDecider:
+        return a->gi->inDesc[h.fifoBase + ni.deciderIdx].isConst ||
+               !fifo[ni.deciderIdx].empty();
+      case Activation::MergeMode::Back:
+        if (ni.strictBack) {
             for (int i : ni.backInputs)
-                if (!a->fifo[node][i].empty())
-                    return true;
-            return false;
+                if (fifo[i].empty())
+                    return false;
+            return true;
         }
+        for (int i : ni.backInputs)
+            if (!fifo[i].empty())
+                return true;
         return false;
     }
-    for (size_t i = 0; i < ni.inputs.size(); i++)
-        if (!ni.inputs[i].isConst && a->fifo[node][i].empty())
-            return false;
-    return true;
-}
-
-uint32_t
-DataflowSimulator::take(Activation* a, int node, int input)
-{
-    const InputDesc& d = a->gi->nodes[node].inputs[input];
-    if (d.isConst)
-        return d.constValue;
-    auto& q = a->fifo[node][input];
-    CASH_ASSERT(!q.empty(), "taking from empty FIFO");
-    Item it = q.front();
-    q.pop_front();
-    CASH_ASSERT(!it.eos, "EOS item reached a non-merge consumer");
-    return it.value;
+    return false;
 }
 
 void
 DataflowSimulator::fireMerge(Activation* a, int node, uint64_t now)
 {
     const NodeIndex& ni = a->gi->nodes[node];
+    ItemFifo* fifo = a->fifo.data() + a->gi->hot[node].fifoBase;
     auto& mode = a->mergeMode[node];
     // After forwarding a value, a mu-merge consults its decider (the
     // loop-continuation predicate of that activation) to choose
@@ -277,11 +415,11 @@ DataflowSimulator::fireMerge(Activation* a, int node, uint64_t now)
         // Discard EOS markers from not-taken edges; forward the first
         // pending value.
         for (int i : ni.fwdInputs) {
-            auto& q = a->fifo[node][i];
+            ItemFifo& q = fifo[i];
             if (q.empty())
                 continue;
             Item it = q.front();
-            q.pop_front();
+            popItem(a, node, q);
             if (it.eos)
                 return;  // retried while ready
             output(a, node, 0, it.value, now);
@@ -291,7 +429,19 @@ DataflowSimulator::fireMerge(Activation* a, int node, uint64_t now)
         panic("merge fired without forward inputs");
       }
       case Activation::MergeMode::AwaitDecider: {
-        uint32_t d = take(a, node, ni.deciderIdx);
+        const InputDesc& dsc =
+            a->gi->inDesc[a->gi->hot[node].fifoBase + ni.deciderIdx];
+        uint32_t d;
+        if (dsc.isConst) {
+            d = dsc.constValue;
+        } else {
+            ItemFifo& q = fifo[ni.deciderIdx];
+            Item it = q.front();
+            popItem(a, node, q);
+            CASH_ASSERT(!it.eos,
+                        "EOS item reached a non-merge consumer");
+            d = it.value;
+        }
         mode = d ? Activation::MergeMode::Back
                  : Activation::MergeMode::Fwd;
         return;
@@ -304,9 +454,9 @@ DataflowSimulator::fireMerge(Activation* a, int node, uint64_t now)
             bool gotValue = false;
             uint32_t value = 0;
             for (int i : ni.backInputs) {
-                auto& q = a->fifo[node][i];
+                ItemFifo& q = fifo[i];
                 Item it = q.front();
-                q.pop_front();
+                popItem(a, node, q);
                 if (!it.eos) {
                     CASH_ASSERT(!gotValue,
                                 "two back-edge values in one iteration");
@@ -323,11 +473,11 @@ DataflowSimulator::fireMerge(Activation* a, int node, uint64_t now)
         // Loose mode (back edges from other hyperblocks): consume
         // items as they arrive, discarding stale EOS markers.
         for (int i : ni.backInputs) {
-            auto& q = a->fifo[node][i];
+            ItemFifo& q = fifo[i];
             if (q.empty())
                 continue;
             Item it = q.front();
-            q.pop_front();
+            popItem(a, node, q);
             if (it.eos)
                 return;
             output(a, node, 0, it.value, now);
@@ -339,7 +489,7 @@ DataflowSimulator::fireMerge(Activation* a, int node, uint64_t now)
     }
 }
 
-void
+inline __attribute__((always_inline)) void
 DataflowSimulator::tryFire(Activation* a, int node, uint64_t now)
 {
     // Loop: a firing can unblock the same node again without a fresh
@@ -353,31 +503,54 @@ void
 DataflowSimulator::fire(Activation* a, int node, uint64_t now)
 {
     firings_++;
-    const NodeIndex& ni = a->gi->nodes[node];
-    const Node* n = ni.n;
-    fireCounts_[static_cast<size_t>(n->kind)]++;
+    const GraphIndex* gi = a->gi;
+    const NodeHot& h = gi->hot[node];
+    const NodeKind kind = static_cast<NodeKind>(h.kind);
+    fireCounts_[static_cast<size_t>(kind)]++;
     if (traceLevel >= 2)
         trace(2, "t=" + std::to_string(now) + " act" +
-                     std::to_string(a->id) + " fire " + n->str());
+                     std::to_string(a->id) + " fire " +
+                     gi->nodes[node].n->str());
 
-    switch (n->kind) {
+    // Input bases hoisted once; takeIn(i) consumes input i of this
+    // node (constants read from the descriptor, values popped with
+    // the readiness counter maintained).
+    const InputDesc* dsc = gi->inDesc.data() + h.fifoBase;
+    ItemFifo* fifo = a->fifo.data() + h.fifoBase;
+    auto takeIn = [&](int i) -> uint32_t {
+        const InputDesc& d = dsc[i];
+        if (d.isConst)
+            return d.constValue;
+        ItemFifo& q = fifo[i];
+        CASH_ASSERT(!q.empty(), "taking from empty FIFO");
+        Item it = q.front();
+        q.pop_front();
+        if (q.empty())
+            a->readyCnt[node]--;
+        CASH_ASSERT(!it.eos, "EOS item reached a non-merge consumer");
+        return it.value;
+    };
+
+    switch (kind) {
       case NodeKind::Arith: {
+        const Op op = static_cast<Op>(h.op);
         uint32_t v;
-        if (n->op == Op::Copy || opIsUnary(n->op))
-            v = evalUnary(n->op, take(a, node, 0));
+        if (h.unary)
+            v = evalUnary(op, takeIn(0));
         else {
-            uint32_t x = take(a, node, 0);
-            uint32_t y = take(a, node, 1);
-            v = evalBinary(n->op, x, y);
+            uint32_t x = takeIn(0);
+            uint32_t y = takeIn(1);
+            v = evalBinary(op, x, y);
         }
-        output(a, node, 0, v, now + nodeLatency(n));
+        output(a, node, 0, v, now + h.latency);
         break;
       }
       case NodeKind::Mux: {
+        const int nin = gi->hot[node + 1].fifoBase - h.fifoBase;
         uint32_t out = 0;
-        for (int i = 0; i < n->numInputs(); i += 2) {
-            uint32_t p = take(a, node, i);
-            uint32_t d = take(a, node, i + 1);
+        for (int i = 0; i < nin; i += 2) {
+            uint32_t p = takeIn(i);
+            uint32_t d = takeIn(i + 1);
             if (p)
                 out = d;
         }
@@ -388,11 +561,13 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
         fireMerge(a, node, now);
         break;
       case NodeKind::Eta: {
-        uint32_t v = take(a, node, 0);
-        uint32_t p = take(a, node, 1);
+        uint32_t v = takeIn(0);
+        uint32_t p = takeIn(1);
         if (traceLevel >= 2)
-            trace(2, "  eta n" + std::to_string(n->id) + " v=" +
-                         std::to_string(v) + " p=" + std::to_string(p));
+            trace(2, "  eta n" +
+                         std::to_string(gi->nodes[node].n->id) +
+                         " v=" + std::to_string(v) + " p=" +
+                         std::to_string(p));
         if (p)
             output(a, node, 0, v, now);
         else
@@ -400,15 +575,17 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
         break;
       }
       case NodeKind::Combine: {
-        for (int i = 0; i < n->numInputs(); i++)
-            take(a, node, i);
+        const int nin = gi->hot[node + 1].fifoBase - h.fifoBase;
+        for (int i = 0; i < nin; i++)
+            takeIn(i);
         output(a, node, 0, 0, now);
         break;
       }
       case NodeKind::Load: {
-        uint32_t p = take(a, node, 0);
-        take(a, node, 1);  // token
-        uint32_t addr = take(a, node, 2);
+        const Node* n = gi->nodes[node].n;
+        uint32_t p = takeIn(0);
+        takeIn(1);  // token
+        uint32_t addr = takeIn(2);
         if (traceLevel >= 2)
             trace(2, "  load n" + std::to_string(n->id) + " p=" +
                          std::to_string(p) + " addr=" +
@@ -430,10 +607,11 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
         break;
       }
       case NodeKind::Store: {
-        uint32_t p = take(a, node, 0);
-        take(a, node, 1);  // token
-        uint32_t addr = take(a, node, 2);
-        uint32_t v = take(a, node, 3);
+        const Node* n = gi->nodes[node].n;
+        uint32_t p = takeIn(0);
+        takeIn(1);  // token
+        uint32_t addr = takeIn(2);
+        uint32_t v = takeIn(3);
         if (traceLevel >= 2)
             trace(2, "  store n" + std::to_string(n->id) + " p=" +
                          std::to_string(p) + " addr=" +
@@ -452,11 +630,14 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
         break;
       }
       case NodeKind::Call: {
-        uint32_t p = take(a, node, 0);
-        take(a, node, 1);  // token
+        const NodeIndex& ni = gi->nodes[node];
+        const Node* n = ni.n;
+        const int nin = gi->hot[node + 1].fifoBase - h.fifoBase;
+        uint32_t p = takeIn(0);
+        takeIn(1);  // token
         std::vector<uint32_t> args;
-        for (int i = 2; i < n->numInputs(); i++)
-            args.push_back(take(a, node, i));
+        for (int i = 2; i < nin; i++)
+            args.push_back(takeIn(i));
         if (!p) {
             output(a, node, 0, 0, now);
             output(a, node, 1, 0, now);
@@ -464,27 +645,30 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
         }
         callsMade_++;
         CASH_ASSERT(n->callee, "call without callee");
-        const GraphIndex& gi = indexOf(n->callee->name);
-        startActivation(gi, args, now + 1, a, node);
+        if (!ni.callee)
+            fatal("no compiled graph for function '" +
+                  n->callee->name + "'");
+        startActivation(*ni.callee, args, now + 1, a, node);
         break;
       }
       case NodeKind::Return: {
-        uint32_t p = take(a, node, 0);
-        take(a, node, 1);  // token
+        const int nin = gi->hot[node + 1].fifoBase - h.fifoBase;
+        uint32_t p = takeIn(0);
+        takeIn(1);  // token
         uint32_t v = 0;
-        bool hasV = n->numInputs() == 3;
+        bool hasV = nin == 3;
         if (hasV)
-            v = take(a, node, 2);
+            v = takeIn(2);
         if (p)
             finishActivation(a, v, hasV, now);
         break;
       }
       case NodeKind::TokenGen: {
-        auto [it, inserted] = a->tkCounter.try_emplace(node, n->tkCount);
-        int64_t& c = it->second;
+        const NodeIndex& ni = gi->nodes[node];
+        int64_t& c = a->tkCounter[ni.tkSlot];
         // Token returns have priority: they pay outstanding debts.
-        if (!a->fifo[node][1].empty()) {
-            take(a, node, 1);
+        if (!fifo[1].empty()) {
+            takeIn(1);
             bool owed = c < 0;
             c++;
             if (owed)
@@ -492,14 +676,14 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
         } else {
             // A false predicate (loop completed) may only be processed
             // once every debt is paid; ready() guarantees that.
-            uint32_t p = take(a, node, 0);
+            uint32_t p = takeIn(0);
             if (p) {
                 c--;
                 if (c >= 0)
                     output(a, node, 0, 0, now);
             } else {
                 CASH_ASSERT(c >= 0, "token generator reset while owing");
-                c = n->tkCount;  // reset (§6.3)
+                c = ni.n->tkCount;  // reset (§6.3)
                 // Emit the loop-completion token so per-activation
                 // token balance holds in the single-hyperblock ring
                 // encoding (see DESIGN.md).
@@ -522,6 +706,7 @@ DataflowSimulator::finishActivation(Activation* a, uint32_t value,
     if (a->finished)
         return;  // a second return firing would be a graph bug
     a->finished = true;
+    liveActs_--;
     if (tracer_ && tracer_->enabled())
         tracer_->completeEvent(a->gi->g->name, "sim.activation",
                                a->startTime, now - a->startTime,
@@ -539,6 +724,23 @@ DataflowSimulator::finishActivation(Activation* a, uint32_t value,
     output(a->parent, a->parentCallNode, 0, hasValue ? value : 0,
            now + 1);
     output(a->parent, a->parentCallNode, 1, 0, now + 1);
+    // The parent outlives all its children: it can only be recycled
+    // once liveChildren drops to zero *and* the two deliveries above
+    // have drained.
+    a->parent->liveChildren--;
+}
+
+void
+DataflowSimulator::sampleQueueCounters(uint64_t now)
+{
+    tracer_->counterEvent("sim.queue.bucket_ops", now,
+                          static_cast<int64_t>(bucketOps_));
+    tracer_->counterEvent("sim.queue.heap_ops", now,
+                          static_cast<int64_t>(heapOps_));
+    tracer_->counterEvent("sim.act.recycled", now,
+                          static_cast<int64_t>(actRecycled_));
+    tracer_->counterEvent("sim.act.live", now,
+                          static_cast<int64_t>(liveActs_));
 }
 
 SimResult
@@ -546,62 +748,98 @@ DataflowSimulator::run(const std::string& name,
                        const std::vector<uint32_t>& args)
 {
     // Fresh dynamic state (memory and caches persist across runs).
-    queue_ = {};
+    ready_.clear();
+    readyHead_ = 0;
+    for (std::vector<Event>& slot : wheel_)
+        slot.clear();
+    wheelCount_ = 0;
+    overflow_ = {};
+    now_ = 0;
     seq_ = 0;
-    activations_.clear();
+    releaseActivations();
+    nextActId_ = 0;
     done_ = false;
     rootResult_ = 0;
     rootDoneTime_ = 0;
     events_ = firings_ = dynLoads_ = dynStores_ = 0;
     nullified_ = callsMade_ = 0;
+    bucketOps_ = heapOps_ = 0;
+    actSpawned_ = actRecycled_ = liveActs_ = peakLiveActs_ = 0;
     std::fill(fireCounts_.begin(), fireCounts_.end(), 0);
 
     ScopedTimer span(tracer_, "sim.run " + name, "sim");
     const GraphIndex& gi = indexOf(name);
     startActivation(gi, args, 0, nullptr, -1);
 
-    while (!queue_.empty() && !done_) {
-        Event e = queue_.top();
-        queue_.pop();
+    const bool tracing = tracer_ && tracer_->enabled();
+    while (!done_) {
+        if (readyHead_ == ready_.size()) {
+            ready_.clear();
+            readyHead_ = 0;
+            if (!advanceTime())
+                break;
+            continue;
+        }
+        const Event e = ready_[readyHead_++];
         if (++events_ > maxEvents_)
             fatal("simulation event limit exceeded (livelock?)");
-        if (e.act->finished && !e.act->parent)
+        Activation* a = e.act;
+        a->inflight--;
+        if (a->finished && !a->parent)
             continue;
-        auto& q = e.act->fifo[e.node][e.input];
+        ItemFifo& q = a->fifo[e.slot];
+        if (q.empty())
+            a->readyCnt[e.node]++;
         q.push_back(e.item);
-        tryFire(e.act, e.node, e.time);
+        tryFire(a, e.node, now_);
+        // Recycle as soon as nothing can target this activation again:
+        // it returned, no queued events reference it, and no child can
+        // still deliver a result into it.
+        if (a->finished && a->parent && a->inflight == 0 &&
+            a->liveChildren == 0)
+            recycle(a);
+        if (tracing && (events_ & 0xFFF) == 0)
+            sampleQueueCounters(now_);
     }
 
     if (!done_) {
         if (traceLevel >= 1) {
             for (const auto& act : activations_) {
+                if (act->pooled)
+                    continue;
                 for (size_t i = 0; i < act->gi->nodes.size(); i++) {
                     bool any = false, all = true;
-                    const NodeIndex& ni = act->gi->nodes[i];
-                    for (size_t k = 0; k < ni.inputs.size(); k++) {
-                        if (ni.inputs[k].isConst)
+                    const NodeHot& h = act->gi->hot[i];
+                    const int nin =
+                        act->gi->nodes[i].n->numInputs();
+                    for (int k = 0; k < nin; k++) {
+                        if (act->gi->inDesc[h.fifoBase + k].isConst)
                             continue;
-                        if (act->fifo[i][k].empty())
+                        if (act->fifo[h.fifoBase + k].empty())
                             all = false;
                         else
                             any = true;
                     }
                     if (any && !all) {
                         std::string waits;
-                        for (size_t k = 0; k < ni.inputs.size(); k++)
-                            if (!ni.inputs[k].isConst &&
-                                act->fifo[i][k].empty())
+                        for (int k = 0; k < nin; k++)
+                            if (!act->gi->inDesc[h.fifoBase + k]
+                                     .isConst &&
+                                act->fifo[h.fifoBase + k].empty())
                                 waits += " in" + std::to_string(k);
                         trace(1, "starved act" +
                                      std::to_string(act->id) + " " +
-                                     ni.n->str() + " waiting on" +
-                                     waits);
+                                     act->gi->nodes[i].n->str() +
+                                     " waiting on" + waits);
                     }
                 }
             }
         }
         fatal("dataflow simulation deadlocked in '" + name + "'");
     }
+
+    if (tracing)
+        sampleQueueCounters(rootDoneTime_);
 
     SimResult r;
     r.returnValue = rootResult_;
@@ -613,6 +851,16 @@ DataflowSimulator::run(const std::string& name,
     r.stats.set("sim.dynStores", static_cast<int64_t>(dynStores_));
     r.stats.set("sim.nullified", static_cast<int64_t>(nullified_));
     r.stats.set("sim.calls", static_cast<int64_t>(callsMade_));
+    r.stats.set("sim.queue.bucket_ops",
+                static_cast<int64_t>(bucketOps_));
+    r.stats.set("sim.queue.heap_ops", static_cast<int64_t>(heapOps_));
+    r.stats.set("sim.act.spawned", static_cast<int64_t>(actSpawned_));
+    r.stats.set("sim.act.recycled",
+                static_cast<int64_t>(actRecycled_));
+    r.stats.set("sim.act.peakLive",
+                static_cast<int64_t>(peakLiveActs_));
+    r.stats.set("sim.act.allocated",
+                static_cast<int64_t>(activations_.size()));
     for (size_t k = 0; k < fireCounts_.size(); k++)
         if (fireCounts_[k])
             r.stats.set(std::string("sim.fire.") +
@@ -626,6 +874,10 @@ DataflowSimulator::run(const std::string& name,
                     static_cast<int64_t>(100 * firings_ /
                                          rootDoneTime_));
     memsys_.reportStats(r.stats);
+    // Free all activation storage now rather than at the next run():
+    // on early done_ the root's still-running children hold FIFO and
+    // port-clock arrays that would otherwise linger.
+    releaseActivations();
     return r;
 }
 

@@ -12,12 +12,28 @@
  * separately.  Loops execute by streaming successive values through
  * merge/eta rings, which is what makes pipelining (§6) visible as
  * reduced cycle counts.
+ *
+ * The engine is built for throughput (see docs/SIMULATOR.md):
+ *
+ *   * Events are dispatched through a same-timestamp ready worklist
+ *     plus a time-bucketed calendar wheel; only deliveries scheduled
+ *     further than the wheel horizon touch a binary heap.  Ordering is
+ *     bit-exact with a global (time, seq) priority queue.
+ *   * Per-port FIFOs store their first two items inline (most ports
+ *     hold at most one) and spill to a geometric ring buffer.
+ *   * Per-graph metadata is flattened into CSR-style arrays (fifo
+ *     slots, port clocks, consumer lists, input descriptors) and
+ *     per-node readiness is tracked with a counter, so the hot path
+ *     performs no map lookups and no per-input scans.
+ *   * Finished activations are recycled through a free list, so
+ *     call-heavy and recursive workloads run in memory proportional to
+ *     the peak number of live activations, not the total spawned.
  */
 #ifndef CASH_SIM_DATAFLOW_SIM_H
 #define CASH_SIM_DATAFLOW_SIM_H
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <queue>
@@ -65,29 +81,46 @@ class DataflowSimulator
 
     /**
      * Observability sink: when set and enabled, run() records one span
-     * per activation and LSQ-occupancy counter samples, all in the
-     * simulated-cycles time domain (see docs/OBSERVABILITY.md).
+     * per activation, LSQ-occupancy and queue-counter samples, all in
+     * the simulated-cycles time domain (see docs/OBSERVABILITY.md).
      */
     void setTracer(TraceRecorder* tracer);
 
   private:
+    struct GraphIndex;
+
     // --- static per-graph indexing -----------------------------------
     struct InputDesc
     {
         bool isConst = false;
         uint32_t constValue = 0;
     };
+    /** One consumer endpoint: dense node plus its flat fifo slot. */
     struct Consumer
     {
-        int node = -1;   ///< Dense consumer index.
-        int input = -1;  ///< Input slot on the consumer.
+        int32_t node = -1;
+        int32_t slot = -1;
     };
+    /**
+     * Per-node hot metadata, packed so the dispatch path touches one
+     * small record: flat fifo/port bases, the firing rule, and the
+     * number of non-const inputs required to fire.
+     */
+    struct NodeHot
+    {
+        int32_t fifoBase = 0;
+        int32_t portBase = 0;
+        uint16_t need = 0;   ///< Non-const inputs (AND-firing nodes).
+        uint8_t kind = 0;    ///< NodeKind.
+        uint8_t latency = 0; ///< nodeLatency() (Arith only).
+        uint8_t op = 0;      ///< Op (Arith only).
+        uint8_t unary = 0;   ///< Copy/unary Op (Arith only).
+        uint8_t pad[2] = {0, 0};
+    };
+    /** Cold per-node details, consulted at fire time. */
     struct NodeIndex
     {
         const Node* n = nullptr;
-        std::vector<InputDesc> inputs;
-        /** Consumers per output port. */
-        std::vector<std::vector<Consumer>> consumers;
         /** For merges: forward and back-edge input slots. */
         std::vector<int> fwdInputs;
         std::vector<int> backInputs;
@@ -96,12 +129,42 @@ class DataflowSimulator
          *  arrives on every back input each iteration (wait-for-all
          *  consumption is deterministic). */
         bool strictBack = false;
+        /** For TokenGens: dense slot in Activation::tkCounter. */
+        int tkSlot = -1;
+        /** For Calls: resolved callee index (null until linked; a
+         *  firing with an unresolved callee is a fatal error). */
+        const GraphIndex* callee = nullptr;
     };
     struct GraphIndex
     {
         const Graph* g = nullptr;
+        /** One entry per node plus a sentinel whose fifoBase is the
+         *  total slot count, so node @c i has
+         *  hot[i+1].fifoBase - hot[i].fifoBase inputs. */
+        std::vector<NodeHot> hot;
         std::vector<NodeIndex> nodes;
-        std::map<const Node*, int> dense;
+        /** Flat input descriptors, indexed by fifo slot. */
+        std::vector<InputDesc> inDesc;
+        /** CSR consumer lists: consumers of output port @c p of node
+         *  @c i are cons[consOff[hot[i].portBase+p] ..
+         *  consOff[hot[i].portBase+p+1]). */
+        std::vector<int> consOff;
+        std::vector<Consumer> cons;
+        int numFifoSlots = 0;
+        int numPortSlots = 0;
+        /** Initial TokenGen counter values, one per tkSlot. */
+        std::vector<int64_t> tkInit;
+        /** Dense indices of g->paramNodes / g->initialToken. */
+        std::vector<int> paramDense;
+        int initialTokenDense = -1;
+        /** One-shot initial values for merge inputs wired to consts. */
+        struct MergeInit
+        {
+            int node = -1;
+            int input = -1;
+            uint32_t value = 0;
+        };
+        std::vector<MergeInit> mergeInits;
     };
 
     // --- dynamic state ------------------------------------------------
@@ -118,52 +181,169 @@ class DataflowSimulator
         bool eos = false;
     };
 
+    /**
+     * A per-port FIFO with two inline slots and a power-of-two ring
+     * spill buffer.  Most ports hold at most one in-flight item, so the
+     * common case never allocates; clear() keeps spill capacity for
+     * activation recycling.
+     */
+    class ItemFifo
+    {
+      public:
+        ItemFifo() = default;
+        ItemFifo(const ItemFifo&) = delete;
+        ItemFifo& operator=(const ItemFifo&) = delete;
+        ItemFifo(ItemFifo&& o) noexcept { moveFrom(o); }
+        ItemFifo&
+        operator=(ItemFifo&& o) noexcept
+        {
+            if (this != &o) {
+                release();
+                moveFrom(o);
+            }
+            return *this;
+        }
+        ~ItemFifo() { release(); }
+
+        bool empty() const { return size_ == 0; }
+        uint32_t size() const { return size_; }
+        const Item& front() const { return buf_[head_]; }
+
+        void
+        push_back(Item it)
+        {
+            if (size_ == cap_)
+                grow();
+            buf_[(head_ + size_) & (cap_ - 1)] = it;
+            size_++;
+        }
+
+        void
+        pop_front()
+        {
+            head_ = (head_ + 1) & (cap_ - 1);
+            size_--;
+        }
+
+        /** Drop contents, keep spill capacity (recycling path). */
+        void
+        clear()
+        {
+            head_ = 0;
+            size_ = 0;
+        }
+
+      private:
+        void
+        grow()
+        {
+            uint32_t ncap = cap_ * 2;
+            Item* nbuf = new Item[ncap];
+            for (uint32_t i = 0; i < size_; i++)
+                nbuf[i] = buf_[(head_ + i) & (cap_ - 1)];
+            release();
+            buf_ = nbuf;
+            cap_ = ncap;
+            head_ = 0;
+        }
+        void
+        release()
+        {
+            if (buf_ != inline_)
+                delete[] buf_;
+        }
+        void
+        moveFrom(ItemFifo& o)
+        {
+            if (o.buf_ == o.inline_) {
+                inline_[0] = o.inline_[0];
+                inline_[1] = o.inline_[1];
+                buf_ = inline_;
+            } else {
+                buf_ = o.buf_;
+            }
+            cap_ = o.cap_;
+            head_ = o.head_;
+            size_ = o.size_;
+            o.buf_ = o.inline_;
+            o.cap_ = kInline;
+            o.head_ = o.size_ = 0;
+        }
+
+        static constexpr uint32_t kInline = 2;  // power of two
+        Item inline_[kInline];
+        Item* buf_ = inline_;
+        uint32_t cap_ = kInline;
+        uint32_t head_ = 0;
+        uint32_t size_ = 0;
+    };
+
     struct Activation
     {
         int id = -1;
         const GraphIndex* gi = nullptr;
-        std::vector<std::vector<std::deque<Item>>> fifo;
+        /** Flat per-input-slot FIFOs (see NodeHot::fifoBase). */
+        std::vector<ItemFifo> fifo;
+        /**
+         * Monotonic delivery clock per (node, output port), flat (see
+         * NodeHot::portBase): a port delivers the results of
+         * successive firings in firing order, so a fast later result
+         * (e.g. a nullified memory op) cannot overtake a slow earlier
+         * one on the same wire.
+         */
+        std::vector<uint64_t> portClock;
+        /** Non-empty non-const input fifos per node; an AND-firing
+         *  node is ready exactly when readyCnt == NodeHot::need. */
+        std::vector<uint16_t> readyCnt;
         /** Per-merge consumption state (mu-node protocol). */
         enum class MergeMode : uint8_t { Fwd, AwaitDecider, Back };
         std::vector<MergeMode> mergeMode;
-        /**
-         * Monotonic delivery clock per (node, output port): a port
-         * delivers the results of successive firings in firing order,
-         * so a fast later result (e.g. a nullified memory op) cannot
-         * overtake a slow earlier one on the same wire.
-         */
-        std::vector<std::vector<uint64_t>> portClock;
-        std::map<int, int64_t> tkCounter;  ///< TokenGen state.
+        /** TokenGen state, one slot per NodeIndex::tkSlot. */
+        std::vector<int64_t> tkCounter;
         Activation* parent = nullptr;
         int parentCallNode = -1;
         uint32_t frameBase = 0;
         uint32_t frameSize = 0;
         uint64_t startTime = 0;
+        /** Queued events targeting this activation. */
+        uint32_t inflight = 0;
+        /** Children started and not yet finished. */
+        uint32_t liveChildren = 0;
         bool finished = false;
+        /** On the free list (storage may be reused). */
+        bool pooled = false;
     };
 
+    /** A queued delivery.  Time is implicit: ready_ events are at
+     *  now_, each wheel slot holds a single timestamp, and overflow
+     *  events carry theirs in TimedEvent. */
     struct Event
     {
-        uint64_t time = 0;
         uint64_t seq = 0;
         Activation* act = nullptr;
-        int node = -1;
-        int input = -1;
+        int32_t node = -1;
+        int32_t slot = -1;  ///< Flat fifo slot of the target input.
         Item item;
-        bool operator>(const Event& o) const
+    };
+    struct TimedEvent
+    {
+        uint64_t time = 0;
+        Event e;
+        bool operator>(const TimedEvent& o) const
         {
-            return time != o.time ? time > o.time : seq > o.seq;
+            return time != o.time ? time > o.time : e.seq > o.e.seq;
         }
     };
 
     const GraphIndex& indexOf(const std::string& name);
     void buildIndex(const Graph* g);
+    void linkCallees();
 
     Activation* startActivation(const GraphIndex& gi,
                                 const std::vector<uint32_t>& args,
                                 uint64_t when, Activation* parent,
                                 int parentCallNode);
-    void deliver(Activation* a, int node, int input, Item item,
+    void deliver(Activation* a, int node, int slot, Item item,
                  uint64_t when);
     void output(Activation* a, int node, int port, uint32_t value,
                 uint64_t when, bool eos = false);
@@ -171,19 +351,54 @@ class DataflowSimulator
     void tryFire(Activation* a, int node, uint64_t now);
     void fire(Activation* a, int node, uint64_t now);
     void fireMerge(Activation* a, int node, uint64_t now);
-    uint32_t take(Activation* a, int node, int input);
+    /** Pop the front item of @p q (slot of @p node), maintaining the
+     *  readiness counter. */
+    void
+    popItem(Activation* a, int node, ItemFifo& q)
+    {
+        q.pop_front();
+        if (q.empty())
+            a->readyCnt[node]--;
+    }
     void finishActivation(Activation* a, uint32_t value, bool hasValue,
                           uint64_t now);
+    void recycle(Activation* a);
+    /** Drop all activation storage (end of run / fresh run). */
+    void releaseActivations();
+    /** Advance now_ to the next pending timestamp; false when idle. */
+    bool advanceTime();
+    void sampleQueueCounters(uint64_t now);
 
     std::map<std::string, GraphIndex> graphs_;
     const MemoryLayout& layout_;
     MemoryImage image_;
     MemorySystem memsys_;
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        queue_;
+    // --- event queue: ready worklist + calendar wheel + overflow -----
+    /** Wheel horizon in cycles; must be a power of two.  Sized to
+     *  cover the common operator/cache latencies (ALU 1, Mul 3,
+     *  Div/Rem 20, L1/L2 hits, TLB walk) while keeping the slot
+     *  buffers hot in L1; DRAM fills and deep LSQ backlog overflow to
+     *  the heap. */
+    static constexpr uint64_t kWheelSize = 32;
+    /** Events at exactly now_, in (time, seq) order. */
+    std::vector<Event> ready_;
+    size_t readyHead_ = 0;
+    /** wheel_[t & (kWheelSize-1)]: events at time t, for t in
+     *  (now_, now_ + kWheelSize]; each slot holds a single timestamp
+     *  (see advanceTime()). */
+    std::array<std::vector<Event>, kWheelSize> wheel_;
+    uint64_t wheelCount_ = 0;
+    std::priority_queue<TimedEvent, std::vector<TimedEvent>,
+                        std::greater<TimedEvent>>
+        overflow_;
+    uint64_t now_ = 0;
     uint64_t seq_ = 0;
+
     std::vector<std::unique_ptr<Activation>> activations_;
+    /** Finished activations whose storage can be reused. */
+    std::vector<Activation*> freePool_;
+    int nextActId_ = 0;
     uint32_t stackPtr_ = MemoryLayout::kStackTop;
 
     bool done_ = false;
@@ -200,6 +415,12 @@ class DataflowSimulator
     uint64_t dynStores_ = 0;
     uint64_t nullified_ = 0;  ///< Pred-false memory ops.
     uint64_t callsMade_ = 0;
+    uint64_t bucketOps_ = 0;  ///< Deliveries via worklist/wheel.
+    uint64_t heapOps_ = 0;    ///< Deliveries via the overflow heap.
+    uint64_t actSpawned_ = 0;
+    uint64_t actRecycled_ = 0;
+    uint64_t liveActs_ = 0;
+    uint64_t peakLiveActs_ = 0;
     /** Firings per NodeKind, reported as "sim.fire.<kind>". */
     std::vector<uint64_t> fireCounts_;
 };

@@ -47,7 +47,7 @@ MemorySystem::reset()
         tlb_->reset();
     accesses_ = 0;
     dramAccesses_ = 0;
-    latencyHist_.clear();
+    latencyHist_.fill(0);
 }
 
 uint64_t
@@ -85,7 +85,7 @@ MemorySystem::request(uint32_t addr, bool isWrite, int size, uint64_t now)
     uint64_t lat = hierarchyLatency(addr, isWrite);
     t.complete = t.start + lat;
     lsq_.complete(t.complete);
-    latencyHist_[histBucket(lat)]++;
+    latencyHist_[histBucketIndex(lat)]++;
     if (tracer_ && tracer_->enabled())
         tracer_->counterEvent("sim.lsq.occupancy", t.start,
                               static_cast<int64_t>(lsq_.occupancy()));
@@ -115,9 +115,11 @@ MemorySystem::reportStats(StatSet& stats) const
         if (occ[k])
             stats.add("sim.mem.lsq.occHist." + histBucket(k),
                       static_cast<int64_t>(occ[k]));
-    for (const auto& [bucket, n] : latencyHist_)
-        stats.add("sim.mem.latencyHist." + bucket,
-                  static_cast<int64_t>(n));
+    for (int i = 0; i < kHistBuckets; i++)
+        if (latencyHist_[i])
+            stats.add(std::string("sim.mem.latencyHist.") +
+                          histBucketLabel(i),
+                      static_cast<int64_t>(latencyHist_[i]));
 }
 
 } // namespace cash

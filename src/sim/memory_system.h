@@ -13,8 +13,8 @@
 #ifndef CASH_SIM_MEMORY_SYSTEM_H
 #define CASH_SIM_MEMORY_SYSTEM_H
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <queue>
 #include <string>
@@ -103,8 +103,9 @@ class MemorySystem
     TraceRecorder* tracer_ = nullptr;
     uint64_t accesses_ = 0;
     uint64_t dramAccesses_ = 0;
-    /** Access-latency histogram, keyed by histBucket() label. */
-    std::map<std::string, uint64_t> latencyHist_;
+    /** Access-latency histogram, one counter per histBucket() bucket;
+     *  labels are rendered only in reportStats(). */
+    std::array<uint64_t, kHistBuckets> latencyHist_{};
 };
 
 } // namespace cash

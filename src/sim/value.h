@@ -5,6 +5,9 @@
  * speculation-safe division (divide-by-zero yields 0 instead of
  * trapping, since predicated-false operations still execute
  * speculatively in spatial hardware).
+ *
+ * Defined inline: the simulator evaluates one opcode per Arith firing,
+ * so these sit on the hottest path in the system.
  */
 #ifndef CASH_SIM_VALUE_H
 #define CASH_SIM_VALUE_H
@@ -12,14 +15,70 @@
 #include <cstdint>
 
 #include "cfg/cfg.h"
+#include "support/diagnostics.h"
 
 namespace cash {
 
 /** Evaluate a binary opcode over 32-bit values. */
-uint32_t evalBinary(Op op, uint32_t a, uint32_t b);
+inline uint32_t
+evalBinary(Op op, uint32_t a, uint32_t b)
+{
+    int32_t as = static_cast<int32_t>(a);
+    int32_t bs = static_cast<int32_t>(b);
+    switch (op) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Mul: return a * b;
+      case Op::DivS:
+        if (b == 0)
+            return 0;  // speculation-safe
+        if (a == 0x80000000u && b == 0xffffffffu)
+            return a;
+        return static_cast<uint32_t>(as / bs);
+      case Op::DivU:
+        return b == 0 ? 0 : a / b;
+      case Op::RemS:
+        if (b == 0)
+            return 0;
+        if (a == 0x80000000u && b == 0xffffffffu)
+            return 0;
+        return static_cast<uint32_t>(as % bs);
+      case Op::RemU:
+        return b == 0 ? 0 : a % b;
+      case Op::And: return a & b;
+      case Op::Or: return a | b;
+      case Op::Xor: return a ^ b;
+      case Op::Shl: return a << (b & 31);
+      case Op::ShrS: return static_cast<uint32_t>(as >> (b & 31));
+      case Op::ShrU: return a >> (b & 31);
+      case Op::LtS: return as < bs;
+      case Op::LtU: return a < b;
+      case Op::LeS: return as <= bs;
+      case Op::LeU: return a <= b;
+      case Op::Eq: return a == b;
+      case Op::Ne: return a != b;
+      default:
+        panic("evalBinary on unary opcode");
+    }
+}
 
 /** Evaluate a unary opcode. */
-uint32_t evalUnary(Op op, uint32_t a);
+inline uint32_t
+evalUnary(Op op, uint32_t a)
+{
+    switch (op) {
+      case Op::Neg: return -a;
+      case Op::NotBool: return a == 0;
+      case Op::BitNot: return ~a;
+      case Op::SextB:
+        return static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int8_t>(a & 0xff)));
+      case Op::ZextB: return a & 0xff;
+      case Op::Copy: return a;
+      default:
+        panic("evalUnary on binary opcode");
+    }
+}
 
 } // namespace cash
 

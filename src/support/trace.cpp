@@ -256,15 +256,31 @@ statSetJson(const StatSet& stats, int indent)
     return os.str();
 }
 
+int
+histBucketIndex(uint64_t v)
+{
+    if (v <= 2)
+        return static_cast<int>(v);
+    int i = 3;
+    for (uint64_t b = 4; b <= 1024; b *= 2, i++)
+        if (v <= b)
+            return i;
+    return kHistBuckets - 1;
+}
+
+const char*
+histBucketLabel(int i)
+{
+    static const char* const kLabels[kHistBuckets] = {
+        "0",     "1",     "2",     "le4",    "le8",     "le16", "le32",
+        "le64",  "le128", "le256", "le512",  "le1024",  "gt1024"};
+    return kLabels[i];
+}
+
 std::string
 histBucket(uint64_t v)
 {
-    if (v <= 2)
-        return std::to_string(v);
-    for (uint64_t b = 4; b <= 1024; b *= 2)
-        if (v <= b)
-            return "le" + std::to_string(b);
-    return "gt1024";
+    return histBucketLabel(histBucketIndex(v));
 }
 
 } // namespace cash

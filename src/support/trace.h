@@ -181,6 +181,19 @@ std::string statSetJson(const StatSet& stats, int indent = 0);
  */
 std::string histBucket(uint64_t v);
 
+/** Number of histBucket() buckets ("0" .. "gt1024"). */
+constexpr int kHistBuckets = 13;
+
+/**
+ * Dense index of the bucket holding @p v, for fixed-size histogram
+ * arrays on hot paths (no string is built until report time):
+ * histBucket(v) == histBucketLabel(histBucketIndex(v)).
+ */
+int histBucketIndex(uint64_t v);
+
+/** Label of bucket @p i (0 <= i < kHistBuckets). */
+const char* histBucketLabel(int i);
+
 } // namespace cash
 
 #endif // CASH_SUPPORT_TRACE_H

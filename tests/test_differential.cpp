@@ -189,6 +189,56 @@ TEST_P(DifferentialTest, SimulatorMatchesInterpreterEverywhere)
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, DifferentialTest,
                          ::testing::Range(1u, 41u));
 
+TEST(Differential, RecursionHeavyActivationRecycling)
+{
+    // Deep mutual/tree recursion churns through thousands of
+    // activations while only a handful are live at once, exercising
+    // the simulator's activation free list.  Run twice per level to
+    // catch recycle-order nondeterminism.
+    const std::string src = R"(
+        int fib(int n) {
+            if (n < 2)
+                return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int ack(int m, int n) {
+            if (m == 0)
+                return n + 1;
+            if (n == 0)
+                return ack(m - 1, 1);
+            return ack(m - 1, ack(m, n - 1));
+        }
+        int run(int n) { return fib(n) + ack(2, n % 4); }
+    )";
+    const std::vector<uint32_t> args = {12};
+    uint32_t want = testutil::interpret(src, "run", args);
+
+    for (OptLevel level :
+         {OptLevel::None, OptLevel::Medium, OptLevel::Full}) {
+        CompileOptions co;
+        co.level = level;
+        CompileResult r = compileSource(src, co);
+        DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                              MemConfig::perfectMemory());
+        SimResult first = sim.run("run", args);
+        ASSERT_EQ(first.returnValue, want)
+            << "level " << optLevelName(level);
+        // Recursion depth stays bounded, so most activations must be
+        // served from the free list rather than freshly allocated.
+        EXPECT_GT(first.stats.get("sim.act.recycled"), 0)
+            << "level " << optLevelName(level);
+        EXPECT_LT(first.stats.get("sim.act.allocated"),
+                  first.stats.get("sim.act.spawned"))
+            << "level " << optLevelName(level);
+
+        sim.reset();
+        SimResult second = sim.run("run", args);
+        EXPECT_EQ(second.returnValue, want);
+        EXPECT_EQ(second.cycles, first.cycles)
+            << "level " << optLevelName(level);
+    }
+}
+
 TEST(Differential, RealisticMemoryToo)
 {
     // A smaller sweep under the realistic hierarchy: timing-dependent
