@@ -55,11 +55,9 @@ ablationConstruction(benchutil::BenchReport& report)
         names = {"saxpy", "stencil"};
     for (const char* name : names) {
         const Kernel& k = kernelByName(name);
-        CompileOptions coarse;
-        coarse.level = OptLevel::Full;
-        coarse.pointsToInConstruction = false;
-        CompileOptions precise;
-        precise.level = OptLevel::Full;
+        CompileOptions coarse =
+            CompileOptions().opt(OptLevel::Full).pointsTo(false);
+        CompileOptions precise = CompileOptions().opt(OptLevel::Full);
         uint64_t c = cyclesWith(k, coarse, mem);
         uint64_t p = cyclesWith(k, precise, mem);
         report.addRow({{"section", "construction"},
@@ -93,8 +91,7 @@ ablationPragmas(benchutil::BenchReport& report)
     for (const Kernel& k : benchutil::suiteForRun()) {
         if (k.pragmas == 0)
             continue;
-        CompileOptions co;
-        co.level = OptLevel::Full;
+        CompileOptions co = CompileOptions().opt(OptLevel::Full);
         uint64_t with = cyclesWith(k, co, mem);
         Kernel stripped = k;
         stripped.source = stripPragmas(k.source);
@@ -130,12 +127,9 @@ ablationCompose(benchutil::BenchReport& report)
     k.entry = "fig12_run";
     k.args = {1024};
     MemConfig mem = MemConfig::realistic(2);
-    CompileOptions none;
-    none.level = OptLevel::None;
-    CompileOptions medium;
-    medium.level = OptLevel::Medium;
-    CompileOptions fullO;
-    fullO.level = OptLevel::Full;
+    CompileOptions none = CompileOptions().opt(OptLevel::None);
+    CompileOptions medium = CompileOptions().opt(OptLevel::Medium);
+    CompileOptions fullO = CompileOptions().opt(OptLevel::Full);
     uint64_t cn = cyclesWith(k, none, mem);
     uint64_t cm = cyclesWith(k, medium, mem);
     uint64_t cf = cyclesWith(k, fullO, mem);

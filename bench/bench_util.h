@@ -155,9 +155,7 @@ class BenchReport
 inline CompileResult
 compileKernel(const Kernel& k, OptLevel level)
 {
-    CompileOptions co;
-    co.level = level;
-    return compileSource(k.source, co);
+    return compileSource(k.source, CompileOptions().opt(level));
 }
 
 /** Compile and simulate @p k; returns the SimResult. */

@@ -27,13 +27,10 @@ main()
     std::printf("Loop decoupling on the distance-3 stencil "
                 "(paper §6.3):\n\n");
 
-    CompileOptions medium;
-    medium.level = OptLevel::Medium;
-    CompileResult rm = compileSource(src, medium);
-
-    CompileOptions full;
-    full.level = OptLevel::Full;
-    CompileResult rf = compileSource(src, full);
+    CompileResult rm =
+        compileSource(src, CompileOptions().opt(OptLevel::Medium));
+    CompileResult rf =
+        compileSource(src, CompileOptions().opt(OptLevel::Full));
 
     // Count the token generators the transformation inserted.
     int tokengens = 0;

@@ -53,19 +53,16 @@ main()
 
     std::string src = section2ExampleSource();
 
-    CompileOptions none;
-    none.level = OptLevel::None;
-    CompileResult a = compileSource(src, none);
+    CompileResult a =
+        compileSource(src, CompileOptions().opt(OptLevel::None));
     census(a, "Figure 1A (program-order tokens):");
 
-    CompileOptions medium;
-    medium.level = OptLevel::Medium;
-    CompileResult b = compileSource(src, medium);
+    CompileResult b =
+        compileSource(src, CompileOptions().opt(OptLevel::Medium));
     census(b, "Figure 1B (a[i] / a[i+1] disambiguated):");
 
-    CompileOptions full;
-    full.level = OptLevel::Full;
-    CompileResult d = compileSource(src, full);
+    CompileResult d =
+        compileSource(src, CompileOptions().opt(OptLevel::Full));
     census(d, "Figure 1D (forwarding + dead stores):");
 
     std::printf(

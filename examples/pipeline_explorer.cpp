@@ -42,9 +42,8 @@ main(int argc, char** argv)
     std::printf("%-8s %-12s %10s %10s %10s %10s\n", "opt", "memory",
                 "cycles", "dynLoads", "l1miss", "portStall");
     for (const LevelRow& lvl : levels) {
-        CompileOptions co;
-        co.level = lvl.level;
-        CompileResult r = compileSource(k.source, co);
+        CompileResult r =
+            compileSource(k.source, CompileOptions().opt(lvl.level));
         for (int ports : {1, 2, 4, 8}) {
             MemConfig mem = MemConfig::realistic(ports);
             DataflowSimulator sim(r.graphPtrs(), *r.layout, mem);

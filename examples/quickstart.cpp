@@ -46,9 +46,8 @@ int run(int n)
 )";
 
     // 2. Compile through the whole CASH pipeline.
-    CompileOptions opts;
-    opts.level = OptLevel::Full;
-    CompileResult r = compileSource(source, opts);
+    CompileResult r = compileSource(
+        source, CompileOptions().opt(OptLevel::Full));
 
     std::printf("compiled %zu functions; %lld Pegasus nodes, "
                 "%lld loads, %lld stores\n",

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <chrono>
 
 #include "driver/compiler.h"
@@ -8,6 +9,7 @@
 #include "frontend/sema.h"
 #include "pegasus/builder.h"
 #include "pegasus/verifier.h"
+#include "support/thread_pool.h"
 
 namespace cash {
 
@@ -62,6 +64,22 @@ CompileResult::totalNodes() const
     return n;
 }
 
+namespace {
+
+/**
+ * Per-function output slot for the parallel optimization phase.  Each
+ * worker records exclusively into its task's slot; the owner merges
+ * the slots in function-declaration order, so stats and traces are
+ * byte-identical at any job count.
+ */
+struct FuncOptSlot
+{
+    StatSet stats;
+    TraceRecorder trace;
+};
+
+} // namespace
+
 CompileResult
 compileSource(const std::string& source, const CompileOptions& options)
 {
@@ -106,25 +124,75 @@ compileSource(const std::string& source, const CompileOptions& options)
     }
     Clock::time_point t1 = Clock::now();
 
-    for (auto& g : r.graphs) {
+    // ------------------------------------------------------------------
+    // Per-function optimization, embarrassingly parallel: every
+    // function owns an independent Pegasus graph, and the shared
+    // analysis inputs (alias oracle, layout) are immutable from here
+    // on.  Workers write only their own function's graph and slot.
+    // ------------------------------------------------------------------
+    const std::vector<std::string> pipelineNames =
+        options.passNames.empty() ? standardPipelineNames(options.level)
+                                  : options.passNames;
+    // Resolve the spec up front so unknown names fail before any
+    // worker starts.
+    PassRegistry::global().createPipeline(pipelineNames);
+
+    int jobs = options.numJobs > 0 ? options.numJobs
+                                   : ThreadPool::hardwareConcurrency();
+    jobs = std::max(1, std::min<int>(jobs,
+                                     static_cast<int>(r.graphs.size())));
+    const bool traceOn = tracer && tracer->enabled();
+
+    std::vector<FuncOptSlot> slots(r.graphs.size());
+    auto optimizeOne = [&](size_t i, int) {
+        Graph& g = *r.graphs[i];
+        FuncOptSlot& slot = slots[i];
+        if (traceOn) {
+            slot.trace.syncClockTo(*tracer);
+            // Track 0 is the owner thread; give every function its own
+            // (deterministic) track.
+            slot.trace.setTrackId(static_cast<int>(i) + 1);
+            slot.trace.enable();
+        }
         if (options.verify)
-            verifyOrDie(*g, "after construction of " + g->name);
-        r.stats.add("ir.nodes.initial", g->numLive());
+            verifyOrDie(g, "after construction of " + g.name);
+        slot.stats.add("ir.nodes.initial", g.numLive());
+
+        // Per-worker pass instances: passes may keep scratch state.
+        std::vector<std::unique_ptr<Pass>> pipeline =
+            PassRegistry::global().createPipeline(pipelineNames);
+
+        OptContext ctx;
+        ctx.oracle = &r.cfg->oracle;
+        ctx.layout = r.layout.get();
+        ctx.stats = &slot.stats;
+        ctx.tracer = traceOn ? &slot.trace : nullptr;
+        ctx.verifyAfterEachPass = options.verify;
+
+        int rounds = optimizeGraph(g, pipeline, ctx);
+        slot.stats.add("opt.rounds", rounds);
+        if (options.verify)
+            verifyOrDie(g, "after optimizing " + g.name);
+        slot.stats.add("ir.nodes.final", g.numLive());
+    };
+
+    {
+        ScopedTimer t(tracer, "optimize", "opt.phase");
+        t.arg("jobs", jobs);
+        t.arg("functions", static_cast<int64_t>(r.graphs.size()));
+        if (jobs <= 1) {
+            for (size_t i = 0; i < r.graphs.size(); i++)
+                optimizeOne(i, 0);
+        } else {
+            ThreadPool pool(jobs);
+            pool.parallelFor(r.graphs.size(), optimizeOne);
+        }
     }
-
-    OptContext ctx;
-    ctx.oracle = &r.cfg->oracle;
-    ctx.layout = r.layout.get();
-    ctx.stats = &r.stats;
-    ctx.tracer = tracer;
-    ctx.verifyAfterEachPass = options.verify;
-
-    for (auto& g : r.graphs) {
-        int rounds = optimizeGraph(*g, options.level, ctx);
-        r.stats.add("opt.rounds", rounds);
-        if (options.verify)
-            verifyOrDie(*g, "after optimizing " + g->name);
-        r.stats.add("ir.nodes.final", g->numLive());
+    // Deterministic merge: function-declaration order, single thread.
+    for (FuncOptSlot& slot : slots) {
+        r.stats.merge(slot.stats);
+        if (traceOn)
+            tracer->append(slot.trace);
     }
     Clock::time_point t2 = Clock::now();
 

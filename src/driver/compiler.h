@@ -5,11 +5,20 @@
  *
  * This is the library's primary entry point:
  * @code
- *   CompileResult r = compileSource(src, {OptLevel::Full});
+ *   CompileResult r = compileSource(
+ *       src, CompileOptions().opt(OptLevel::Full).jobs(8));
  *   DataflowSimulator sim(r.graphPtrs(), *r.layout,
  *                         MemConfig::realistic());
  *   SimResult out = sim.run("main", {});
  * @endcode
+ *
+ * Each function compiles to an independent Pegasus graph (§3), so the
+ * optimization phase runs the per-function pipelines on a
+ * work-stealing thread pool (`jobs()`).  Results are deterministic:
+ * stats, traces and graphs are merged in function-declaration order,
+ * so the output is byte-identical at any job count.
+ *
+ * See docs/API.md for the stable public surface.
  */
 #ifndef CASH_DRIVER_COMPILER_H
 #define CASH_DRIVER_COMPILER_H
@@ -27,6 +36,16 @@
 
 namespace cash {
 
+/**
+ * Compilation options, usable both ways:
+ *   - aggregate (source-compatible with older code):
+ *     `CompileOptions co; co.level = OptLevel::Medium;`
+ *   - fluent builder:
+ *     `CompileOptions().opt(OptLevel::Full).jobs(8).trace(&rec)`
+ *
+ * New fields must be appended at the END of the data members: several
+ * callers positionally aggregate-initialize this struct.
+ */
 struct CompileOptions
 {
     OptLevel level = OptLevel::Full;
@@ -44,6 +63,34 @@ struct CompileOptions
      * run (see docs/OBSERVABILITY.md).
      */
     TraceRecorder* tracer = nullptr;
+    /**
+     * Worker threads for per-function optimization: 0 = one per
+     * hardware thread (the default), 1 = fully serial.  Output is
+     * identical at any value; this only trades wall clock.
+     */
+    int numJobs = 0;
+    /**
+     * Custom pass pipeline: PassRegistry names run in order (to a
+     * fixed point) instead of the standard pipeline of `level`.
+     * Empty = standardPipelineNames(level).
+     */
+    std::vector<std::string> passNames;
+
+    // -- fluent builder -----------------------------------------------
+    CompileOptions& opt(OptLevel l) { level = l; return *this; }
+    CompileOptions& jobs(int n) { numJobs = n; return *this; }
+    CompileOptions& trace(TraceRecorder* t) { tracer = t; return *this; }
+    CompileOptions& verification(bool on) { verify = on; return *this; }
+    CompileOptions& pointsTo(bool on)
+    {
+        pointsToInConstruction = on;
+        return *this;
+    }
+    CompileOptions& passes(std::vector<std::string> names)
+    {
+        passNames = std::move(names);
+        return *this;
+    }
 };
 
 /** Everything produced by one compilation. */
@@ -52,6 +99,7 @@ struct CompileResult
     std::shared_ptr<Program> ast;
     std::shared_ptr<MemoryLayout> layout;
     std::unique_ptr<CfgProgram> cfg;
+    /** One Pegasus graph per function, in declaration order. */
     std::vector<std::unique_ptr<Graph>> graphs;
     StatSet stats;
 

@@ -7,6 +7,12 @@
  * Usage:
  *   cashc [options] file.c
  *     -O none|medium|full   optimization level (default full)
+ *     -j N, --jobs N        optimization worker threads (default: one
+ *                           per hardware thread; output is identical
+ *                           at any N)
+ *     --passes=a,b,c        custom pass pipeline (PassRegistry names)
+ *                           instead of the -O standard pipeline
+ *     --list-passes         print registered pass names and exit
  *     --dump-cfg            print the three-address CFG
  *     --dump-graph          print the Pegasus graphs (text)
  *     --dot                 print Graphviz dot for all graphs
@@ -17,6 +23,8 @@
  *     --trace FILE          write a Chrome trace-event file (Perfetto)
  *     --verbose             debug logging to stderr (repeat for more)
  */
+#include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -35,8 +43,9 @@ int
 usage()
 {
     std::cerr <<
-        "usage: cashc [-O none|medium|full] [--dump-cfg] "
-        "[--dump-graph] [--dot]\n"
+        "usage: cashc [-O none|medium|full] [-j N] [--passes=a,b,c]\n"
+        "             [--list-passes] [--dump-cfg] [--dump-graph]"
+        " [--dot]\n"
         "             [--run 'f(1,2)'] [--mem perfect|real1|real2|real4]"
         " [--stats]\n"
         "             [--stats-json out.json] [--trace out.json]"
@@ -70,6 +79,29 @@ main(int argc, char** argv)
                 opts.level = OptLevel::Full;
             else
                 return usage();
+        } else if (arg == "-j" || arg == "--jobs") {
+            if (i + 1 >= argc)
+                return usage();
+            opts.jobs(std::atoi(argv[++i]));
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
+                   std::isdigit(static_cast<unsigned char>(arg[2]))) {
+            opts.jobs(std::atoi(arg.c_str() + 2));
+        } else if (arg.rfind("--passes=", 0) == 0) {
+            std::vector<std::string> names;
+            for (const std::string& s : split(arg.substr(9), ','))
+                if (!trim(s).empty())
+                    names.push_back(trim(s));
+            opts.passes(std::move(names));
+        } else if (arg == "--passes" && i + 1 < argc) {
+            std::vector<std::string> names;
+            for (const std::string& s : split(argv[++i], ','))
+                if (!trim(s).empty())
+                    names.push_back(trim(s));
+            opts.passes(std::move(names));
+        } else if (arg == "--list-passes") {
+            for (const std::string& n : PassRegistry::global().names())
+                std::cout << n << "\n";
+            return 0;
         } else if (arg == "--dump-cfg") {
             dumpCfg = true;
         } else if (arg == "--dump-graph") {

@@ -285,10 +285,12 @@ class DeadCodePass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeDeadCode()
+void
+registerDeadCodePass(PassRegistry& r)
 {
-    return std::make_unique<DeadCodePass>();
+    r.registerPass("dead_code", [] {
+        return std::make_unique<DeadCodePass>();
+    });
 }
 
 } // namespace cash

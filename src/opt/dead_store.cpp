@@ -98,10 +98,12 @@ class DeadStorePass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeDeadStore()
+void
+registerDeadStorePass(PassRegistry& r)
 {
-    return std::make_unique<DeadStorePass>();
+    r.registerPass("dead_store", [] {
+        return std::make_unique<DeadStorePass>();
+    });
 }
 
 } // namespace cash

@@ -106,10 +106,12 @@ class ImmutableLoadsPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeImmutableLoads()
+void
+registerImmutableLoadsPass(PassRegistry& r)
 {
-    return std::make_unique<ImmutableLoadsPass>();
+    r.registerPass("immutable_loads", [] {
+        return std::make_unique<ImmutableLoadsPass>();
+    });
 }
 
 } // namespace cash

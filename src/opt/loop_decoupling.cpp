@@ -50,10 +50,12 @@ class LoopDecouplingPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeLoopDecoupling()
+void
+registerLoopDecouplingPass(PassRegistry& r)
 {
-    return std::make_unique<LoopDecouplingPass>();
+    r.registerPass("loop_decoupling", [] {
+        return std::make_unique<LoopDecouplingPass>();
+    });
 }
 
 } // namespace cash

@@ -224,10 +224,12 @@ class LoopInvariantPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeLoopInvariant()
+void
+registerLoopInvariantPass(PassRegistry& r)
 {
-    return std::make_unique<LoopInvariantPass>();
+    r.registerPass("loop_invariant", [] {
+        return std::make_unique<LoopInvariantPass>();
+    });
 }
 
 } // namespace cash

@@ -134,10 +134,12 @@ class MemoryMergePass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeMemoryMerge()
+void
+registerMemoryMergePass(PassRegistry& r)
 {
-    return std::make_unique<MemoryMergePass>();
+    r.registerPass("memory_merge", [] {
+        return std::make_unique<MemoryMergePass>();
+    });
 }
 
 } // namespace cash

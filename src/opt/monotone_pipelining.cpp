@@ -54,10 +54,12 @@ class MonotonePipeliningPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeMonotonePipelining()
+void
+registerMonotonePipeliningPass(PassRegistry& r)
 {
-    return std::make_unique<MonotonePipeliningPass>();
+    r.registerPass("monotone_pipelining", [] {
+        return std::make_unique<MonotonePipeliningPass>();
+    });
 }
 
 } // namespace cash

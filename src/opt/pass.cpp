@@ -4,6 +4,7 @@
 
 #include "pegasus/verifier.h"
 #include "support/diagnostics.h"
+#include "support/strings.h"
 
 namespace cash {
 
@@ -34,34 +35,148 @@ optLevelName(OptLevel level)
     return "?";
 }
 
+// ---------------------------------------------------------------------
+// PassRegistry
+// ---------------------------------------------------------------------
+
+// Registration hooks, one per pass translation unit.  Called from
+// global() below; central dispatch (rather than static-initializer
+// self-registration) keeps the registration order deterministic and
+// survives static-library linking, which would drop object files with
+// no referenced symbol.
+void registerScalarOptsPass(PassRegistry&);
+void registerDeadCodePass(PassRegistry&);
+void registerTransitiveReductionPass(PassRegistry&);
+void registerTokenRemovalPass(PassRegistry&);
+void registerImmutableLoadsPass(PassRegistry&);
+void registerMemoryMergePass(PassRegistry&);
+void registerStoreForwardingPass(PassRegistry&);
+void registerDeadStorePass(PassRegistry&);
+void registerLoopInvariantPass(PassRegistry&);
+void registerReadonlySplitPass(PassRegistry&);
+void registerMonotonePipeliningPass(PassRegistry&);
+void registerLoopDecouplingPass(PassRegistry&);
+
+namespace {
+
+/** Registry keys spell '-' and '_' interchangeably. */
+std::string
+normalizePassName(const std::string& name)
+{
+    std::string key = name;
+    for (char& c : key)
+        if (c == '-')
+            c = '_';
+    return key;
+}
+
+} // namespace
+
+PassRegistry&
+PassRegistry::global()
+{
+    static PassRegistry* registry = [] {
+        auto* r = new PassRegistry();
+        registerScalarOptsPass(*r);            // folding, CSE
+        registerDeadCodePass(*r);              // §4.1
+        registerTransitiveReductionPass(*r);   // §3.4
+        registerTokenRemovalPass(*r);          // §4.3
+        registerImmutableLoadsPass(*r);        // §4.2
+        registerMemoryMergePass(*r);           // §5.1
+        registerStoreForwardingPass(*r);       // §5.3
+        registerDeadStorePass(*r);             // §5.2
+        registerLoopInvariantPass(*r);         // §5.4
+        registerReadonlySplitPass(*r);         // §6.1
+        registerMonotonePipeliningPass(*r);    // §6.2
+        registerLoopDecouplingPass(*r);        // §6.3
+        return r;
+    }();
+    return *registry;
+}
+
+void
+PassRegistry::registerPass(const std::string& name, Factory factory)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    factories_[normalizePassName(name)] = std::move(factory);
+}
+
+bool
+PassRegistry::has(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return factories_.count(normalizePassName(name)) != 0;
+}
+
+std::vector<std::string>
+PassRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [k, _] : factories_)
+        out.push_back(k);
+    return out;
+}
+
+std::unique_ptr<Pass>
+PassRegistry::create(const std::string& name) const
+{
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = factories_.find(normalizePassName(name));
+        if (it != factories_.end())
+            factory = it->second;
+    }
+    if (!factory)
+        fatal("unknown pass '" + name + "' (available: " +
+              join(names(), ", ") + ")");
+    return factory();
+}
+
+std::vector<std::unique_ptr<Pass>>
+PassRegistry::createPipeline(const std::vector<std::string>& names) const
+{
+    std::vector<std::unique_ptr<Pass>> passes;
+    passes.reserve(names.size());
+    for (const std::string& name : names)
+        passes.push_back(create(name));
+    return passes;
+}
+
+// ---------------------------------------------------------------------
+// Standard pipelines (Figure 19 configurations)
+// ---------------------------------------------------------------------
+
+std::vector<std::string>
+standardPipelineNames(OptLevel level)
+{
+    std::vector<std::string> names = {"scalar_opts", "dead_code"};
+    if (level == OptLevel::None)
+        return names;
+
+    // "Medium": memory parallelism (§4).
+    names.insert(names.end(),
+                 {"immutable_loads", "token_removal",
+                  "transitive_reduction", "monotone_pipelining"});
+
+    if (level == OptLevel::Full) {
+        // Redundancy elimination (§5), then loop pipelining (§6).
+        names.insert(names.end(),
+                     {"memory_merge", "store_forwarding", "dead_store",
+                      "loop_invariant", "readonly_split",
+                      "loop_decoupling"});
+    }
+    names.insert(names.end(), {"scalar_opts", "dead_code"});
+    return names;
+}
+
 std::vector<std::unique_ptr<Pass>>
 standardPipeline(OptLevel level)
 {
-    std::vector<std::unique_ptr<Pass>> passes;
-    passes.push_back(makeScalarOpts());
-    passes.push_back(makeDeadCode());
-    if (level == OptLevel::None)
-        return passes;
-
-    // "Medium": memory parallelism (§4).
-    passes.push_back(makeImmutableLoads());
-    passes.push_back(makeTokenRemoval());
-    passes.push_back(makeTransitiveReduction());
-    passes.push_back(makeMonotonePipelining());
-
-    if (level == OptLevel::Full) {
-        // Redundancy elimination (§5).
-        passes.push_back(makeMemoryMerge());
-        passes.push_back(makeStoreForwarding());
-        passes.push_back(makeDeadStore());
-        passes.push_back(makeLoopInvariant());
-        // Loop pipelining (§6).
-        passes.push_back(makeReadonlySplit());
-        passes.push_back(makeLoopDecoupling());
-    }
-    passes.push_back(makeScalarOpts());
-    passes.push_back(makeDeadCode());
-    return passes;
+    return PassRegistry::global().createPipeline(
+        standardPipelineNames(level));
 }
 
 namespace {
@@ -121,20 +236,20 @@ runInstrumented(Pass& pass, Graph& g, OptContext& ctx, int round)
     return changed;
 }
 
-} // namespace
-
+/** Shared fixed-point driver; @p levelName annotates the span. */
 int
-optimizeGraph(Graph& g, OptLevel level, OptContext& ctx)
+optimizeImpl(Graph& g,
+             const std::vector<std::unique_ptr<Pass>>& passes,
+             OptContext& ctx, const char* levelName)
 {
     ScopedTimer whole(ctx.tracer, "optimize " + g.name, "opt.graph");
-    std::vector<std::unique_ptr<Pass>> passes = standardPipeline(level);
     const int maxRounds = 8;
     int round = 0;
     bool changed = true;
     while (changed && round < maxRounds) {
         changed = false;
         round++;
-        for (auto& pass : passes) {
+        for (const auto& pass : passes) {
             bool c = runInstrumented(*pass, g, ctx, round);
             if (ctx.verifyAfterEachPass)
                 verifyOrDie(g, std::string("after ") + pass->name());
@@ -143,8 +258,26 @@ optimizeGraph(Graph& g, OptLevel level, OptContext& ctx)
     }
     g.compact();
     whole.arg("rounds", round);
-    whole.arg("level", optLevelName(level));
+    if (levelName)
+        whole.arg("level", levelName);
     return round;
+}
+
+} // namespace
+
+int
+optimizeGraph(Graph& g,
+              const std::vector<std::unique_ptr<Pass>>& passes,
+              OptContext& ctx)
+{
+    return optimizeImpl(g, passes, ctx, nullptr);
+}
+
+int
+optimizeGraph(Graph& g, OptLevel level, OptContext& ctx)
+{
+    return optimizeImpl(g, standardPipeline(level), ctx,
+                        optLevelName(level));
 }
 
 } // namespace cash

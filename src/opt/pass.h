@@ -6,11 +6,21 @@
  * whether it changed the graph, and the manager iterates the pipeline
  * to a fixed point.  Optimization levels match the paper's Figure 19
  * configurations.
+ *
+ * Passes are published through the name-keyed PassRegistry rather
+ * than per-pass factory functions: pipelines are *specs* — ordered
+ * lists of pass names — instantiated with createPipeline().  This is
+ * what `cashc --passes=a,b,c` and embedders scripting their own
+ * schedules go through; `standardPipelineNames()` exposes the paper's
+ * Figure-19 schedules in the same currency.
  */
 #ifndef CASH_OPT_PASS_H
 #define CASH_OPT_PASS_H
 
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -22,13 +32,26 @@
 
 namespace cash {
 
-/** Shared state available to every pass. */
+/**
+ * Per-worker state available to every pass.
+ *
+ * One OptContext belongs to exactly one optimization worker (one
+ * function being optimized); it must never be shared between
+ * concurrently running workers.  The analysis inputs (`oracle`,
+ * `layout`) are immutable and safely shared by all workers; the
+ * output sinks (`stats`, `tracer`) are exclusively owned by this
+ * worker and merged by the driver in deterministic order afterwards
+ * (see compileSource()).
+ */
 struct OptContext
 {
+    /** Shared, immutable: pairwise may-alias facts (read-only). */
     const AliasOracle* oracle = nullptr;
+    /** Shared, immutable: the program's memory layout (read-only). */
     const MemoryLayout* layout = nullptr;
+    /** Worker-owned counter sink. */
     StatSet* stats = nullptr;
-    /** Observability sink for per-pass spans (may be disabled). */
+    /** Worker-owned observability sink (may be disabled). */
     TraceRecorder* tracer = nullptr;
     bool verifyAfterEachPass = false;
 
@@ -74,31 +97,72 @@ struct IrShape
     int64_t nodes = 0;       ///< Live nodes.
     int64_t edges = 0;       ///< Inputs over all live nodes.
     int64_t tokenEdges = 0;  ///< Edges carrying a VT::Token value.
+
+    bool
+    operator==(const IrShape& o) const
+    {
+        return nodes == o.nodes && edges == o.edges &&
+               tokenEdges == o.tokenEdges;
+    }
 };
 
 IrShape measureIr(const Graph& g);
 
-// Factory functions, one per paper optimization.
-std::unique_ptr<Pass> makeScalarOpts();           // folding, CSE
-std::unique_ptr<Pass> makeDeadCode();             // §4.1
-std::unique_ptr<Pass> makeTransitiveReduction();  // §3.4
-std::unique_ptr<Pass> makeTokenRemoval();         // §4.3
-std::unique_ptr<Pass> makeImmutableLoads();       // §4.2
-std::unique_ptr<Pass> makeMemoryMerge();          // §5.1
-std::unique_ptr<Pass> makeStoreForwarding();      // §5.3
-std::unique_ptr<Pass> makeDeadStore();            // §5.2
-std::unique_ptr<Pass> makeLoopInvariant();        // §5.4
-std::unique_ptr<Pass> makeReadonlySplit();        // §6.1
-std::unique_ptr<Pass> makeMonotonePipelining();   // §6.2
-std::unique_ptr<Pass> makeLoopDecoupling();       // §6.3
+/**
+ * Name-keyed registry of pass factories.
+ *
+ * The twelve paper passes are pre-registered in global() under their
+ * `Pass::name()` strings ("scalar_opts", "token_removal", ...);
+ * lookups treat '-' and '_' interchangeably, so the CLI spelling
+ * `--passes=token-removal` resolves too.  Embedders may register
+ * additional passes (or shadow a built-in) at runtime.
+ *
+ * All methods are thread-safe: parallel compilation workers
+ * instantiate their pipelines from the shared registry concurrently.
+ */
+class PassRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Pass>()>;
 
-/** The pass pipeline for @p level. */
+    /** The process-wide registry, pre-loaded with the built-ins. */
+    static PassRegistry& global();
+
+    /** Register (or replace) the factory for @p name. */
+    void registerPass(const std::string& name, Factory factory);
+
+    bool has(const std::string& name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Instantiate the pass @p name; fatal() on unknown names. */
+    std::unique_ptr<Pass> create(const std::string& name) const;
+
+    /** Instantiate a pipeline spec in order; fatal() on unknown names. */
+    std::vector<std::unique_ptr<Pass>> createPipeline(
+        const std::vector<std::string>& names) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, Factory> factories_;
+};
+
+/** The pass-name sequence of the standard pipeline for @p level. */
+std::vector<std::string> standardPipelineNames(OptLevel level);
+
+/** The instantiated standard pipeline for @p level. */
 std::vector<std::unique_ptr<Pass>> standardPipeline(OptLevel level);
 
 /**
- * Run the pipeline over @p g until a fixed point (bounded rounds).
+ * Run @p passes over @p g until a fixed point (bounded rounds).
  * Returns the number of rounds executed.
  */
+int optimizeGraph(Graph& g,
+                  const std::vector<std::unique_ptr<Pass>>& passes,
+                  OptContext& ctx);
+
+/** Convenience: optimizeGraph with the standard pipeline of @p level. */
 int optimizeGraph(Graph& g, OptLevel level, OptContext& ctx);
 
 } // namespace cash

@@ -49,10 +49,12 @@ class ReadonlySplitPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeReadonlySplit()
+void
+registerReadonlySplitPass(PassRegistry& r)
 {
-    return std::make_unique<ReadonlySplitPass>();
+    r.registerPass("readonly_split", [] {
+        return std::make_unique<ReadonlySplitPass>();
+    });
 }
 
 } // namespace cash

@@ -271,10 +271,12 @@ class ScalarOptsPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeScalarOpts()
+void
+registerScalarOptsPass(PassRegistry& r)
 {
-    return std::make_unique<ScalarOptsPass>();
+    r.registerPass("scalar_opts", [] {
+        return std::make_unique<ScalarOptsPass>();
+    });
 }
 
 } // namespace cash

@@ -108,10 +108,12 @@ class StoreForwardingPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeStoreForwarding()
+void
+registerStoreForwardingPass(PassRegistry& r)
 {
-    return std::make_unique<StoreForwardingPass>();
+    r.registerPass("store_forwarding", [] {
+        return std::make_unique<StoreForwardingPass>();
+    });
 }
 
 } // namespace cash

@@ -105,10 +105,12 @@ class TokenRemovalPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeTokenRemoval()
+void
+registerTokenRemovalPass(PassRegistry& r)
 {
-    return std::make_unique<TokenRemovalPass>();
+    r.registerPass("token_removal", [] {
+        return std::make_unique<TokenRemovalPass>();
+    });
 }
 
 } // namespace cash

@@ -105,10 +105,12 @@ class TransitiveReductionPass : public Pass
 
 } // namespace
 
-std::unique_ptr<Pass>
-makeTransitiveReduction()
+void
+registerTransitiveReductionPass(PassRegistry& r)
 {
-    return std::make_unique<TransitiveReductionPass>();
+    r.registerPass("transitive_reduction", [] {
+        return std::make_unique<TransitiveReductionPass>();
+    });
 }
 
 } // namespace cash

@@ -14,6 +14,13 @@ void
 StatSet::set(const std::string& name, int64_t value)
 {
     counters_[name] = value;
+    gauges_.insert(name);
+}
+
+bool
+StatSet::isGauge(const std::string& name) const
+{
+    return gauges_.count(name) != 0;
 }
 
 int64_t
@@ -33,13 +40,20 @@ void
 StatSet::clear()
 {
     counters_.clear();
+    gauges_.clear();
 }
 
 void
 StatSet::merge(const StatSet& other)
 {
-    for (const auto& [k, v] : other.counters_)
-        counters_[k] += v;
+    for (const auto& [k, v] : other.counters_) {
+        if (other.isGauge(k)) {
+            counters_[k] = v;
+            gauges_.insert(k);
+        } else {
+            counters_[k] += v;
+        }
+    }
 }
 
 StatSet

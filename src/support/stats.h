@@ -5,12 +5,30 @@
  * Compiler passes and the dataflow simulator record named counters here
  * (e.g. "opt.dead_store.removed", "sim.l1.misses").  Benchmark harnesses
  * read them back to regenerate the paper's tables and figures.
+ *
+ * Counters come in two flavors with different merge semantics:
+ *   - **accumulators**, written with add(): merge() sums them;
+ *   - **gauges**, written with set() (e.g. "ir.static.loads",
+ *     "sim.act.peakLive"): merge() takes the *incoming* value, so
+ *     merging per-function StatSets in function-declaration order
+ *     yields a deterministic last-writer-wins result at any thread
+ *     count.
+ * A counter that has ever been set() stays a gauge (later add()s
+ * modify its value but not its merge behavior).
+ *
+ * Thread ownership: a StatSet is NOT internally synchronized.  Each
+ * compilation worker owns a private StatSet and records into it
+ * exclusively; after the workers are joined, the owner merges the
+ * per-worker sets into the result set in deterministic (function
+ * declaration) order on a single thread.  Never share one StatSet
+ * between concurrently running workers.
  */
 #ifndef CASH_SUPPORT_STATS_H
 #define CASH_SUPPORT_STATS_H
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 namespace cash {
@@ -22,7 +40,7 @@ class StatSet
     /** Add @p delta to counter @p name (creating it at zero). */
     void add(const std::string& name, int64_t delta = 1);
 
-    /** Set counter @p name to @p value. */
+    /** Set counter @p name to @p value, marking it as a gauge. */
     void set(const std::string& name, int64_t value);
 
     /** Read counter @p name; missing counters read as zero. */
@@ -31,10 +49,17 @@ class StatSet
     /** True when the counter exists. */
     bool has(const std::string& name) const;
 
+    /** True when @p name was written with set() (merge = last writer). */
+    bool isGauge(const std::string& name) const;
+
     /** Remove all counters. */
     void clear();
 
-    /** Merge all counters of @p other into this set (summing). */
+    /**
+     * Merge all counters of @p other into this set: accumulators sum,
+     * gauges take @p other's value (last writer wins; call in
+     * deterministic order — see the thread-ownership note above).
+     */
     void merge(const StatSet& other);
 
     /**
@@ -50,6 +75,7 @@ class StatSet
 
   private:
     std::map<std::string, int64_t> counters_;
+    std::set<std::string> gauges_;
 };
 
 } // namespace cash

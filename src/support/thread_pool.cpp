@@ -1,0 +1,158 @@
+#include "support/thread_pool.h"
+
+namespace cash {
+
+int
+ThreadPool::hardwareConcurrency()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = hardwareConcurrency();
+    queues_.reserve(threads);
+    for (int i = 0; i < threads; i++)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    threads_.reserve(threads - 1);
+    for (int i = 1; i < threads; i++)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_)
+        t.join();
+}
+
+bool
+ThreadPool::popTask(int self, size_t* out)
+{
+    // Own queue first (front), then sweep siblings, stealing from the
+    // back so the victim keeps the cache-warm front of its run.
+    {
+        WorkQueue& q = *queues_[self];
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (!q.tasks.empty()) {
+            *out = q.tasks.front();
+            q.tasks.pop_front();
+            return true;
+        }
+    }
+    int n = workers();
+    for (int i = 1; i < n; i++) {
+        WorkQueue& q = *queues_[(self + i) % n];
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (!q.tasks.empty()) {
+            *out = q.tasks.back();
+            q.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::runTasks(int self)
+{
+    size_t task;
+    while (popTask(self, &task)) {
+        // Re-read fn_ per task: a straggler from the previous batch
+        // may legitimately pop (and must correctly run) tasks of the
+        // batch the owner published after it started sweeping.
+        const Task* fn;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            fn = fn_;
+        }
+        try {
+            (*fn)(task, self);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errMu_);
+            if (!error_ || task < errTask_) {
+                error_ = std::current_exception();
+                errTask_ = task;
+            }
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--remaining_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(int self)
+{
+    uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        runTasks(self);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const Task& fn)
+{
+    if (n == 0)
+        return;
+    if (workers() == 1) {
+        // Serial pool: run inline, bypassing the machinery entirely so
+        // -j1 compiles behave exactly like a plain loop.
+        for (size_t i = 0; i < n; i++)
+            fn(i, 0);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(errMu_);
+        error_ = nullptr;
+    }
+    // Publish the batch before any task becomes poppable, so even a
+    // straggling worker that steals a task immediately sees a
+    // consistent fn_/remaining_.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = &fn;
+        remaining_ = n;
+    }
+    for (size_t i = 0; i < n; i++) {
+        WorkQueue& q = *queues_[i % queues_.size()];
+        std::lock_guard<std::mutex> lock(q.mu);
+        q.tasks.push_back(i);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        generation_++;
+    }
+    wake_.notify_all();
+
+    runTasks(0);
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [&] { return remaining_ == 0; });
+    }
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(errMu_);
+        err = error_;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace cash

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A small work-stealing thread pool for per-function compilation.
+ *
+ * The pool owns `workers() - 1` background threads; the thread that
+ * calls parallelFor() participates as worker 0, so a pool of size 1
+ * spawns no threads and runs every task inline — byte-identical to a
+ * plain loop.  parallelFor() deals task indices round-robin into
+ * per-worker deques; a worker drains its own deque from the front and
+ * steals from the back of its siblings when it runs dry.
+ *
+ * Determinism contract: the pool guarantees nothing about *execution*
+ * order, only that every task runs exactly once and parallelFor()
+ * returns after all have finished.  Callers that need deterministic
+ * output must give each task its own output slot (indexed by task id)
+ * and merge the slots in task order afterwards — see
+ * `compileSource()` for the canonical use.
+ *
+ * Exceptions thrown by tasks are caught per task; after the batch
+ * completes, the exception of the *lowest-numbered* failing task is
+ * rethrown on the calling thread (so failure behavior is independent
+ * of scheduling).
+ *
+ * One batch at a time: parallelFor() is not reentrant and must always
+ * be called from the same (owner) thread.
+ */
+#ifndef CASH_SUPPORT_THREAD_POOL_H
+#define CASH_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cash {
+
+class ThreadPool
+{
+  public:
+    /** Task body: receives the task index and the worker id running it
+     *  (0 .. workers()-1); worker id 0 is the calling thread. */
+    using Task = std::function<void(size_t task, int worker)>;
+
+    /** @p threads total workers; 0 means one per hardware thread. */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Total worker count, including the calling thread. */
+    int workers() const { return static_cast<int>(queues_.size()); }
+
+    /**
+     * Run fn(i, worker) for every i in [0, n), blocking until all
+     * tasks have finished.  Rethrows the lowest-index task exception.
+     */
+    void parallelFor(size_t n, const Task& fn);
+
+    /** std::thread::hardware_concurrency(), never less than 1. */
+    static int hardwareConcurrency();
+
+  private:
+    /** One worker's task deque (own pop at front, steals at back). */
+    struct WorkQueue
+    {
+        std::mutex mu;
+        std::deque<size_t> tasks;
+    };
+
+    bool popTask(int self, size_t* out);
+    void runTasks(int self);
+    void workerLoop(int self);
+
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    // Batch handoff: the owner publishes fn_/generation_ under mu_ and
+    // wakes the workers; remaining_ counts unfinished tasks.
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const Task* fn_ = nullptr;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+    size_t remaining_ = 0;
+
+    // First (lowest task index) exception of the current batch.
+    std::mutex errMu_;
+    size_t errTask_ = 0;
+    std::exception_ptr error_;
+};
+
+} // namespace cash
+
+#endif // CASH_SUPPORT_THREAD_POOL_H

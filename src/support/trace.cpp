@@ -55,8 +55,30 @@ TraceRecorder::push(TraceEvent ev)
         dropped_++;
         return false;
     }
+    ev.tid = trackId_;
     events_.push_back(std::move(ev));
     return true;
+}
+
+void
+TraceRecorder::syncClockTo(const TraceRecorder& parent)
+{
+    originNs_ = parent.originNs_;
+}
+
+void
+TraceRecorder::append(const TraceRecorder& other)
+{
+    if (!enabled_)
+        return;
+    for (const TraceEvent& ev : other.events_) {
+        if (events_.size() >= maxEvents_) {
+            dropped_++;
+            continue;
+        }
+        events_.push_back(ev);
+    }
+    dropped_ += other.dropped_;
 }
 
 void
@@ -133,7 +155,7 @@ TraceRecorder::writeChromeTrace(std::ostream& os) const
         os << "{\"name\":\"" << jsonEscape(ev.name) << "\","
            << "\"cat\":\"" << jsonEscape(ev.cat) << "\","
            << "\"ph\":\"" << ev.phase << "\","
-           << "\"pid\":" << ev.pid << ",\"tid\":0,"
+           << "\"pid\":" << ev.pid << ",\"tid\":" << ev.tid << ","
            << "\"ts\":" << ev.ts;
         if (ev.phase == 'X')
             os << ",\"dur\":" << ev.dur;

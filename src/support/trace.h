@@ -66,6 +66,7 @@ struct TraceEvent
     std::string cat;
     char phase = 'X';   ///< 'X' complete, 'C' counter, 'i' instant.
     int pid = kTraceWallPid;
+    int tid = 0;        ///< Track within the pid (0 = main thread).
     uint64_t ts = 0;    ///< Microseconds (pid 0) or cycles (pid 1).
     uint64_t dur = 0;   ///< Complete events only.
     std::vector<TraceArg> args;
@@ -109,6 +110,38 @@ class TraceRecorder
     /** Drop all recorded events and restart the clock. */
     void clear();
 
+    // -----------------------------------------------------------------
+    // Per-worker buffering (parallel compilation)
+    // -----------------------------------------------------------------
+    //
+    // Each compilation worker records into a private TraceRecorder and
+    // the owner splices the buffers into the main recorder afterwards,
+    // in function-declaration order, so the event *sequence* is
+    // deterministic at any thread count (timestamps remain wall
+    // clock).  Usage: child.syncClockTo(parent); child.setTrackId(i);
+    // ... record ...; parent.append(child).
+
+    /**
+     * Adopt @p parent's clock origin so this recorder's nowUs() values
+     * land in the same timeline as the parent's.  Call before
+     * recording anything.
+     */
+    void syncClockTo(const TraceRecorder& parent);
+
+    /**
+     * Chrome-trace track ("tid") stamped on every subsequently
+     * recorded event.  Give each function's spans a distinct track so
+     * overlapping parallel work does not fake nesting in the viewer.
+     */
+    void setTrackId(int tid) { trackId_ = tid; }
+
+    /**
+     * Append all of @p other's events (recorded against the same clock
+     * origin, see syncClockTo()) to this recorder; honors this
+     * recorder's event cap and accumulates @p other's drop count.
+     */
+    void append(const TraceRecorder& other);
+
     /**
      * Cap on stored events; beyond it new events are dropped (and
      * counted), so long simulations cannot exhaust memory.
@@ -124,6 +157,7 @@ class TraceRecorder
     bool push(TraceEvent ev);
 
     bool enabled_ = false;
+    int trackId_ = 0;
     uint64_t originNs_ = 0;
     std::vector<TraceEvent> events_;
     size_t maxEvents_ = 1 << 20;

@@ -17,9 +17,7 @@ namespace {
 CompileResult
 buildOnly(const std::string& src, OptLevel level = OptLevel::None)
 {
-    CompileOptions co;
-    co.level = level;
-    return compileSource(src, co);
+    return compileSource(src, CompileOptions().opt(level));
 }
 
 int
@@ -107,8 +105,7 @@ TEST(Builder, ProgramOrderChainAtCoarseLevel)
 {
     // With points-to off, conflicting accesses chain in program order:
     // the store's token sources include the preceding load.
-    CompileOptions co;
-    co.level = OptLevel::None;
+    CompileOptions co = CompileOptions().opt(OptLevel::None);
     CompileResult r = compileSource(
         "int a[4]; void f(int i) { int t = a[i]; a[i + 1] = t; }", co);
     const Graph* g = r.graph("f");
@@ -154,8 +151,7 @@ TEST(Builder, DisjointArraysSeparateRingsAtMedium)
 {
     // Figure 6: with read/write sets, accesses to disjoint arrays need
     // no mutual token edges.
-    CompileOptions co;
-    co.level = OptLevel::Medium;
+    CompileOptions co = CompileOptions().opt(OptLevel::Medium);
     CompileResult r = compileSource(
         "int a[4]; int b2[4];"
         "void f(int i) { a[i] = 1; b2[i] = 2; }",

@@ -162,9 +162,8 @@ TEST_P(DifferentialTest, SimulatorMatchesInterpreterEverywhere)
 
     for (OptLevel level :
          {OptLevel::None, OptLevel::Medium, OptLevel::Full}) {
-        CompileOptions co;
-        co.level = level;
-        CompileResult r = compileSource(src, co);
+        CompileResult r =
+            compileSource(src, CompileOptions().opt(level));
         DataflowSimulator sim(r.graphPtrs(), *r.layout,
                               MemConfig::perfectMemory());
         SimResult got = sim.run("f", args);
@@ -215,9 +214,8 @@ TEST(Differential, RecursionHeavyActivationRecycling)
 
     for (OptLevel level :
          {OptLevel::None, OptLevel::Medium, OptLevel::Full}) {
-        CompileOptions co;
-        co.level = level;
-        CompileResult r = compileSource(src, co);
+        CompileResult r =
+            compileSource(src, CompileOptions().opt(level));
         DataflowSimulator sim(r.graphPtrs(), *r.layout,
                               MemConfig::perfectMemory());
         SimResult first = sim.run("run", args);

@@ -76,10 +76,9 @@ TEST(KernelSuite, CoarseConstructionIsEquivalent)
     for (const Kernel& k : kernelSuite()) {
         uint32_t expect =
             testutil::interpret(k.source, k.entry, k.args);
-        CompileOptions co;
-        co.level = OptLevel::Full;
-        co.pointsToInConstruction = false;
-        CompileResult r = compileSource(k.source, co);
+        CompileResult r = compileSource(
+            k.source,
+            CompileOptions().opt(OptLevel::Full).pointsTo(false));
         DataflowSimulator sim(r.graphPtrs(), *r.layout,
                               MemConfig::perfectMemory());
         EXPECT_EQ(sim.run(k.entry, k.args).returnValue, expect)
@@ -93,9 +92,8 @@ TEST(KernelSuite, TokenGraphStaysTransitivelyReduced)
     // no token source of an operation is already ordered before
     // another source of the same operation.
     for (const Kernel& k : kernelSuite()) {
-        CompileOptions co;
-        co.level = OptLevel::Full;
-        CompileResult r = compileSource(k.source, co);
+        CompileResult r = compileSource(
+            k.source, CompileOptions().opt(OptLevel::Full));
         for (const auto& g : r.graphs) {
             g->forEach([&](Node* n) {
                 int ti = optutil::tokenConsumerInput(n);

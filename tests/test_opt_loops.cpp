@@ -15,9 +15,7 @@ namespace {
 CompileResult
 full(const std::string& src)
 {
-    CompileOptions co;
-    co.level = OptLevel::Full;
-    return compileSource(src, co);
+    return compileSource(src, CompileOptions().opt(OptLevel::Full));
 }
 
 int

@@ -34,9 +34,7 @@ opsOf(const CompileResult& r, const std::string& fn)
 CompileResult
 full(const std::string& src)
 {
-    CompileOptions co;
-    co.level = OptLevel::Full;
-    return compileSource(src, co);
+    return compileSource(src, CompileOptions().opt(OptLevel::Full));
 }
 
 TEST(TokenRemoval, DisjointConstantIndices)
@@ -55,9 +53,8 @@ TEST(TokenRemoval, CoarseGraphRecoversParallelism)
 {
     // Even with points-to disabled at construction, §4.3 heuristics
     // recover the independence of the two arrays.
-    CompileOptions co;
-    co.level = OptLevel::Full;
-    co.pointsToInConstruction = false;
+    CompileOptions co =
+        CompileOptions().opt(OptLevel::Full).pointsTo(false);
     CompileResult r = compileSource(
         "int a[8]; int c[8];"
         "void f(int i) { a[i] = 1; c[i] = 2; }",

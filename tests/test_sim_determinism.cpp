@@ -47,9 +47,8 @@ TEST_P(SimDeterminism, GoldenCyclesAcrossOptLevels)
     for (OptLevel level :
          {OptLevel::None, OptLevel::Medium, OptLevel::Full}) {
         SCOPED_TRACE(std::string("level ") + optLevelName(level));
-        CompileOptions co;
-        co.level = level;
-        CompileResult r = compileSource(k.source, co);
+        CompileResult r =
+            compileSource(k.source, CompileOptions().opt(level));
 
         // Two simulators built from the same graphs must agree on
         // everything observable, run to run.
@@ -94,9 +93,8 @@ TEST_P(SimDeterminism, GoldenCyclesAcrossOptLevels)
     // hold there too (same hierarchy state evolution every run).
     {
         SCOPED_TRACE("realistic memory");
-        CompileOptions co;
-        co.level = OptLevel::Full;
-        CompileResult r = compileSource(k.source, co);
+        CompileResult r = compileSource(
+            k.source, CompileOptions().opt(OptLevel::Full));
         DataflowSimulator simA(r.graphPtrs(), *r.layout,
                                MemConfig::realistic(2));
         DataflowSimulator simB(r.graphPtrs(), *r.layout,

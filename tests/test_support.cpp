@@ -71,6 +71,54 @@ TEST(Stats, MergeSums)
     EXPECT_EQ(a.get("m"), 1);
 }
 
+TEST(Stats, MergeGaugesTakeLastWriter)
+{
+    // set()-style gauges merge by last writer, not by summing, so
+    // merging per-function sets in declaration order is deterministic.
+    StatSet a, b, c;
+    a.set("gauge", 10);
+    b.set("gauge", 7);
+    c.set("gauge", 42);
+    a.merge(b);
+    EXPECT_EQ(a.get("gauge"), 7);
+    a.merge(c);
+    EXPECT_EQ(a.get("gauge"), 42);
+    EXPECT_TRUE(a.isGauge("gauge"));
+    EXPECT_FALSE(a.isGauge("missing"));
+}
+
+TEST(Stats, GaugeFlagSurvivesMergeAndClear)
+{
+    StatSet a, b;
+    b.set("g", 5);
+    a.merge(b);            // a learns that "g" is a gauge
+    StatSet c;
+    c.set("g", 9);
+    a.merge(c);
+    EXPECT_EQ(a.get("g"), 9);
+    EXPECT_TRUE(a.isGauge("g"));
+
+    a.clear();
+    EXPECT_FALSE(a.isGauge("g"));
+    a.add("g", 2);         // plain accumulator after clear()
+    StatSet d;
+    d.add("g", 3);
+    a.merge(d);
+    EXPECT_EQ(a.get("g"), 5);
+}
+
+TEST(Stats, MixedMergeKeepsAccumulatorsSumming)
+{
+    StatSet a, b;
+    a.add("adds", 1);
+    a.set("peak", 10);
+    b.add("adds", 2);
+    b.set("peak", 4);
+    a.merge(b);
+    EXPECT_EQ(a.get("adds"), 3);
+    EXPECT_EQ(a.get("peak"), 4);
+}
+
 TEST(Stats, StrIsSorted)
 {
     StatSet s;

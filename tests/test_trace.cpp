@@ -342,10 +342,8 @@ TEST(Trace, OneEventPerPassRun)
 {
     TraceRecorder rec;
     rec.enable();
-    CompileOptions co;
-    co.level = OptLevel::Full;
-    co.tracer = &rec;
-    CompileResult r = compileSource(kProgram, co);
+    CompileResult r = compileSource(
+        kProgram, CompileOptions().opt(OptLevel::Full).trace(&rec));
 
     // The pass manager bumps opt.pass.<name>.runs once per pass run
     // and records exactly one "opt"-category span for each.
@@ -381,10 +379,8 @@ TEST(Trace, SimulatorRecordsActivationsAndCounters)
 {
     TraceRecorder rec;
     rec.enable();
-    CompileOptions co;
-    co.level = OptLevel::Full;
-    co.tracer = &rec;
-    CompileResult r = compileSource(kProgram, co);
+    CompileResult r = compileSource(
+        kProgram, CompileOptions().opt(OptLevel::Full).trace(&rec));
 
     DataflowSimulator sim(r.graphPtrs(), *r.layout,
                           MemConfig::realistic(2));

@@ -38,9 +38,8 @@ simulate(const std::string& source, const std::string& fn,
          OptLevel level = OptLevel::Full,
          MemConfig mem = MemConfig::perfectMemory())
 {
-    CompileOptions co;
-    co.level = level;
-    CompileResult r = compileSource(source, co);
+    CompileResult r =
+        compileSource(source, CompileOptions().opt(level));
     DataflowSimulator sim(r.graphPtrs(), *r.layout, mem);
     return sim.run(fn, args);
 }
@@ -63,9 +62,8 @@ crossCheck(const std::string& source, const std::string& fn,
 
     for (OptLevel level :
          {OptLevel::None, OptLevel::Medium, OptLevel::Full}) {
-        CompileOptions co;
-        co.level = level;
-        CompileResult r = compileSource(source, co);
+        CompileResult r =
+            compileSource(source, CompileOptions().opt(level));
         DataflowSimulator sim(r.graphPtrs(), *r.layout,
                               MemConfig::perfectMemory());
         SimResult got = sim.run(fn, args);
