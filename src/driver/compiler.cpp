@@ -76,6 +76,7 @@ struct FuncOptSlot
 {
     StatSet stats;
     TraceRecorder trace;
+    std::vector<PassFailure> failures;
 };
 
 } // namespace
@@ -143,6 +144,12 @@ compileSource(const std::string& source, const CompileOptions& options)
                                      static_cast<int>(r.graphs.size())));
     const bool traceOn = tracer && tracer->enabled();
 
+    // Fault-injection plan: explicit plan, else $CASH_INJECT, else
+    // nothing.  Immutable, shared by all workers.
+    const FaultPlan* faults = options.faults;
+    if (!faults && !FaultPlan::fromEnv().empty())
+        faults = &FaultPlan::fromEnv();
+
     std::vector<FuncOptSlot> slots(r.graphs.size());
     auto optimizeOne = [&](size_t i, int) {
         Graph& g = *r.graphs[i];
@@ -154,8 +161,30 @@ compileSource(const std::string& source, const CompileOptions& options)
             slot.trace.setTrackId(static_cast<int>(i) + 1);
             slot.trace.enable();
         }
-        if (options.verify)
-            verifyOrDie(g, "after construction of " + g.name);
+        if (options.verify) {
+            if (options.strict) {
+                verifyOrDie(g, "after construction of " + g.name);
+            } else {
+                // A function whose construction already violates the
+                // invariants is left unoptimized (passes assume a
+                // well-formed graph); everything else proceeds.
+                std::vector<std::string> problems = verifyGraph(g);
+                if (!problems.empty()) {
+                    PassFailure fail;
+                    fail.function = g.name;
+                    fail.pass = "<construction>";
+                    fail.code = ErrorCode::VerifyError;
+                    fail.message =
+                        problems[0] + " (" +
+                        std::to_string(problems.size()) + " problems)";
+                    slot.failures.push_back(std::move(fail));
+                    slot.stats.add("opt.construction_verify_failures");
+                    slot.stats.add("ir.nodes.initial", g.numLive());
+                    slot.stats.add("ir.nodes.final", g.numLive());
+                    return;
+                }
+            }
+        }
         slot.stats.add("ir.nodes.initial", g.numLive());
 
         // Per-worker pass instances: passes may keep scratch state.
@@ -168,10 +197,13 @@ compileSource(const std::string& source, const CompileOptions& options)
         ctx.stats = &slot.stats;
         ctx.tracer = traceOn ? &slot.trace : nullptr;
         ctx.verifyAfterEachPass = options.verify;
+        ctx.isolatePasses = !options.strict;
+        ctx.failures = &slot.failures;
+        ctx.faults = faults;
 
         int rounds = optimizeGraph(g, pipeline, ctx);
         slot.stats.add("opt.rounds", rounds);
-        if (options.verify)
+        if (options.verify && options.strict)
             verifyOrDie(g, "after optimizing " + g.name);
         slot.stats.add("ir.nodes.final", g.numLive());
     };
@@ -191,6 +223,8 @@ compileSource(const std::string& source, const CompileOptions& options)
     // Deterministic merge: function-declaration order, single thread.
     for (FuncOptSlot& slot : slots) {
         r.stats.merge(slot.stats);
+        for (PassFailure& fail : slot.failures)
+            r.diagnostics.push_back(std::move(fail));
         if (traceOn)
             tracer->append(slot.trace);
     }

@@ -75,6 +75,19 @@ struct CompileOptions
      * Empty = standardPipelineNames(level).
      */
     std::vector<std::string> passNames;
+    /**
+     * Strict mode: disable pass isolation.  A pass that throws or
+     * fails verification raises a FatalError immediately instead of
+     * being rolled back, quarantined and reported in
+     * CompileResult::diagnostics (the default, graceful behavior —
+     * see docs/ROBUSTNESS.md).
+     */
+    bool strict = false;
+    /**
+     * Deterministic fault-injection plan (testing); null = the plan
+     * from $CASH_INJECT, which is empty unless the variable is set.
+     */
+    const FaultPlan* faults = nullptr;
 
     // -- fluent builder -----------------------------------------------
     CompileOptions& opt(OptLevel l) { level = l; return *this; }
@@ -91,6 +104,12 @@ struct CompileOptions
         passNames = std::move(names);
         return *this;
     }
+    CompileOptions& strictMode(bool on) { strict = on; return *this; }
+    CompileOptions& inject(const FaultPlan* plan)
+    {
+        faults = plan;
+        return *this;
+    }
 };
 
 /** Everything produced by one compilation. */
@@ -102,6 +121,17 @@ struct CompileResult
     /** One Pegasus graph per function, in declaration order. */
     std::vector<std::unique_ptr<Graph>> graphs;
     StatSet stats;
+    /**
+     * Structured diagnostics from isolated pass failures, in
+     * function-declaration order (deterministic at any job count).
+     * Empty on a fully healthy compilation; each entry corresponds to
+     * one rollback+quarantine (or one function whose construction
+     * failed verification and was left unoptimized).
+     */
+    std::vector<PassFailure> diagnostics;
+
+    /** True when no pass failed and nothing was quarantined. */
+    bool ok() const { return diagnostics.empty(); }
 
     const Graph* graph(const std::string& name) const;
     std::vector<const Graph*> graphPtrs() const;

@@ -18,10 +18,24 @@
  *     --dot                 print Graphviz dot for all graphs
  *     --run f(a,b,...)      simulate calling f with integer args
  *     --mem perfect|real1|real2|real4   memory system for --run
+ *     --max-events N        simulator event budget (livelock guard)
+ *     --strict              fail fast: pass failures raise immediately
+ *                           instead of rollback + quarantine
+ *     --verify-each-pass    run the graph verifier after every pass
+ *                           (the default; kept for explicitness)
+ *     --no-verify           skip graph verification entirely
+ *     --inject=SPEC         deterministic fault injection (testing);
+ *                           see docs/ROBUSTNESS.md for the syntax
  *     --stats               print compile + run statistics
  *     --stats-json FILE     write compile + run statistics as JSON
  *     --trace FILE          write a Chrome trace-event file (Perfetto)
  *     --verbose             debug logging to stderr (repeat for more)
+ *
+ * Exit status: 0 on a fully healthy run; 1 when compilation recorded
+ * diagnostics (rolled-back passes), the simulation degraded (deadlock,
+ * event limit, ...) or a fatal error occurred; 2 on usage errors.
+ * Observability artifacts (--stats-json, --trace) are flushed on every
+ * exit path — a failed run still produces its partial stats and trace.
  */
 #include <cctype>
 #include <cstdlib>
@@ -32,6 +46,7 @@
 #include "driver/compiler.h"
 #include "pegasus/dot.h"
 #include "sim/dataflow_sim.h"
+#include "support/fault_injection.h"
 #include "support/strings.h"
 #include "support/trace.h"
 
@@ -48,9 +63,23 @@ usage()
         " [--dot]\n"
         "             [--run 'f(1,2)'] [--mem perfect|real1|real2|real4]"
         " [--stats]\n"
-        "             [--stats-json out.json] [--trace out.json]"
-        " [--verbose] file.c\n";
+        "             [--max-events N] [--strict] [--verify-each-pass]"
+        " [--no-verify]\n"
+        "             [--inject=SPEC] [--stats-json out.json]"
+        " [--trace out.json]\n"
+        "             [--verbose] file.c\n";
     return 2;
+}
+
+/** One compile diagnostic as a JSON object. */
+std::string
+diagnosticJson(const PassFailure& d)
+{
+    return std::string("{\"function\": \"") + jsonEscape(d.function) +
+           "\", \"pass\": \"" + jsonEscape(d.pass) +
+           "\", \"round\": " + std::to_string(d.round) +
+           ", \"code\": \"" + errorCodeName(d.code) +
+           "\", \"message\": \"" + jsonEscape(d.message) + "\"}";
 }
 
 } // namespace
@@ -63,6 +92,8 @@ main(int argc, char** argv)
     std::string memSpec = "real2";
     std::string traceFile;
     std::string statsJsonFile;
+    std::string injectSpec;
+    uint64_t maxEvents = 0;
     bool dumpCfg = false, dumpGraph = false, dumpDot = false;
     bool showStats = false;
     CompileOptions opts;
@@ -116,6 +147,18 @@ main(int argc, char** argv)
             traceLevel++;
         } else if (arg == "--stats") {
             showStats = true;
+        } else if (arg == "--strict") {
+            opts.strictMode(true);
+        } else if (arg == "--verify-each-pass") {
+            opts.verification(true);
+        } else if (arg == "--no-verify") {
+            opts.verification(false);
+        } else if (arg == "--max-events" && i + 1 < argc) {
+            maxEvents = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg.rfind("--inject=", 0) == 0) {
+            injectSpec = arg.substr(9);
+        } else if (arg == "--inject" && i + 1 < argc) {
+            injectSpec = argv[++i];
         } else if (arg == "--run" && i + 1 < argc) {
             runSpec = argv[++i];
         } else if (arg == "--mem" && i + 1 < argc) {
@@ -137,16 +180,98 @@ main(int argc, char** argv)
     std::stringstream buf;
     buf << in.rdbuf();
 
+    FaultPlan plan;
+    if (!injectSpec.empty()) {
+        try {
+            plan = FaultPlan::parse(injectSpec);
+        } catch (const FatalError& e) {
+            std::cerr << "cashc: " << e.what() << "\n";
+            return usage();
+        }
+        opts.inject(&plan);
+    }
+
     TraceRecorder& tracer = globalTracer();
     if (!traceFile.empty()) {
         tracer.enable();
         opts.tracer = &tracer;
     }
 
+    // Observability artifacts are written on *every* exit path below:
+    // a degraded or failed run still flushes whatever it recorded.
+    StatSet compileStats;
     StatSet simStats;
+    std::vector<PassFailure> diagnostics;
+    std::string fatalMsg;
+    std::string simError;
     bool ranSim = false;
+    int exitCode = 0;
+
+    auto flushArtifacts = [&]() -> bool {
+        bool ok = true;
+        if (!statsJsonFile.empty()) {
+            std::ofstream os(statsJsonFile);
+            if (!os) {
+                std::cerr << "cashc: cannot write " << statsJsonFile
+                          << "\n";
+                ok = false;
+            } else {
+                os << "{\n  \"schema\": \"cash-stats-v1\",\n"
+                   << "  \"meta\": {\n"
+                   << "    \"file\": \"" << jsonEscape(file) << "\",\n"
+                   << "    \"opt_level\": \""
+                   << optLevelName(opts.level) << "\",\n"
+                   << "    \"mem\": \"" << jsonEscape(memSpec)
+                   << "\",\n"
+                   << "    \"run\": \"" << jsonEscape(runSpec)
+                   << "\",\n"
+                   << "    \"exit\": " << exitCode;
+                if (!fatalMsg.empty())
+                    os << ",\n    \"error\": \""
+                       << jsonEscape(fatalMsg) << "\"";
+                if (!simError.empty())
+                    os << ",\n    \"sim_error\": \""
+                       << jsonEscape(simError) << "\"";
+                os << "\n  },\n";
+                if (!diagnostics.empty()) {
+                    os << "  \"diagnostics\": [\n";
+                    for (size_t d = 0; d < diagnostics.size(); d++)
+                        os << "    " << diagnosticJson(diagnostics[d])
+                           << (d + 1 < diagnostics.size() ? ",\n"
+                                                          : "\n");
+                    os << "  ],\n";
+                }
+                os << "  \"compile\": " << statSetJson(compileStats, 2);
+                if (ranSim)
+                    os << ",\n  \"sim\": " << statSetJson(simStats, 2);
+                os << "\n}\n";
+            }
+        }
+        if (!traceFile.empty()) {
+            std::ofstream os(traceFile);
+            if (!os) {
+                std::cerr << "cashc: cannot write " << traceFile
+                          << "\n";
+                ok = false;
+            } else {
+                tracer.writeChromeTrace(os);
+            }
+        }
+        return ok;
+    };
+
     try {
         CompileResult r = compileSource(buf.str(), opts);
+        compileStats = r.stats;
+        diagnostics = r.diagnostics;
+        if (!r.ok()) {
+            for (const PassFailure& d : r.diagnostics)
+                std::cerr << "cashc: " << d.str() << "\n";
+            std::cerr << "cashc: " << r.diagnostics.size()
+                      << " pass failure(s) rolled back; output may be"
+                         " less optimized\n";
+            exitCode = 1;
+        }
 
         if (dumpCfg)
             for (const auto& fn : r.cfg->functions)
@@ -184,52 +309,40 @@ main(int argc, char** argv)
             DataflowSimulator sim(r.graphPtrs(), *r.layout, mc);
             if (!traceFile.empty())
                 sim.setTracer(&tracer);
+            if (maxEvents)
+                sim.setMaxEvents(maxEvents);
+            if (!plan.empty())
+                sim.setFaultPlan(&plan);
             SimResult out = sim.run(fname, args);
-            std::cout << fname << " returned " << out.returnValue
-                      << " in " << out.cycles << " cycles ("
-                      << mc.name << " memory)\n";
+            simStats = out.stats;
+            ranSim = true;
+            if (out.ok()) {
+                std::cout << fname << " returned " << out.returnValue
+                          << " in " << out.cycles << " cycles ("
+                          << mc.name << " memory)\n";
+                simStats.set("sim.returnValue",
+                             static_cast<int64_t>(out.returnValue));
+            } else {
+                simError = out.error;
+                std::cerr << "cashc: simulation failed ("
+                          << simOutcomeName(out.outcome)
+                          << "): " << out.error << "\n";
+                if (out.outcome == SimOutcome::Deadlock)
+                    std::cerr << out.deadlock.str() << "\n";
+                exitCode = 1;
+            }
             if (showStats)
                 std::cout << out.stats.str();
-            simStats = out.stats;
-            simStats.set("sim.returnValue",
-                         static_cast<int64_t>(out.returnValue));
-            ranSim = true;
         }
         if (showStats)
             std::cout << r.stats.str();
-
-        if (!statsJsonFile.empty()) {
-            std::ofstream os(statsJsonFile);
-            if (!os) {
-                std::cerr << "cashc: cannot write " << statsJsonFile
-                          << "\n";
-                return 1;
-            }
-            os << "{\n  \"schema\": \"cash-stats-v1\",\n"
-               << "  \"meta\": {\n"
-               << "    \"file\": \"" << jsonEscape(file) << "\",\n"
-               << "    \"opt_level\": \"" << optLevelName(opts.level)
-               << "\",\n"
-               << "    \"mem\": \"" << jsonEscape(memSpec) << "\",\n"
-               << "    \"run\": \"" << jsonEscape(runSpec) << "\"\n"
-               << "  },\n"
-               << "  \"compile\": " << statSetJson(r.stats, 2);
-            if (ranSim)
-                os << ",\n  \"sim\": " << statSetJson(simStats, 2);
-            os << "\n}\n";
-        }
     } catch (const FatalError& e) {
-        std::cerr << "cashc: " << e.what() << "\n";
-        return 1;
+        fatalMsg = e.what();
+        std::cerr << "cashc: " << fatalMsg << "\n";
+        exitCode = 1;
     }
 
-    if (!traceFile.empty()) {
-        std::ofstream os(traceFile);
-        if (!os) {
-            std::cerr << "cashc: cannot write " << traceFile << "\n";
-            return 1;
-        }
-        tracer.writeChromeTrace(os);
-    }
-    return 0;
+    if (!flushArtifacts() && exitCode == 0)
+        exitCode = 1;
+    return exitCode;
 }

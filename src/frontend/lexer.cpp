@@ -1,6 +1,7 @@
 #include "frontend/lexer.h"
 
 #include <cctype>
+#include <cstdint>
 #include <map>
 
 namespace cash {
@@ -189,32 +190,44 @@ Token
 Lexer::lexNumber()
 {
     Token t = makeToken(Tok::IntLiteral);
-    int64_t value = 0;
+    // Accumulate unsigned with explicit overflow checks: a literal
+    // like 99999999999999999999 must yield a diagnostic, not signed
+    // wraparound (undefined behavior).
+    uint64_t value = 0;
+    auto append = [&](uint64_t base, uint64_t digit) {
+        if (value > (UINT64_MAX - digit) / base)
+            fatalAt(tokenStart_, "integer literal too large");
+        value = value * base + digit;
+    };
     if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
         advance();
         advance();
         bool any = false;
         while (std::isxdigit(static_cast<unsigned char>(peek()))) {
             char c = advance();
-            int digit = std::isdigit(static_cast<unsigned char>(c))
-                            ? c - '0'
-                            : std::tolower(c) - 'a' + 10;
-            value = value * 16 + digit;
+            uint64_t digit =
+                std::isdigit(static_cast<unsigned char>(c))
+                    ? static_cast<uint64_t>(c - '0')
+                    : static_cast<uint64_t>(std::tolower(c) - 'a' +
+                                            10);
+            append(16, digit);
             any = true;
         }
         if (!any)
             fatalAt(tokenStart_, "malformed hex literal");
     } else {
         while (std::isdigit(static_cast<unsigned char>(peek())))
-            value = value * 10 + (advance() - '0');
+            append(10, static_cast<uint64_t>(advance() - '0'));
     }
+    if (value > static_cast<uint64_t>(INT64_MAX))
+        fatalAt(tokenStart_, "integer literal too large");
     // Accept (and record) integer suffixes.
     while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
         if (peek() == 'u' || peek() == 'U')
             t.isUnsigned = true;
         advance();
     }
-    t.intValue = value;
+    t.intValue = static_cast<int64_t>(value);
     return t;
 }
 

@@ -1,5 +1,7 @@
 #include "frontend/parser.h"
 
+#include <cstdint>
+
 #include "frontend/lexer.h"
 #include "support/strings.h"
 
@@ -181,11 +183,31 @@ Parser::parseArraySize()
     // (possibly a product, e.g. [16*4]) to avoid a full const-expr pass.
     if (current().is(Tok::RBracket))
         return 0;  // unknown extent (extern int a[])
-    int64_t v = expect(Tok::IntLiteral, "as array size").intValue;
-    while (accept(Tok::Star))
-        v *= expect(Tok::IntLiteral, "in array size product").intValue;
-    while (accept(Tok::Plus))
-        v += expect(Tok::IntLiteral, "in array size sum").intValue;
+    Token first = expect(Tok::IntLiteral, "as array size");
+    int64_t v = first.intValue;
+    // Overflow-checked arithmetic: a hostile size like [1<<40 * ...]
+    // must produce a diagnostic, not wrap into a bogus small extent.
+    auto overflow = [&]() {
+        fatalAt(first.loc, "array size overflows");
+    };
+    while (accept(Tok::Star)) {
+        int64_t f =
+            expect(Tok::IntLiteral, "in array size product").intValue;
+        if (__builtin_mul_overflow(v, f, &v))
+            overflow();
+    }
+    while (accept(Tok::Plus)) {
+        int64_t f =
+            expect(Tok::IntLiteral, "in array size sum").intValue;
+        if (__builtin_add_overflow(v, f, &v))
+            overflow();
+    }
+    // The simulated address space is 32-bit; anything that cannot
+    // even be addressed is rejected here rather than overflowing the
+    // layout arithmetic downstream.
+    if (v < 0 || v > INT32_MAX)
+        fatalAt(first.loc, "array size out of range: " +
+                               std::to_string(v));
     return v;
 }
 
@@ -315,9 +337,21 @@ Parser::parseBlock()
     return block;
 }
 
+Parser::DepthGuard::DepthGuard(Parser& p) : parser(p)
+{
+    // Far deeper than any real program, far shallower than the host
+    // stack: each level costs a few hundred bytes of parser frames.
+    constexpr int kMaxDepth = 512;
+    if (++parser.depth_ > kMaxDepth)
+        fatalAt(parser.current().loc,
+                "expression or statement nesting too deep (limit " +
+                    std::to_string(kMaxDepth) + ")");
+}
+
 Stmt*
 Parser::parseStmt()
 {
+    DepthGuard guard(*this);
     switch (current().kind) {
       case Tok::LBrace: return parseBlock();
       case Tok::KwIf: return parseIf();
@@ -621,6 +655,7 @@ Parser::parseBinary(int minPrec)
 Expr*
 Parser::parseUnary()
 {
+    DepthGuard guard(*this);
     switch (current().kind) {
       case Tok::Plus: {
         Token t = consume();

@@ -70,10 +70,24 @@ class Parser
     Expr* parsePostfix();
     Expr* parsePrimary();
 
+    /**
+     * Recursion-depth guard: hostile inputs (thousands of nested
+     * parens or `if`s) would otherwise overflow the host stack — a
+     * crash, not a diagnostic.  Entered at the two points every
+     * nesting level passes through (parseStmt, parseUnary).
+     */
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser& p);
+        ~DepthGuard() { parser.depth_--; }
+        Parser& parser;
+    };
+
     std::vector<Token> tokens_;
     size_t pos_ = 0;
     Program program_;
     std::string currentFunc_;  ///< For pragma scoping.
+    int depth_ = 0;
 };
 
 } // namespace cash

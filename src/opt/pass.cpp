@@ -24,6 +24,14 @@ measureIr(const Graph& g)
     return s;
 }
 
+std::string
+PassFailure::str() const
+{
+    return std::string(errorCodeName(code)) + " in pass '" + pass +
+           "' on '" + function + "' (round " + std::to_string(round) +
+           "): " + message;
+}
+
 const char*
 optLevelName(OptLevel level)
 {
@@ -236,6 +244,78 @@ runInstrumented(Pass& pass, Graph& g, OptContext& ctx, int round)
     return changed;
 }
 
+/**
+ * Run one pass under fault isolation: snapshot, execute (with any
+ * matching injected faults), verify, and on failure roll back and
+ * report.  Returns whether the graph changed; sets @p failed.
+ */
+bool
+runIsolated(Pass& pass, Graph& g, OptContext& ctx, int round,
+            bool* failed)
+{
+    *failed = false;
+    std::unique_ptr<Graph> snapshot;
+    if (ctx.isolatePasses)
+        snapshot = g.clone();
+
+    bool changed = false;
+    PassFailure fail;
+    try {
+        if (ctx.faults &&
+            ctx.faults->match("pass.throw", g.name, pass.name(), round))
+            throw InjectedFault(std::string("injected fault in pass '") +
+                                pass.name() + "' on '" + g.name + "'");
+        changed = runInstrumented(pass, g, ctx, round);
+        if (ctx.faults) {
+            const FaultSpec* fs = ctx.faults->match(
+                "graph.corrupt-token", g.name, pass.name(), round);
+            if (fs) {
+                std::string what = corruptTokenEdge(g, fs->seed);
+                if (!what.empty())
+                    trace(1, "fault injection: " + what);
+            }
+        }
+        if (ctx.verifyAfterEachPass) {
+            std::vector<std::string> problems = verifyGraph(g);
+            if (!problems.empty()) {
+                fail.code = ErrorCode::VerifyError;
+                fail.message =
+                    problems[0] + " (" +
+                    std::to_string(problems.size()) + " problems)";
+            }
+        }
+    } catch (const FatalError& e) {
+        fail.code = ErrorCode::PassError;
+        fail.message = e.what();
+    }
+    if (fail.code == ErrorCode::Ok)
+        return changed;
+
+    fail.function = g.name;
+    fail.pass = pass.name();
+    fail.round = round;
+    if (!ctx.isolatePasses)
+        fatal("pass '" + fail.pass + "' failed on '" + fail.function +
+              "': " + fail.message);
+
+    // Roll back to the last-good graph and report.  The snapshot is
+    // byte-exact (see Graph::clone), so downstream passes see the
+    // graph as if the failed pass had never run.
+    g = std::move(*snapshot);
+    *failed = true;
+    ctx.count("opt.rollbacks");
+    if (ctx.failures)
+        ctx.failures->push_back(fail);
+    if (ctx.tracer && ctx.tracer->enabled())
+        ctx.tracer->completeEvent(
+            std::string("rollback ") + pass.name(), "opt.rollback",
+            ctx.tracer->nowUs(), 0,
+            {{"graph", g.name},
+             {"round", round},
+             {"error", std::string(errorCodeName(fail.code))}});
+    return false;
+}
+
 /** Shared fixed-point driver; @p levelName annotates the span. */
 int
 optimizeImpl(Graph& g,
@@ -244,16 +324,23 @@ optimizeImpl(Graph& g,
 {
     ScopedTimer whole(ctx.tracer, "optimize " + g.name, "opt.graph");
     const int maxRounds = 8;
+    // Once a pass fails on this function it is quarantined: skipped
+    // for the remaining rounds of this function only.
+    std::vector<bool> quarantined(passes.size(), false);
     int round = 0;
     bool changed = true;
     while (changed && round < maxRounds) {
         changed = false;
         round++;
-        for (const auto& pass : passes) {
-            bool c = runInstrumented(*pass, g, ctx, round);
-            if (ctx.verifyAfterEachPass)
-                verifyOrDie(g, std::string("after ") + pass->name());
-            changed |= c;
+        for (size_t pi = 0; pi < passes.size(); pi++) {
+            if (quarantined[pi])
+                continue;
+            bool failed = false;
+            changed |= runIsolated(*passes[pi], g, ctx, round, &failed);
+            if (failed) {
+                quarantined[pi] = true;
+                ctx.count("opt.quarantined_passes");
+            }
         }
     }
     g.compact();

@@ -27,10 +27,30 @@
 #include "analysis/memloc.h"
 #include "frontend/layout.h"
 #include "pegasus/graph.h"
+#include "support/fault_injection.h"
 #include "support/stats.h"
 #include "support/trace.h"
 
 namespace cash {
+
+/**
+ * Structured diagnostic for one failed pass run: the pass either threw
+ * (ErrorCode::PassError) or left the graph in a state the verifier
+ * rejects (ErrorCode::VerifyError).  With isolation enabled the graph
+ * was rolled back to its pre-pass snapshot and the pass quarantined
+ * for this function; compilation of everything else continued.
+ */
+struct PassFailure
+{
+    std::string function;
+    std::string pass;
+    int round = 0;
+    ErrorCode code = ErrorCode::Ok;
+    std::string message;
+
+    /** One-line rendering for logs / cashc stderr. */
+    std::string str() const;
+};
 
 /**
  * Per-worker state available to every pass.
@@ -54,6 +74,18 @@ struct OptContext
     /** Worker-owned observability sink (may be disabled). */
     TraceRecorder* tracer = nullptr;
     bool verifyAfterEachPass = false;
+    /**
+     * Fault isolation: snapshot the graph before each pass; on a pass
+     * throwing or failing verification, roll back to the snapshot,
+     * quarantine that pass for this function, record a PassFailure and
+     * keep going.  When off (strict mode), the same failures raise a
+     * FatalError instead.
+     */
+    bool isolatePasses = false;
+    /** Worker-owned failure sink (may be null: failures not recorded). */
+    std::vector<PassFailure>* failures = nullptr;
+    /** Shared, immutable: fault-injection plan (null = no faults). */
+    const FaultPlan* faults = nullptr;
 
     void
     count(const std::string& name, int64_t delta = 1) const

@@ -169,6 +169,49 @@ Graph::compact()
     nodes_ = std::move(keep);
 }
 
+std::unique_ptr<Graph>
+Graph::clone() const
+{
+    auto out = std::make_unique<Graph>();
+    out->name = name;
+    out->decl = decl;
+    out->numParams = numParams;
+    out->hasFrame = hasFrame;
+    out->frameBytes = frameBytes;
+    out->hyperblocks = hyperblocks;
+    out->numPartitions = numPartitions;
+
+    // Replicate every node slot (dead ones included) so ids and
+    // iteration order match exactly.
+    std::map<const Node*, Node*> remap;
+    out->nodes_.reserve(nodes_.size());
+    for (const auto& n : nodes_) {
+        auto copy = std::make_unique<Node>(*n);
+        // The copied input/use lists still point into this graph;
+        // remapped below once every counterpart exists.
+        remap[n.get()] = copy.get();
+        out->nodes_.push_back(std::move(copy));
+    }
+    auto mapped = [&](Node* old) -> Node* {
+        return old ? remap.at(old) : nullptr;
+    };
+    for (const auto& n : out->nodes_) {
+        for (PortRef& in : n->inputs_)
+            in.node = mapped(in.node);
+        for (Use& u : n->uses_)
+            u.user = mapped(u.user);
+    }
+
+    for (Node* p : paramNodes)
+        out->paramNodes.push_back(mapped(p));
+    out->initialToken = mapped(initialToken);
+    for (Node* r : returnNodes)
+        out->returnNodes.push_back(mapped(r));
+    for (const auto& [key, merge] : ringMerge)
+        out->ringMerge[key] = mapped(merge);
+    return out;
+}
+
 std::vector<Node*>
 Graph::liveNodes() const
 {

@@ -95,6 +95,22 @@ class Graph
     void compact();
 
     // -----------------------------------------------------------------
+    // Snapshot / restore (pass isolation)
+    // -----------------------------------------------------------------
+
+    /**
+     * Deep-copy the graph: every node slot (live and dead) is
+     * replicated in order with identical ids, inputs, back-edge flags
+     * and use-list ordering, and all distinguished-node pointers
+     * (params, initial token, returns, ring merges) are remapped.
+     * The pass manager snapshots a function before each pass and
+     * move-assigns the snapshot back on rollback; the copy is exact,
+     * so a rolled-back graph is indistinguishable from one the failed
+     * pass never touched.
+     */
+    std::unique_ptr<Graph> clone() const;
+
+    // -----------------------------------------------------------------
     // Inspection
     // -----------------------------------------------------------------
 

@@ -228,7 +228,7 @@ verifyOrDie(const Graph& g, const std::string& when)
 {
     std::vector<std::string> problems = verifyGraph(g);
     if (!problems.empty())
-        panic("graph verification failed " + when + ": " + problems[0] +
+        fatal("graph verification failed " + when + ": " + problems[0] +
               " (" + std::to_string(problems.size()) + " total)");
 }
 

@@ -2,8 +2,8 @@
  * @file
  * Structural verifier for Pegasus graphs.
  *
- * Run after construction and after every optimization pass in debug
- * builds; panics (via returned diagnostics) on violated invariants:
+ * Run after construction and after every optimization pass when
+ * verification is enabled; reports violated invariants:
  * input arity/typing per node kind, use-list consistency, acyclicity
  * of the forward graph (back edges excluded), and well-formed memory
  * operations (predicate + token inputs present).
@@ -21,7 +21,11 @@ namespace cash {
 /** Returns a list of problems; empty means the graph is well-formed. */
 std::vector<std::string> verifyGraph(const Graph& g);
 
-/** Verify and panic with the first problem (for tests/pass pipeline). */
+/**
+ * Verify and raise a recoverable FatalError naming the first problem.
+ * Callers that can degrade gracefully (the pass manager's rollback
+ * path) use verifyGraph() directly instead.
+ */
 void verifyOrDie(const Graph& g, const std::string& when);
 
 } // namespace cash

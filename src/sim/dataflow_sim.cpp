@@ -1,12 +1,49 @@
 #include "sim/dataflow_sim.h"
 
 #include <algorithm>
+#include <functional>
+#include <set>
 
 #include "sim/latency.h"
 #include "sim/value.h"
 #include "support/diagnostics.h"
 
 namespace cash {
+
+const char*
+simOutcomeName(SimOutcome o)
+{
+    switch (o) {
+      case SimOutcome::Ok: return "ok";
+      case SimOutcome::Deadlock: return "deadlock";
+      case SimOutcome::EventLimit: return "event_limit";
+      case SimOutcome::StackOverflow: return "stack_overflow";
+      case SimOutcome::MissingGraph: return "missing_graph";
+    }
+    return "?";
+}
+
+std::string
+StuckNode::str() const
+{
+    std::string s = "act" + std::to_string(activation) + " " +
+                    function + ": " + node + " waiting on";
+    for (const std::string& w : waitingOn)
+        s += " " + w;
+    return s;
+}
+
+std::string
+DeadlockReport::str() const
+{
+    std::string s = "deadlock at cycle " + std::to_string(stallTime) +
+                    " (lsq occupancy " + std::to_string(lsqOccupancy) +
+                    "), " + std::to_string(stuck.size()) +
+                    " starved node(s):";
+    for (const StuckNode& n : stuck)
+        s += "\n  " + n.str();
+    return s;
+}
 
 DataflowSimulator::DataflowSimulator(
     const std::vector<const Graph*>& graphs, const MemoryLayout& layout,
@@ -36,6 +73,54 @@ DataflowSimulator::buildIndex(const Graph* g)
                                        // uses the flat CSR arrays
     for (size_t i = 0; i < nodes.size(); i++)
         dense[nodes[i]] = static_cast<int>(i);
+
+    // Statically-known producer values: Const nodes, and pure
+    // arithmetic whose inputs are themselves static.  Firing is
+    // delivery-triggered, so an operator with only constant inputs
+    // would never fire and would starve its consumers forever — such
+    // graphs reach the simulator when constant folding did not run
+    // (custom pipelines, quarantined passes, raw builder output).
+    // Folding them into the consumers' input descriptors makes the
+    // engine independent of any optimizer invariant.
+    std::map<const Node*, std::pair<bool, uint32_t>> staticMemo;
+    std::set<const Node*> staticVisiting;  // cycle guard
+    std::function<bool(const Node*, uint32_t&)> staticValue =
+        [&](const Node* n, uint32_t& out) -> bool {
+        auto it = staticMemo.find(n);
+        if (it != staticMemo.end()) {
+            out = it->second.second;
+            return it->second.first;
+        }
+        bool known = false;
+        uint32_t v = 0;
+        if (n->kind == NodeKind::Const) {
+            known = true;
+            v = static_cast<uint32_t>(n->constValue);
+        } else if (n->kind == NodeKind::Arith &&
+                   staticVisiting.insert(n).second) {
+            if ((n->op == Op::Copy || opIsUnary(n->op)) &&
+                n->numInputs() == 1) {
+                uint32_t x;
+                if (n->input(0).valid() &&
+                    staticValue(n->input(0).node, x)) {
+                    known = true;
+                    v = evalUnary(n->op, x);
+                }
+            } else if (n->numInputs() == 2) {
+                uint32_t x, y;
+                if (n->input(0).valid() && n->input(1).valid() &&
+                    staticValue(n->input(0).node, x) &&
+                    staticValue(n->input(1).node, y)) {
+                    known = true;
+                    v = evalBinary(n->op, x, y);
+                }
+            }
+            staticVisiting.erase(n);
+        }
+        staticMemo[n] = {known, v};
+        out = v;
+        return known;
+    };
     gi.nodes.resize(nodes.size());
     gi.hot.resize(nodes.size() + 1);  // +1: sentinel (input counts)
     for (size_t i = 0; i < nodes.size(); i++) {
@@ -57,16 +142,16 @@ DataflowSimulator::buildIndex(const Graph* g)
             const PortRef& in = nodes[i]->input(k);
             CASH_ASSERT(in.valid() && !in.node->dead,
                         "simulating graph with dangling input");
-            // Const inputs are always-ready, except on Merge *value*
+            // Static inputs are always-ready, except on Merge *value*
             // slots, where a one-shot initial value is injected
-            // instead (constant deciders stay always-ready).
+            // instead (static deciders stay always-ready).
             InputDesc d;
-            if (in.node->kind == NodeKind::Const &&
+            uint32_t sv = 0;
+            if (staticValue(in.node, sv) &&
                 (nodes[i]->kind != NodeKind::Merge ||
                  k == nodes[i]->deciderIndex)) {
                 d.isConst = true;
-                d.constValue =
-                    static_cast<uint32_t>(in.node->constValue);
+                d.constValue = sv;
             } else {
                 h.need++;
             }
@@ -92,11 +177,10 @@ DataflowSimulator::buildIndex(const Graph* g)
                 } else {
                     ni.fwdInputs.push_back(k);
                 }
-                if (m->input(k).node->kind == NodeKind::Const)
+                uint32_t mv = 0;
+                if (staticValue(m->input(k).node, mv))
                     gi.mergeInits.push_back(
-                        {static_cast<int>(i), k,
-                         static_cast<uint32_t>(
-                             m->input(k).node->constValue)});
+                        {static_cast<int>(i), k, mv});
             }
         }
     }
@@ -164,13 +248,14 @@ DataflowSimulator::linkCallees()
     }
 }
 
-const DataflowSimulator::GraphIndex&
-DataflowSimulator::indexOf(const std::string& name)
+void
+DataflowSimulator::failRun(SimOutcome outcome, std::string why)
 {
-    auto it = graphs_.find(name);
-    if (it == graphs_.end())
-        fatal("no compiled graph for function '" + name + "'");
-    return it->second;
+    // First failure wins; later ones are consequences of the first.
+    if (runOutcome_ != SimOutcome::Ok)
+        return;
+    runOutcome_ = outcome;
+    runError_ = std::move(why);
 }
 
 void
@@ -187,6 +272,17 @@ DataflowSimulator::startActivation(const GraphIndex& gi,
                                    uint64_t when, Activation* parent,
                                    int parentCallNode)
 {
+    // Frame check first, before any allocation or parent accounting,
+    // so a refused activation leaves no half-initialized state behind.
+    if (gi.g->hasFrame && stackPtr_ < gi.g->frameBytes + 0x1000) {
+        failRun(SimOutcome::StackOverflow,
+                "simulated stack overflow starting '" + gi.g->name +
+                    "' (frame " + std::to_string(gi.g->frameBytes) +
+                    " bytes, stack pointer " +
+                    std::to_string(stackPtr_) + ")");
+        return nullptr;
+    }
+
     Activation* a;
     if (!freePool_.empty()) {
         a = freePool_.back();
@@ -227,8 +323,6 @@ DataflowSimulator::startActivation(const GraphIndex& gi,
 
     if (g->hasFrame) {
         a->frameSize = g->frameBytes;
-        if (stackPtr_ < a->frameSize + 0x1000)
-            fatal("simulated stack overflow");
         stackPtr_ -= a->frameSize;
         a->frameBase = stackPtr_;
     }
@@ -275,6 +369,13 @@ DataflowSimulator::deliver(Activation* a, int node, int slot,
     e.node = node;
     e.slot = slot;
     e.item = item;
+    // Injected fault: silently lose this delivery.  Keyed on the
+    // deterministic sequence number, so the same spec drops the same
+    // logical event on every run.
+    if (faults_ && faults_->dropEvent(e.seq)) {
+        droppedEvents_++;
+        return;
+    }
     a->inflight++;
     if (when <= now_) {
         // Zero-latency delivery (the common case: wires between
@@ -645,9 +746,13 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
         }
         callsMade_++;
         CASH_ASSERT(n->callee, "call without callee");
-        if (!ni.callee)
-            fatal("no compiled graph for function '" +
-                  n->callee->name + "'");
+        if (!ni.callee) {
+            failRun(SimOutcome::MissingGraph,
+                    "no compiled graph for function '" +
+                        n->callee->name + "' (called from '" +
+                        gi->g->name + "')");
+            break;
+        }
         startActivation(*ni.callee, args, now + 1, a, node);
         break;
       }
@@ -730,6 +835,59 @@ DataflowSimulator::finishActivation(Activation* a, uint32_t value,
     a->parent->liveChildren--;
 }
 
+DeadlockReport
+DataflowSimulator::buildDeadlockReport() const
+{
+    // A deadlocked graph stalls at a frontier of partially-fed nodes:
+    // some inputs arrived and now sit in FIFOs forever, others never
+    // will.  Nodes with no pending inputs at all are merely downstream
+    // of the frontier and are omitted — reporting them would bury the
+    // root cause.
+    DeadlockReport rep;
+    rep.stallTime = now_;
+    rep.lsqOccupancy = memsys_.lsqOccupancy();
+    constexpr size_t kMaxStuck = 64;  // bound the dump on huge graphs
+    for (const auto& act : activations_) {
+        if (act->pooled || act->finished)
+            continue;
+        for (size_t i = 0; i < act->gi->nodes.size(); i++) {
+            const NodeHot& h = act->gi->hot[i];
+            const Node* n = act->gi->nodes[i].n;
+            bool any = false, all = true;
+            for (int k = 0; k < n->numInputs(); k++) {
+                if (act->gi->inDesc[h.fifoBase + k].isConst)
+                    continue;
+                if (act->fifo[h.fifoBase + k].empty())
+                    all = false;
+                else
+                    any = true;
+            }
+            if (!any || all)
+                continue;
+            StuckNode stuck;
+            stuck.activation = act->id;
+            stuck.function = act->gi->g->name;
+            stuck.node = n->str();
+            for (int k = 0; k < n->numInputs(); k++) {
+                if (act->gi->inDesc[h.fifoBase + k].isConst ||
+                    !act->fifo[h.fifoBase + k].empty())
+                    continue;
+                const PortRef& in = n->input(k);
+                bool token =
+                    in.valid() &&
+                    in.node->outputType(in.port) == VT::Token;
+                stuck.waitingOn.push_back(
+                    "in" + std::to_string(k) +
+                    (token ? " (token)" : " (data)"));
+            }
+            rep.stuck.push_back(std::move(stuck));
+            if (rep.stuck.size() >= kMaxStuck)
+                return rep;
+        }
+    }
+    return rep;
+}
+
 void
 DataflowSimulator::sampleQueueCounters(uint64_t now)
 {
@@ -766,13 +924,21 @@ DataflowSimulator::run(const std::string& name,
     bucketOps_ = heapOps_ = 0;
     actSpawned_ = actRecycled_ = liveActs_ = peakLiveActs_ = 0;
     std::fill(fireCounts_.begin(), fireCounts_.end(), 0);
+    runOutcome_ = SimOutcome::Ok;
+    runError_.clear();
+    droppedEvents_ = 0;
 
     ScopedTimer span(tracer_, "sim.run " + name, "sim");
-    const GraphIndex& gi = indexOf(name);
-    startActivation(gi, args, 0, nullptr, -1);
+    DeadlockReport deadlock;
+    auto git = graphs_.find(name);
+    if (git == graphs_.end())
+        failRun(SimOutcome::MissingGraph,
+                "no compiled graph for function '" + name + "'");
+    else
+        startActivation(git->second, args, 0, nullptr, -1);
 
     const bool tracing = tracer_ && tracer_->enabled();
-    while (!done_) {
+    while (!done_ && runOutcome_ == SimOutcome::Ok) {
         if (readyHead_ == ready_.size()) {
             ready_.clear();
             readyHead_ = 0;
@@ -781,8 +947,13 @@ DataflowSimulator::run(const std::string& name,
             continue;
         }
         const Event e = ready_[readyHead_++];
-        if (++events_ > maxEvents_)
-            fatal("simulation event limit exceeded (livelock?)");
+        if (++events_ > maxEvents_) {
+            failRun(SimOutcome::EventLimit,
+                    "simulation event limit exceeded after " +
+                        std::to_string(maxEvents_) +
+                        " events in '" + name + "' (livelock?)");
+            break;
+        }
         Activation* a = e.act;
         a->inflight--;
         if (a->finished && !a->parent)
@@ -802,49 +973,36 @@ DataflowSimulator::run(const std::string& name,
             sampleQueueCounters(now_);
     }
 
-    if (!done_) {
-        if (traceLevel >= 1) {
-            for (const auto& act : activations_) {
-                if (act->pooled)
-                    continue;
-                for (size_t i = 0; i < act->gi->nodes.size(); i++) {
-                    bool any = false, all = true;
-                    const NodeHot& h = act->gi->hot[i];
-                    const int nin =
-                        act->gi->nodes[i].n->numInputs();
-                    for (int k = 0; k < nin; k++) {
-                        if (act->gi->inDesc[h.fifoBase + k].isConst)
-                            continue;
-                        if (act->fifo[h.fifoBase + k].empty())
-                            all = false;
-                        else
-                            any = true;
-                    }
-                    if (any && !all) {
-                        std::string waits;
-                        for (int k = 0; k < nin; k++)
-                            if (!act->gi->inDesc[h.fifoBase + k]
-                                     .isConst &&
-                                act->fifo[h.fifoBase + k].empty())
-                                waits += " in" + std::to_string(k);
-                        trace(1, "starved act" +
-                                     std::to_string(act->id) + " " +
-                                     act->gi->nodes[i].n->str() +
-                                     " waiting on" + waits);
-                    }
-                }
-            }
-        }
-        fatal("dataflow simulation deadlocked in '" + name + "'");
+    if (!done_ && runOutcome_ == SimOutcome::Ok) {
+        deadlock = buildDeadlockReport();
+        if (traceLevel >= 1)
+            for (const StuckNode& s : deadlock.stuck)
+                trace(1, "starved " + s.str());
+        failRun(SimOutcome::Deadlock,
+                "dataflow simulation deadlocked in '" + name +
+                    "' at cycle " + std::to_string(now_) + " (" +
+                    std::to_string(deadlock.stuck.size()) +
+                    " starved nodes)");
     }
 
     if (tracing)
-        sampleQueueCounters(rootDoneTime_);
+        sampleQueueCounters(done_ ? rootDoneTime_ : now_);
 
+    // Stats are filled on every outcome — a degraded run still reports
+    // everything it observed up to the stall.
     SimResult r;
     r.returnValue = rootResult_;
-    r.cycles = rootDoneTime_;
-    r.stats.set("sim.cycles", static_cast<int64_t>(rootDoneTime_));
+    r.cycles = done_ ? rootDoneTime_ : now_;
+    r.outcome = runOutcome_;
+    r.error = runError_;
+    r.deadlock = std::move(deadlock);
+    r.stats.set(std::string("sim.outcome.") +
+                    simOutcomeName(runOutcome_),
+                1);
+    if (droppedEvents_)
+        r.stats.set("sim.events.dropped",
+                    static_cast<int64_t>(droppedEvents_));
+    r.stats.set("sim.cycles", static_cast<int64_t>(r.cycles));
     r.stats.set("sim.events", static_cast<int64_t>(events_));
     r.stats.set("sim.firings", static_cast<int64_t>(firings_));
     r.stats.set("sim.dynLoads", static_cast<int64_t>(dynLoads_));

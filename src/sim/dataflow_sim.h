@@ -44,16 +44,75 @@
 #include "pegasus/graph.h"
 #include "sim/memory_image.h"
 #include "sim/memory_system.h"
+#include "support/fault_injection.h"
 #include "support/stats.h"
 
 namespace cash {
+
+/**
+ * How a simulated invocation ended.  Simulation failures are ordinary
+ * results, not exceptions: the engine never raises for conditions a
+ * malformed or adversarial input graph can cause (docs/ROBUSTNESS.md).
+ */
+enum class SimOutcome
+{
+    Ok,
+    /** No events pending but the root activation never returned. */
+    Deadlock,
+    /** maxEvents exceeded — livelock or runaway loop. */
+    EventLimit,
+    /** Simulated call stack exhausted. */
+    StackOverflow,
+    /** The named function (or a fired callee) was never compiled. */
+    MissingGraph,
+};
+
+/** Stable lower_snake name ("ok", "deadlock", ...). */
+const char* simOutcomeName(SimOutcome o);
+
+/** One node stuck waiting when the simulation deadlocked. */
+struct StuckNode
+{
+    int activation = -1;
+    std::string function;
+    /** Node::str() rendering of the starved node. */
+    std::string node;
+    /** Starved inputs, e.g. "in1 (token)" — present inputs omitted. */
+    std::vector<std::string> waitingOn;
+
+    std::string str() const;
+};
+
+/**
+ * Diagnostic dump captured at deadlock time: every partially-fed node
+ * (some inputs arrived, others never will), plus memory-system state.
+ * A node with *no* pending inputs is merely downstream of the stall
+ * and is not reported.
+ */
+struct DeadlockReport
+{
+    uint64_t stallTime = 0;     ///< Simulated cycle of the stall.
+    uint64_t lsqOccupancy = 0;  ///< In-flight LSQ entries at stall.
+    std::vector<StuckNode> stuck;
+
+    /** Multi-line human-readable rendering for logs / cashc stderr. */
+    std::string str() const;
+};
 
 /** Result of one simulated invocation. */
 struct SimResult
 {
     uint32_t returnValue = 0;
+    /** rootDoneTime when ok; the stall/stop time otherwise. */
     uint64_t cycles = 0;
     StatSet stats;
+    SimOutcome outcome = SimOutcome::Ok;
+    /** One-line description of the failure; empty when ok. */
+    std::string error;
+    /** Populated when outcome == Deadlock. */
+    DeadlockReport deadlock;
+
+    bool ok() const { return outcome == SimOutcome::Ok; }
 };
 
 class DataflowSimulator
@@ -78,6 +137,13 @@ class DataflowSimulator
     void reset();
 
     void setMaxEvents(uint64_t n) { maxEvents_ = n; }
+
+    /**
+     * Deterministic fault injection (testing): a plan with a
+     * sim.drop-event point silently discards the matching delivery,
+     * typically starving a consumer into a reportable deadlock.
+     */
+    void setFaultPlan(const FaultPlan* plan) { faults_ = plan; }
 
     /**
      * Observability sink: when set and enabled, run() records one span
@@ -335,7 +401,6 @@ class DataflowSimulator
         }
     };
 
-    const GraphIndex& indexOf(const std::string& name);
     void buildIndex(const Graph* g);
     void linkCallees();
 
@@ -368,6 +433,11 @@ class DataflowSimulator
     /** Advance now_ to the next pending timestamp; false when idle. */
     bool advanceTime();
     void sampleQueueCounters(uint64_t now);
+    /** Record a degraded outcome; the run loop stops at its next
+     *  iteration and run() returns it in SimResult. */
+    void failRun(SimOutcome outcome, std::string why);
+    /** Scan live activations for partially-fed nodes (deadlock dump). */
+    DeadlockReport buildDeadlockReport() const;
 
     std::map<std::string, GraphIndex> graphs_;
     const MemoryLayout& layout_;
@@ -405,6 +475,13 @@ class DataflowSimulator
     uint32_t rootResult_ = 0;
     uint64_t rootDoneTime_ = 0;
     uint64_t maxEvents_ = 200000000;
+
+    /** Degraded-outcome state for the current run (see failRun). */
+    SimOutcome runOutcome_ = SimOutcome::Ok;
+    std::string runError_;
+
+    const FaultPlan* faults_ = nullptr;
+    uint64_t droppedEvents_ = 0;
 
     TraceRecorder* tracer_ = nullptr;
 

@@ -90,6 +90,9 @@ class MemorySystem
     /** Record LSQ-occupancy counter samples into @p tracer. */
     void setTracer(TraceRecorder* tracer) { tracer_ = tracer; }
 
+    /** In-flight LSQ entries right now (deadlock diagnostics). */
+    uint64_t lsqOccupancy() const { return lsq_.occupancy(); }
+
     const MemConfig& config() const { return cfg_; }
 
   private:

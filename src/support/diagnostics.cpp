@@ -8,6 +8,33 @@ namespace cash {
 
 int traceLevel = 0;
 
+const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::ParseError: return "parse_error";
+      case ErrorCode::SemaError: return "sema_error";
+      case ErrorCode::VerifyError: return "verify_error";
+      case ErrorCode::PassError: return "pass_error";
+      case ErrorCode::Deadlock: return "deadlock";
+      case ErrorCode::EventLimit: return "event_limit";
+      case ErrorCode::StackOverflow: return "stack_overflow";
+      case ErrorCode::MissingGraph: return "missing_graph";
+      case ErrorCode::BadFaultSpec: return "bad_fault_spec";
+      case ErrorCode::InternalError: return "internal_error";
+    }
+    return "?";
+}
+
+std::string
+Status::str() const
+{
+    if (isOk())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
 std::string
 SourceLoc::str() const
 {

@@ -5,6 +5,12 @@
  * Follows the gem5 discipline: fatal() is for user errors (bad input
  * program, bad configuration) and raises a recoverable exception;
  * panic() is for internal invariant violations and aborts.
+ *
+ * For failures that are expected operational outcomes rather than
+ * exceptional control flow — a quarantined optimization pass, a
+ * deadlocked simulation — the library returns a cash::Status (or an
+ * outcome enum embedding one) instead of throwing.  See
+ * docs/ROBUSTNESS.md for the full error model.
  */
 #ifndef CASH_SUPPORT_DIAGNOSTICS_H
 #define CASH_SUPPORT_DIAGNOSTICS_H
@@ -15,6 +21,62 @@
 #include <string>
 
 namespace cash {
+
+/**
+ * Machine-readable failure categories, shared by compiler and
+ * simulator diagnostics (`Status`, `PassFailure`, `SimOutcome`).
+ */
+enum class ErrorCode
+{
+    Ok = 0,
+    ParseError,     ///< Lexer/parser rejected the input.
+    SemaError,      ///< Type checking / semantic analysis failed.
+    VerifyError,    ///< Graph verifier found violated invariants.
+    PassError,      ///< An optimization pass threw.
+    Deadlock,       ///< Dataflow simulation cannot make progress.
+    EventLimit,     ///< Simulation exceeded its event budget (livelock?).
+    StackOverflow,  ///< Simulated call stack exhausted.
+    MissingGraph,   ///< Simulated call to a function with no graph.
+    BadFaultSpec,   ///< Malformed --inject / CASH_INJECT spec.
+    InternalError,  ///< Anything else (catch-all).
+};
+
+/** Stable lower-snake name of @p code (e.g. "verify_error"). */
+const char* errorCodeName(ErrorCode code);
+
+/**
+ * A recoverable operation outcome: Ok, or an ErrorCode plus a
+ * human-readable message.  Cheap to copy when Ok.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    Status() = default;  // Ok
+
+    static Status ok() { return Status(); }
+
+    static Status
+    error(ErrorCode code, std::string message)
+    {
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    bool isOk() const { return code_ == ErrorCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    ErrorCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "ok" or "<code name>: <message>". */
+    std::string str() const;
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
 
 /** A position in a Mini-C source buffer (1-based line/column). */
 struct SourceLoc

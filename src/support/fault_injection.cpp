@@ -1,0 +1,187 @@
+#include "support/fault_injection.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "pegasus/graph.h"
+#include "support/strings.h"
+
+namespace cash {
+
+namespace {
+
+const char* const kPoints[] = {"pass.throw", "graph.corrupt-token",
+                               "sim.drop-event"};
+
+bool
+knownPoint(const std::string& p)
+{
+    for (const char* k : kPoints)
+        if (p == k)
+            return true;
+    return false;
+}
+
+uint64_t
+parseU64(const std::string& text, const std::string& what)
+{
+    uint64_t v = 0;
+    if (text.empty())
+        fatal("bad fault spec: empty value for '" + what + "'");
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            fatal("bad fault spec: non-numeric value '" + text +
+                  "' for '" + what + "'");
+        uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            fatal("bad fault spec: value '" + text + "' for '" + what +
+                  "' out of range");
+        v = v * 10 + digit;
+    }
+    return v;
+}
+
+} // namespace
+
+std::string
+FaultSpec::str() const
+{
+    std::string s = point;
+    char sep = ':';
+    auto kv = [&](const std::string& k, const std::string& v) {
+        if (v.empty())
+            return;
+        s += sep;
+        s += k + "=" + v;
+        sep = ',';
+    };
+    kv("pass", pass);
+    kv("func", func);
+    if (round)
+        kv("round", std::to_string(round));
+    if (seed)
+        kv("seed", std::to_string(seed));
+    if (point == "sim.drop-event")
+        kv("seq", std::to_string(seq));
+    return s;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& text)
+{
+    FaultPlan plan;
+    for (const std::string& part : split(text, ';')) {
+        std::string fault = trim(part);
+        if (fault.empty())
+            continue;
+        FaultSpec spec;
+        size_t colon = fault.find(':');
+        spec.point = trim(fault.substr(0, colon));
+        if (!knownPoint(spec.point))
+            fatal("bad fault spec: unknown injection point '" +
+                  spec.point + "' (known: pass.throw, "
+                  "graph.corrupt-token, sim.drop-event)");
+        if (colon != std::string::npos) {
+            for (const std::string& kvPart :
+                 split(fault.substr(colon + 1), ',')) {
+                std::string kv = trim(kvPart);
+                if (kv.empty())
+                    continue;
+                size_t eq = kv.find('=');
+                if (eq == std::string::npos)
+                    fatal("bad fault spec: expected key=value, got '" +
+                          kv + "'");
+                std::string key = trim(kv.substr(0, eq));
+                std::string value = trim(kv.substr(eq + 1));
+                if (key == "pass")
+                    spec.pass = value;
+                else if (key == "func")
+                    spec.func = value;
+                else if (key == "round")
+                    spec.round =
+                        static_cast<int>(parseU64(value, key));
+                else if (key == "seed")
+                    spec.seed = parseU64(value, key);
+                else if (key == "seq")
+                    spec.seq = parseU64(value, key);
+                else
+                    fatal("bad fault spec: unknown key '" + key +
+                          "' (known: pass, func, round, seed, seq)");
+            }
+        }
+        if (spec.point == "sim.drop-event")
+            plan.hasDropEvent_ = true;
+        plan.specs_.push_back(std::move(spec));
+    }
+    return plan;
+}
+
+const FaultPlan&
+FaultPlan::fromEnv()
+{
+    static FaultPlan* plan = nullptr;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char* env = std::getenv("CASH_INJECT");
+        plan = new FaultPlan(env ? parse(env) : FaultPlan());
+    });
+    return *plan;
+}
+
+const FaultSpec*
+FaultPlan::match(const char* point, const std::string& func,
+                 const std::string& pass, int round) const
+{
+    for (const FaultSpec& s : specs_) {
+        if (s.point != point)
+            continue;
+        if (!s.pass.empty() && s.pass != pass)
+            continue;
+        if (!s.func.empty() && s.func != func)
+            continue;
+        if (s.round != 0 && s.round != round)
+            continue;
+        return &s;
+    }
+    return nullptr;
+}
+
+bool
+FaultPlan::dropMatches(uint64_t seq) const
+{
+    for (const FaultSpec& s : specs_)
+        if (s.point == "sim.drop-event" && s.seq == seq)
+            return true;
+    return false;
+}
+
+std::string
+FaultPlan::str() const
+{
+    std::vector<std::string> parts;
+    for (const FaultSpec& s : specs_)
+        parts.push_back(s.str());
+    return join(parts, "; ");
+}
+
+std::string
+corruptTokenEdge(Graph& g, uint64_t seed)
+{
+    // Candidate sites in node-id order: side-effect operations whose
+    // fixed arity includes a token input.  Detaching that input is an
+    // arity violation every verifyGraph() run reports.
+    std::vector<Node*> sites;
+    g.forEach([&](Node* n) {
+        int ti = n->tokenInIndex();
+        if (ti >= 0 && ti < n->numInputs() && n->isSideEffect())
+            sites.push_back(n);
+    });
+    if (sites.empty())
+        return "";
+    Node* victim = sites[seed % sites.size()];
+    g.removeInput(victim, victim->tokenInIndex());
+    return "detached token input of " + victim->str() + " in '" +
+           g.name + "'";
+}
+
+} // namespace cash

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic fault injection for the CASH pipeline.
+ *
+ * A FaultPlan is a small set of named injection points, parsed from a
+ * spec string (`cashc --inject=...` or the CASH_INJECT environment
+ * variable) and threaded through CompileOptions / the simulator.  All
+ * injection decisions are keyed on stable identities — (function,
+ * pass, round) for compiler faults, the event sequence number for
+ * simulator faults — never on wall clock or thread interleaving, so a
+ * plan reproduces the same failure at any `-j` and on every run.
+ *
+ * Spec syntax (see docs/ROBUSTNESS.md):
+ *
+ *   spec  := fault (';' fault)*
+ *   fault := point [':' key '=' value (',' key '=' value)*]
+ *
+ * Points:
+ *   pass.throw          throw inside a pass (keys: pass, func, round)
+ *   graph.corrupt-token corrupt a token edge right after a pass runs
+ *                       (keys: pass, func, round, seed)
+ *   sim.drop-event      silently drop one simulator delivery
+ *                       (keys: seq)
+ *
+ * Example: "graph.corrupt-token:pass=dead_store,func=main,round=1"
+ */
+#ifndef CASH_SUPPORT_FAULT_INJECTION_H
+#define CASH_SUPPORT_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+class Graph;
+
+/** Exception thrown at a `pass.throw` injection point. */
+class InjectedFault : public FatalError
+{
+  public:
+    explicit InjectedFault(const std::string& msg) : FatalError(msg) {}
+};
+
+/** One parsed injection point. */
+struct FaultSpec
+{
+    std::string point;  ///< "pass.throw", "graph.corrupt-token", ...
+    std::string pass;   ///< Pass name to match ("" = any).
+    std::string func;   ///< Function name to match ("" = any).
+    int round = 0;      ///< Fixed-point round to match (0 = any).
+    uint64_t seed = 0;  ///< Site selector for graph corruption.
+    uint64_t seq = 0;   ///< Event sequence number for sim.drop-event.
+
+    std::string str() const;
+};
+
+/**
+ * An immutable set of injection points.  Thread-safe to share between
+ * compilation workers once constructed.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Parse a spec string.  Raises FatalError (code semantics:
+     * ErrorCode::BadFaultSpec) on unknown points/keys or malformed
+     * input — a typo must never silently disable the fault.
+     */
+    static FaultPlan parse(const std::string& text);
+
+    /**
+     * The process-wide plan from $CASH_INJECT (empty plan when the
+     * variable is unset).  Parsed once on first use.
+     */
+    static const FaultPlan& fromEnv();
+
+    bool empty() const { return specs_.empty(); }
+    const std::vector<FaultSpec>& specs() const { return specs_; }
+
+    /**
+     * First spec registered for @p point matching (@p func, @p pass,
+     * @p round); nullptr when none matches.
+     */
+    const FaultSpec* match(const char* point, const std::string& func,
+                           const std::string& pass, int round) const;
+
+    /** True when the delivery with sequence number @p seq is dropped. */
+    bool
+    dropEvent(uint64_t seq) const
+    {
+        return hasDropEvent_ && dropMatches(seq);
+    }
+
+    std::string str() const;
+
+  private:
+    bool dropMatches(uint64_t seq) const;
+
+    std::vector<FaultSpec> specs_;
+    bool hasDropEvent_ = false;  ///< Fast path for the sim hot loop.
+};
+
+/**
+ * Deterministically corrupt one token edge of @p g: the @p seed picks
+ * a side-effect node with a token input and its token input is
+ * detached, leaving a verifier-detectable arity violation.  Returns a
+ * description of the corruption, or "" when the graph has no
+ * candidate site (nothing was changed).
+ */
+std::string corruptTokenEdge(Graph& g, uint64_t seed);
+
+} // namespace cash
+
+#endif // CASH_SUPPORT_FAULT_INJECTION_H

@@ -1,0 +1,133 @@
+// Frontend hardening: hostile or malformed source must produce a
+// FatalError diagnostic — never a crash, host stack overflow or
+// (silent) integer wraparound.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "driver/compiler.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "support/diagnostics.h"
+
+using namespace cash;
+
+namespace {
+
+TEST(FrontendRobustness, DeepParenNestingIsDiagnosed)
+{
+    // 20k nesting levels would overflow the host stack through the
+    // recursive-descent parser; the depth guard must reject it first.
+    std::string src = "int f(void) { return ";
+    for (int i = 0; i < 20000; i++)
+        src += "(";
+    src += "1";
+    for (int i = 0; i < 20000; i++)
+        src += ")";
+    src += "; }";
+    EXPECT_THROW(parseProgram(src), FatalError);
+}
+
+TEST(FrontendRobustness, DeepStatementNestingIsDiagnosed)
+{
+    std::string src = "int f(int x) { ";
+    for (int i = 0; i < 20000; i++)
+        src += "if (x) ";
+    src += "x = 1; return x; }";
+    EXPECT_THROW(parseProgram(src), FatalError);
+}
+
+TEST(FrontendRobustness, ReasonableNestingStillParses)
+{
+    // The guard must not reject real programs: 100 levels is fine.
+    std::string src = "int f(void) { return ";
+    for (int i = 0; i < 100; i++)
+        src += "(";
+    src += "1";
+    for (int i = 0; i < 100; i++)
+        src += ")";
+    src += "; }";
+    Program p = parseProgram(src);
+    EXPECT_EQ(p.functions.size(), 1u);
+}
+
+TEST(FrontendRobustness, OverflowingIntLiteralIsDiagnosed)
+{
+    // Would be signed-overflow UB with naive accumulation.
+    EXPECT_THROW(parseProgram("int x = 99999999999999999999999;"),
+                 FatalError);
+    EXPECT_THROW(parseProgram("int x = 0xFFFFFFFFFFFFFFFFFF;"),
+                 FatalError);
+}
+
+TEST(FrontendRobustness, LargeButValidLiteralStillParses)
+{
+    Program p = parseProgram("int x = 0x7FFFFFFF;");
+    ASSERT_EQ(p.globals.size(), 1u);
+}
+
+TEST(FrontendRobustness, ArraySizeOverflowIsDiagnosed)
+{
+    EXPECT_THROW(
+        parseProgram("int a[4000000000*4000000000*4000000000];"),
+        FatalError);
+    // Unaddressable in the 32-bit simulated address space.
+    EXPECT_THROW(parseProgram("int a[4294967295];"), FatalError);
+}
+
+TEST(FrontendRobustness, GarbageInputsNeverCrash)
+{
+    // Truncated, binary-ish and syntactically absurd inputs: each must
+    // either compile or raise FatalError.  Anything else (a signal, an
+    // uncaught exception type) fails the test run itself.
+    const char* cases[] = {
+        "",
+        ";;;;;;",
+        "int",
+        "int f(",
+        "int f(void) {",
+        "int f(void) { return",
+        "int f(void) { return 1 +; }",
+        "int a[",
+        "int a[3",
+        "\x01\x02\xff\xfe",
+        "int f(int x) { return f(f(f(f(x)))); }",
+        "((((((((((((",
+        "}}}}}}}}}}}}",
+        "int 0f(void) { return 0; }",
+        "int f(void) { int x = 'a; return x; }",
+        "#define X 1\nint f(void) { return X; }",
+        "int f(void) { return 1 ? ; }",
+        "struct s { int x; };",
+        "int f(void) { goto done; done: return 0; }",
+        "unsigned long long x = 18446744073709551616;",
+    };
+    for (const char* src : cases) {
+        try {
+            compileSource(src, {});
+        } catch (const FatalError&) {
+            // expected for malformed inputs
+        }
+    }
+    SUCCEED();
+}
+
+TEST(FrontendRobustness, TruncationsOfValidProgramNeverCrash)
+{
+    // Every prefix of a real program goes through parse+sema: the
+    // frontend must diagnose, not crash, at any cut point.
+    const std::string full =
+        "int a[16]; unsigned s;"
+        "int f(int n) { int i; s = 0;"
+        " for (i = 0; i < n; i++) { a[i] = i * 3; s += a[i]; }"
+        " return (int)s; }";
+    for (size_t cut = 0; cut < full.size(); cut++) {
+        try {
+            compileSource(full.substr(0, cut), {});
+        } catch (const FatalError&) {
+        }
+    }
+    SUCCEED();
+}
+
+} // namespace

@@ -129,14 +129,19 @@ TEST(Simulator, RealisticMemorySlowerThanPerfect)
 TEST(Simulator, DeadlockIsDetected)
 {
     // An infinite loop must be caught by the event limit rather than
-    // hanging.
+    // hanging — reported as a degraded outcome, not an exception.
     const char* src = "int f(void) { int i = 0;"
                       " while (1) i++; return i; }";
     CompileResult r = compileSource(src, {});
     DataflowSimulator sim(r.graphPtrs(), *r.layout,
                           MemConfig::perfectMemory());
     sim.setMaxEvents(100000);
-    EXPECT_THROW(sim.run("f", {}), FatalError);
+    SimResult sr = sim.run("f", {});
+    EXPECT_TRUE(!sr.ok());
+    EXPECT_EQ(static_cast<int>(sr.outcome),
+              static_cast<int>(SimOutcome::EventLimit));
+    EXPECT_TRUE(sr.error.find("event limit") != std::string::npos);
+    EXPECT_EQ(sr.stats.get("sim.outcome.event_limit"), 1);
 }
 
 TEST(Simulator, ZeroTripLoop)
@@ -234,7 +239,12 @@ TEST(Simulator, StackOverflowDetected)
     CompileResult r = compileSource(src, {});
     DataflowSimulator sim(r.graphPtrs(), *r.layout,
                           MemConfig::perfectMemory());
-    EXPECT_THROW(sim.run("f", {5000}), FatalError);
+    SimResult sr = sim.run("f", {5000});
+    EXPECT_TRUE(!sr.ok());
+    EXPECT_EQ(static_cast<int>(sr.outcome),
+              static_cast<int>(SimOutcome::StackOverflow));
+    EXPECT_TRUE(sr.error.find("stack overflow") != std::string::npos);
+    EXPECT_EQ(sr.stats.get("sim.outcome.stack_overflow"), 1);
 }
 
 } // namespace
