@@ -105,6 +105,15 @@ class AliasOracle
     /** May the two read/write sets touch a common address? */
     bool mayOverlap(const LocationSet& a, const LocationSet& b) const;
 
+    /** All external (pointer-param) locations. */
+    const std::set<int>& externalLocations() const { return externals_; }
+
+    /** All normalized (a ≤ b) independence pairs from pragmas. */
+    const std::set<std::pair<int, int>>& independentPairs() const
+    {
+        return independent_;
+    }
+
   private:
     std::set<int> externals_;
     std::set<int> exposed_;

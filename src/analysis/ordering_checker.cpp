@@ -1,0 +1,501 @@
+#include "analysis/ordering_checker.h"
+
+#include <algorithm>
+
+#include "analysis/boolean.h"
+#include "analysis/induction.h"
+#include "analysis/symbolic.h"
+
+namespace cash {
+
+namespace {
+
+/** Does @p n produce a token on any output port? */
+bool
+producesToken(const Node* n)
+{
+    for (int p = 0; p < n->numOutputs(); p++)
+        if (n->outputType(p) == VT::Token)
+            return true;
+    return false;
+}
+
+/** Does @p n consume a token-typed value on any input? */
+bool
+consumesToken(const Node* n)
+{
+    for (int i = 0; i < n->numInputs(); i++) {
+        const PortRef& in = n->input(i);
+        if (in.valid() && in.node->outputType(in.port) == VT::Token)
+            return true;
+    }
+    return false;
+}
+
+std::string
+nodeDesc(const Node* n)
+{
+    return std::string(nodeKindName(n->kind)) + " n" +
+           std::to_string(n->id);
+}
+
+} // namespace
+
+OrderingChecker::OrderingChecker(const Graph& g,
+                                 const AliasOracle* oracle,
+                                 const MemoryLayout* layout)
+    : g_(g), oracle_(oracle), layout_(layout)
+{
+    buildTokenGraph();
+    buildClosure(/*includeBackEdges=*/true, reachAll_);
+    buildClosure(/*includeBackEdges=*/false, reachFwd_);
+    buildHbReach();
+}
+
+OrderingChecker::~OrderingChecker() = default;
+
+void
+OrderingChecker::buildTokenGraph()
+{
+    // Token-graph vertices: every live node that produces or consumes
+    // a token value.  liveNodes() is node-id ordered, so the dense
+    // indices (and with them every finding sequence) are deterministic.
+    for (const Node* n : g_.liveNodes()) {
+        if (producesToken(n) || consumesToken(n)) {
+            index_[n] = static_cast<int>(tokenNodes_.size());
+            tokenNodes_.push_back(n);
+        }
+        if (n->isSideEffect())
+            sideEffects_.push_back(n);
+    }
+    stats_.tokenNodes = static_cast<int64_t>(tokenNodes_.size());
+    stats_.sideEffects = static_cast<int64_t>(sideEffects_.size());
+
+    const int n = static_cast<int>(tokenNodes_.size());
+    succAll_.assign(n, {});
+    succFwd_.assign(n, {});
+    for (int vi = 0; vi < n; vi++) {
+        const Node* v = tokenNodes_[vi];
+        for (int i = 0; i < v->numInputs(); i++) {
+            const PortRef& in = v->input(i);
+            if (!in.valid() || in.node->dead ||
+                in.node->outputType(in.port) != VT::Token)
+                continue;
+            auto it = index_.find(in.node);
+            if (it == index_.end())
+                continue;
+            succAll_[it->second].push_back(vi);
+            if (!v->inputIsBackEdge(i))
+                succFwd_[it->second].push_back(vi);
+            stats_.tokenEdges++;
+        }
+    }
+}
+
+/**
+ * Reachability closure over the token graph: condense SCCs with an
+ * iterative Tarjan walk, then OR successor bitsets in the reverse
+ * topological order Tarjan emits SCCs in.  Every member of an SCC
+ * shares the SCC's row (token rings are cycles: all mutually ordered).
+ */
+void
+OrderingChecker::buildClosure(bool includeBackEdges,
+                              std::vector<uint64_t>& matrix)
+{
+    const int n = static_cast<int>(tokenNodes_.size());
+    words_ = (n + 63) / 64;
+    matrix.assign(static_cast<size_t>(n) * words_, 0);
+    if (n == 0)
+        return;
+    const std::vector<std::vector<int>>& succ =
+        includeBackEdges ? succAll_ : succFwd_;
+
+    // Iterative Tarjan SCC.
+    std::vector<int> low(n, -1), num(n, -1), sccOf(n, -1);
+    std::vector<bool> onStack(n, false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> sccs;
+    int counter = 0;
+    struct Frame
+    {
+        int v;
+        size_t next;
+    };
+    for (int root = 0; root < n; root++) {
+        if (num[root] != -1)
+            continue;
+        std::vector<Frame> frames{{root, 0}};
+        num[root] = low[root] = counter++;
+        stack.push_back(root);
+        onStack[root] = true;
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            if (f.next < succ[f.v].size()) {
+                int w = succ[f.v][f.next++];
+                if (num[w] == -1) {
+                    num[w] = low[w] = counter++;
+                    stack.push_back(w);
+                    onStack[w] = true;
+                    frames.push_back({w, 0});
+                } else if (onStack[w]) {
+                    low[f.v] = std::min(low[f.v], num[w]);
+                }
+            } else {
+                if (low[f.v] == num[f.v]) {
+                    sccs.emplace_back();
+                    int w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        onStack[w] = false;
+                        sccOf[w] = static_cast<int>(sccs.size()) - 1;
+                        sccs.back().push_back(w);
+                    } while (w != f.v);
+                }
+                int v = f.v;
+                frames.pop_back();
+                if (!frames.empty())
+                    low[frames.back().v] =
+                        std::min(low[frames.back().v], low[v]);
+            }
+        }
+    }
+
+    // Tarjan emits an SCC only after every SCC it can reach, so the
+    // emission order is already reverse-topological: propagate rows in
+    // that order.  row(S) = member bits of S ∪ rows of successor SCCs.
+    std::vector<std::vector<uint64_t>> sccRow(
+        sccs.size(), std::vector<uint64_t>(words_, 0));
+    for (size_t s = 0; s < sccs.size(); s++) {
+        std::vector<uint64_t>& row = sccRow[s];
+        for (int v : sccs[s]) {
+            row[v / 64] |= uint64_t(1) << (v % 64);
+            for (int w : succ[v]) {
+                if (sccOf[w] == static_cast<int>(s))
+                    continue;
+                const std::vector<uint64_t>& other = sccRow[sccOf[w]];
+                for (int k = 0; k < words_; k++)
+                    row[k] |= other[k];
+            }
+        }
+    }
+    for (int v = 0; v < n; v++)
+        std::copy(sccRow[sccOf[v]].begin(), sccRow[sccOf[v]].end(),
+                  matrix.begin() + static_cast<size_t>(v) * words_);
+
+    // Singleton SCC without a self-loop: drop the reflexive bit so the
+    // relation is "reachable via at least one edge" plus ring mutuals.
+    for (int v = 0; v < n; v++) {
+        if (sccs[sccOf[v]].size() > 1)
+            continue;
+        bool selfLoop = false;
+        for (int w : succ[v])
+            if (w == v)
+                selfLoop = true;
+        if (!selfLoop)
+            matrix[static_cast<size_t>(v) * words_ + v / 64] &=
+                ~(uint64_t(1) << (v % 64));
+    }
+}
+
+void
+OrderingChecker::buildHbReach()
+{
+    // Control may transfer a → b (transitively, self included): only
+    // such hyperblock pairs can dynamically coexist in one call.
+    size_t maxId = g_.hyperblocks.size();
+    for (const HbInfo& hb : g_.hyperblocks)
+        maxId = std::max(maxId, static_cast<size_t>(hb.id) + 1);
+    hbReach_.assign(maxId, std::vector<bool>(maxId, false));
+    for (const HbInfo& hb : g_.hyperblocks) {
+        if (hb.id < 0 || static_cast<size_t>(hb.id) >= maxId)
+            continue;
+        std::vector<int> work{hb.id};
+        hbReach_[hb.id][hb.id] = true;
+        while (!work.empty()) {
+            int cur = work.back();
+            work.pop_back();
+            for (const HbInfo& other : g_.hyperblocks) {
+                if (other.id != cur)
+                    continue;
+                for (int s : other.successors) {
+                    if (s < 0 || static_cast<size_t>(s) >= maxId ||
+                        hbReach_[hb.id][s])
+                        continue;
+                    hbReach_[hb.id][s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+bool
+OrderingChecker::hbCoexist(const Node* a, const Node* b) const
+{
+    int ha = a->hyperblock, hb = b->hyperblock;
+    if (ha == hb)
+        return true;
+    // Unknown hyperblocks (hand-built graphs): assume the worst.
+    if (ha < 0 || hb < 0 ||
+        static_cast<size_t>(ha) >= hbReach_.size() ||
+        static_cast<size_t>(hb) >= hbReach_.size())
+        return true;
+    return hbReach_[ha][hb] || hbReach_[hb][ha];
+}
+
+bool
+OrderingChecker::reachBit(const std::vector<uint64_t>& matrix,
+                          const Node* a, const Node* b) const
+{
+    auto ia = index_.find(a);
+    auto ib = index_.find(b);
+    if (ia == index_.end() || ib == index_.end())
+        return false;
+    int bi = ib->second;
+    return (matrix[static_cast<size_t>(ia->second) * words_ + bi / 64] >>
+            (bi % 64)) &
+           1;
+}
+
+bool
+OrderingChecker::tokenReaches(const Node* a, const Node* b) const
+{
+    return reachBit(reachAll_, a, b);
+}
+
+bool
+OrderingChecker::tokenReachesForward(const Node* a, const Node* b) const
+{
+    return reachBit(reachFwd_, a, b);
+}
+
+/**
+ * Recompute @p n's access set from first principles: a constant
+ * address is resolved against the MemoryLayout's global objects
+ * (checking containment byte-for-byte), everything else keeps the
+ * set recorded at construction.  This is the independence from the
+ * opt/ helpers the checker exists for: a pass that corrupts rwSet
+ * metadata on a statically addressed access is caught here.
+ */
+LocationSet
+OrderingChecker::refinedSet(const Node* n) const
+{
+    if (!n->isMemoryAccess())
+        return n->rwSet;
+    if (layout_ && n->numInputs() > 2) {
+        const PortRef& addr = n->input(2);
+        if (addr.valid() && addr.node->kind == NodeKind::Const) {
+            uint32_t a = static_cast<uint32_t>(addr.node->constValue);
+            for (const MemObject& obj : layout_->objects()) {
+                if (!obj.isGlobal)
+                    continue;
+                if (a >= obj.address &&
+                    a + static_cast<uint32_t>(n->size) <=
+                        obj.address + obj.size)
+                    return LocationSet::single(obj.id);
+            }
+        }
+    }
+    return n->rwSet;
+}
+
+LocationSet
+OrderingChecker::effectiveReadSet(const Node* n) const
+{
+    switch (n->kind) {
+      case NodeKind::Load: {
+        // Reads of const objects can never conflict: no (legal) write
+        // targets them.  §4.2 relies on this when it detaches
+        // immutable loads from the token graph entirely.
+        LocationSet s = refinedSet(n);
+        if (s.isTop() || !layout_)
+            return s;
+        LocationSet filtered;
+        for (int loc : s.locations()) {
+            if (loc >= 0 &&
+                static_cast<size_t>(loc) < layout_->objects().size() &&
+                layout_->object(loc).isConst)
+                continue;
+            filtered.insert(loc);
+        }
+        return filtered;
+      }
+      case NodeKind::Call:
+      case NodeKind::Return:
+        // Calls may read anything; a return must observe every store
+        // (the procedure's memory effects complete before it does).
+        return LocationSet::top();
+      default:
+        return LocationSet();
+    }
+}
+
+LocationSet
+OrderingChecker::effectiveWriteSet(const Node* n) const
+{
+    switch (n->kind) {
+      case NodeKind::Store:
+        return refinedSet(n);
+      case NodeKind::Call:
+        return LocationSet::top();
+      default:
+        return LocationSet();
+    }
+}
+
+bool
+OrderingChecker::mayConflict(const Node* a, const Node* b) const
+{
+    if (!oracle_)
+        return false;
+    LocationSet ra = effectiveReadSet(a), wa = effectiveWriteSet(a);
+    LocationSet rb = effectiveReadSet(b), wb = effectiveWriteSet(b);
+    bool overlap = oracle_->mayOverlap(wa, rb) ||
+                   oracle_->mayOverlap(wb, ra) ||
+                   oracle_->mayOverlap(wa, wb);
+    if (!overlap || !hbCoexist(a, b))
+        return false;
+    // Mutually exclusive activations never conflict: the §2 example
+    // runs both branch calls in parallel precisely because only one
+    // predicate can be 1.  The builder encodes that exclusion as
+    // block-level reachability while wiring tokens; predication
+    // erases the blocks, so re-derive it from the predicates.
+    int pa = a->predInIndex(), pb = b->predInIndex();
+    if (pa >= 0 && pb >= 0 && pa < a->numInputs() &&
+        pb < b->numInputs() && a->input(pa).valid() &&
+        b->input(pb).valid() &&
+        predDisjoint(a->input(pa), b->input(pb)))
+        return false;
+    return true;
+}
+
+bool
+OrderingChecker::symbolicallyDisjoint(const Node* a, const Node* b)
+{
+    if (!a->isMemoryAccess() || !b->isMemoryAccess() ||
+        a->numInputs() <= 2 || b->numInputs() <= 2)
+        return false;
+    // Same-iteration disjointness only applies to accesses that
+    // advance in lockstep; restrict to a common hyperblock.
+    if (a->hyperblock != b->hyperblock)
+        return false;
+    if (!sym_) {
+        ivs_.reset(new InductionAnalysis(g_));
+        sym_.reset(new SymbolicAddress(ivs_.get()));
+    }
+    AffineExpr ea = sym_->expr(a->input(2));
+    AffineExpr eb = sym_->expr(b->input(2));
+    return SymbolicAddress::disjoint(ea, a->size, eb, b->size);
+}
+
+std::vector<const Node*>
+OrderingChecker::orderingSources(const Node* n) const
+{
+    std::vector<const Node*> out;
+    int ti = n->tokenInIndex();
+    if (ti < 0 || ti >= n->numInputs())
+        return out;
+    const PortRef& root = n->input(ti);
+    if (!root.valid())
+        return out;
+    std::vector<const Node*> work{root.node};
+    std::set<const Node*> seen;
+    while (!work.empty()) {
+        const Node* cur = work.back();
+        work.pop_back();
+        if (!seen.insert(cur).second)
+            continue;
+        if (cur->kind == NodeKind::Combine) {
+            for (int i = 0; i < cur->numInputs(); i++)
+                if (cur->input(i).valid())
+                    work.push_back(cur->input(i).node);
+        } else {
+            out.push_back(cur);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Node* a, const Node* b) { return a->id < b->id; });
+    return out;
+}
+
+void
+OrderingChecker::check(std::vector<LintFinding>& out)
+{
+    // Part 1 — anchoring: every token consumer must actually have a
+    // well-typed token input.  A detached side effect can fire the
+    // moment its other inputs arrive, unordered against everything;
+    // this is exactly what `graph.corrupt-token` injection produces.
+    // Scan all live nodes, not just the token graph: a corrupted
+    // Return in a store-free function neither produces nor consumes a
+    // token any more, yet is exactly the node that must be reported.
+    for (const Node* n : g_.liveNodes()) {
+        int ti = n->tokenInIndex();
+        if (ti < 0)
+            continue;
+        std::string problem;
+        if (ti >= n->numInputs())
+            problem = "its token input slot is missing";
+        else if (!n->input(ti).valid())
+            problem = "its token input is disconnected";
+        else if (n->input(ti).node->outputType(n->input(ti).port) !=
+                 VT::Token)
+            problem = std::string("its token input reads a ") +
+                      vtName(n->input(ti).node->outputType(
+                          n->input(ti).port)) +
+                      " value from " + nodeDesc(n->input(ti).node);
+        if (problem.empty())
+            continue;
+        LintFinding f;
+        f.rule = "ordering-soundness";
+        f.severity = LintSeverity::Error;
+        f.func = g_.name;
+        f.nodeA = n->id;
+        if (n->loc.valid())
+            f.location = n->loc.str();
+        f.explanation = nodeDesc(n) +
+                        " is not anchored in the token graph: " +
+                        problem;
+        out.push_back(f);
+    }
+
+    // Part 2 — ordering: every may-conflicting side-effect pair must
+    // be connected by a token path in some direction.
+    for (size_t i = 0; i < sideEffects_.size(); i++) {
+        for (size_t j = i + 1; j < sideEffects_.size(); j++) {
+            const Node* a = sideEffects_[i];
+            const Node* b = sideEffects_[j];
+            stats_.pairsConsidered++;
+            if (effectiveWriteSet(a).empty() &&
+                effectiveWriteSet(b).empty())
+                continue;  // read–read never conflicts
+            if (!mayConflict(a, b))
+                continue;
+            stats_.pairsConflicting++;
+            if (ordered(a, b))
+                continue;
+            if (symbolicallyDisjoint(a, b)) {
+                stats_.pairsSymbolic++;
+                continue;
+            }
+            LintFinding f;
+            f.rule = "ordering-soundness";
+            f.severity = LintSeverity::Error;
+            f.func = g_.name;
+            f.nodeA = a->id;
+            f.nodeB = b->id;
+            if (a->loc.valid())
+                f.location = a->loc.str();
+            else if (b->loc.valid())
+                f.location = b->loc.str();
+            f.explanation =
+                nodeDesc(a) + " (rw " + refinedSet(a).str() + ") and " +
+                nodeDesc(b) + " (rw " + refinedSet(b).str() +
+                ") may touch a common address but no token path orders"
+                " them";
+            out.push_back(f);
+        }
+    }
+}
+
+} // namespace cash

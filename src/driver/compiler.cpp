@@ -197,6 +197,7 @@ compileSource(const std::string& source, const CompileOptions& options)
         ctx.stats = &slot.stats;
         ctx.tracer = traceOn ? &slot.trace : nullptr;
         ctx.verifyAfterEachPass = options.verify;
+        ctx.checkOrdering = options.orderingChecks;
         ctx.isolatePasses = !options.strict;
         ctx.failures = &slot.failures;
         ctx.faults = faults;

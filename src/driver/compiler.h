@@ -88,6 +88,15 @@ struct CompileOptions
      * from $CASH_INJECT, which is empty unless the variable is set.
      */
     const FaultPlan* faults = nullptr;
+    /**
+     * Run the independent memory-ordering soundness checker after
+     * every pass (docs/ANALYSIS.md).  An error-severity finding is
+     * handled like a verifier rejection: rollback + quarantine under
+     * isolation, fatal in strict mode.  Off by default (it re-derives
+     * the token closure per pass run); `cashc --verify-each-pass`
+     * turns it on together with the structural verifier.
+     */
+    bool orderingChecks = false;
 
     // -- fluent builder -----------------------------------------------
     CompileOptions& opt(OptLevel l) { level = l; return *this; }
@@ -105,6 +114,11 @@ struct CompileOptions
         return *this;
     }
     CompileOptions& strictMode(bool on) { strict = on; return *this; }
+    CompileOptions& orderingCheck(bool on)
+    {
+        orderingChecks = on;
+        return *this;
+    }
     CompileOptions& inject(const FaultPlan* plan)
     {
         faults = plan;

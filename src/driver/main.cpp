@@ -6,7 +6,8 @@
  *
  * Usage:
  *   cashc [options] file.c
- *     -O none|medium|full   optimization level (default full)
+ *     -O none|medium|full   optimization level (default full);
+ *                           -O0/-O1/-O2/-O3 alias none/medium/full/full
  *     -j N, --jobs N        optimization worker threads (default: one
  *                           per hardware thread; output is identical
  *                           at any N)
@@ -21,9 +22,15 @@
  *     --max-events N        simulator event budget (livelock guard)
  *     --strict              fail fast: pass failures raise immediately
  *                           instead of rollback + quarantine
- *     --verify-each-pass    run the graph verifier after every pass
- *                           (the default; kept for explicitness)
+ *     --verify-each-pass    run the graph verifier AND the memory-
+ *                           ordering soundness checker after every
+ *                           pass (errors roll the pass back)
  *     --no-verify           skip graph verification entirely
+ *     --analyze[=r1,r2]     run the lint rules over the final graphs
+ *                           (default: all rules; see docs/ANALYSIS.md)
+ *     --analyze-strict      exit 2 on error-severity findings and skip
+ *                           simulation (implies --analyze)
+ *     --list-lints          print registered lint rule names and exit
  *     --inject=SPEC         deterministic fault injection (testing);
  *                           see docs/ROBUSTNESS.md for the syntax
  *     --stats               print compile + run statistics
@@ -33,7 +40,8 @@
  *
  * Exit status: 0 on a fully healthy run; 1 when compilation recorded
  * diagnostics (rolled-back passes), the simulation degraded (deadlock,
- * event limit, ...) or a fatal error occurred; 2 on usage errors.
+ * event limit, ...) or a fatal error occurred; 2 on usage errors and
+ * on error-severity findings under --analyze-strict.
  * Observability artifacts (--stats-json, --trace) are flushed on every
  * exit path — a failed run still produces its partial stats and trace.
  */
@@ -43,6 +51,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/lint.h"
 #include "driver/compiler.h"
 #include "pegasus/dot.h"
 #include "sim/dataflow_sim.h"
@@ -58,13 +67,16 @@ int
 usage()
 {
     std::cerr <<
-        "usage: cashc [-O none|medium|full] [-j N] [--passes=a,b,c]\n"
+        "usage: cashc [-O none|medium|full | -O0..-O3] [-j N]\n"
+        "             [--passes=a,b,c]\n"
         "             [--list-passes] [--dump-cfg] [--dump-graph]"
         " [--dot]\n"
         "             [--run 'f(1,2)'] [--mem perfect|real1|real2|real4]"
         " [--stats]\n"
         "             [--max-events N] [--strict] [--verify-each-pass]"
         " [--no-verify]\n"
+        "             [--analyze[=rule,...]] [--analyze-strict]"
+        " [--list-lints]\n"
         "             [--inject=SPEC] [--stats-json out.json]"
         " [--trace out.json]\n"
         "             [--verbose] file.c\n";
@@ -96,6 +108,8 @@ main(int argc, char** argv)
     uint64_t maxEvents = 0;
     bool dumpCfg = false, dumpGraph = false, dumpDot = false;
     bool showStats = false;
+    bool analyze = false, analyzeStrict = false;
+    std::vector<std::string> analyzeRules;
     CompileOptions opts;
 
     for (int i = 1; i < argc; i++) {
@@ -110,6 +124,12 @@ main(int argc, char** argv)
                 opts.level = OptLevel::Full;
             else
                 return usage();
+        } else if (arg == "-O0") {
+            opts.level = OptLevel::None;
+        } else if (arg == "-O1") {
+            opts.level = OptLevel::Medium;
+        } else if (arg == "-O2" || arg == "-O3") {
+            opts.level = OptLevel::Full;
         } else if (arg == "-j" || arg == "--jobs") {
             if (i + 1 >= argc)
                 return usage();
@@ -151,8 +171,23 @@ main(int argc, char** argv)
             opts.strictMode(true);
         } else if (arg == "--verify-each-pass") {
             opts.verification(true);
+            opts.orderingCheck(true);
         } else if (arg == "--no-verify") {
             opts.verification(false);
+        } else if (arg == "--analyze") {
+            analyze = true;
+        } else if (arg.rfind("--analyze=", 0) == 0) {
+            analyze = true;
+            for (const std::string& s : split(arg.substr(10), ','))
+                if (!trim(s).empty())
+                    analyzeRules.push_back(trim(s));
+        } else if (arg == "--analyze-strict") {
+            analyze = true;
+            analyzeStrict = true;
+        } else if (arg == "--list-lints") {
+            for (const std::string& n : LintRegistry::global().names())
+                std::cout << n << "\n";
+            return 0;
         } else if (arg == "--max-events" && i + 1 < argc) {
             maxEvents = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg.rfind("--inject=", 0) == 0) {
@@ -202,9 +237,11 @@ main(int argc, char** argv)
     StatSet compileStats;
     StatSet simStats;
     std::vector<PassFailure> diagnostics;
+    std::vector<LintFinding> findings;
     std::string fatalMsg;
     std::string simError;
     bool ranSim = false;
+    bool ranAnalysis = false;
     int exitCode = 0;
 
     auto flushArtifacts = [&]() -> bool {
@@ -240,6 +277,14 @@ main(int argc, char** argv)
                            << (d + 1 < diagnostics.size() ? ",\n"
                                                           : "\n");
                     os << "  ],\n";
+                }
+                if (ranAnalysis) {
+                    os << "  \"analysis\": {\n    \"findings\": [";
+                    for (size_t f = 0; f < findings.size(); f++)
+                        os << (f ? ",\n      " : "\n      ")
+                           << findings[f].json();
+                    os << (findings.empty() ? "]" : "\n    ]")
+                       << "\n  },\n";
                 }
                 os << "  \"compile\": " << statSetJson(compileStats, 2);
                 if (ranSim)
@@ -283,7 +328,33 @@ main(int argc, char** argv)
             for (const auto& g : r.graphs)
                 std::cout << toDot(*g);
 
-        if (!runSpec.empty()) {
+        bool analysisBlocksRun = false;
+        if (analyze) {
+            LintContext lctx;
+            lctx.oracle = &r.cfg->oracle;
+            lctx.layout = r.layout.get();
+            lctx.stats = &compileStats;
+            if (!traceFile.empty())
+                lctx.tracer = &tracer;
+            LintReport report =
+                runLints(r.graphPtrs(), lctx, analyzeRules);
+            findings = report.findings;
+            ranAnalysis = true;
+            for (const LintFinding& f : findings)
+                std::cout << f.str() << "\n";
+            std::cerr << "cashc: analysis: " << report.errors()
+                      << " error(s), " << report.warnings()
+                      << " warning(s), " << report.infos()
+                      << " info(s)\n";
+            if (analyzeStrict && report.errors() > 0) {
+                std::cerr << "cashc: --analyze-strict: error findings;"
+                             " skipping simulation\n";
+                exitCode = 2;
+                analysisBlocksRun = true;
+            }
+        }
+
+        if (!runSpec.empty() && !analysisBlocksRun) {
             size_t open = runSpec.find('(');
             std::string fname = open == std::string::npos
                                     ? runSpec

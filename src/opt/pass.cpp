@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/ordering_checker.h"
 #include "pegasus/verifier.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
@@ -282,6 +283,20 @@ runIsolated(Pass& pass, Graph& g, OptContext& ctx, int round,
                 fail.message =
                     problems[0] + " (" +
                     std::to_string(problems.size()) + " problems)";
+            }
+        }
+        if (fail.code == ErrorCode::Ok && ctx.checkOrdering) {
+            // Independent soundness oracle: the structural verifier
+            // accepts any well-formed graph, but a pass can be
+            // well-formed and still have dropped an ordering edge.
+            std::vector<LintFinding> findings;
+            OrderingChecker checker(g, ctx.oracle, ctx.layout);
+            checker.check(findings);
+            if (!findings.empty()) {
+                fail.code = ErrorCode::AnalysisError;
+                fail.message =
+                    findings[0].explanation + " (" +
+                    std::to_string(findings.size()) + " findings)";
             }
         }
     } catch (const FatalError& e) {

@@ -75,6 +75,14 @@ struct OptContext
     TraceRecorder* tracer = nullptr;
     bool verifyAfterEachPass = false;
     /**
+     * Run the independent memory-ordering soundness checker
+     * (analysis/ordering_checker.h) after every pass, in addition to
+     * the structural verifier.  An error-severity finding is treated
+     * exactly like a verifier rejection: rollback + quarantine under
+     * isolation (ErrorCode::AnalysisError), fatal in strict mode.
+     */
+    bool checkOrdering = false;
+    /**
      * Fault isolation: snapshot the graph before each pass; on a pass
      * throwing or failing verification, roll back to the snapshot,
      * quarantine that pass for this function, record a PassFailure and

@@ -166,6 +166,22 @@ verifyGraph(const Graph& g)
             break;
         }
 
+        // Token values may only be produced by the plumbing §3.2
+        // defines: side effects, combines, ring merges/etas, initial
+        // tokens, token generators and the constant tokens immutable
+        // loads anchor to (§4.2).  A token-typed mux/arith/param
+        // smuggles ordering through value operators — both endpoints
+        // of such an edge are non-memory, non-side-effecting nodes,
+        // and the error previously surfaced only as simulator
+        // starvation.
+        if (n->type == VT::Token &&
+            (n->kind == NodeKind::Mux || n->kind == NodeKind::Arith ||
+             n->kind == NodeKind::Param))
+            problems.push_back(n->str() +
+                               ": token-typed value operator (only"
+                               " merges, etas, combines, constants and"
+                               " side effects may carry tokens)");
+
         // Etas deliver to merges only: merges are the unique consumers
         // of the end-of-stream markers etas emit on not-taken
         // activations.

@@ -22,6 +22,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::StackOverflow: return "stack_overflow";
       case ErrorCode::MissingGraph: return "missing_graph";
       case ErrorCode::BadFaultSpec: return "bad_fault_spec";
+      case ErrorCode::AnalysisError: return "analysis_error";
       case ErrorCode::InternalError: return "internal_error";
     }
     return "?";

@@ -38,6 +38,7 @@ enum class ErrorCode
     StackOverflow,  ///< Simulated call stack exhausted.
     MissingGraph,   ///< Simulated call to a function with no graph.
     BadFaultSpec,   ///< Malformed --inject / CASH_INJECT spec.
+    AnalysisError,  ///< A lint rule reported an error-severity finding.
     InternalError,  ///< Anything else (catch-all).
 };
 

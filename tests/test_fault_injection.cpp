@@ -302,6 +302,42 @@ TEST(FaultInjection, HandBuiltTokenSelfLoopDeadlockNamesStarvedNode)
     EXPECT_TRUE(out.deadlock.str().find("load") != std::string::npos);
 }
 
+TEST(FaultInjection, CorruptTokenCaughtByAnalysisBeforeSimulation)
+{
+    // Differential proof for the ordering checker (docs/ANALYSIS.md):
+    // with the structural verifier OFF, the independent checker alone
+    // must catch a corrupted token edge in any pass, roll the pass
+    // back and keep the simulation golden.  The checker shares no
+    // code with the verifier, so this is a second, independent line
+    // of defense in front of the simulator.
+    const uint32_t goldenFill =
+        testutil::interpret(kMultiSrc, "fill", {10});
+    for (const std::string& pass :
+         standardPipelineNames(OptLevel::Full)) {
+        FaultPlan plan = FaultPlan::parse(
+            "graph.corrupt-token:pass=" + pass + ",func=fill,round=1");
+        CompileResult r = compileSource(
+            kMultiSrc, CompileOptions()
+                           .inject(&plan)
+                           .verification(false)
+                           .orderingCheck(true));
+        ASSERT_FALSE(r.ok()) << pass;
+        bool analysisCaught = false;
+        for (const PassFailure& d : r.diagnostics) {
+            EXPECT_EQ(d.function, "fill") << pass;
+            if (d.code == ErrorCode::AnalysisError)
+                analysisCaught = true;
+        }
+        EXPECT_TRUE(analysisCaught)
+            << pass << ": " << r.diagnostics[0].str();
+        DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                              MemConfig::perfectMemory());
+        SimResult out = sim.run("fill", {10});
+        ASSERT_TRUE(out.ok()) << pass << ": " << out.error;
+        EXPECT_EQ(out.returnValue, goldenFill) << pass;
+    }
+}
+
 TEST(FaultInjection, CorruptTokenEdgeIsDeterministic)
 {
     CompileResult a = compileSource(kMultiSrc, {});
