@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Service throughput benchmark (docs/SERVICE.md): an in-process
+ * `cashd` core driven by hundreds of concurrent client connections.
+ *
+ * Two phases over the same server:
+ *   * **cold** — every request is a unique source, so every request
+ *     pays a full compile (cache misses only);
+ *   * **warm** — the clients replay a small set of already-cached
+ *     sources, so requests are served from the content-addressed
+ *     result cache.
+ *
+ * The interesting numbers are the requests/second of each phase and
+ * their ratio: the service exists so repeat traffic (editors,
+ * build-system retries, CI re-runs) costs a cache lookup instead of a
+ * compile.  The run FAILS (exit 1) unless warm throughput is at least
+ * 5x cold throughput and cached bodies are byte-identical to their
+ * uncached originals — the acceptance bar for the caching layer, not
+ * just a report.
+ *
+ * Writes BENCH_service_qps.json (schema cash-bench-v1).  Honors
+ * CASH_BENCH_SMOKE=1 (reduced client count / request volume).
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/client.h"
+#include "service/server.h"
+
+#include <unistd.h>
+
+using namespace cash;
+using namespace cash::benchutil;
+
+namespace {
+
+/** Unique Mini-C source #n: distinct text → distinct cache key. */
+std::string
+uniqueSource(int n)
+{
+    return "int work(int n) {\n"
+           "  int s = " + std::to_string(n) + ";\n"
+           "  int i;\n"
+           "  for (i = 0; i < n; i++) s = s + i * " +
+           std::to_string(n % 7 + 1) + ";\n"
+           "  return s;\n"
+           "}\n";
+}
+
+struct PhaseResult
+{
+    int64_t requests = 0;
+    int64_t failures = 0;
+    double seconds = 0;
+    double qps = 0;
+};
+
+/**
+ * Run @p clients threads against @p socketPath; client c issues
+ * requests for sources source(c, r), r in [0, perClient).  Captures
+ * each response's body into @p bodies (indexed c * perClient + r)
+ * when non-null.
+ */
+template <typename SourceFn>
+PhaseResult
+runPhase(const std::string& socketPath, int clients, int perClient,
+         SourceFn source, std::vector<std::string>* bodies)
+{
+    PhaseResult pr;
+    pr.requests = static_cast<int64_t>(clients) * perClient;
+    std::atomic<int64_t> failures{0};
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; c++) {
+        threads.emplace_back([&, c] {
+            ServiceClient client;
+            if (!client.connect(socketPath).isOk()) {
+                failures += perClient;
+                return;
+            }
+            for (int r = 0; r < perClient; r++) {
+                Json resp;
+                Status st = client.call(
+                    makeCompileRequest("compile", source(c, r)),
+                    &resp);
+                if (!st.isOk() || !resp.getBool("ok") ||
+                    !resp.get("body")) {
+                    failures++;
+                    continue;
+                }
+                if (bodies)
+                    (*bodies)[static_cast<size_t>(c) * perClient + r] =
+                        resp.get("body")->dump();
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    auto t1 = std::chrono::steady_clock::now();
+
+    pr.failures = failures.load();
+    pr.seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    pr.qps = pr.seconds > 0
+                 ? static_cast<double>(pr.requests) / pr.seconds
+                 : 0;
+    return pr;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool smoke = smokeMode();
+    // Hundreds of concurrent clients in a full run; the threads are
+    // I/O-bound (blocked in recv), the server's pool does the work.
+    const int coldClients = smoke ? 8 : 100;
+    const int coldPerClient = smoke ? 1 : 2;
+    const int warmClients = smoke ? 16 : 200;
+    const int warmPerClient = smoke ? 4 : 10;
+    // Warm traffic replays sources the cold phase already compiled.
+    const int warmDistinct = 4;
+
+    ServiceConfig cfg;
+    cfg.socketPath = "/tmp/cash_bench_qps_" +
+                     std::to_string(::getpid()) + ".sock";
+    ServiceServer server(cfg);
+    Status st = server.start();
+    if (!st.isOk()) {
+        std::fprintf(stderr, "bench_service_qps: %s\n",
+                     st.message().c_str());
+        return 1;
+    }
+
+    std::printf("service qps: %s\n", versionString("cashd").c_str());
+    std::printf("  cold: %d clients x %d unique compiles\n",
+                coldClients, coldPerClient);
+    std::printf("  warm: %d clients x %d cached requests\n",
+                warmClients, warmPerClient);
+
+    // Cold phase: every request a unique source → all misses.
+    std::vector<std::string> coldBodies(
+        static_cast<size_t>(coldClients) * coldPerClient);
+    PhaseResult cold = runPhase(
+        cfg.socketPath, coldClients, coldPerClient,
+        [&](int c, int r) {
+            return uniqueSource(c * coldPerClient + r);
+        },
+        &coldBodies);
+
+    // Warm phase: replay the first warmDistinct cold sources.
+    std::vector<std::string> warmBodies(
+        static_cast<size_t>(warmClients) * warmPerClient);
+    PhaseResult warm = runPhase(
+        cfg.socketPath, warmClients, warmPerClient,
+        [&](int c, int r) {
+            return uniqueSource((c + r) % warmDistinct);
+        },
+        &warmBodies);
+
+    // Byte identity: every warm (cached) body must equal the cold
+    // (uncached) body of the same source.
+    int64_t mismatches = 0;
+    for (int c = 0; c < warmClients; c++) {
+        for (int r = 0; r < warmPerClient; r++) {
+            size_t wi = static_cast<size_t>(c) * warmPerClient + r;
+            size_t ci = static_cast<size_t>((c + r) % warmDistinct);
+            if (warmBodies[wi].empty() || coldBodies[ci].empty() ||
+                warmBodies[wi] != coldBodies[ci])
+                mismatches++;
+        }
+    }
+
+    StatSet m = server.metrics();
+    server.stop();
+
+    double speedup = cold.qps > 0 ? warm.qps / cold.qps : 0;
+    const double kRequiredSpeedup = 5.0;
+    bool speedupOk = speedup >= kRequiredSpeedup;
+    bool ok = speedupOk && mismatches == 0 && cold.failures == 0 &&
+              warm.failures == 0;
+
+    rule(64);
+    std::printf("%-8s %10s %10s %10s %12s\n", "phase", "requests",
+                "failures", "seconds", "req/s");
+    rule(64);
+    std::printf("%-8s %10lld %10lld %10.3f %12.1f\n", "cold",
+                static_cast<long long>(cold.requests),
+                static_cast<long long>(cold.failures), cold.seconds,
+                cold.qps);
+    std::printf("%-8s %10lld %10lld %10.3f %12.1f\n", "warm",
+                static_cast<long long>(warm.requests),
+                static_cast<long long>(warm.failures), warm.seconds,
+                warm.qps);
+    rule(64);
+    std::printf("warm/cold speedup: %.1fx (required >= %.0fx)  "
+                "byte mismatches: %lld\n",
+                speedup, kRequiredSpeedup,
+                static_cast<long long>(mismatches));
+    std::printf("cache: %lld hits / %lld misses (%lld%%), "
+                "p50 %lld us, p99 %lld us\n",
+                static_cast<long long>(m.get("svc.cache.hits")),
+                static_cast<long long>(m.get("svc.cache.misses")),
+                static_cast<long long>(m.get("svc.cache.hit_rate_pct")),
+                static_cast<long long>(m.get("svc.latency.p50_us")),
+                static_cast<long long>(m.get("svc.latency.p99_us")));
+
+    BenchReport report("service_qps");
+    report.meta("version", versionString("cashd"));
+    report.meta("cold_clients", coldClients);
+    report.meta("warm_clients", warmClients);
+    report.meta("required_speedup", kRequiredSpeedup);
+    report.meta("speedup", speedup);
+    report.meta("speedup_ok", speedupOk);
+    report.meta("byte_mismatches", mismatches);
+    report.meta("pool_workers", m.get("svc.pool.workers"));
+    auto addPhase = [&](const char* name, const PhaseResult& p) {
+        report.addRow({{"phase", name},
+                       {"requests", p.requests},
+                       {"failures", p.failures},
+                       {"seconds", p.seconds},
+                       {"qps", p.qps}});
+    };
+    addPhase("cold", cold);
+    addPhase("warm", warm);
+    report.addRow({{"phase", "totals"},
+                   {"cache_hits", m.get("svc.cache.hits")},
+                   {"cache_misses", m.get("svc.cache.misses")},
+                   {"hit_rate_pct", m.get("svc.cache.hit_rate_pct")},
+                   {"latency_p50_us", m.get("svc.latency.p50_us")},
+                   {"latency_p95_us", m.get("svc.latency.p95_us")},
+                   {"latency_p99_us", m.get("svc.latency.p99_us")},
+                   {"connections",
+                    m.get("svc.connections.accepted")}});
+    if (!report.write())
+        return 1;
+
+    if (!ok) {
+        std::fprintf(stderr,
+                     "bench_service_qps: FAILED (speedup %.1fx, "
+                     "%lld mismatches, %lld/%lld failures)\n",
+                     speedup, static_cast<long long>(mismatches),
+                     static_cast<long long>(cold.failures),
+                     static_cast<long long>(warm.failures));
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

@@ -1,0 +1,271 @@
+#include "driver/driver_lib.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "pegasus/dot.h"
+#include "service/protocol.h"
+#include "support/strings.h"
+#include "support/trace.h"
+
+namespace cash {
+
+std::string
+versionString(const std::string& tool)
+{
+    return tool + " " + kCashVersion + " (" + kSvcSchema +
+           ", protocol " + std::to_string(kSvcProtocolVersion) + ")";
+}
+
+Status
+parseOptLevel(const std::string& name, OptLevel* out)
+{
+    if (name == "none" || name == "0" || name == "O0")
+        *out = OptLevel::None;
+    else if (name == "medium" || name == "1" || name == "O1")
+        *out = OptLevel::Medium;
+    else if (name == "full" || name == "2" || name == "3" ||
+             name == "O2" || name == "O3")
+        *out = OptLevel::Full;
+    else
+        return Status::error(ErrorCode::InternalError,
+                             "unknown opt level '" + name +
+                                 "' (want none|medium|full)");
+    return Status::ok();
+}
+
+Status
+parseMemSpec(const std::string& name, MemConfig* out)
+{
+    if (name == "perfect")
+        *out = MemConfig::perfectMemory();
+    else if (name == "real1")
+        *out = MemConfig::realistic(1);
+    else if (name == "real2")
+        *out = MemConfig::realistic(2);
+    else if (name == "real4")
+        *out = MemConfig::realistic(4);
+    else
+        return Status::error(ErrorCode::InternalError,
+                             "unknown memory system '" + name +
+                                 "' (want perfect|real1|real2|real4)");
+    return Status::ok();
+}
+
+Status
+parseRunSpec(const std::string& spec, std::string* function,
+             std::vector<uint32_t>* args)
+{
+    function->clear();
+    args->clear();
+    size_t open = spec.find('(');
+    if (open == std::string::npos) {
+        *function = trim(spec);
+    } else {
+        size_t close = spec.rfind(')');
+        if (close == std::string::npos || close < open)
+            return Status::error(ErrorCode::InternalError,
+                                 "bad run spec '" + spec +
+                                     "': unbalanced parentheses");
+        *function = trim(spec.substr(0, open));
+        std::string inner = spec.substr(open + 1, close - open - 1);
+        for (const std::string& s : split(inner, ',')) {
+            std::string t = trim(s);
+            if (t.empty())
+                continue;
+            const char* c = t.c_str();
+            char* end = nullptr;
+            long long v = std::strtoll(c, &end, 10);
+            if (end == c || *end != '\0')
+                return Status::error(ErrorCode::InternalError,
+                                     "bad run spec '" + spec +
+                                         "': argument '" + t +
+                                         "' is not an integer");
+            args->push_back(static_cast<uint32_t>(v));
+        }
+    }
+    if (function->empty())
+        return Status::error(ErrorCode::InternalError,
+                             "bad run spec '" + spec +
+                                 "': empty function name");
+    return Status::ok();
+}
+
+StatSet
+stripWallClock(const StatSet& stats)
+{
+    StatSet out;
+    for (const auto& [k, v] : stats.all()) {
+        if (k.rfind("time.", 0) == 0)
+            continue;
+        if (k.size() > 8 && k.compare(k.size() - 8, 8, ".time_us") == 0)
+            continue;
+        if (stats.isGauge(k))
+            out.set(k, v);
+        else
+            out.add(k, v);
+    }
+    return out;
+}
+
+DriverReply
+runDriverRequest(const DriverRequest& req)
+{
+    DriverReply rep;
+
+    CompileOptions opts;
+    opts.level = req.level;
+    opts.verify = req.verify;
+    opts.numJobs = req.jobs;
+    opts.passNames = req.passNames;
+    opts.strict = req.strict;
+    opts.orderingChecks = req.orderingChecks;
+    opts.faults = req.faults;
+    opts.tracer = req.tracer;
+
+    try {
+        CompileResult r = compileSource(req.source, opts);
+        rep.compileStats = r.stats;
+        rep.diagnostics = r.diagnostics;
+        if (!r.ok())
+            rep.exitCode = 1;
+
+        if (req.wantCfg)
+            for (const auto& fn : r.cfg->functions)
+                rep.cfgText += fn->str();
+        if (req.wantGraphText)
+            for (const auto& g : r.graphs)
+                rep.graphText += toText(*g);
+        if (req.wantDot)
+            for (const auto& g : r.graphs)
+                rep.dot += toDot(*g);
+
+        if (req.analyze) {
+            LintContext lctx;
+            lctx.oracle = &r.cfg->oracle;
+            lctx.layout = r.layout.get();
+            lctx.stats = &rep.compileStats;
+            if (req.tracer && req.tracer->enabled())
+                lctx.tracer = req.tracer;
+            LintReport report =
+                runLints(r.graphPtrs(), lctx, req.analyzeRules);
+            rep.findings = report.findings;
+            rep.ranAnalysis = true;
+            rep.analysisErrors = report.errors();
+            rep.analysisWarnings = report.warnings();
+            rep.analysisInfos = report.infos();
+            if (req.analyzeStrict && report.errors() > 0) {
+                rep.exitCode = 2;
+                rep.analysisBlockedRun = true;
+            }
+        }
+
+        if (!req.runSpec.empty() && !rep.analysisBlockedRun) {
+            std::string fname;
+            std::vector<uint32_t> args;
+            Status st = parseRunSpec(req.runSpec, &fname, &args);
+            if (!st) {
+                rep.fatal = st.message();
+                rep.exitCode = 1;
+                return rep;
+            }
+            MemConfig mc = MemConfig::realistic(2);
+            st = parseMemSpec(req.memSpec, &mc);
+            if (!st) {
+                rep.fatal = st.message();
+                rep.exitCode = 1;
+                return rep;
+            }
+            rep.memName = mc.name;
+
+            DataflowSimulator sim(r.graphPtrs(), *r.layout, mc);
+            if (req.tracer && req.tracer->enabled())
+                sim.setTracer(req.tracer);
+            if (req.maxEvents)
+                sim.setMaxEvents(req.maxEvents);
+            if (req.faults && !req.faults->empty())
+                sim.setFaultPlan(req.faults);
+            SimResult out = sim.run(fname, args);
+            rep.ranSim = true;
+            rep.simOutcome = out.outcome;
+            rep.returnValue = out.returnValue;
+            rep.cycles = out.cycles;
+            rep.simStats = out.stats;
+            if (out.ok()) {
+                rep.simStats.set("sim.returnValue",
+                                 static_cast<int64_t>(out.returnValue));
+            } else {
+                rep.simError = out.error;
+                if (out.outcome == SimOutcome::Deadlock)
+                    rep.deadlockText = out.deadlock.str();
+                rep.exitCode = 1;
+            }
+        }
+    } catch (const FatalError& e) {
+        rep.fatal = e.what();
+        rep.exitCode = 1;
+    }
+    return rep;
+}
+
+namespace {
+
+/** One compile diagnostic as a JSON object (docs/SCHEMAS.md). */
+std::string
+diagnosticJson(const PassFailure& d)
+{
+    return std::string("{\"function\": \"") + jsonEscape(d.function) +
+           "\", \"pass\": \"" + jsonEscape(d.pass) +
+           "\", \"round\": " + std::to_string(d.round) +
+           ", \"code\": \"" + errorCodeName(d.code) +
+           "\", \"message\": \"" + jsonEscape(d.message) + "\"}";
+}
+
+} // namespace
+
+std::string
+statsJsonDocument(const DriverReply& rep, const StatsJsonMeta& meta,
+                  bool deterministic)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"cash-stats-v1\",\n"
+       << "  \"meta\": {\n"
+       << "    \"file\": \"" << jsonEscape(meta.file) << "\",\n"
+       << "    \"opt_level\": \"" << optLevelName(meta.level) << "\",\n"
+       << "    \"mem\": \"" << jsonEscape(meta.mem) << "\",\n"
+       << "    \"run\": \"" << jsonEscape(meta.run) << "\",\n"
+       << "    \"exit\": " << rep.exitCode;
+    if (!rep.fatal.empty())
+        os << ",\n    \"error\": \"" << jsonEscape(rep.fatal) << "\"";
+    if (!rep.simError.empty())
+        os << ",\n    \"sim_error\": \"" << jsonEscape(rep.simError)
+           << "\"";
+    os << "\n  },\n";
+    if (!rep.diagnostics.empty()) {
+        os << "  \"diagnostics\": [\n";
+        for (size_t d = 0; d < rep.diagnostics.size(); d++)
+            os << "    " << diagnosticJson(rep.diagnostics[d])
+               << (d + 1 < rep.diagnostics.size() ? ",\n" : "\n");
+        os << "  ],\n";
+    }
+    if (rep.ranAnalysis) {
+        os << "  \"analysis\": {\n    \"findings\": [";
+        for (size_t f = 0; f < rep.findings.size(); f++)
+            os << (f ? ",\n      " : "\n      ")
+               << rep.findings[f].json();
+        os << (rep.findings.empty() ? "]" : "\n    ]") << "\n  },\n";
+    }
+    const StatSet compile =
+        deterministic ? stripWallClock(rep.compileStats)
+                      : rep.compileStats;
+    os << "  \"compile\": " << statSetJson(compile, 2);
+    if (rep.ranSim) {
+        const StatSet sim = deterministic ? stripWallClock(rep.simStats)
+                                          : rep.simStats;
+        os << ",\n  \"sim\": " << statSetJson(sim, 2);
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+} // namespace cash

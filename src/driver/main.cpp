@@ -2,7 +2,10 @@
  * @file
  * `cashc` — command-line driver: compile a Mini-C file to Pegasus,
  * optionally dump the graph (text or dot) and run it on the spatial
- * simulator.
+ * simulator.  All the actual work happens in the shared driver
+ * library (driver_lib.h), which `cashd` (docs/SERVICE.md) reuses;
+ * this file only translates argv → DriverRequest and
+ * DriverReply → stdout/stderr/artifacts.
  *
  * Usage:
  *   cashc [options] file.c
@@ -36,6 +39,7 @@
  *     --stats               print compile + run statistics
  *     --stats-json FILE     write compile + run statistics as JSON
  *     --trace FILE          write a Chrome trace-event file (Perfetto)
+ *     --version             print version + wire-protocol level, exit
  *     --verbose             debug logging to stderr (repeat for more)
  *
  * Exit status: 0 on a fully healthy run; 1 when compilation recorded
@@ -52,9 +56,7 @@
 #include <sstream>
 
 #include "analysis/lint.h"
-#include "driver/compiler.h"
-#include "pegasus/dot.h"
-#include "sim/dataflow_sim.h"
+#include "driver/driver_lib.h"
 #include "support/fault_injection.h"
 #include "support/strings.h"
 #include "support/trace.h"
@@ -79,19 +81,8 @@ usage()
         " [--list-lints]\n"
         "             [--inject=SPEC] [--stats-json out.json]"
         " [--trace out.json]\n"
-        "             [--verbose] file.c\n";
+        "             [--version] [--verbose] file.c\n";
     return 2;
-}
-
-/** One compile diagnostic as a JSON object. */
-std::string
-diagnosticJson(const PassFailure& d)
-{
-    return std::string("{\"function\": \"") + jsonEscape(d.function) +
-           "\", \"pass\": \"" + jsonEscape(d.pass) +
-           "\", \"round\": " + std::to_string(d.round) +
-           ", \"code\": \"" + errorCodeName(d.code) +
-           "\", \"message\": \"" + jsonEscape(d.message) + "\"}";
 }
 
 } // namespace
@@ -100,65 +91,48 @@ int
 main(int argc, char** argv)
 {
     std::string file;
-    std::string runSpec;
-    std::string memSpec = "real2";
     std::string traceFile;
     std::string statsJsonFile;
     std::string injectSpec;
-    uint64_t maxEvents = 0;
-    bool dumpCfg = false, dumpGraph = false, dumpDot = false;
     bool showStats = false;
-    bool analyze = false, analyzeStrict = false;
-    std::vector<std::string> analyzeRules;
-    CompileOptions opts;
+    DriverRequest req;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
         if (arg == "-O" && i + 1 < argc) {
-            std::string lvl = argv[++i];
-            if (lvl == "none")
-                opts.level = OptLevel::None;
-            else if (lvl == "medium")
-                opts.level = OptLevel::Medium;
-            else if (lvl == "full")
-                opts.level = OptLevel::Full;
-            else
+            if (!parseOptLevel(argv[++i], &req.level))
                 return usage();
-        } else if (arg == "-O0") {
-            opts.level = OptLevel::None;
-        } else if (arg == "-O1") {
-            opts.level = OptLevel::Medium;
-        } else if (arg == "-O2" || arg == "-O3") {
-            opts.level = OptLevel::Full;
+        } else if (arg.rfind("-O", 0) == 0 && arg.size() == 3) {
+            if (!parseOptLevel(arg.substr(1), &req.level))
+                return usage();
         } else if (arg == "-j" || arg == "--jobs") {
             if (i + 1 >= argc)
                 return usage();
-            opts.jobs(std::atoi(argv[++i]));
+            req.jobs = std::atoi(argv[++i]);
         } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
                    std::isdigit(static_cast<unsigned char>(arg[2]))) {
-            opts.jobs(std::atoi(arg.c_str() + 2));
+            req.jobs = std::atoi(arg.c_str() + 2);
         } else if (arg.rfind("--passes=", 0) == 0) {
-            std::vector<std::string> names;
             for (const std::string& s : split(arg.substr(9), ','))
                 if (!trim(s).empty())
-                    names.push_back(trim(s));
-            opts.passes(std::move(names));
+                    req.passNames.push_back(trim(s));
         } else if (arg == "--passes" && i + 1 < argc) {
-            std::vector<std::string> names;
             for (const std::string& s : split(argv[++i], ','))
                 if (!trim(s).empty())
-                    names.push_back(trim(s));
-            opts.passes(std::move(names));
+                    req.passNames.push_back(trim(s));
         } else if (arg == "--list-passes") {
             for (const std::string& n : PassRegistry::global().names())
                 std::cout << n << "\n";
             return 0;
+        } else if (arg == "--version") {
+            std::cout << versionString("cashc") << "\n";
+            return 0;
         } else if (arg == "--dump-cfg") {
-            dumpCfg = true;
+            req.wantCfg = true;
         } else if (arg == "--dump-graph") {
-            dumpGraph = true;
+            req.wantGraphText = true;
         } else if (arg == "--dot") {
-            dumpDot = true;
+            req.wantDot = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             traceFile = argv[++i];
         } else if (arg == "--stats-json" && i + 1 < argc) {
@@ -168,36 +142,36 @@ main(int argc, char** argv)
         } else if (arg == "--stats") {
             showStats = true;
         } else if (arg == "--strict") {
-            opts.strictMode(true);
+            req.strict = true;
         } else if (arg == "--verify-each-pass") {
-            opts.verification(true);
-            opts.orderingCheck(true);
+            req.verify = true;
+            req.orderingChecks = true;
         } else if (arg == "--no-verify") {
-            opts.verification(false);
+            req.verify = false;
         } else if (arg == "--analyze") {
-            analyze = true;
+            req.analyze = true;
         } else if (arg.rfind("--analyze=", 0) == 0) {
-            analyze = true;
+            req.analyze = true;
             for (const std::string& s : split(arg.substr(10), ','))
                 if (!trim(s).empty())
-                    analyzeRules.push_back(trim(s));
+                    req.analyzeRules.push_back(trim(s));
         } else if (arg == "--analyze-strict") {
-            analyze = true;
-            analyzeStrict = true;
+            req.analyze = true;
+            req.analyzeStrict = true;
         } else if (arg == "--list-lints") {
             for (const std::string& n : LintRegistry::global().names())
                 std::cout << n << "\n";
             return 0;
         } else if (arg == "--max-events" && i + 1 < argc) {
-            maxEvents = std::strtoull(argv[++i], nullptr, 10);
+            req.maxEvents = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg.rfind("--inject=", 0) == 0) {
             injectSpec = arg.substr(9);
         } else if (arg == "--inject" && i + 1 < argc) {
             injectSpec = argv[++i];
         } else if (arg == "--run" && i + 1 < argc) {
-            runSpec = argv[++i];
+            req.runSpec = argv[++i];
         } else if (arg == "--mem" && i + 1 < argc) {
-            memSpec = argv[++i];
+            req.memSpec = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -214,6 +188,7 @@ main(int argc, char** argv)
     }
     std::stringstream buf;
     buf << in.rdbuf();
+    req.source = buf.str();
 
     FaultPlan plan;
     if (!injectSpec.empty()) {
@@ -223,197 +198,87 @@ main(int argc, char** argv)
             std::cerr << "cashc: " << e.what() << "\n";
             return usage();
         }
-        opts.inject(&plan);
+        req.faults = &plan;
     }
 
     TraceRecorder& tracer = globalTracer();
     if (!traceFile.empty()) {
         tracer.enable();
-        opts.tracer = &tracer;
+        req.tracer = &tracer;
     }
 
-    // Observability artifacts are written on *every* exit path below:
-    // a degraded or failed run still flushes whatever it recorded.
-    StatSet compileStats;
-    StatSet simStats;
-    std::vector<PassFailure> diagnostics;
-    std::vector<LintFinding> findings;
-    std::string fatalMsg;
-    std::string simError;
-    bool ranSim = false;
-    bool ranAnalysis = false;
-    int exitCode = 0;
+    DriverReply rep = runDriverRequest(req);
 
-    auto flushArtifacts = [&]() -> bool {
-        bool ok = true;
-        if (!statsJsonFile.empty()) {
-            std::ofstream os(statsJsonFile);
-            if (!os) {
-                std::cerr << "cashc: cannot write " << statsJsonFile
-                          << "\n";
-                ok = false;
-            } else {
-                os << "{\n  \"schema\": \"cash-stats-v1\",\n"
-                   << "  \"meta\": {\n"
-                   << "    \"file\": \"" << jsonEscape(file) << "\",\n"
-                   << "    \"opt_level\": \""
-                   << optLevelName(opts.level) << "\",\n"
-                   << "    \"mem\": \"" << jsonEscape(memSpec)
-                   << "\",\n"
-                   << "    \"run\": \"" << jsonEscape(runSpec)
-                   << "\",\n"
-                   << "    \"exit\": " << exitCode;
-                if (!fatalMsg.empty())
-                    os << ",\n    \"error\": \""
-                       << jsonEscape(fatalMsg) << "\"";
-                if (!simError.empty())
-                    os << ",\n    \"sim_error\": \""
-                       << jsonEscape(simError) << "\"";
-                os << "\n  },\n";
-                if (!diagnostics.empty()) {
-                    os << "  \"diagnostics\": [\n";
-                    for (size_t d = 0; d < diagnostics.size(); d++)
-                        os << "    " << diagnosticJson(diagnostics[d])
-                           << (d + 1 < diagnostics.size() ? ",\n"
-                                                          : "\n");
-                    os << "  ],\n";
-                }
-                if (ranAnalysis) {
-                    os << "  \"analysis\": {\n    \"findings\": [";
-                    for (size_t f = 0; f < findings.size(); f++)
-                        os << (f ? ",\n      " : "\n      ")
-                           << findings[f].json();
-                    os << (findings.empty() ? "]" : "\n    ]")
-                       << "\n  },\n";
-                }
-                os << "  \"compile\": " << statSetJson(compileStats, 2);
-                if (ranSim)
-                    os << ",\n  \"sim\": " << statSetJson(simStats, 2);
-                os << "\n}\n";
-            }
-        }
-        if (!traceFile.empty()) {
-            std::ofstream os(traceFile);
-            if (!os) {
-                std::cerr << "cashc: cannot write " << traceFile
-                          << "\n";
-                ok = false;
-            } else {
-                tracer.writeChromeTrace(os);
-            }
-        }
-        return ok;
-    };
+    // Render the reply.  Observability artifacts are written on every
+    // exit path: a degraded or failed run still flushes whatever it
+    // recorded.
+    if (!rep.fatal.empty())
+        std::cerr << "cashc: " << rep.fatal << "\n";
+    for (const PassFailure& d : rep.diagnostics)
+        std::cerr << "cashc: " << d.str() << "\n";
+    if (!rep.diagnostics.empty())
+        std::cerr << "cashc: " << rep.diagnostics.size()
+                  << " pass failure(s) rolled back; output may be"
+                     " less optimized\n";
 
-    try {
-        CompileResult r = compileSource(buf.str(), opts);
-        compileStats = r.stats;
-        diagnostics = r.diagnostics;
-        if (!r.ok()) {
-            for (const PassFailure& d : r.diagnostics)
-                std::cerr << "cashc: " << d.str() << "\n";
-            std::cerr << "cashc: " << r.diagnostics.size()
-                      << " pass failure(s) rolled back; output may be"
-                         " less optimized\n";
-            exitCode = 1;
-        }
+    std::cout << rep.cfgText << rep.graphText << rep.dot;
 
-        if (dumpCfg)
-            for (const auto& fn : r.cfg->functions)
-                std::cout << fn->str();
-        if (dumpGraph)
-            for (const auto& g : r.graphs)
-                std::cout << toText(*g);
-        if (dumpDot)
-            for (const auto& g : r.graphs)
-                std::cout << toDot(*g);
+    if (rep.ranAnalysis) {
+        for (const LintFinding& f : rep.findings)
+            std::cout << f.str() << "\n";
+        std::cerr << "cashc: analysis: " << rep.analysisErrors
+                  << " error(s), " << rep.analysisWarnings
+                  << " warning(s), " << rep.analysisInfos
+                  << " info(s)\n";
+        if (rep.analysisBlockedRun)
+            std::cerr << "cashc: --analyze-strict: error findings;"
+                         " skipping simulation\n";
+    }
 
-        bool analysisBlocksRun = false;
-        if (analyze) {
-            LintContext lctx;
-            lctx.oracle = &r.cfg->oracle;
-            lctx.layout = r.layout.get();
-            lctx.stats = &compileStats;
-            if (!traceFile.empty())
-                lctx.tracer = &tracer;
-            LintReport report =
-                runLints(r.graphPtrs(), lctx, analyzeRules);
-            findings = report.findings;
-            ranAnalysis = true;
-            for (const LintFinding& f : findings)
-                std::cout << f.str() << "\n";
-            std::cerr << "cashc: analysis: " << report.errors()
-                      << " error(s), " << report.warnings()
-                      << " warning(s), " << report.infos()
-                      << " info(s)\n";
-            if (analyzeStrict && report.errors() > 0) {
-                std::cerr << "cashc: --analyze-strict: error findings;"
-                             " skipping simulation\n";
-                exitCode = 2;
-                analysisBlocksRun = true;
-            }
-        }
-
-        if (!runSpec.empty() && !analysisBlocksRun) {
-            size_t open = runSpec.find('(');
-            std::string fname = open == std::string::npos
-                                    ? runSpec
-                                    : runSpec.substr(0, open);
-            std::vector<uint32_t> args;
-            if (open != std::string::npos) {
-                size_t close = runSpec.rfind(')');
-                std::string inner =
-                    runSpec.substr(open + 1, close - open - 1);
-                for (const std::string& s : split(inner, ','))
-                    if (!trim(s).empty())
-                        args.push_back(static_cast<uint32_t>(
-                            std::stoll(trim(s))));
-            }
-            MemConfig mc = MemConfig::realistic(2);
-            if (memSpec == "perfect")
-                mc = MemConfig::perfectMemory();
-            else if (memSpec == "real1")
-                mc = MemConfig::realistic(1);
-            else if (memSpec == "real4")
-                mc = MemConfig::realistic(4);
-
-            DataflowSimulator sim(r.graphPtrs(), *r.layout, mc);
-            if (!traceFile.empty())
-                sim.setTracer(&tracer);
-            if (maxEvents)
-                sim.setMaxEvents(maxEvents);
-            if (!plan.empty())
-                sim.setFaultPlan(&plan);
-            SimResult out = sim.run(fname, args);
-            simStats = out.stats;
-            ranSim = true;
-            if (out.ok()) {
-                std::cout << fname << " returned " << out.returnValue
-                          << " in " << out.cycles << " cycles ("
-                          << mc.name << " memory)\n";
-                simStats.set("sim.returnValue",
-                             static_cast<int64_t>(out.returnValue));
-            } else {
-                simError = out.error;
-                std::cerr << "cashc: simulation failed ("
-                          << simOutcomeName(out.outcome)
-                          << "): " << out.error << "\n";
-                if (out.outcome == SimOutcome::Deadlock)
-                    std::cerr << out.deadlock.str() << "\n";
-                exitCode = 1;
-            }
-            if (showStats)
-                std::cout << out.stats.str();
+    if (rep.ranSim) {
+        if (rep.simOutcome == SimOutcome::Ok) {
+            std::cout << req.runSpec.substr(0, req.runSpec.find('('))
+                      << " returned " << rep.returnValue << " in "
+                      << rep.cycles << " cycles (" << rep.memName
+                      << " memory)\n";
+        } else {
+            std::cerr << "cashc: simulation failed ("
+                      << simOutcomeName(rep.simOutcome)
+                      << "): " << rep.simError << "\n";
+            if (!rep.deadlockText.empty())
+                std::cerr << rep.deadlockText << "\n";
         }
         if (showStats)
-            std::cout << r.stats.str();
-    } catch (const FatalError& e) {
-        fatalMsg = e.what();
-        std::cerr << "cashc: " << fatalMsg << "\n";
-        exitCode = 1;
+            std::cout << rep.simStats.str();
     }
+    if (showStats)
+        std::cout << rep.compileStats.str();
 
-    if (!flushArtifacts() && exitCode == 0)
-        exitCode = 1;
+    int exitCode = rep.exitCode;
+    if (!statsJsonFile.empty()) {
+        std::ofstream os(statsJsonFile);
+        if (!os) {
+            std::cerr << "cashc: cannot write " << statsJsonFile << "\n";
+            if (exitCode == 0)
+                exitCode = 1;
+        } else {
+            StatsJsonMeta meta;
+            meta.file = file;
+            meta.run = req.runSpec;
+            meta.mem = req.memSpec;
+            meta.level = req.level;
+            os << statsJsonDocument(rep, meta);
+        }
+    }
+    if (!traceFile.empty()) {
+        std::ofstream os(traceFile);
+        if (!os) {
+            std::cerr << "cashc: cannot write " << traceFile << "\n";
+            if (exitCode == 0)
+                exitCode = 1;
+        } else {
+            tracer.writeChromeTrace(os);
+        }
+    }
     return exitCode;
 }

@@ -1,0 +1,77 @@
+#include "service/cache.h"
+
+namespace cash {
+
+ResultCache::ResultCache(size_t maxEntries, size_t maxBytes)
+    : maxEntries_(maxEntries), maxBytes_(maxBytes)
+{
+}
+
+bool
+ResultCache::lookup(const std::string& key, std::string* body)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        stats_.misses++;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *body = it->second->body;
+    stats_.hits++;
+    return true;
+}
+
+void
+ResultCache::insert(const std::string& key, std::string body)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytes_ -= it->second->body.size();
+        bytes_ += body.size();
+        it->second->body = std::move(body);
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        lru_.push_front(Entry{key, std::move(body)});
+        index_[key] = lru_.begin();
+        bytes_ += lru_.front().body.size();
+        stats_.insertions++;
+    }
+    evictIfNeededLocked();
+}
+
+void
+ResultCache::evictIfNeededLocked()
+{
+    while (!lru_.empty() &&
+           ((maxEntries_ && lru_.size() > maxEntries_) ||
+            (maxBytes_ && bytes_ > maxBytes_ && lru_.size() > 1))) {
+        const Entry& victim = lru_.back();
+        bytes_ -= victim.body.size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+        stats_.evictions++;
+    }
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    bytes_ = 0;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s = stats_;
+    s.entries = static_cast<int64_t>(lru_.size());
+    s.bytes = static_cast<int64_t>(bytes_);
+    return s;
+}
+
+} // namespace cash

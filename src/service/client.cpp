@@ -1,0 +1,167 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cash {
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    hello_ = Json();
+}
+
+Status
+ServiceClient::connect(const std::string& socketPath)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        return Status::error(ErrorCode::InternalError,
+                             "socket path too long: " + socketPath);
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return Status::error(ErrorCode::InternalError,
+                             std::string("socket: ") +
+                                 std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+        Status st = Status::error(ErrorCode::InternalError,
+                                  "connect " + socketPath + ": " +
+                                      std::strerror(errno));
+        close();
+        return st;
+    }
+
+    std::string payload;
+    bool eof = false;
+    Status st = readFrame(fd_, &payload, &eof);
+    if (st.isOk() && eof)
+        st = Status::error(ErrorCode::InternalError,
+                           "server closed before hello");
+    if (st.isOk())
+        st = Json::parse(payload, &hello_);
+    if (st.isOk() && hello_.getString("schema") != kSvcSchema)
+        st = Status::error(ErrorCode::InternalError,
+                           "incompatible server: schema '" +
+                               hello_.getString("schema") +
+                               "', want '" + kSvcSchema + "'");
+    if (st.isOk() &&
+        hello_.getInt("protocol") != kSvcProtocolVersion)
+        st = Status::error(
+            ErrorCode::InternalError,
+            "incompatible server: protocol " +
+                std::to_string(hello_.getInt("protocol")) + ", want " +
+                std::to_string(kSvcProtocolVersion) + " (server " +
+                hello_.getString("version") + ", client " +
+                kCashVersion + ")");
+    if (!st.isOk()) {
+        close();
+        return st;
+    }
+    return Status::ok();
+}
+
+Status
+ServiceClient::call(Json request, Json* response, std::string* raw)
+{
+    if (fd_ < 0)
+        return Status::error(ErrorCode::InternalError,
+                             "not connected");
+    int64_t id;
+    if (const Json* v = request.get("id")) {
+        id = v->asInt();
+    } else {
+        id = nextId_++;
+        request.set("id", Json::number(id));
+    }
+
+    Status st = writeFrame(fd_, request.dump());
+    if (!st)
+        return st;
+
+    std::string payload;
+    bool eof = false;
+    st = readFrame(fd_, &payload, &eof);
+    if (!st)
+        return st;
+    if (eof)
+        return Status::error(ErrorCode::InternalError,
+                             "server closed the connection");
+    if (raw)
+        *raw = payload;
+    st = Json::parse(payload, response);
+    if (!st)
+        return st;
+    if (response->getInt("id", -1) != id &&
+        response->getBool("ok", false))
+        return Status::error(ErrorCode::InternalError,
+                             "response id mismatch");
+    return Status::ok();
+}
+
+Status
+ServiceClient::ping()
+{
+    Json req = Json::object();
+    req.set("op", Json::string("ping"));
+    Json resp;
+    Status st = call(std::move(req), &resp);
+    if (!st)
+        return st;
+    if (!resp.getBool("ok"))
+        return Status::error(ErrorCode::InternalError,
+                             "ping rejected");
+    return Status::ok();
+}
+
+Status
+ServiceClient::metrics(Json* response)
+{
+    Json req = Json::object();
+    req.set("op", Json::string("metrics"));
+    return call(std::move(req), response);
+}
+
+Status
+ServiceClient::shutdownServer()
+{
+    Json req = Json::object();
+    req.set("op", Json::string("shutdown"));
+    Json resp;
+    return call(std::move(req), &resp);
+}
+
+Json
+makeCompileRequest(const std::string& op, const std::string& source,
+                   Json options, const std::string& label)
+{
+    Json req = Json::object();
+    req.set("op", Json::string(op));
+    if (!label.empty())
+        req.set("label", Json::string(label));
+    req.set("source", Json::string(source));
+    if (options.isObject() && !options.members().empty())
+        req.set("options", std::move(options));
+    return req;
+}
+
+} // namespace cash

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Client side of the `cash-svc-v1` protocol: connect to a `cashd`
+ * socket, verify the hello handshake, exchange request/response
+ * frames.  Used by the `cash` CLI, the service tests and
+ * bench_service_qps; embedders can use it directly to talk to a
+ * long-lived compile service instead of linking the whole compiler.
+ *
+ * One ServiceClient owns one connection and is NOT thread-safe; use
+ * one client per thread (connections are cheap — the server runs one
+ * lightweight reader per connection).
+ */
+#ifndef CASH_SERVICE_CLIENT_H
+#define CASH_SERVICE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+#include "support/json.h"
+
+namespace cash {
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient&) = delete;
+    ServiceClient& operator=(const ServiceClient&) = delete;
+
+    /**
+     * Connect to @p socketPath and read the hello frame.  Fails (and
+     * disconnects) when the server speaks a different schema or
+     * protocol version — that is the version-skew guard the
+     * handshake exists for.
+     */
+    Status connect(const std::string& socketPath);
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /** The server's hello (schema/protocol/version fields). */
+    const Json& hello() const { return hello_; }
+
+    /**
+     * Send @p request (an "id" is assigned when absent) and block for
+     * the matching response.  @p raw, when non-null, receives the
+     * exact response payload bytes (byte-identity testing).  An
+     * `ok:false` response is still a successful call — inspect
+     * response.getBool("ok") and response.get("error").
+     */
+    Status call(Json request, Json* response,
+                std::string* raw = nullptr);
+
+    /** Convenience wrappers for the control ops. */
+    Status ping();
+    Status metrics(Json* response);
+    Status shutdownServer();
+
+  private:
+    int fd_ = -1;
+    Json hello_;
+    int64_t nextId_ = 1;
+};
+
+/**
+ * Build a compile-family request: op ∈ compile|analyze|simulate,
+ * @p options as documented in docs/SERVICE.md (pass Json::object()
+ * for defaults).
+ */
+Json makeCompileRequest(const std::string& op,
+                        const std::string& source,
+                        Json options = Json::object(),
+                        const std::string& label = "");
+
+} // namespace cash
+
+#endif // CASH_SERVICE_CLIENT_H

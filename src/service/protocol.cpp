@@ -1,0 +1,477 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "support/strings.h"
+#include "support/trace.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace cash {
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** recv() exactly @p n bytes; returns bytes read (< n on EOF/error). */
+ssize_t
+recvAll(int fd, char* buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::recv(fd, buf + got, n - got, 0);
+        if (r == 0)
+            break;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        got += static_cast<size_t>(r);
+    }
+    return static_cast<ssize_t>(got);
+}
+
+} // namespace
+
+Status
+readFrame(int fd, std::string* payload, bool* cleanEof,
+          uint32_t maxBytes)
+{
+    payload->clear();
+    *cleanEof = false;
+
+    unsigned char hdr[4];
+    ssize_t got = recvAll(fd, reinterpret_cast<char*>(hdr), 4);
+    if (got == 0) {
+        *cleanEof = true;
+        return Status::ok();
+    }
+    if (got < 0)
+        return Status::error(ErrorCode::InternalError,
+                             std::string("recv: ") +
+                                 std::strerror(errno));
+    if (got < 4)
+        return Status::error(ErrorCode::ParseError,
+                             "truncated frame header");
+
+    uint32_t len = (static_cast<uint32_t>(hdr[0]) << 24) |
+                   (static_cast<uint32_t>(hdr[1]) << 16) |
+                   (static_cast<uint32_t>(hdr[2]) << 8) |
+                   static_cast<uint32_t>(hdr[3]);
+    if (len > maxBytes)
+        return Status::error(ErrorCode::ParseError,
+                             "frame of " + std::to_string(len) +
+                                 " bytes exceeds the " +
+                                 std::to_string(maxBytes) +
+                                 "-byte limit");
+    payload->resize(len);
+    if (len > 0) {
+        got = recvAll(fd, payload->data(), len);
+        if (got < 0)
+            return Status::error(ErrorCode::InternalError,
+                                 std::string("recv: ") +
+                                     std::strerror(errno));
+        if (static_cast<uint32_t>(got) < len)
+            return Status::error(ErrorCode::ParseError,
+                                 "truncated frame payload (" +
+                                     std::to_string(got) + " of " +
+                                     std::to_string(len) + " bytes)");
+    }
+    return Status::ok();
+}
+
+Status
+writeFrame(int fd, const std::string& payload)
+{
+    if (payload.size() > 0xFFFFFFFFull)
+        return Status::error(ErrorCode::InternalError,
+                             "frame payload too large");
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    unsigned char hdr[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    std::string buf(reinterpret_cast<char*>(hdr), 4);
+    buf += payload;
+
+    size_t sent = 0;
+    while (sent < buf.size()) {
+        ssize_t w =
+            ::send(fd, buf.data() + sent, buf.size() - sent,
+                   MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::error(ErrorCode::InternalError,
+                                 std::string("send: ") +
+                                     std::strerror(errno));
+        }
+        sent += static_cast<size_t>(w);
+    }
+    return Status::ok();
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+const char*
+svcOpName(SvcOp op)
+{
+    switch (op) {
+      case SvcOp::Ping: return "ping";
+      case SvcOp::Compile: return "compile";
+      case SvcOp::Analyze: return "analyze";
+      case SvcOp::Simulate: return "simulate";
+      case SvcOp::Metrics: return "metrics";
+      case SvcOp::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+namespace {
+
+Status
+badRequest(const std::string& msg)
+{
+    return Status::error(ErrorCode::ParseError, msg);
+}
+
+Status
+parseStringList(const Json& opts, const char* key,
+                std::vector<std::string>* out)
+{
+    const Json* v = opts.get(key);
+    if (!v)
+        return Status::ok();
+    if (!v->isArray())
+        return badRequest(std::string("options.") + key +
+                          " must be an array of strings");
+    for (const Json& e : v->items()) {
+        if (!e.isString())
+            return badRequest(std::string("options.") + key +
+                              " must be an array of strings");
+        out->push_back(e.asString());
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+Status
+parseSvcRequest(const Json& j, SvcRequest* out)
+{
+    *out = SvcRequest();
+    if (!j.isObject())
+        return badRequest("request must be a JSON object");
+
+    const Json* opv = j.get("op");
+    if (!opv || !opv->isString())
+        return badRequest("missing string field 'op'");
+    const std::string& op = opv->asString();
+    if (op == "ping")
+        out->op = SvcOp::Ping;
+    else if (op == "compile")
+        out->op = SvcOp::Compile;
+    else if (op == "analyze")
+        out->op = SvcOp::Analyze;
+    else if (op == "simulate")
+        out->op = SvcOp::Simulate;
+    else if (op == "metrics")
+        out->op = SvcOp::Metrics;
+    else if (op == "shutdown")
+        out->op = SvcOp::Shutdown;
+    else
+        return badRequest("unknown op '" + op + "'");
+
+    const Json* idv = j.get("id");
+    if (idv) {
+        if (!idv->isNumber())
+            return badRequest("'id' must be a number");
+        out->id = idv->asInt();
+    }
+    out->label = j.getString("label");
+
+    if (!out->isCompileFamily())
+        return Status::ok();
+
+    const Json* src = j.get("source");
+    if (!src || !src->isString())
+        return badRequest("missing string field 'source'");
+    out->driver.source = src->asString();
+
+    const Json* optsv = j.get("options");
+    if (optsv && !optsv->isObject())
+        return badRequest("'options' must be an object");
+    static const Json kEmpty = Json::object();
+    const Json& opts = optsv ? *optsv : kEmpty;
+
+    if (const Json* v = opts.get("opt")) {
+        if (!v->isString())
+            return badRequest("options.opt must be a string");
+        Status st = parseOptLevel(v->asString(), &out->driver.level);
+        if (!st)
+            return badRequest(st.message());
+    }
+    Status st = parseStringList(opts, "passes", &out->driver.passNames);
+    if (!st)
+        return st;
+    if (const Json* v = opts.get("jobs")) {
+        if (!v->isNumber())
+            return badRequest("options.jobs must be a number");
+        out->driver.jobs = static_cast<int>(v->asInt());
+    }
+    if (const Json* v = opts.get("verify")) {
+        if (!v->isBool())
+            return badRequest("options.verify must be a boolean");
+        out->driver.verify = v->asBool();
+    }
+    if (const Json* v = opts.get("ordering_checks")) {
+        if (!v->isBool())
+            return badRequest(
+                "options.ordering_checks must be a boolean");
+        out->driver.orderingChecks = v->asBool();
+    }
+    if (const Json* v = opts.get("strict")) {
+        if (!v->isBool())
+            return badRequest("options.strict must be a boolean");
+        out->driver.strict = v->asBool();
+    }
+    if (const Json* v = opts.get("analyze")) {
+        if (!v->isBool())
+            return badRequest("options.analyze must be a boolean");
+        out->driver.analyze = v->asBool();
+    }
+    if (const Json* v = opts.get("analyze_strict")) {
+        if (!v->isBool())
+            return badRequest(
+                "options.analyze_strict must be a boolean");
+        out->driver.analyzeStrict = v->asBool();
+        if (v->asBool())
+            out->driver.analyze = true;
+    }
+    st = parseStringList(opts, "analyze_rules",
+                         &out->driver.analyzeRules);
+    if (!st)
+        return st;
+    if (!out->driver.analyzeRules.empty())
+        out->driver.analyze = true;
+    if (const Json* v = opts.get("run")) {
+        if (!v->isString())
+            return badRequest("options.run must be a string");
+        out->driver.runSpec = v->asString();
+    }
+    if (const Json* v = opts.get("mem")) {
+        if (!v->isString())
+            return badRequest("options.mem must be a string");
+        MemConfig probe = MemConfig::realistic(2);
+        Status ms = parseMemSpec(v->asString(), &probe);
+        if (!ms)
+            return badRequest(ms.message());
+        out->driver.memSpec = v->asString();
+    }
+    if (const Json* v = opts.get("max_events")) {
+        if (!v->isNumber() || v->asInt() < 0)
+            return badRequest(
+                "options.max_events must be a non-negative number");
+        out->driver.maxEvents = static_cast<uint64_t>(v->asInt());
+    }
+    if (const Json* v = opts.get("cfg")) {
+        if (!v->isBool())
+            return badRequest("options.cfg must be a boolean");
+        out->driver.wantCfg = v->asBool();
+    }
+    if (const Json* v = opts.get("graph")) {
+        if (!v->isBool())
+            return badRequest("options.graph must be a boolean");
+        out->driver.wantGraphText = v->asBool();
+    }
+    if (const Json* v = opts.get("dot")) {
+        if (!v->isBool())
+            return badRequest("options.dot must be a boolean");
+        out->driver.wantDot = v->asBool();
+    }
+
+    if (out->op == SvcOp::Analyze)
+        out->driver.analyze = true;
+    if (out->op == SvcOp::Simulate && out->driver.runSpec.empty())
+        return badRequest("op 'simulate' requires options.run");
+    if (!out->driver.runSpec.empty()) {
+        std::string fn;
+        std::vector<uint32_t> args;
+        Status rs = parseRunSpec(out->driver.runSpec, &fn, &args);
+        if (!rs)
+            return badRequest(rs.message());
+    }
+    return Status::ok();
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+std::string
+svcHello()
+{
+    Json h = Json::object();
+    h.set("schema", Json::string(kSvcSchema));
+    h.set("protocol", Json::number(int64_t{kSvcProtocolVersion}));
+    h.set("server", Json::string("cashd"));
+    h.set("version", Json::string(kCashVersion));
+    return h.dump();
+}
+
+std::string
+fnv1a64Hex(const std::string& data)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    static const char* hex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; i--) {
+        out[static_cast<size_t>(i)] = hex[h & 0xF];
+        h >>= 4;
+    }
+    return out;
+}
+
+std::string
+svcCacheKey(const SvcRequest& req)
+{
+    const DriverRequest& d = req.driver;
+    std::string key;
+    key += std::string("v=") + kCashVersion + ";";
+    key += "proto=" + std::to_string(kSvcProtocolVersion) + ";";
+    key += "opt=" + std::string(optLevelName(d.level)) + ";";
+    key += "passes=" + join(d.passNames, ",") + ";";
+    key += "verify=" + std::to_string(d.verify) + ";";
+    key += "ordering=" + std::to_string(d.orderingChecks) + ";";
+    key += "strict=" + std::to_string(d.strict) + ";";
+    key += "analyze=" + std::to_string(d.analyze) + ";";
+    key += "analyze_strict=" + std::to_string(d.analyzeStrict) + ";";
+    key += "rules=" + join(d.analyzeRules, ",") + ";";
+    key += "run=" + d.runSpec + ";";
+    key += "mem=" + d.memSpec + ";";
+    key += "max_events=" + std::to_string(d.maxEvents) + ";";
+    key += "cfg=" + std::to_string(d.wantCfg) + ";";
+    key += "graph=" + std::to_string(d.wantGraphText) + ";";
+    key += "dot=" + std::to_string(d.wantDot) + ";";
+    key += "source=" + d.source;
+    return key;
+}
+
+std::string
+svcResultBody(const SvcRequest& req, const DriverReply& rep)
+{
+    const std::string digest = fnv1a64Hex(svcCacheKey(req));
+
+    StatsJsonMeta meta;
+    // The cached body must not depend on the requester: label the
+    // stats document with the content address, not the client's name.
+    meta.file = "svc:" + digest;
+    meta.run = req.driver.runSpec;
+    meta.mem = req.driver.memSpec;
+    meta.level = req.driver.level;
+
+    Json statsDoc;
+    Status st = Json::parse(
+        statsJsonDocument(rep, meta, /*deterministic=*/true),
+        &statsDoc);
+    CASH_ASSERT(st.isOk(), "stats document must be valid JSON");
+
+    Json body = Json::object();
+    body.set("exit", Json::number(int64_t{rep.exitCode}));
+    body.set("key", Json::string(digest));
+    if (!rep.fatal.empty())
+        body.set("fatal", Json::string(rep.fatal));
+    body.set("stats", std::move(statsDoc));
+    if (rep.ranAnalysis) {
+        Json a = Json::object();
+        a.set("errors", Json::number(rep.analysisErrors));
+        a.set("warnings", Json::number(rep.analysisWarnings));
+        a.set("infos", Json::number(rep.analysisInfos));
+        a.set("blocked_run", Json::boolean(rep.analysisBlockedRun));
+        body.set("analysis", std::move(a));
+    }
+    if (rep.ranSim) {
+        Json s = Json::object();
+        s.set("outcome",
+              Json::string(simOutcomeName(rep.simOutcome)));
+        s.set("return",
+              Json::number(static_cast<int64_t>(rep.returnValue)));
+        s.set("cycles",
+              Json::number(static_cast<int64_t>(rep.cycles)));
+        s.set("mem", Json::string(rep.memName));
+        if (!rep.simError.empty())
+            s.set("error", Json::string(rep.simError));
+        if (!rep.deadlockText.empty())
+            s.set("deadlock", Json::string(rep.deadlockText));
+        body.set("sim", std::move(s));
+    }
+    if (req.driver.wantCfg)
+        body.set("cfg", Json::string(rep.cfgText));
+    if (req.driver.wantGraphText)
+        body.set("graph", Json::string(rep.graphText));
+    if (req.driver.wantDot)
+        body.set("dot", Json::string(rep.dot));
+    return body.dump();
+}
+
+std::string
+svcResponse(const SvcRequest& req, bool cached, const std::string& body)
+{
+    std::string out = "{\"schema\":\"";
+    out += kSvcSchema;
+    out += "\",\"protocol\":";
+    out += std::to_string(kSvcProtocolVersion);
+    out += ",\"id\":";
+    out += std::to_string(req.id);
+    out += ",\"op\":\"";
+    out += svcOpName(req.op);
+    out += "\"";
+    if (!req.label.empty()) {
+        out += ",\"label\":\"";
+        out += jsonEscape(req.label);
+        out += "\"";
+    }
+    out += ",\"ok\":true,\"cached\":";
+    out += cached ? "true" : "false";
+    out += ",\"body\":";
+    out += body;
+    out += "}";
+    return out;
+}
+
+std::string
+svcErrorResponse(int64_t id, const std::string& op,
+                 const std::string& code, const std::string& message)
+{
+    Json err = Json::object();
+    err.set("code", Json::string(code));
+    err.set("message", Json::string(message));
+    Json resp = Json::object();
+    resp.set("schema", Json::string(kSvcSchema));
+    resp.set("protocol", Json::number(int64_t{kSvcProtocolVersion}));
+    resp.set("id", Json::number(id));
+    resp.set("op", Json::string(op));
+    resp.set("ok", Json::boolean(false));
+    resp.set("error", std::move(err));
+    return resp.dump();
+}
+
+} // namespace cash

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A small JSON document model and recursive-descent parser.
+ *
+ * The service layer (docs/SERVICE.md) speaks length-prefixed JSON
+ * frames, so unlike the write-only emitters in trace.h
+ * (`jsonEscape`, `statSetJson`), this module must also *read* JSON —
+ * including hostile input from arbitrary clients.  Parsing therefore
+ * returns a cash::Status instead of throwing, enforces a nesting
+ * depth limit, and never recurses deeper than that limit.
+ *
+ * Design notes:
+ *   * Object members keep their *textual order* (a vector of pairs,
+ *     not a map), so dump(parse(x)) preserves member order and
+ *     serialized documents are deterministic.
+ *   * Numbers are kept as int64 when the literal is integral and in
+ *     range, double otherwise; dump() round-trips both.
+ *   * This is a protocol tool, not a general library: no comments, no
+ *     trailing commas, UTF-8 passthrough (\uXXXX escapes are decoded
+ *     to UTF-8; surrogate pairs supported).
+ */
+#ifndef CASH_SUPPORT_JSON_H
+#define CASH_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    using Member = std::pair<std::string, Json>;
+
+    Json() = default;
+    static Json null() { return Json(); }
+    static Json boolean(bool v);
+    static Json number(int64_t v);
+    static Json number(double v);
+    static Json string(std::string v);
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; mismatched kinds return the fallback. */
+    bool asBool(bool fallback = false) const;
+    int64_t asInt(int64_t fallback = 0) const;
+    double asDouble(double fallback = 0) const;
+    const std::string& asString() const { return str_; }
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<Json>& items() const { return items_; }
+    /** Object members in textual order (empty unless isObject()). */
+    const std::vector<Member>& members() const { return members_; }
+
+    /** First member named @p key, or nullptr (objects only). */
+    const Json* get(const std::string& key) const;
+
+    /** Convenience typed lookups with fallbacks (objects only). */
+    std::string getString(const std::string& key,
+                          const std::string& fallback = "") const;
+    int64_t getInt(const std::string& key, int64_t fallback = 0) const;
+    bool getBool(const std::string& key, bool fallback = false) const;
+
+    /** Append to an array value. */
+    void push(Json v);
+    /** Append a member to an object value (no duplicate check). */
+    void set(const std::string& key, Json v);
+
+    /** Compact deterministic serialization (member order preserved). */
+    std::string dump() const;
+
+    /**
+     * Parse @p text into @p out.  On failure returns an
+     * ErrorCode::ParseError Status whose message includes the byte
+     * offset; @p out is left null.  @p maxDepth bounds array/object
+     * nesting so adversarial frames cannot exhaust the stack.
+     */
+    static Status parse(const std::string& text, Json* out,
+                        int maxDepth = 64);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double dbl_ = 0;
+    std::string str_;
+    std::vector<Json> items_;
+    std::vector<Member> members_;
+};
+
+} // namespace cash
+
+#endif // CASH_SUPPORT_JSON_H

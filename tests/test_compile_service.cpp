@@ -1,0 +1,575 @@
+/**
+ * @file
+ * Tests for the compile service (docs/SERVICE.md): the JSON codec,
+ * the `cash-svc-v1` frame/request/response layers, the
+ * content-addressed result cache, and an in-process ServiceServer
+ * driven through real Unix-domain sockets — cache hit determinism,
+ * concurrent-vs-serial byte identity, malformed-input recovery and
+ * graceful shutdown with in-flight requests.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "support/json.h"
+
+using namespace cash;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------
+
+TEST(Json, ParseRoundtrip)
+{
+    const std::string text =
+        R"({"a":1,"b":[true,false,null],"c":{"x":-2,"y":"s"},"d":1.5})";
+    Json j;
+    ASSERT_TRUE(Json::parse(text, &j).isOk());
+    EXPECT_EQ(j.dump(), text);
+    EXPECT_EQ(j.getInt("a"), 1);
+    ASSERT_NE(j.get("b"), nullptr);
+    EXPECT_EQ(j.get("b")->items().size(), 3u);
+    EXPECT_TRUE(j.get("b")->items()[0].asBool());
+    EXPECT_EQ(j.get("c")->getInt("x"), -2);
+    EXPECT_EQ(j.get("c")->getString("y"), "s");
+    EXPECT_DOUBLE_EQ(j.get("d")->asDouble(), 1.5);
+}
+
+TEST(Json, StringEscapes)
+{
+    Json j;
+    ASSERT_TRUE(
+        Json::parse(R"(["\"\\\/\b\f\n\r\t","\u0041\u00e9\u20ac"])", &j)
+            .isOk());
+    EXPECT_EQ(j.items()[0].asString(), "\"\\/\b\f\n\r\t");
+    EXPECT_EQ(j.items()[1].asString(), "A\xc3\xa9\xe2\x82\xac");
+
+    // Surrogate pair → 4-byte UTF-8 (U+1F600).
+    ASSERT_TRUE(Json::parse(R"("\ud83d\ude00")", &j).isOk());
+    EXPECT_EQ(j.asString(), "\xf0\x9f\x98\x80");
+
+    // Dump escapes what it must and survives a reparse.
+    Json s = Json::string(std::string("a\"b\\c\nd\x01") + "e");
+    Json back;
+    ASSERT_TRUE(Json::parse(s.dump(), &back).isOk());
+    EXPECT_EQ(back.asString(), s.asString());
+}
+
+TEST(Json, Numbers)
+{
+    Json j;
+    ASSERT_TRUE(Json::parse("[0,-7,9007199254740993,2.5e3]", &j).isOk());
+    EXPECT_EQ(j.items()[0].kind(), Json::Kind::Int);
+    EXPECT_EQ(j.items()[1].asInt(), -7);
+    // Integral literals stay exact int64 (doubles would round this).
+    EXPECT_EQ(j.items()[2].asInt(), 9007199254740993LL);
+    EXPECT_EQ(j.items()[3].kind(), Json::Kind::Double);
+    EXPECT_DOUBLE_EQ(j.items()[3].asDouble(), 2500.0);
+}
+
+TEST(Json, ParseErrors)
+{
+    Json j;
+    EXPECT_FALSE(Json::parse("", &j).isOk());
+    EXPECT_FALSE(Json::parse("{", &j).isOk());
+    EXPECT_FALSE(Json::parse("[1,]", &j).isOk());
+    EXPECT_FALSE(Json::parse("{\"a\":1} trailing", &j).isOk());
+    EXPECT_FALSE(Json::parse("\"\\q\"", &j).isOk());
+    EXPECT_FALSE(Json::parse("\"\\ud83d\"", &j).isOk()); // lone surrogate
+    EXPECT_FALSE(Json::parse("01", &j).isOk());
+    EXPECT_FALSE(Json::parse("nul", &j).isOk());
+
+    // Depth limit bounds recursion.
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(Json::parse(deep, &j, 64).isOk());
+    EXPECT_TRUE(Json::parse(deep, &j, 128).isOk());
+}
+
+// ---------------------------------------------------------------------
+// Protocol: frames, cache keys, result cache
+// ---------------------------------------------------------------------
+
+TEST(SvcProtocol, FrameRoundtrip)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(writeFrame(fds[0], "hello").isOk());
+    ASSERT_TRUE(writeFrame(fds[0], "").isOk());
+    std::string payload;
+    bool eof = false;
+    ASSERT_TRUE(readFrame(fds[1], &payload, &eof).isOk());
+    EXPECT_FALSE(eof);
+    EXPECT_EQ(payload, "hello");
+    ASSERT_TRUE(readFrame(fds[1], &payload, &eof).isOk());
+    EXPECT_EQ(payload, "");
+
+    // Closing between frames is a *clean* EOF ...
+    ::close(fds[0]);
+    ASSERT_TRUE(readFrame(fds[1], &payload, &eof).isOk());
+    EXPECT_TRUE(eof);
+    ::close(fds[1]);
+
+    // ... closing inside a frame is an error (truncation).
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    uint8_t hdr[4] = {0, 0, 0, 100}; // promises 100 payload bytes
+    ASSERT_EQ(::send(fds[0], hdr, 4, 0), 4);
+    ASSERT_EQ(::send(fds[0], "short", 5, 0), 5);
+    ::close(fds[0]);
+    EXPECT_FALSE(readFrame(fds[1], &payload, &eof).isOk());
+    ::close(fds[1]);
+
+    // Oversize frames are rejected without allocating the payload.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    uint8_t big[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    ASSERT_EQ(::send(fds[0], big, 4, 0), 4);
+    Status st = readFrame(fds[1], &payload, &eof, 1024);
+    EXPECT_FALSE(st.isOk());
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(SvcProtocol, CacheKeyCoversResultsNotIdentity)
+{
+    Json j;
+    ASSERT_TRUE(Json::parse(
+        R"({"op":"compile","id":7,"label":"a.c",)"
+        R"("source":"int f(){return 1;}",)"
+        R"("options":{"opt":"full","jobs":4}})", &j).isOk());
+    SvcRequest a;
+    ASSERT_TRUE(parseSvcRequest(j, &a).isOk());
+
+    // id / label / jobs cannot change the result → same key.
+    SvcRequest b = a;
+    b.id = 99;
+    b.label = "other.c";
+    b.driver.jobs = 1;
+    EXPECT_EQ(svcCacheKey(a), svcCacheKey(b));
+
+    // Anything result-affecting → different key.
+    SvcRequest c = a;
+    c.driver.source += " ";
+    EXPECT_NE(svcCacheKey(a), svcCacheKey(c));
+    SvcRequest d = a;
+    d.driver.level = OptLevel::None;
+    EXPECT_NE(svcCacheKey(a), svcCacheKey(d));
+    SvcRequest e = a;
+    e.driver.runSpec = "f()";
+    EXPECT_NE(svcCacheKey(a), svcCacheKey(e));
+    SvcRequest f = a;
+    f.driver.wantDot = true;
+    EXPECT_NE(svcCacheKey(a), svcCacheKey(f));
+}
+
+TEST(SvcProtocol, RequestValidation)
+{
+    auto parse = [](const std::string& text, SvcRequest* out) {
+        Json j;
+        Status st = Json::parse(text, &j);
+        if (!st.isOk())
+            return st;
+        return parseSvcRequest(j, out);
+    };
+    SvcRequest req;
+    EXPECT_FALSE(parse(R"({"op":"conjure"})", &req).isOk());
+    EXPECT_FALSE(parse(R"({"op":"compile"})", &req).isOk()); // no source
+    EXPECT_FALSE(parse(
+        R"({"op":"simulate","source":"int f(){return 1;}"})",
+        &req).isOk()); // simulate requires options.run
+    EXPECT_FALSE(parse(
+        R"({"op":"compile","source":"int f(){return 1;}",)"
+        R"("options":{"mem":"imaginary"}})", &req).isOk());
+    EXPECT_FALSE(parse(
+        R"({"op":"compile","source":"int f(){return 1;}",)"
+        R"("options":{"opt":17}})", &req).isOk());
+
+    ASSERT_TRUE(parse(
+        R"({"op":"analyze","source":"int f(){return 1;}"})",
+        &req).isOk());
+    EXPECT_TRUE(req.driver.analyze); // op analyze forces the flag
+
+    // Unknown extra fields are ignored (forward compatibility).
+    ASSERT_TRUE(parse(
+        R"({"op":"ping","future_field":{"x":1}})", &req).isOk());
+}
+
+TEST(SvcCache, LruAndByteCaps)
+{
+    ResultCache cache(/*maxEntries=*/2, /*maxBytes=*/1 << 20);
+    std::string out;
+    EXPECT_FALSE(cache.lookup("a", &out));
+    cache.insert("a", "1");
+    cache.insert("b", "2");
+    EXPECT_TRUE(cache.lookup("a", &out)); // refresh a
+    EXPECT_EQ(out, "1");
+    cache.insert("c", "3");               // evicts b (LRU)
+    EXPECT_FALSE(cache.lookup("b", &out));
+    EXPECT_TRUE(cache.lookup("a", &out));
+    EXPECT_TRUE(cache.lookup("c", &out));
+    ResultCache::Stats s = cache.stats();
+    EXPECT_EQ(s.entries, 2);
+    EXPECT_EQ(s.evictions, 1);
+
+    // Byte cap: inserting over budget keeps at least the newest entry.
+    ResultCache tiny(/*maxEntries=*/16, /*maxBytes=*/8);
+    tiny.insert("k1", "0123456789");
+    EXPECT_TRUE(tiny.lookup("k1", &out));
+    tiny.insert("k2", "xyz");
+    EXPECT_FALSE(tiny.lookup("k1", &out));
+    EXPECT_TRUE(tiny.lookup("k2", &out));
+}
+
+// ---------------------------------------------------------------------
+// In-process server end-to-end
+// ---------------------------------------------------------------------
+
+const char* kProgA =
+    "int suma(int n) {\n"
+    "  int s = 0;\n"
+    "  int i;\n"
+    "  for (i = 0; i < n; i++) s = s + i;\n"
+    "  return s;\n"
+    "}\n";
+
+const char* kProgB =
+    "int scale(int n) {\n"
+    "  int s = 1;\n"
+    "  int i;\n"
+    "  for (i = 0; i < n; i++) s = s * 2;\n"
+    "  return s;\n"
+    "}\n";
+
+const char* kProgC =
+    "int triangle(int n) {\n"
+    "  int s = 0;\n"
+    "  int i;\n"
+    "  int j;\n"
+    "  for (i = 0; i < n; i++)\n"
+    "    for (j = 0; j < i; j++) s = s + 1;\n"
+    "  return s;\n"
+    "}\n";
+
+std::string
+testSocketPath(const std::string& tag)
+{
+    return "/tmp/cash_svc_test_" + std::to_string(::getpid()) + "_" +
+           tag + ".sock";
+}
+
+class ServiceFixture : public ::testing::Test
+{
+  protected:
+    void
+    startServer(const std::string& tag, size_t maxQueue = 4096)
+    {
+        cfg_.socketPath = testSocketPath(tag);
+        cfg_.jobs = 2;
+        cfg_.maxQueueDepth = maxQueue;
+        server_ = std::make_unique<ServiceServer>(cfg_);
+        ASSERT_TRUE(server_->start().isOk());
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_)
+            server_->stop();
+    }
+
+    ServiceConfig cfg_;
+    std::unique_ptr<ServiceServer> server_;
+};
+
+TEST_F(ServiceFixture, HandshakeReportsVersion)
+{
+    startServer("hello");
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+    EXPECT_EQ(client.hello().getString("schema"), kSvcSchema);
+    EXPECT_EQ(client.hello().getInt("protocol"), kSvcProtocolVersion);
+    EXPECT_EQ(client.hello().getString("server"), "cashd");
+    EXPECT_EQ(client.hello().getString("version"), kCashVersion);
+    EXPECT_TRUE(client.ping().isOk());
+}
+
+TEST_F(ServiceFixture, CacheHitIsByteIdentical)
+{
+    startServer("cache");
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+
+    Json opts = Json::object();
+    opts.set("run", Json::string("suma(10)"));
+    opts.set("dot", Json::boolean(true));
+
+    auto bodyOf = [](const Json& resp) {
+        const Json* b = resp.get("body");
+        return b ? b->dump() : std::string();
+    };
+
+    Json r1, r2, r3;
+    Json q1 = makeCompileRequest("compile", kProgA, opts, "first");
+    q1.set("id", Json::number(int64_t{1}));
+    ASSERT_TRUE(client.call(std::move(q1), &r1).isOk());
+    ASSERT_TRUE(r1.getBool("ok"));
+    EXPECT_FALSE(r1.getBool("cached"));
+    EXPECT_EQ(r1.get("body")->getInt("exit"), 0);
+    EXPECT_EQ(r1.get("body")->get("sim")->getInt("return"), 45);
+    EXPECT_FALSE(r1.get("body")->getString("dot").empty());
+
+    // Identical request, different id + label → cache hit, and the
+    // body (the cached unit) is byte-identical.
+    Json q2 = makeCompileRequest("compile", kProgA, opts, "second");
+    q2.set("id", Json::number(int64_t{2}));
+    ASSERT_TRUE(client.call(std::move(q2), &r2).isOk());
+    ASSERT_TRUE(r2.getBool("ok"));
+    EXPECT_TRUE(r2.getBool("cached"));
+    EXPECT_EQ(bodyOf(r1), bodyOf(r2));
+
+    // A different request is a miss.
+    Json q3 = makeCompileRequest("compile", kProgB, opts);
+    ASSERT_TRUE(client.call(std::move(q3), &r3).isOk());
+    EXPECT_FALSE(r3.getBool("cached"));
+    EXPECT_NE(bodyOf(r1), bodyOf(r3));
+
+    StatSet m = server_->metrics();
+    EXPECT_EQ(m.get("svc.cache.hits"), 1);
+    EXPECT_EQ(m.get("svc.cache.misses"), 2);
+    EXPECT_EQ(m.get("svc.requests.compile"), 3);
+    EXPECT_GE(m.get("svc.latency.count"), 3);
+}
+
+TEST_F(ServiceFixture, ConcurrentClientsMatchSerialByteForByte)
+{
+    const std::vector<std::string> sources = {kProgA, kProgB, kProgC,
+                                              kProgA, kProgC, kProgB};
+
+    // Serial reference pass on a dedicated server (cold cache).
+    std::vector<std::string> serial(sources.size());
+    {
+        startServer("serial");
+        ServiceClient client;
+        ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+        for (size_t i = 0; i < sources.size(); i++) {
+            Json resp;
+            ASSERT_TRUE(client
+                            .call(makeCompileRequest("compile",
+                                                     sources[i]),
+                                  &resp)
+                            .isOk());
+            ASSERT_TRUE(resp.getBool("ok"));
+            serial[i] = resp.get("body")->dump();
+        }
+        server_->stop();
+    }
+
+    // Concurrent pass: one client thread per request, fresh server.
+    startServer("conc");
+    std::vector<std::string> conc(sources.size());
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < sources.size(); i++) {
+        threads.emplace_back([&, i] {
+            ServiceClient client;
+            if (!client.connect(cfg_.socketPath).isOk())
+                return;
+            Json resp;
+            if (!client.call(makeCompileRequest("compile", sources[i]),
+                             &resp)
+                     .isOk())
+                return;
+            if (resp.getBool("ok"))
+                conc[i] = resp.get("body")->dump();
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    for (size_t i = 0; i < sources.size(); i++) {
+        ASSERT_FALSE(conc[i].empty()) << "request " << i << " failed";
+        EXPECT_EQ(conc[i], serial[i]) << "request " << i;
+    }
+}
+
+TEST_F(ServiceFixture, MalformedJsonIsRecoverable)
+{
+    startServer("badjson");
+
+    // Raw socket: hand-rolled frames below the client abstraction.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string payload;
+    bool eof = false;
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk()); // hello
+
+    // A well-formed frame holding garbage JSON: structured error,
+    // connection stays usable.
+    ASSERT_TRUE(writeFrame(fd, "{this is not json").isOk());
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk());
+    ASSERT_FALSE(eof);
+    Json resp;
+    ASSERT_TRUE(Json::parse(payload, &resp).isOk());
+    EXPECT_FALSE(resp.getBool("ok", true));
+    EXPECT_EQ(resp.get("error")->getString("code"), kSvcErrBadRequest);
+
+    // A valid request on the *same* connection still works.
+    ASSERT_TRUE(writeFrame(fd, R"({"op":"ping","id":5})").isOk());
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk());
+    ASSERT_TRUE(Json::parse(payload, &resp).isOk());
+    EXPECT_TRUE(resp.getBool("ok"));
+    EXPECT_EQ(resp.getInt("id"), 5);
+
+    // Bad request fields: structured error, connection stays usable.
+    ASSERT_TRUE(writeFrame(fd, R"({"op":"compile","id":6})").isOk());
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk());
+    ASSERT_TRUE(Json::parse(payload, &resp).isOk());
+    EXPECT_FALSE(resp.getBool("ok", true));
+    EXPECT_EQ(resp.getInt("id"), 6);
+    EXPECT_EQ(resp.get("error")->getString("code"), kSvcErrBadRequest);
+
+    StatSet m = server_->metrics();
+    EXPECT_EQ(m.get("svc.protocol.errors"), 2);
+    ::close(fd);
+}
+
+TEST_F(ServiceFixture, TruncatedFrameGetsStructuredErrorAndHangup)
+{
+    startServer("badframe");
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string payload;
+    bool eof = false;
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk()); // hello
+
+    // Header promises 64 bytes; deliver 3 and half-close.  Frame-level
+    // damage: the server answers bad_frame once, then hangs up.
+    uint8_t hdr[4] = {0, 0, 0, 64};
+    ASSERT_EQ(::send(fd, hdr, 4, 0), 4);
+    ASSERT_EQ(::send(fd, "abc", 3, 0), 3);
+    ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk());
+    ASSERT_FALSE(eof);
+    Json resp;
+    ASSERT_TRUE(Json::parse(payload, &resp).isOk());
+    EXPECT_FALSE(resp.getBool("ok", true));
+    EXPECT_EQ(resp.get("error")->getString("code"), kSvcErrBadFrame);
+
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk());
+    EXPECT_TRUE(eof); // server hung up
+    ::close(fd);
+
+    // An oversize length prefix is the same class of damage.
+    ASSERT_EQ((fd = ::socket(AF_UNIX, SOCK_STREAM, 0)) >= 0, true);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk()); // hello
+    uint8_t big[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    ASSERT_EQ(::send(fd, big, 4, 0), 4);
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk());
+    ASSERT_FALSE(eof);
+    ASSERT_TRUE(Json::parse(payload, &resp).isOk());
+    EXPECT_EQ(resp.get("error")->getString("code"), kSvcErrBadFrame);
+    ASSERT_TRUE(readFrame(fd, &payload, &eof).isOk());
+    EXPECT_TRUE(eof);
+    ::close(fd);
+}
+
+TEST_F(ServiceFixture, GracefulStopDrainsInFlightRequests)
+{
+    startServer("drain");
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+
+    // Fire a compile from a helper thread, wait until the server has
+    // accepted it into the queue, then stop() — the response must
+    // still arrive (stop drains, it does not drop).
+    Json resp;
+    bool ok = false;
+    std::thread t([&] {
+        Json opts = Json::object();
+        opts.set("run", Json::string("triangle(40)"));
+        ok = client.call(makeCompileRequest("simulate", kProgC, opts),
+                         &resp)
+                 .isOk();
+    });
+    for (int spin = 0; spin < 2000; spin++) {
+        if (server_->metrics().get("svc.requests.compile") >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(server_->metrics().get("svc.requests.compile"), 1);
+    server_->stop();
+    t.join();
+
+    ASSERT_TRUE(ok);
+    ASSERT_TRUE(resp.getBool("ok"));
+    EXPECT_EQ(resp.get("body")->get("sim")->getInt("return"), 780);
+    EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServiceFixture, ShutdownOpFlagsTheServer)
+{
+    startServer("shutdownop");
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+    EXPECT_FALSE(server_->waitForStopRequest(0));
+    ASSERT_TRUE(client.shutdownServer().isOk());
+    EXPECT_TRUE(server_->waitForStopRequest(5000));
+    server_->stop();
+    EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServiceFixture, AnalyzeAndArtifactsThroughTheService)
+{
+    startServer("analyze");
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+
+    Json opts = Json::object();
+    opts.set("analyze", Json::boolean(true));
+    opts.set("cfg", Json::boolean(true));
+    opts.set("graph", Json::boolean(true));
+    Json resp;
+    ASSERT_TRUE(
+        client.call(makeCompileRequest("analyze", kProgA, opts), &resp)
+            .isOk());
+    ASSERT_TRUE(resp.getBool("ok"));
+    const Json* body = resp.get("body");
+    ASSERT_NE(body->get("analysis"), nullptr);
+    EXPECT_EQ(body->get("analysis")->getInt("errors"), 0);
+    EXPECT_FALSE(body->getString("cfg").empty());
+    EXPECT_FALSE(body->getString("graph").empty());
+    // The embedded stats document is the deterministic variant.
+    const Json* stats = body->get("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->getString("schema"), "cash-stats-v1");
+}
+
+} // namespace
