@@ -53,6 +53,20 @@ parseMemSpec(const std::string& name, MemConfig* out)
 }
 
 Status
+parseSimEngine(const std::string& name, SimEngine* out)
+{
+    if (name == "event")
+        *out = SimEngine::Event;
+    else if (name == "macro")
+        *out = SimEngine::Macro;
+    else
+        return Status::error(ErrorCode::InternalError,
+                             "unknown simulation engine '" + name +
+                                 "' (want event|macro)");
+    return Status::ok();
+}
+
+Status
 parseRunSpec(const std::string& spec, std::string* function,
              std::vector<uint32_t>* args)
 {
@@ -177,8 +191,16 @@ runDriverRequest(const DriverRequest& req)
                 return rep;
             }
             rep.memName = mc.name;
+            SimEngine engine = SimEngine::Macro;
+            st = parseSimEngine(req.engineSpec, &engine);
+            if (!st) {
+                rep.fatal = st.message();
+                rep.exitCode = 1;
+                return rep;
+            }
 
-            DataflowSimulator sim(r.graphPtrs(), *r.layout, mc);
+            DataflowSimulator sim(r.graphPtrs(), *r.layout, mc,
+                                  engine);
             if (req.tracer && req.tracer->enabled())
                 sim.setTracer(req.tracer);
             if (req.maxEvents)

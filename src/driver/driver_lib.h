@@ -63,6 +63,8 @@ struct DriverRequest
     std::string runSpec;
     /** Memory system: perfect|real1|real2|real4 (see parseMemSpec). */
     std::string memSpec = "real2";
+    /** Simulation engine: event|macro (see parseSimEngine). */
+    std::string engineSpec = "macro";
     /** Simulator event budget; 0 = unlimited. */
     uint64_t maxEvents = 0;
 
@@ -129,6 +131,9 @@ Status parseOptLevel(const std::string& name, OptLevel* out);
 
 /** perfect|real1|real2|real4 → MemConfig. */
 Status parseMemSpec(const std::string& name, MemConfig* out);
+
+/** event|macro → SimEngine (docs/SIMULATOR.md, macro-firing engine). */
+Status parseSimEngine(const std::string& name, SimEngine* out);
 
 /** "f(1,2,-3)" (or bare "f") → function name + argument values. */
 Status parseRunSpec(const std::string& spec, std::string* function,

@@ -22,6 +22,9 @@
  *     --dot                 print Graphviz dot for all graphs
  *     --run f(a,b,...)      simulate calling f with integer args
  *     --mem perfect|real1|real2|real4   memory system for --run
+ *     --engine event|macro  simulation engine for --run (default
+ *                           macro: compiled super-operators, same
+ *                           cycles/results as event, faster)
  *     --max-events N        simulator event budget (livelock guard)
  *     --strict              fail fast: pass failures raise immediately
  *                           instead of rollback + quarantine
@@ -75,6 +78,7 @@ usage()
         " [--dot]\n"
         "             [--run 'f(1,2)'] [--mem perfect|real1|real2|real4]"
         " [--stats]\n"
+        "             [--engine event|macro]\n"
         "             [--max-events N] [--strict] [--verify-each-pass]"
         " [--no-verify]\n"
         "             [--analyze[=rule,...]] [--analyze-strict]"
@@ -172,6 +176,16 @@ main(int argc, char** argv)
             req.runSpec = argv[++i];
         } else if (arg == "--mem" && i + 1 < argc) {
             req.memSpec = argv[++i];
+        } else if (arg == "--engine" && i + 1 < argc) {
+            SimEngine e;
+            req.engineSpec = argv[++i];
+            if (!parseSimEngine(req.engineSpec, &e))
+                return usage();
+        } else if (arg.rfind("--engine=", 0) == 0) {
+            SimEngine e;
+            req.engineSpec = arg.substr(9);
+            if (!parseSimEngine(req.engineSpec, &e))
+                return usage();
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {

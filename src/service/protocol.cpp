@@ -282,6 +282,15 @@ parseSvcRequest(const Json& j, SvcRequest* out)
             return badRequest(ms.message());
         out->driver.memSpec = v->asString();
     }
+    if (const Json* v = opts.get("engine")) {
+        if (!v->isString())
+            return badRequest("options.engine must be a string");
+        SimEngine probe = SimEngine::Macro;
+        Status es = parseSimEngine(v->asString(), &probe);
+        if (!es)
+            return badRequest(es.message());
+        out->driver.engineSpec = v->asString();
+    }
     if (const Json* v = opts.get("max_events")) {
         if (!v->isNumber() || v->asInt() < 0)
             return badRequest(
@@ -367,6 +376,7 @@ svcCacheKey(const SvcRequest& req)
     key += "rules=" + join(d.analyzeRules, ",") + ";";
     key += "run=" + d.runSpec + ";";
     key += "mem=" + d.memSpec + ";";
+    key += "engine=" + d.engineSpec + ";";
     key += "max_events=" + std::to_string(d.maxEvents) + ";";
     key += "cfg=" + std::to_string(d.wantCfg) + ";";
     key += "graph=" + std::to_string(d.wantGraphText) + ";";

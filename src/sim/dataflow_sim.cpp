@@ -11,6 +11,16 @@
 namespace cash {
 
 const char*
+simEngineName(SimEngine e)
+{
+    switch (e) {
+      case SimEngine::Event: return "event";
+      case SimEngine::Macro: return "macro";
+    }
+    return "?";
+}
+
+const char*
 simOutcomeName(SimOutcome o)
 {
     switch (o) {
@@ -47,8 +57,8 @@ DeadlockReport::str() const
 
 DataflowSimulator::DataflowSimulator(
     const std::vector<const Graph*>& graphs, const MemoryLayout& layout,
-    const MemConfig& cfg)
-    : layout_(layout), image_(layout), memsys_(cfg)
+    const MemConfig& cfg, SimEngine engine)
+    : layout_(layout), image_(layout), memsys_(cfg), engine_(engine)
 {
     for (const Graph* g : graphs)
         buildIndex(g);
@@ -184,11 +194,119 @@ DataflowSimulator::buildIndex(const Graph* g)
             }
         }
     }
-    gi.hot[nodes.size()].fifoBase = gi.numFifoSlots;
-    gi.hot[nodes.size()].portBase = gi.numPortSlots;
+    gi.numRealNodes = static_cast<int>(nodes.size());
+
+    // Macro engine: partition pure interiors into super-operators and
+    // materialize each as a pseudo-node appended after the real ones.
+    // The pseudo-node's fifo slots are the region's collapsed inputs,
+    // so delivery, readiness counting, deadlock scanning and recycling
+    // all reuse the ordinary machinery.
+    if (engine_ == SimEngine::Macro) {
+        RegionGraphView view;
+        view.nodes.resize(nodes.size());
+        for (size_t i = 0; i < nodes.size(); i++) {
+            RegionGraphView::NodeV& nv = view.nodes[i];
+            const bool isMerge = nodes[i]->kind == NodeKind::Merge;
+            nv.kind = nodes[i]->kind;
+            nv.op = nodes[i]->op;
+            nv.unary = gi.hot[i].unary != 0;
+            nv.latency = gi.hot[i].latency;
+            nv.strictBack = isMerge && gi.nodes[i].strictBack;
+            nv.in.reserve(static_cast<size_t>(nodes[i]->numInputs()));
+            for (int k = 0; k < nodes[i]->numInputs(); k++) {
+                const InputDesc& d =
+                    gi.inDesc[gi.hot[i].fifoBase + k];
+                RegionGraphView::In in;
+                in.isConst = d.isConst;
+                in.constValue = d.constValue;
+                if (!d.isConst) {
+                    const PortRef& pr = nodes[i]->input(k);
+                    in.node = dense.at(pr.node);
+                    in.port = pr.port;
+                }
+                if (isMerge) {
+                    if (k == gi.nodes[i].deciderIdx)
+                        in.role = kRegRoleDecider;
+                    else if (nodes[i]->inputIsBackEdge(k))
+                        in.role = kRegRoleBack;
+                    // Merge value slots wired to static producers get
+                    // a one-shot initial value instead of deliveries.
+                    uint32_t mv = 0;
+                    if (!d.isConst &&
+                        staticValue(nodes[i]->input(k).node, mv))
+                        in.initOnly = true;
+                }
+                nv.in.push_back(in);
+            }
+        }
+        gi.plan = compileRegions(view);
+        regionsTotal_ +=
+            static_cast<int64_t>(gi.plan.regions.size());
+        if (!gi.plan.regions.empty()) {
+            haveRegions_ = true;
+            const size_t cm = static_cast<size_t>(
+                gi.plan.regions[0].coneMax);
+            if (cm > regVal_.size()) {
+                regVal_.resize(cm);
+                regTim_.resize(cm);
+            }
+        }
+
+        const size_t numR = gi.plan.regions.size();
+        gi.nodes.resize(nodes.size() + numR);
+        gi.hot.resize(nodes.size() + numR + 1);
+        for (size_t r = 0; r < numR; r++) {
+            const CompiledRegion& R = gi.plan.regions[r];
+            NodeHot& h = gi.hot[nodes.size() + r];
+            h.kind = kRegionKind;
+            h.fifoBase = gi.numFifoSlots;
+            h.portBase = gi.numPortSlots;
+            h.need = static_cast<uint16_t>(R.inputs.size());
+            gi.numFifoSlots += static_cast<int>(R.inputs.size());
+            gi.numPortSlots += 1;  // placeholder port (no consumers)
+            for (size_t k = 0; k < R.inputs.size(); k++)
+                gi.inDesc.push_back(InputDesc{});
+            gi.nodes[nodes.size() + r].region =
+                static_cast<int32_t>(r);
+        }
+
+        // One-shot initial values targeting absorbed merges must land
+        // in the region's private input stream instead of the (now
+        // unreachable) merge fifo.  Operand k of a tape op is input k
+        // of its node, so the encoded arg locates the stream.
+        if (!gi.plan.regions.empty()) {
+            const CompiledRegion& R = gi.plan.regions[0];
+            std::vector<int32_t> tapeOf(nodes.size(), -1);
+            for (size_t t = 0; t < R.tape.size(); t++)
+                tapeOf[R.tape[t].dense] = static_cast<int32_t>(t);
+            for (GraphIndex::MergeInit& mi : gi.mergeInits) {
+                if (gi.plan.regionOf[mi.node] < 0)
+                    continue;
+                const RegionOp& op = R.tape[tapeOf[mi.node]];
+                const int32_t enc = R.args[op.argOff + mi.input];
+                CASH_ASSERT(regArgTag(enc) == RegArg::Stream,
+                            "merge init on a constant operand");
+                mi.node = static_cast<int>(nodes.size());
+                mi.input = regArgIndex(enc);
+            }
+        }
+    }
+    const size_t allNodes = gi.nodes.size();
+    gi.hot[allNodes].fifoBase = gi.numFifoSlots;
+    gi.hot[allNodes].portBase = gi.numPortSlots;
+
     // CSR consumer lists: count uses per producer port, then fill.
+    // Region interiors are rerouted: an edge into an interior node is
+    // dropped when it comes from the same region and redirected to the
+    // region's collapsed input slot otherwise (one entry per input
+    // port, however many interior consumers it had).
+    auto interior = [&](size_t i) {
+        return !gi.plan.regionOf.empty() && gi.plan.regionOf[i] >= 0;
+    };
     std::vector<int> counts(gi.numPortSlots, 0);
     for (size_t i = 0; i < nodes.size(); i++) {
+        if (interior(i))
+            continue;
         Node* n = nodes[i];
         for (int k = 0; k < n->numInputs(); k++) {
             if (gi.inDesc[gi.hot[i].fifoBase + k].isConst)
@@ -199,6 +317,10 @@ DataflowSimulator::buildIndex(const Graph* g)
             counts[gi.hot[pit->second].portBase + in.port]++;
         }
     }
+    for (size_t r = 0; r < gi.plan.regions.size(); r++)
+        for (const CompiledRegion::Input& ri :
+             gi.plan.regions[r].inputs)
+            counts[gi.hot[ri.node].portBase + ri.port]++;
     gi.consOff.resize(gi.numPortSlots + 1);
     int total = 0;
     for (int p = 0; p < gi.numPortSlots; p++) {
@@ -210,6 +332,8 @@ DataflowSimulator::buildIndex(const Graph* g)
     std::vector<int> fill(gi.consOff.begin(),
                           gi.consOff.end() - 1);
     for (size_t i = 0; i < nodes.size(); i++) {
+        if (interior(i))
+            continue;
         Node* n = nodes[i];
         for (int k = 0; k < n->numInputs(); k++) {
             if (gi.inDesc[gi.hot[i].fifoBase + k].isConst)
@@ -219,6 +343,17 @@ DataflowSimulator::buildIndex(const Graph* g)
             int port = gi.hot[prod].portBase + in.port;
             gi.cons[fill[port]++] = {static_cast<int32_t>(i),
                                      gi.hot[i].fifoBase + k};
+        }
+    }
+    for (size_t r = 0; r < gi.plan.regions.size(); r++) {
+        const CompiledRegion& R = gi.plan.regions[r];
+        const int pseudo = static_cast<int>(nodes.size() + r);
+        for (size_t k = 0; k < R.inputs.size(); k++) {
+            int port = gi.hot[R.inputs[k].node].portBase +
+                       R.inputs[k].port;
+            gi.cons[fill[port]++] = {static_cast<int32_t>(pseudo),
+                                     gi.hot[pseudo].fifoBase +
+                                         static_cast<int32_t>(k)};
         }
     }
     // Distinguished nodes, resolved once so activation start never
@@ -239,6 +374,8 @@ DataflowSimulator::linkCallees()
     for (auto& [name, gi] : graphs_) {
         (void)name;
         for (NodeIndex& ni : gi.nodes) {
+            if (!ni.n)
+                continue;  // region pseudo-node
             if (ni.n->kind != NodeKind::Call || !ni.n->callee)
                 continue;
             auto it = graphs_.find(ni.n->callee->name);
@@ -310,6 +447,16 @@ DataflowSimulator::startActivation(const GraphIndex& gi,
     a->readyCnt.assign(gi.nodes.size(), 0);
     a->mergeMode.assign(gi.nodes.size(), Activation::MergeMode::Fwd);
     a->tkCounter = gi.tkInit;
+    if (!gi.plan.regions.empty()) {
+        const CompiledRegion& R = gi.plan.regions[0];
+        a->regRing.resize(static_cast<size_t>(R.numRings));
+        for (RegRing& r : a->regRing)
+            r.clear();  // keeps ring capacity across recycling
+        a->regConsumed.assign(static_cast<size_t>(R.totalArgs), 0);
+        a->regMergeMode.assign(static_cast<size_t>(R.numMerges), 0);
+        a->regMergeTime.assign(static_cast<size_t>(R.numMerges), 0);
+    }
+    a->regDirty = 0;
     actSpawned_++;
     liveActs_++;
     if (liveActs_ > peakLiveActs_)
@@ -363,6 +510,17 @@ inline __attribute__((always_inline)) void
 DataflowSimulator::deliver(Activation* a, int node, int slot,
                            Item item, uint64_t when)
 {
+    // Macro engine: deliveries into a super-operator bypass the event
+    // queue entirely — the cascade is a confluent max-plus replay, so
+    // absorbing the item immediately (even with a future timestamp)
+    // computes the same values and completion times the queue walk
+    // would, without a calendar round-trip per boundary input.
+    if (haveRegions_ &&
+        a->gi->hot[node].kind == kRegionKind) {
+        item.time = when;
+        fireRegion(a, slot - a->gi->hot[node].fifoBase, item);
+        return;
+    }
     Event e;
     e.seq = seq_++;
     e.act = a;
@@ -384,50 +542,173 @@ DataflowSimulator::deliver(Activation* a, int node, int slot,
         ready_.push_back(e);
     } else if (when - now_ <= kWheelSize) {
         bucketOps_++;
-        wheel_[when & (kWheelSize - 1)].push_back(e);
+        const uint64_t s = when & (kWheelSize - 1);
+        wheel_[s].push_back(e);
+        wheelBits_[s >> 6] |= 1ull << (s & 63);
         wheelCount_++;
     } else {
-        heapOps_++;
-        overflow_.push({when, e});
+        // Coarse wheels: level j holds events whose band index
+        // (when >> kWheelBits*(j+1)) is within kWheelSize of now_'s —
+        // at any moment each band residue class maps to one absolute
+        // band, so insertion is a single push (see advanceTime).
+        int j = 0;
+        for (; j < kCoarseLevels; j++) {
+            const uint64_t shift = kWheelBits * (j + 1);
+            if ((when >> shift) - (now_ >> shift) < kWheelSize)
+                break;
+        }
+        if (j < kCoarseLevels) {
+            bucketOps_++;
+            const uint64_t shift = kWheelBits * (j + 1);
+            const uint64_t s = (when >> shift) & (kWheelSize - 1);
+            coarse_[j][s].push_back({when, e});
+            coarseBits_[j][s >> 6] |= 1ull << (s & 63);
+            coarseCount_[j]++;
+        } else {
+            heapOps_++;
+            overflow_.push({when, e});
+        }
     }
 }
 
 bool
 DataflowSimulator::advanceTime()
 {
-    if (wheelCount_ == 0 && overflow_.empty())
-        return false;
-    // The next pending timestamp: nearest non-empty wheel slot (at
-    // most kWheelSize probes) vs. the overflow heap's top.
-    uint64_t next = 0;
-    bool have = false;
-    if (wheelCount_ > 0) {
-        uint64_t t = now_ + 1;
-        while (wheel_[t & (kWheelSize - 1)].empty())
-            t++;
-        next = t;
-        have = true;
+    // Candidate dispatch time from the fine wheel and the heap, then
+    // pull down any coarse band that could precede it; repeat until
+    // the candidate is provably the global minimum.  Bands migrate
+    // one level at a time, so an event costs at most kCoarseLevels+1
+    // O(1) pushes over its queue lifetime.
+    for (;;) {
+        uint64_t next = 0;
+        bool have = false;
+        if (wheelCount_ > 0) {
+            // Nearest occupied fine slot: circular ctz scan over the
+            // occupancy words, starting at now_ + 1.
+            const uint64_t s = (now_ + 1) & (kWheelSize - 1);
+            uint64_t dist;  // occupied-slot distance from s
+            uint64_t w = s >> 6;
+            uint64_t bits = wheelBits_[w] >> (s & 63);
+            if (bits) {
+                dist = static_cast<uint64_t>(__builtin_ctzll(bits));
+            } else {
+                dist = 64 - (s & 63);
+                w = (w + 1) & (kWheelWords - 1);
+                while (!(bits = wheelBits_[w])) {
+                    dist += 64;
+                    w = (w + 1) & (kWheelWords - 1);
+                }
+                dist += static_cast<uint64_t>(__builtin_ctzll(bits));
+            }
+            next = now_ + 1 + dist;
+            have = true;
+        }
+        if (!overflow_.empty() &&
+            (!have || overflow_.top().time < next)) {
+            next = overflow_.top().time;
+            have = true;
+        }
+        // Nearest pending coarse band (by band start) across levels.
+        // Pending band indices live in [cStart, cStart + 255] with
+        // cStart = (now_+1) >> shift: when now_+1 is band-aligned (as
+        // after a band-edge jump below), now_'s own band can hold no
+        // future time and the window starts one past it — scanning
+        // from now_'s residue would misresolve a wrapped slot to a
+        // band 256 too low and leap the clock over pending events.
+        int bj = -1;
+        uint64_t bandIdx = 0, bandLo = 0;
+        for (int j = 0; j < kCoarseLevels; j++) {
+            if (coarseCount_[j] == 0)
+                continue;
+            const uint64_t shift = kWheelBits * (j + 1);
+            const uint64_t cStart = (now_ + 1) >> shift;
+            const uint64_t s = cStart & (kWheelSize - 1);
+            uint64_t dist;
+            uint64_t w = s >> 6;
+            uint64_t bits = coarseBits_[j][w] >> (s & 63);
+            if (bits) {
+                dist = static_cast<uint64_t>(__builtin_ctzll(bits));
+            } else {
+                dist = 64 - (s & 63);
+                w = (w + 1) & (kWheelWords - 1);
+                while (!(bits = coarseBits_[j][w])) {
+                    dist += 64;
+                    w = (w + 1) & (kWheelWords - 1);
+                }
+                dist += static_cast<uint64_t>(__builtin_ctzll(bits));
+            }
+            const uint64_t lo = (cStart + dist) << shift;
+            if (bj < 0 || lo < bandLo) {
+                bj = j;
+                bandIdx = cStart + dist;
+                bandLo = lo;
+            }
+        }
+        if (bj < 0 || (have && next < bandLo)) {
+            if (!have)
+                return false;  // nothing pending anywhere
+            now_ = next;
+            break;
+        }
+        // The band might hold the earliest event.  Nothing pends in
+        // (now_, bandLo): the fine/heap candidate is >= bandLo and
+        // every other band starts later — so jumping now_ to the band
+        // edge skips only idle cycles, and re-establishes the lower
+        // level's residue-window invariant for the migrated times.
+        if (bandLo > now_ + 1)
+            now_ = bandLo - 1;
+        const uint64_t bs = bandIdx & (kWheelSize - 1);
+        std::vector<TimedEvent>& band = coarse_[bj][bs];
+        const bool dirty = coarseDirty_[bj][bs] != 0;
+        coarseDirty_[bj][bs] = 0;
+        coarseBits_[bj][bs >> 6] &= ~(1ull << (bs & 63));
+        coarseCount_[bj] -= band.size();
+        if (bj == 0) {
+            for (const TimedEvent& te : band) {
+                const uint64_t fs = te.time & (kWheelSize - 1);
+                // An occupied target means same-time events whose
+                // seqs interleave with ours: flag for a drain sort.
+                if (dirty || !wheel_[fs].empty())
+                    wheelDirty_[fs] = 1;
+                wheel_[fs].push_back(te.e);
+                wheelBits_[fs >> 6] |= 1ull << (fs & 63);
+            }
+            wheelCount_ += band.size();
+        } else {
+            const uint64_t lshift = kWheelBits * bj;
+            for (const TimedEvent& te : band) {
+                const uint64_t fs =
+                    (te.time >> lshift) & (kWheelSize - 1);
+                if (dirty || !coarse_[bj - 1][fs].empty())
+                    coarseDirty_[bj - 1][fs] = 1;
+                coarse_[bj - 1][fs].push_back(te);
+                coarseBits_[bj - 1][fs >> 6] |= 1ull << (fs & 63);
+            }
+            coarseCount_[bj - 1] += band.size();
+        }
+        band.clear();
     }
-    if (!overflow_.empty() &&
-        (!have || overflow_.top().time < next))
-        next = overflow_.top().time;
-    now_ = next;
 
     // Drain the slot for now_.  Every event in a slot shares one
     // timestamp: insertions only cover (now_, now_ + kWheelSize], a
     // window that holds each residue class exactly once.
-    std::vector<Event>& slot = wheel_[now_ & (kWheelSize - 1)];
+    const uint64_t ds = now_ & (kWheelSize - 1);
+    std::vector<Event>& slot = wheel_[ds];
+    wheelBits_[ds >> 6] &= ~(1ull << (ds & 63));
     size_t fromWheel = slot.size();
     wheelCount_ -= fromWheel;
+    const bool dirtySlot = wheelDirty_[ds] != 0 && fromWheel > 1;
+    wheelDirty_[ds] = 0;
     bool merged = false;
     while (!overflow_.empty() && overflow_.top().time == now_) {
         slot.push_back(overflow_.top().e);
         overflow_.pop();
         merged = true;
     }
-    // Wheel inserts and heap pops are each seq-sorted already; only a
-    // mix of both needs re-sorting to restore global (time, seq) order.
-    if (merged && fromWheel > 0)
+    // Direct inserts and heap pops are each seq-sorted already; a mix
+    // of both — or a slot flagged by band migration — needs a re-sort
+    // to restore global (time, seq) order.
+    if (dirtySlot || (merged && fromWheel > 0))
         std::sort(slot.begin(), slot.end(),
                   [](const Event& x, const Event& y) {
                       return x.seq < y.seq;
@@ -603,9 +884,12 @@ DataflowSimulator::tryFire(Activation* a, int node, uint64_t now)
 void
 DataflowSimulator::fire(Activation* a, int node, uint64_t now)
 {
-    firings_++;
     const GraphIndex* gi = a->gi;
     const NodeHot& h = gi->hot[node];
+    // Region pseudo-nodes never travel the fifo/tryFire path: the run
+    // loop feeds their deliveries straight into fireRegion().
+    CASH_ASSERT(h.kind != kRegionKind, "super-operator in fire()");
+    firings_++;
     const NodeKind kind = static_cast<NodeKind>(h.kind);
     fireCounts_[static_cast<size_t>(kind)]++;
     if (traceLevel >= 2)
@@ -805,6 +1089,400 @@ DataflowSimulator::fire(Activation* a, int node, uint64_t now)
 }
 
 void
+DataflowSimulator::gcRegRing(Activation* a, const CompiledRegion& R,
+                             int32_t ring)
+{
+    // Reclaimable prefix: everything below the slowest consumer's
+    // position (reads are absolute indices, so advancing head never
+    // moves data — it only keeps the grow trigger honest).
+    RegRing& r = a->regRing[ring];
+    uint64_t low = UINT64_MAX;
+    for (int32_t gp = R.gcOff[ring]; gp < R.gcOff[ring + 1]; gp++) {
+        const uint64_t c = a->regConsumed[R.gcArg[gp]];
+        if (c < low)
+            low = c;
+    }
+    if (low != UINT64_MAX && low > r.head)
+        r.head = low;
+}
+
+void
+DataflowSimulator::fireRegion(Activation* a, int slot, const Item& it)
+{
+    // Absorb the delivery: one collapsed push stands for the original
+    // interior fan-out of this producer port (the collapsed delivery
+    // itself never entered the queue, so the full edge count is
+    // credited back to the equivalent-event total).
+    const CompiledRegion& R0 = a->gi->plan.regions[0];
+    a->regRing[slot].push(it.value, it.time, it.eos);
+    if (a->regRing[slot].size() > 64)
+        gcRegRing(a, R0, slot);
+    eqExtraEvents_ += static_cast<uint64_t>(R0.inputEdges[slot]);
+    regionsFired_++;
+    a->regDirty++;
+    regPending_.emplace_back(a, slot);
+}
+
+bool
+DataflowSimulator::flushRegions()
+{
+    if (regPending_.empty())
+        return false;
+    // Entries appended by cascade emissions extend the loop; batching
+    // consecutive same-activation entries into one worklist pass is
+    // what makes deferral pay — all of a cycle's deliveries share one
+    // cascade, and its cones see every new item at once.
+    for (size_t i = 0; i < regPending_.size(); i++) {
+        Activation* act = regPending_[i].first;
+        act->regDirty--;
+        seedRegion(act, regPending_[i].second);
+        while (i + 1 < regPending_.size() &&
+               regPending_[i + 1].first == act) {
+            i++;
+            act->regDirty--;
+            seedRegion(act, regPending_[i].second);
+        }
+        cascadeRegion(act);
+        if (runOutcome_ != SimOutcome::Ok)
+            break;
+    }
+    regPending_.clear();
+    return true;
+}
+
+void
+DataflowSimulator::seedRegion(Activation* a, int slot)
+{
+    const CompiledRegion& R = a->gi->plan.regions[0];
+    if (regInWork_.size() < R.tape.size())
+        regInWork_.resize(R.tape.size(), 0);
+    for (int32_t s = R.seedOff[slot]; s < R.seedOff[slot + 1]; s++) {
+        const int32_t t = R.seedOp[s];
+        if (!regInWork_[t]) {
+            regInWork_[t] = 1;
+            regNext_.push_back(R.scanPos[t]);
+        }
+    }
+}
+
+void
+DataflowSimulator::cascadeRegion(Activation* a)
+{
+    const GraphIndex* gi = a->gi;
+    const CompiledRegion& R = gi->plan.regions[0];
+    const int32_t nIn = static_cast<int32_t>(R.inputs.size());
+    uint64_t inlined = 0;
+
+    // Cascade: fire every pending op as often as its streams allow; a
+    // production flags the consumers of its ring.  Pending ops are
+    // visited in scan order — merges, then sinks topologically — so
+    // within one wave every producer fires before its consumers and a
+    // consumer is visited at most once; only back edges (through
+    // merges) start another wave.  Result times are the max over
+    // dynamic operand times plus the op latency: pure operators
+    // AND-fire, so arrival times compose max-plus along interior
+    // paths, exactly as the event engine would discover them one
+    // delivery at a time.  Constant operands impose no time
+    // constraint.
+    while (!regNext_.empty() && runOutcome_ == SimOutcome::Ok) {
+        std::swap(regWave_, regNext_);
+        regNext_.clear();
+        std::sort(regWave_.begin(), regWave_.end());
+        for (size_t wi = 0; wi < regWave_.size(); wi++) {
+        const int32_t si = regWave_[wi];
+        const int32_t t = R.scanOrder[si];
+        regInWork_[t] = 0;
+        const RegionOp& op = R.tape[t];
+        const int32_t* args = R.args.data() + op.argOff;
+        uint64_t* cons = a->regConsumed.data() + op.argOff;
+        RegRing* out = op.outRing >= 0 ? &a->regRing[op.outRing]
+                                       : nullptr;
+        uint64_t nfire = 0;
+        bool produced = false;
+
+        if (op.mSlot >= 0) {
+            // Absorbed mu-merge: replay the mode machine stream-
+            // synchronously.  Each firing happens at the maximum of
+            // the consumed items' times and the previous firing's
+            // time — the dispatch cycle at which the event engine
+            // would perform it (see region_compiler.h).  Interior
+            // reads are deliveries the event engine would have
+            // dispatched, counted as they are consumed because the
+            // subset consumed per firing depends on the mode.
+            const int8_t* roles = R.argRole.data() + op.argOff;
+            const int32_t fwdK = op.fwdK;
+            const int32_t deciderK = op.deciderK;
+            uint8_t& mode = a->regMergeMode[op.mSlot];
+            uint64_t& tMode = a->regMergeTime[op.mSlot];
+            auto avail = [&](int32_t k) {
+                return a->regRing[regArgIndex(args[k])].tail >
+                       cons[k];
+            };
+            uint32_t tv = 0;
+            bool teos = false;
+            uint64_t tt = 0;
+            auto take = [&](int32_t k) {
+                const int32_t ring = regArgIndex(args[k]);
+                const RegRing& r = a->regRing[ring];
+                const RegItem& it = r.buf[cons[k]++ & r.mask];
+                if (ring >= nIn)
+                    eqExtraEvents_++;
+                tv = it.val;
+                teos = it.eos != 0;
+                tt = it.tim;
+            };
+            auto emit = [&](uint32_t v, uint64_t when) {
+                if (out) {
+                    out->push(v, when, false);
+                    produced = true;
+                }
+                if (op.hasExternal)
+                    output(a, op.dense, 0, v, when, false);
+                mode = deciderK >= 0 ? 1 : 0;
+            };
+            for (;;) {
+                if (mode == 0) {  // forward
+                    if (!avail(fwdK))
+                        break;
+                    take(fwdK);
+                    tMode = std::max(tt, tMode);
+                    nfire++;
+                    if (!teos)
+                        emit(tv, tMode);
+                    // EOS from a not-taken edge: discard, stay put.
+                } else if (mode == 1) {  // consult decider
+                    uint32_t d;
+                    if (regArgTag(args[deciderK]) == RegArg::Const) {
+                        d = R.constPool[regArgIndex(args[deciderK])];
+                    } else {
+                        if (!avail(deciderK))
+                            break;
+                        take(deciderK);
+                        CASH_ASSERT(
+                            !teos,
+                            "EOS item reached a non-merge consumer");
+                        tMode = std::max(tt, tMode);
+                        d = tv;
+                    }
+                    nfire++;
+                    mode = d ? 2 : 0;
+                } else {  // back round (strict: one item per input)
+                    int32_t backs = 0;
+                    bool all = true;
+                    for (int32_t k = 0; k < op.argCnt; k++)
+                        if (roles[k] == kRegRoleBack) {
+                            backs++;
+                            if (!avail(k)) {
+                                all = false;
+                                break;
+                            }
+                        }
+                    if (backs == 0 || !all)
+                        break;
+                    bool gotValue = false;
+                    uint32_t value = 0;
+                    uint64_t tF = tMode;
+                    for (int32_t k = 0; k < op.argCnt; k++) {
+                        if (roles[k] != kRegRoleBack)
+                            continue;
+                        take(k);
+                        tF = std::max(tt, tF);
+                        if (!teos) {
+                            CASH_ASSERT(
+                                !gotValue,
+                                "two back-edge values in one "
+                                "iteration");
+                            gotValue = true;
+                            value = tv;
+                        }
+                    }
+                    tMode = tF;
+                    nfire++;
+                    // An all-EOS round is the drained tail of the
+                    // previous loop execution: consume, stay back.
+                    if (gotValue)
+                        emit(value, tF);
+                }
+            }
+            firings_ += nfire;
+            fireCounts_[static_cast<size_t>(NodeKind::Merge)] +=
+                nfire;
+            inlined += nfire;
+        } else {
+            // Cone visit: the sink and its fused chain members fire
+            // as a unit (see region_compiler.h).  Firings available
+            // now: min over the cone's stream operands — interior
+            // register edges supply exactly one value per firing by
+            // construction.
+            const int32_t cOff = R.coneOff[t];
+            const int32_t cEnd = R.coneOff[t + 1];
+            uint64_t navail = UINT64_MAX;
+            for (int32_t g = R.gateOff[t]; g < R.gateOff[t + 1];
+                 g++) {
+                const uint64_t got =
+                    a->regRing[R.gateRing[g]].tail -
+                    a->regConsumed[R.gateArg[g]];
+                if (got < navail) {
+                    navail = got;
+                    if (navail == 0)
+                        break;  // an empty stream settles it
+                }
+            }
+            if (navail == 0 || navail == UINT64_MAX)
+                continue;
+            nfire = navail;
+
+            for (uint64_t f = 0; f < nfire; f++) {
+                for (int32_t ci = cOff; ci < cEnd; ci++) {
+                    const RegionOp& m = R.tape[R.coneOp[ci]];
+                    const int32_t* margs = R.args.data() + m.argOff;
+                    uint64_t* mcons =
+                        a->regConsumed.data() + m.argOff;
+                    uint64_t when = 0;
+                    auto read = [&](int32_t k) -> uint32_t {
+                        const int32_t enc = margs[k];
+                        const RegArg tag = regArgTag(enc);
+                        if (tag == RegArg::Const)
+                            return R.constPool[regArgIndex(enc)];
+                        if (tag == RegArg::Reg) {
+                            const int32_t s = regArgIndex(enc);
+                            if (regTim_[s] > when)
+                                when = regTim_[s];
+                            return regVal_[s];
+                        }
+                        const RegRing& r =
+                            a->regRing[regArgIndex(enc)];
+                        const RegItem& item =
+                            r.buf[mcons[k]++ & r.mask];
+                        CASH_ASSERT(
+                            !item.eos,
+                            "EOS item reached a non-merge consumer");
+                        if (item.tim > when)
+                            when = item.tim;
+                        return item.val;
+                    };
+                    uint32_t v = 0;
+                    bool eos = false;
+                    switch (m.kind) {
+                      case NodeKind::Arith:
+                        v = m.unary
+                                ? evalUnary(m.op, read(0))
+                                : evalBinary(m.op, read(0),
+                                             read(1));
+                        break;
+                      case NodeKind::Mux: {
+                        uint32_t mv[kMaxRegionMuxArgs];
+                        for (int32_t k = 0; k < m.argCnt; k++)
+                            mv[k] = read(k);
+                        v = evalMuxPairs(
+                            mv, static_cast<int>(m.argCnt));
+                        break;
+                      }
+                      case NodeKind::Combine:
+                        for (int32_t k = 0; k < m.argCnt; k++)
+                            read(k);
+                        break;
+                      case NodeKind::Eta: {
+                        const uint32_t val = read(0);
+                        const uint32_t p = read(1);
+                        if (p)
+                            v = val;
+                        else
+                            eos = true;
+                        break;
+                      }
+                      default:
+                        panic("non-pure op on region tape");
+                    }
+                    when += m.latency;
+                    if (ci < cEnd - 1) {
+                        // Fused member: the result rides a register
+                        // slot (members never push or emit — they
+                        // have no observers outside the cone).
+                        regVal_[ci - cOff] = v;
+                        regTim_[ci - cOff] = when;
+                    } else {
+                        if (out)
+                            out->push(v, when, eos);
+                        if (m.hasExternal)
+                            output(a, m.dense, 0, v, when, eos);
+                    }
+                }
+            }
+            produced = out != nullptr;
+            const uint64_t coneOps =
+                static_cast<uint64_t>(cEnd - cOff);
+            firings_ += nfire * coneOps;
+            for (int32_t ci = cOff; ci < cEnd; ci++)
+                fireCounts_[static_cast<size_t>(
+                    R.tape[R.coneOp[ci]].kind)] += nfire;
+            inlined += nfire * coneOps;
+            eqExtraEvents_ +=
+                nfire * static_cast<uint64_t>(op.coneEq);
+        }
+        if (nfire == 0)
+            continue;
+
+        if (produced) {
+            for (int32_t s = R.seedOff[op.outRing];
+                 s < R.seedOff[op.outRing + 1]; s++) {
+                const int32_t c = R.seedOp[s];
+                if (!regInWork_[c]) {
+                    regInWork_[c] = 1;
+                    const int32_t p = R.scanPos[c];
+                    if (p > si) {
+                        // Forward edge: fires later this wave, at its
+                        // sorted place so its own consumers still see
+                        // it before them.
+                        regWave_.insert(
+                            std::lower_bound(
+                                regWave_.begin() +
+                                    static_cast<ptrdiff_t>(wi) + 1,
+                                regWave_.end(), p),
+                            p);
+                    } else {
+                        // Back edge (through a merge): next wave.
+                        regNext_.push_back(p);
+                    }
+                }
+            }
+            // Bound growth of the one ring this visit pushed into; a
+            // replayed loop can stream thousands of items through it
+            // within a single cascade.
+            if (out->size() > 64)
+                gcRegRing(a, R, op.outRing);
+        }
+        // A cycle through a merge is a loop the cascade replays in
+        // full, so a livelocked program would otherwise spin here
+        // forever: re-check the event budget the run loop enforces,
+        // using equivalent events so the threshold matches the event
+        // engine's workload measure.
+        if (events_ + eqExtraEvents_ > maxEvents_) {
+            failRun(SimOutcome::EventLimit,
+                    "simulation event limit exceeded after " +
+                        std::to_string(maxEvents_) +
+                        " equivalent events in '" + gi->g->name +
+                        "' (livelock?)");
+            break;
+        }
+        }
+    }
+    if (runOutcome_ != SimOutcome::Ok) {  // aborted mid-wave: pending
+                                          // flags and lists are stale
+        std::fill(regInWork_.begin(), regInWork_.end(), 0);
+        regWave_.clear();
+        regNext_.clear();
+    }
+    regionOpsInlined_ += inlined;
+    if (tracer_ && tracer_->enabled() && inlined)
+        tracer_->completeEvent(
+            gi->g->name, "sim.region", now_, 0,
+            {{"region", static_cast<int64_t>(0)},
+             {"ops", static_cast<int64_t>(inlined)}},
+            kTraceCyclePid);
+}
+
+void
 DataflowSimulator::finishActivation(Activation* a, uint32_t value,
                                     bool hasValue, uint64_t now)
 {
@@ -853,6 +1531,56 @@ DataflowSimulator::buildDeadlockReport() const
         for (size_t i = 0; i < act->gi->nodes.size(); i++) {
             const NodeHot& h = act->gi->hot[i];
             const Node* n = act->gi->nodes[i].n;
+            if (!n) {
+                // Super-operator pseudo-node: scan the compiled tape
+                // for partially-fed interior operators — some operand
+                // streams hold unconsumed items, others never will.
+                // Operand k of a tape op is input k of its node, so
+                // the rendering matches the event engine's.
+                const GraphIndex& gi = *act->gi;
+                const CompiledRegion& R =
+                    gi.plan.regions[gi.nodes[i].region];
+                for (const RegionOp& op : R.tape) {
+                    bool anyR = false, allR = true;
+                    for (int32_t k = 0; k < op.argCnt; k++) {
+                        const int32_t enc = R.args[op.argOff + k];
+                        if (regArgTag(enc) != RegArg::Stream)
+                            continue;
+                        const RegRing& r =
+                            act->regRing[regArgIndex(enc)];
+                        if (r.tail >
+                            act->regConsumed[op.argOff + k])
+                            anyR = true;
+                        else
+                            allR = false;
+                    }
+                    if (!anyR || allR)
+                        continue;
+                    const Node* in = gi.nodes[op.dense].n;
+                    StuckNode stuck;
+                    stuck.activation = act->id;
+                    stuck.function = gi.g->name;
+                    stuck.node = in->str();
+                    for (int32_t k = 0; k < op.argCnt; k++) {
+                        const int32_t enc = R.args[op.argOff + k];
+                        if (regArgTag(enc) != RegArg::Stream ||
+                            act->regRing[regArgIndex(enc)].tail >
+                                act->regConsumed[op.argOff + k])
+                            continue;
+                        const PortRef& pr = in->input(k);
+                        bool token =
+                            pr.valid() &&
+                            pr.node->outputType(pr.port) == VT::Token;
+                        stuck.waitingOn.push_back(
+                            "in" + std::to_string(k) +
+                            (token ? " (token)" : " (data)"));
+                    }
+                    rep.stuck.push_back(std::move(stuck));
+                    if (rep.stuck.size() >= kMaxStuck)
+                        return rep;
+                }
+                continue;
+            }
             bool any = false, all = true;
             for (int k = 0; k < n->numInputs(); k++) {
                 if (act->gi->inDesc[h.fifoBase + k].isConst)
@@ -910,7 +1638,16 @@ DataflowSimulator::run(const std::string& name,
     readyHead_ = 0;
     for (std::vector<Event>& slot : wheel_)
         slot.clear();
+    wheelBits_.fill(0);
     wheelCount_ = 0;
+    wheelDirty_.fill(0);
+    for (int j = 0; j < kCoarseLevels; j++) {
+        for (std::vector<TimedEvent>& band : coarse_[j])
+            band.clear();
+        coarseBits_[j].fill(0);
+        coarseDirty_[j].fill(0);
+        coarseCount_[j] = 0;
+    }
     overflow_ = {};
     now_ = 0;
     seq_ = 0;
@@ -927,6 +1664,13 @@ DataflowSimulator::run(const std::string& name,
     runOutcome_ = SimOutcome::Ok;
     runError_.clear();
     droppedEvents_ = 0;
+    regionsFired_ = 0;
+    regionOpsInlined_ = 0;
+    eqExtraEvents_ = 0;
+    regPending_.clear();
+    regWave_.clear();
+    regNext_.clear();
+    std::fill(regInWork_.begin(), regInWork_.end(), 0);
 
     ScopedTimer span(tracer_, "sim.run " + name, "sim");
     DeadlockReport deadlock;
@@ -940,6 +1684,11 @@ DataflowSimulator::run(const std::string& name,
     const bool tracing = tracer_ && tracer_->enabled();
     while (!done_ && runOutcome_ == SimOutcome::Ok) {
         if (readyHead_ == ready_.size()) {
+            // The worklist drained: run the region cascades all of
+            // this cycle's absorbed deliveries seeded (their
+            // emissions may refill the worklist at now_).
+            if (flushRegions())
+                continue;
             ready_.clear();
             readyHead_ = 0;
             if (!advanceTime())
@@ -958,6 +1707,8 @@ DataflowSimulator::run(const std::string& name,
         a->inflight--;
         if (a->finished && !a->parent)
             continue;
+        // Region deliveries never reach the queues: deliver() feeds
+        // them straight into fireRegion().
         ItemFifo& q = a->fifo[e.slot];
         if (q.empty())
             a->readyCnt[e.node]++;
@@ -967,7 +1718,7 @@ DataflowSimulator::run(const std::string& name,
         // it returned, no queued events reference it, and no child can
         // still deliver a result into it.
         if (a->finished && a->parent && a->inflight == 0 &&
-            a->liveChildren == 0)
+            a->liveChildren == 0 && a->regDirty == 0)
             recycle(a);
         if (tracing && (events_ & 0xFFF) == 0)
             sampleQueueCounters(now_);
@@ -1004,6 +1755,18 @@ DataflowSimulator::run(const std::string& name,
                     static_cast<int64_t>(droppedEvents_));
     r.stats.set("sim.cycles", static_cast<int64_t>(r.cycles));
     r.stats.set("sim.events", static_cast<int64_t>(events_));
+    // Events the event engine would have processed for the same run:
+    // actual deliveries plus the interior deliveries each super-op
+    // firing absorbed.  Engine-comparable (sim.events itself is not).
+    r.stats.set("sim.events.equivalent",
+                static_cast<int64_t>(events_) + eqExtraEvents_);
+    if (engine_ == SimEngine::Macro) {
+        r.stats.set("sim.region.count", regionsTotal_);
+        r.stats.set("sim.region.fired",
+                    static_cast<int64_t>(regionsFired_));
+        r.stats.set("sim.region.ops_inlined",
+                    static_cast<int64_t>(regionOpsInlined_));
+    }
     r.stats.set("sim.firings", static_cast<int64_t>(firings_));
     r.stats.set("sim.dynLoads", static_cast<int64_t>(dynLoads_));
     r.stats.set("sim.dynStores", static_cast<int64_t>(dynStores_));
@@ -1026,7 +1789,9 @@ DataflowSimulator::run(const std::string& name,
                         static_cast<int64_t>(fireCounts_[k]));
     span.arg("cycles", static_cast<int64_t>(rootDoneTime_));
     span.arg("firings", static_cast<int64_t>(firings_));
-    // Spatial ILP: average operator firings per cycle (x100).
+    // Spatial ILP: average operator firings per cycle (x100).  The
+    // macro engine counts every inlined interior firing in firings_,
+    // so the figure is engine-invariant as-is.
     if (rootDoneTime_ > 0)
         r.stats.set("sim.opsPerCycle_x100",
                     static_cast<int64_t>(100 * firings_ /

@@ -44,10 +44,38 @@
 #include "pegasus/graph.h"
 #include "sim/memory_image.h"
 #include "sim/memory_system.h"
+#include "sim/region_compiler.h"
 #include "support/fault_injection.h"
 #include "support/stats.h"
 
 namespace cash {
+
+/**
+ * Execution engine selection (docs/SIMULATOR.md, "Macro-firing
+ * engine"):
+ *
+ *   * **Event** — every operator firing is a discrete event on the
+ *     calendar queue.
+ *   * **Macro** — each graph's pure interior (including order-robust
+ *     mu-merges) is precompiled into a super-operator op-tape
+ *     (region_compiler.h) evaluated as a streaming cascade over
+ *     per-operand ring buffers with analytic (max-plus) timing;
+ *     tokens, memory operations, calls and order-sensitive merges
+ *     stay event-driven.  Exactness contract: return values and
+ *     firing counts are always byte-identical to Event, cycle counts
+ *     are byte-identical under perfect memory and may drift by a
+ *     small bounded amount (4 cycles + 1%) under realistic memory,
+ *     where collapsing within-cycle dispatch order can change
+ *     same-cycle arbitration in the memory hierarchy.
+ */
+enum class SimEngine
+{
+    Event,
+    Macro,
+};
+
+/** Stable lower_snake name ("event", "macro"). */
+const char* simEngineName(SimEngine e);
 
 /**
  * How a simulated invocation ended.  Simulation failures are ordinary
@@ -124,7 +152,8 @@ class DataflowSimulator
      * @param cfg      memory-system configuration
      */
     DataflowSimulator(const std::vector<const Graph*>& graphs,
-                      const MemoryLayout& layout, const MemConfig& cfg);
+                      const MemoryLayout& layout, const MemConfig& cfg,
+                      SimEngine engine = SimEngine::Macro);
 
     /** Invoke @p name with @p args; memory persists across calls. */
     SimResult run(const std::string& name,
@@ -200,6 +229,8 @@ class DataflowSimulator
         /** For Calls: resolved callee index (null until linked; a
          *  firing with an unresolved callee is a fatal error). */
         const GraphIndex* callee = nullptr;
+        /** For region pseudo-nodes (n == nullptr): the region id. */
+        int32_t region = -1;
     };
     struct GraphIndex
     {
@@ -231,7 +262,24 @@ class DataflowSimulator
             uint32_t value = 0;
         };
         std::vector<MergeInit> mergeInits;
+        /**
+         * Macro engine: compiled super-operator (region_compiler.h).
+         * The region is materialized as a *pseudo-node* appended
+         * after the real nodes (dense id numRealNodes + r) whose fifo
+         * slots address the region's input streams, so the CSR
+         * consumer lists and the delivery queue are reused untouched;
+         * the run loop intercepts deliveries to the pseudo-node and
+         * feeds them straight into the streaming cascade (its fifos
+         * stay empty).  Interior nodes keep their hot[] entries but
+         * never receive deliveries: their incoming edges are rerouted
+         * to the pseudo-node (or dropped, for interior edges) when
+         * the CSR consumer lists are built.
+         */
+        RegionPlan plan;
+        int numRealNodes = 0;
     };
+    /** NodeHot::kind of a region pseudo-node (outside NodeKind). */
+    static constexpr uint8_t kRegionKind = 0xFF;
 
     // --- dynamic state ------------------------------------------------
     /**
@@ -245,6 +293,11 @@ class DataflowSimulator
     {
         uint32_t value = 0;
         bool eos = false;
+        /** Arrival cycle, stamped when the delivery is consumed.  Only
+         *  region pseudo-nodes read it: the macro engine's analytic
+         *  timing needs each input's k-th arrival time, which the
+         *  event engine keeps implicit in queue position. */
+        uint64_t time = 0;
     };
 
     /**
@@ -344,6 +397,61 @@ class DataflowSimulator
         uint32_t size_ = 0;
     };
 
+    /**
+     * One operand stream of a compiled super-operator: a power-of-two
+     * ring of (value, completion time, EOS) triples addressed by
+     * *absolute* indices — `head`/`tail` only grow, so the k-th item
+     * ever pushed lives at `k & (capacity-1)` until reclaimed, and a
+     * consumption counter doubles as a stream position.  clear() keeps
+     * capacity for activation recycling.
+     */
+    /** One ring entry, interleaved so a read touches one cache line
+     *  (eos widened to pad the record to 16 bytes). */
+    struct RegItem
+    {
+        uint32_t val;
+        uint32_t eos;
+        uint64_t tim;
+    };
+    struct RegRing
+    {
+        std::vector<RegItem> buf;
+        uint64_t head = 0;
+        uint64_t tail = 0;
+        /** Cached capacity - 1; kept in sync by grow() so the hot
+         *  paths never recompute it from the vector length. */
+        uint64_t mask = 0;
+        uint64_t cap = 0;
+
+        uint64_t size() const { return tail - head; }
+        void
+        push(uint32_t v, uint64_t t, bool e)
+        {
+            if (tail - head == cap)
+                grow();
+            buf[tail & mask] = {v, e, t};
+            tail++;
+        }
+        void
+        clear()
+        {
+            head = tail = 0;
+        }
+
+      private:
+        void
+        grow()
+        {
+            const size_t ncap = cap ? cap * 2 : 8;
+            std::vector<RegItem> nbuf(ncap);
+            for (uint64_t k = head; k < tail; k++)
+                nbuf[k & (ncap - 1)] = buf[k & mask];
+            buf.swap(nbuf);
+            cap = ncap;
+            mask = ncap - 1;
+        }
+    };
+
     struct Activation
     {
         int id = -1;
@@ -366,6 +474,22 @@ class DataflowSimulator
         std::vector<MergeMode> mergeMode;
         /** TokenGen state, one slot per NodeIndex::tkSlot. */
         std::vector<int64_t> tkCounter;
+        /** Macro engine: super-operator operand streams (one per
+         *  CompiledRegion ring) and per-operand consumption counters
+         *  (absolute stream positions, indexed like
+         *  CompiledRegion::args).  Empty when the graph compiled no
+         *  region. */
+        std::vector<RegRing> regRing;
+        std::vector<uint64_t> regConsumed;
+        /** Macro engine: absorbed-merge mode machine (MergeMode
+         *  values) and the time each merge last fired — mode
+         *  transitions gate later firings like an extra operand
+         *  (indexed by RegionOp::mSlot). */
+        std::vector<uint8_t> regMergeMode;
+        std::vector<uint64_t> regMergeTime;
+        /** Deferred region deliveries in regPending_ targeting this
+         *  activation (blocks recycling until flushed). */
+        int32_t regDirty = 0;
         Activation* parent = nullptr;
         int parentCallNode = -1;
         uint32_t frameBase = 0;
@@ -403,6 +527,26 @@ class DataflowSimulator
 
     void buildIndex(const Graph* g);
     void linkCallees();
+    /** Macro engine: absorb one boundary delivery into super-operator
+     *  input stream @p slot.  Called synchronously from deliver() —
+     *  region deliveries never enter the event queue; the cascade
+     *  itself is deferred to flushRegions() at the next worklist
+     *  drain, so a cycle's deliveries batch into one pass and host
+     *  stack depth never tracks simulated recursion depth. */
+    void fireRegion(Activation* a, int slot, const Item& it);
+    /** Queue the cone sinks consuming input stream @p slot onto the
+     *  cascade worklist. */
+    void seedRegion(Activation* a, int slot);
+    /** One cascade over activation @p a's region: fire every queued
+     *  tape op as often as its streams allow. */
+    void cascadeRegion(Activation* a);
+    /** Drain regPending_: cascade every activation with deferred
+     *  region deliveries.  Returns whether any cascade ran (the run
+     *  loop re-checks ready_ before advancing time). */
+    bool flushRegions();
+    /** Advance @p ring's reclaim bound to its slowest consumer. */
+    void gcRegRing(Activation* a, const CompiledRegion& R,
+                   int32_t ring);
 
     Activation* startActivation(const GraphIndex& gi,
                                 const std::vector<uint32_t>& args,
@@ -443,14 +587,54 @@ class DataflowSimulator
     const MemoryLayout& layout_;
     MemoryImage image_;
     MemorySystem memsys_;
+    const SimEngine engine_;
+    /** Regions compiled across all graphs (sim.region.count). */
+    int64_t regionsTotal_ = 0;
 
-    // --- event queue: ready worklist + calendar wheel + overflow -----
-    /** Wheel horizon in cycles; must be a power of two.  Sized to
-     *  cover the common operator/cache latencies (ALU 1, Mul 3,
-     *  Div/Rem 20, L1/L2 hits, TLB walk) while keeping the slot
-     *  buffers hot in L1; DRAM fills and deep LSQ backlog overflow to
-     *  the heap. */
-    static constexpr uint64_t kWheelSize = 32;
+    // --- macro-engine cascade scratch (reused, never shrunk) ---------
+    /** Pending flag per tape index: set when one of the op's operand
+     *  streams grows, cleared as the cascade's wave scan visits it.
+     *  All-zero between cascades (error paths wipe it wholesale). */
+    std::vector<uint8_t> regInWork_;
+    /** Worklists of pending scan positions: regNext_ collects seeds
+     *  for the upcoming wave (unsorted; sorted as the wave starts),
+     *  regWave_ is the wave being drained in ascending scan order so
+     *  producers fire before in-wave consumers.  Cost scales with
+     *  active ops, not tape width — regions bundle every loop of a
+     *  graph, so one boundary delivery usually touches a small
+     *  neighborhood of a much wider tape. */
+    std::vector<int32_t> regWave_;
+    std::vector<int32_t> regNext_;
+    /** Any graph compiled a region (single branch in deliver()). */
+    bool haveRegions_ = false;
+    /** (activation, input slot) deliveries absorbed but not yet
+     *  cascaded (the item is already in the ring); drained FIFO by
+     *  flushRegions() when the run loop's worklist empties. */
+    std::vector<std::pair<Activation*, int32_t>> regPending_;
+    /** Cone register scratch (values + completion times), sized to
+     *  the widest cone across graphs; only valid within one sink
+     *  firing — cascades never nest (see fireRegion). */
+    std::vector<uint32_t> regVal_;
+    std::vector<uint64_t> regTim_;
+
+    // --- event queue: ready worklist + hierarchical calendar wheel ---
+    /** Fine-wheel horizon in cycles; must be a power of two.  Covers
+     *  the common operator/cache latencies (ALU 1, Mul 3, Div/Rem 20,
+     *  L1/L2 hits, TLB walk).  Events beyond it land in the coarse
+     *  wheels: the macro engine's cascade emissions carry analytic
+     *  max-plus timestamps that run arbitrarily far ahead of the
+     *  dispatch clock (an interior loop replays whole executions from
+     *  one boundary delivery), and funneling those residuals through a
+     *  comparison heap dominated the macro engine's run time. */
+    static constexpr uint64_t kWheelBits = 8;
+    static constexpr uint64_t kWheelSize = 1ull << kWheelBits;
+    static constexpr uint64_t kWheelWords = kWheelSize / 64;
+    /** Coarse levels above the fine wheel.  Level j has kWheelSize
+     *  bands of 2^(kWheelBits*(j+1)) cycles each, so three levels
+     *  push the heap threshold past 2^32 cycles; a band migrates down
+     *  one level when the dispatch clock nears it, giving O(levels)
+     *  pushes per event instead of O(log n) heap percolation. */
+    static constexpr int kCoarseLevels = 3;
     /** Events at exactly now_, in (time, seq) order. */
     std::vector<Event> ready_;
     size_t readyHead_ = 0;
@@ -458,7 +642,27 @@ class DataflowSimulator
      *  (now_, now_ + kWheelSize]; each slot holds a single timestamp
      *  (see advanceTime()). */
     std::array<std::vector<Event>, kWheelSize> wheel_;
+    /** Slot occupancy bits (bit s of word s/64 = slot s non-empty):
+     *  advanceTime() finds the nearest pending slot with a circular
+     *  count-trailing-zeros scan instead of probing slot by slot. */
+    std::array<uint64_t, kWheelWords> wheelBits_{};
     uint64_t wheelCount_ = 0;
+    /** Fine slots that may hold out-of-seq events: a migrated band
+     *  can append an older (lower-seq) event behind a directly
+     *  inserted one at the same timestamp, so the drain re-sorts
+     *  flagged slots to restore global (time, seq) order. */
+    std::array<uint8_t, kWheelSize> wheelDirty_{};
+    /** coarse_[j][(t >> kWheelBits*(j+1)) & (kWheelSize-1)]: events
+     *  of one band, in insertion order (seq order unless dirty). */
+    std::array<std::array<std::vector<TimedEvent>, kWheelSize>,
+               kCoarseLevels>
+        coarse_;
+    std::array<std::array<uint64_t, kWheelWords>, kCoarseLevels>
+        coarseBits_{};
+    std::array<uint64_t, kCoarseLevels> coarseCount_{};
+    std::array<std::array<uint8_t, kWheelSize>, kCoarseLevels>
+        coarseDirty_{};
+    /** Events beyond the coarsest horizon (vanishingly rare). */
     std::priority_queue<TimedEvent, std::vector<TimedEvent>,
                         std::greater<TimedEvent>>
         overflow_;
@@ -498,6 +702,14 @@ class DataflowSimulator
     uint64_t actRecycled_ = 0;
     uint64_t liveActs_ = 0;
     uint64_t peakLiveActs_ = 0;
+    /** Boundary deliveries absorbed into super-operator streams. */
+    uint64_t regionsFired_ = 0;
+    /** Interior firings evaluated by cascades (also in firings_, which
+     *  therefore stays engine-invariant). */
+    uint64_t regionOpsInlined_ = 0;
+    /** Interior deliveries the event engine would have dispatched for
+     *  the inlined ops (sim.events.equivalent = events_ + this). */
+    uint64_t eqExtraEvents_ = 0;
     /** Firings per NodeKind, reported as "sim.fire.<kind>". */
     std::vector<uint64_t> fireCounts_;
 };

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Super-operator region compiler for the macro-firing simulation
+ * engine (docs/SIMULATOR.md, "Macro-firing engine").
+ *
+ * A *region* is the set of pure operators (Arith / Mux / Combine /
+ * Eta) plus order-robust mu-merges of one Pegasus graph, compiled
+ * into a flat op-tape evaluated *incrementally*: every operand stream
+ * is a ring buffer, and each boundary delivery triggers a worklist
+ * cascade that fires every interior operator as often as its streams
+ * allow, computing result values and completion times without any
+ * global event dispatch.  Everything stateful whose outcome depends
+ * on within-cycle arrival order — token generators, memory
+ * operations, calls, returns, loose merges — stays event-driven.
+ *
+ * Chain fusion: an AND-firing operator whose *every* consumer is a
+ * single interior non-merge operator is invisible to the rest of the
+ * system — it owns no ring and no external edge — so its value and
+ * completion time pass through a register slot of its consumer's
+ * *evaluation cone* instead.  A cone is the in-tree of fused ops
+ * feeding one sink; the worklist visits sinks only, and one sink
+ * firing evaluates the whole expression tree in registers.  Deferring
+ * a fused op to its sink's firing is exact: it has no other
+ * observers, and its max-plus completion time is the same whenever it
+ * is computed.  Structural cycles of single-consumer pure ops (which
+ * can never fire) are broken back to rings so every cone has a sink.
+ *
+ * Exactness argument, pure operators: they are AND-firing, so the
+ * k-th firing of an interior node happens at the *maximum* of its
+ * operands' k-th arrival times, plus the operator latency — times
+ * compose max-plus along interior paths, and per-stream FIFO order is
+ * all that matters (AND-firing is insensitive to arrival order
+ * *across* streams).  Each stream's times are monotone by induction
+ * (boundary streams inherit the event engine's per-port delivery
+ * clock; max of monotone streams is monotone), so ring position k
+ * *is* the k-th firing, exactly as the event engine would discover it
+ * one delivery at a time.  Every cascade firing consumes at least one
+ * item produced by the triggering delivery, so emission times never
+ * precede the current cycle.
+ *
+ * Exactness argument, merges: a mu-merge is absorbable when its mode
+ * machine is stream-deterministic — a *single* forward input (the
+ * forward scan picks the first pending stream, so multiple forward
+ * streams would race on arrival order) and strict wait-for-all back
+ * edges (one item per back input per iteration makes the back round
+ * insensitive to arrival order).  The event engine fires such a merge
+ * at the dispatch time of whichever delivery completed its enabling:
+ * by induction that is max(consumed item times, previous firing's
+ * time) — mode transitions gate later firings exactly like an extra
+ * operand whose time is the previous firing.  The replay tracks that
+ * one timestamp per merge and reproduces every firing, including
+ * EOS-discard and all-EOS drain rounds, decider consultations, and
+ * one-shot initial values (rerouted into a private input stream).
+ *
+ * A pure cycle never fires (no item can complete its operand set) —
+ * but a cycle *through a merge* is a loop, and the cascade replays
+ * entire loop executions from one boundary delivery, so the simulator
+ * re-checks its event budget inside the cascade to keep livelocked
+ * programs failing with the same EventLimit outcome.
+ */
+#ifndef CASH_SIM_REGION_COMPILER_H
+#define CASH_SIM_REGION_COMPILER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pegasus/node.h"
+
+namespace cash {
+
+/**
+ * The simulator-independent view of one graph the region compiler
+ * consumes: per dense node, its kind/op/latency and input edges
+ * (with constant-folded inputs resolved, mirroring the simulator's
+ * input descriptors).
+ */
+/** Role of one merge operand in the mode machine. */
+enum : int8_t
+{
+    kRegRoleFwd = 0,     ///< Forward (initial-value) input.
+    kRegRoleBack = 1,    ///< Back-edge input.
+    kRegRoleDecider = 2, ///< Loop-continuation decider.
+};
+
+/** Widest mux the evaluator absorbs (operands gather into a stack
+ *  buffer); wider muxes stay event-driven. */
+constexpr int32_t kMaxRegionMuxArgs = 64;
+
+struct RegionGraphView
+{
+    struct In
+    {
+        bool isConst = false;
+        uint32_t constValue = 0;
+        /** Producer (dense id + output port); valid when !isConst. */
+        int32_t node = -1;
+        int32_t port = 0;
+        /** Merge operand role (kRegRole*); 0 for non-merge inputs. */
+        int8_t role = kRegRoleFwd;
+        /** Fed only by a one-shot initial value at activation start
+         *  (the static producer never fires): must get a private
+         *  input stream, never shared with other consumers. */
+        bool initOnly = false;
+    };
+    struct NodeV
+    {
+        NodeKind kind = NodeKind::Const;
+        Op op = Op::Add;
+        bool unary = false;
+        uint8_t latency = 0;
+        /** Merges: every back producer is a same-hyperblock eta, so
+         *  back rounds consume one item per input (order-robust). */
+        bool strictBack = false;
+        std::vector<In> in;
+    };
+    std::vector<NodeV> nodes;
+};
+
+/** Operand of a tape op: a 2-bit tag plus an index, packed in an
+ *  int32. */
+enum class RegArg : int32_t
+{
+    Stream = 0, ///< Ring buffer (region input or interior result stream).
+    Const = 1,  ///< Constant (index into CompiledRegion::constPool).
+    Reg = 2,    ///< Cone-local register (fused single-consumer chain).
+};
+inline int32_t
+regArgEncode(RegArg tag, int32_t idx)
+{
+    return (idx << 2) | static_cast<int32_t>(tag);
+}
+inline RegArg
+regArgTag(int32_t enc)
+{
+    return static_cast<RegArg>(enc & 3);
+}
+inline int32_t
+regArgIndex(int32_t enc)
+{
+    return enc >> 2;
+}
+
+/** One entry of a region's op-tape (dense-node order). */
+struct RegionOp
+{
+    int32_t dense = -1;  ///< Original node (emissions, diagnostics).
+    NodeKind kind = NodeKind::Arith;
+    Op op = Op::Add;
+    bool unary = false;
+    uint8_t latency = 0;
+    /** Some consumer is outside the region: results leave through the
+     *  ordinary output()/deliver() path. */
+    uint8_t hasExternal = 0;
+    int32_t argOff = 0;  ///< Operands in CompiledRegion::args.
+    int32_t argCnt = 0;
+    /** Interior result stream fed by this op, or -1 when no interior
+     *  consumer exists. */
+    int32_t outRing = -1;
+    /** Operands read from interior streams: deliveries the event
+     *  engine would have dispatched per firing (equivalent-event
+     *  accounting).  Merges consume a variable operand subset per
+     *  firing, so theirs stays 0 and the evaluator counts reads. */
+    int32_t eqInterior = 0;
+    /** Merges: dense index into the per-activation mode/time state,
+     *  or -1 for AND-firing operators. */
+    int32_t mSlot = -1;
+    /** Cone sinks: interior deliveries one firing of the whole cone
+     *  stands for (sum of eqInterior over the cone, including the
+     *  sink itself); 0 elsewhere. */
+    int32_t coneEq = 0;
+    /** Merges: operand position of the single forward input and of
+     *  the decider (constant or stream; -1 when absent), precomputed
+     *  so the evaluator never rescans roles. */
+    int16_t fwdK = -1;
+    int16_t deciderK = -1;
+};
+
+/** One compiled super-operator (at most one per graph). */
+struct CompiledRegion
+{
+    /** One boundary input stream: an external producer port with at
+     *  least one interior consumer.  The simulator reroutes all its
+     *  interior consumer edges to a single collapsed delivery. */
+    struct Input
+    {
+        int32_t node = -1;  ///< External producer (dense id).
+        int32_t port = 0;   ///< Its output port.
+    };
+    /** Input streams occupy rings [0, inputs.size()); interior result
+     *  streams follow. */
+    std::vector<Input> inputs;
+    int32_t numRings = 0;
+    std::vector<RegionOp> tape;
+    std::vector<int32_t> args;       ///< Encoded operands (RegArg).
+    /** Parallel to args: merge operand roles (kRegRole*); 0 for
+     *  AND-firing operators' operands. */
+    std::vector<int8_t> argRole;
+    std::vector<uint32_t> constPool;
+    /** Absorbed merge count: sizes per-activation mode/time state. */
+    int32_t numMerges = 0;
+    /** Per input stream: original interior consumer edge count; a
+     *  collapsed delivery stands for that many event-engine ones. */
+    std::vector<int32_t> inputEdges;
+    /** Ring -> consuming cone sinks (cascade seeding), CSR layout.
+     *  A ring read by a fused chain member wakes the chain's sink. */
+    std::vector<int32_t> seedOff;
+    std::vector<int32_t> seedOp;
+    /** Tape op -> its evaluation cone (CSR over tape indices): the
+     *  fused single-consumer chain members feeding a sink, in
+     *  operands-before-consumers order, with the sink itself last.
+     *  Fused members and absorbed merges get an empty range — the
+     *  worklist only ever visits sinks.  A member's cone-local
+     *  position is its register slot (RegArg::Reg operands). */
+    std::vector<int32_t> coneOff;
+    std::vector<int32_t> coneOp;
+    /** Widest cone (sizes the evaluator's register scratch). */
+    int32_t coneMax = 0;
+    /** Sink -> gating stream operands (CSR over tape indices): a
+     *  (ring, global arg index) pair per stream operand anywhere in
+     *  the sink's cone, so the evaluator's firing-count scan is one
+     *  flat loop of `tail - consumed` with no member or tag
+     *  decoding.  Empty for merges (the mode machine gates itself). */
+    std::vector<int32_t> gateOff;
+    std::vector<int32_t> gateRing;
+    std::vector<int32_t> gateArg;
+    /** Cascade scan order (tape indices): merges first, then cone
+     *  sinks topologically over forward sink-to-sink ring edges, so
+     *  one ascending scan fires an entire acyclic wave — producers
+     *  always before consumers, and only back edges (which must pass
+     *  through merges) carry work into another scan.  scanPos is the
+     *  inverse map (tape index -> scan position; -1 for fused
+     *  members, which are never seeded). */
+    std::vector<int32_t> scanOrder;
+    std::vector<int32_t> scanPos;
+    /** Ring -> consuming operand positions (ring garbage collection):
+     *  entries are global arg indices, whose consumption counters
+     *  bound the reclaimable prefix. */
+    std::vector<int32_t> gcOff;
+    std::vector<int32_t> gcArg;
+    /** args.size(): sizes the per-activation consumption counters. */
+    int32_t totalArgs = 0;
+};
+
+/** Result of compiling one graph. */
+struct RegionPlan
+{
+    std::vector<CompiledRegion> regions;
+    /** Per dense node: owning region id, or -1 (event-driven). */
+    std::vector<int32_t> regionOf;
+};
+
+/**
+ * Compile @p view's pure interior into a super-operator.  Graphs with
+ * fewer than @p minOps candidates stay fully event-driven (a one-op
+ * region only adds dispatch overhead).  Deterministic: the result
+ * depends only on the view, never on iteration order of runtime
+ * containers.
+ */
+RegionPlan compileRegions(const RegionGraphView& view, int minOps = 2);
+
+} // namespace cash
+
+#endif // CASH_SIM_REGION_COMPILER_H

@@ -62,6 +62,22 @@ evalBinary(Op op, uint32_t a, uint32_t b)
     }
 }
 
+/**
+ * Evaluate a mux over interleaved (predicate, data) operand pairs:
+ * the last true predicate's data wins, 0 when none is true.  Array
+ * form of the simulator's Mux firing rule, usable from straight-line
+ * op-tapes (region_compiler.h) where operands are gathered up front.
+ */
+inline uint32_t
+evalMuxPairs(const uint32_t* vals, int n)
+{
+    uint32_t out = 0;
+    for (int i = 0; i + 1 < n; i += 2)
+        if (vals[i])
+            out = vals[i + 1];
+    return out;
+}
+
 /** Evaluate a unary opcode. */
 inline uint32_t
 evalUnary(Op op, uint32_t a)

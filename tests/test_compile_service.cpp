@@ -171,6 +171,9 @@ TEST(SvcProtocol, CacheKeyCoversResultsNotIdentity)
     SvcRequest f = a;
     f.driver.wantDot = true;
     EXPECT_NE(svcCacheKey(a), svcCacheKey(f));
+    SvcRequest g = a;
+    g.driver.engineSpec = "event";
+    EXPECT_NE(svcCacheKey(a), svcCacheKey(g));
 }
 
 TEST(SvcProtocol, RequestValidation)
@@ -544,6 +547,60 @@ TEST_F(ServiceFixture, ShutdownOpFlagsTheServer)
     EXPECT_TRUE(server_->waitForStopRequest(5000));
     server_->stop();
     EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServiceFixture, EngineOptionSelectsValidatesAndCacheKeys)
+{
+    startServer("engine");
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+
+    // Perfect memory: the macro engine's exactness contract promises
+    // byte-identical return *and* cycles vs the event engine
+    // (docs/SIMULATOR.md), so the service results must agree exactly.
+    auto simulate = [&](const char* engine, Json* resp) {
+        Json opts = Json::object();
+        opts.set("run", Json::string("suma(10)"));
+        opts.set("mem", Json::string("perfect"));
+        if (engine)
+            opts.set("engine", Json::string(engine));
+        return client.call(
+            makeCompileRequest("simulate", kProgA, opts), resp);
+    };
+
+    Json macro1, event1;
+    ASSERT_TRUE(simulate(nullptr, &macro1).isOk()); // default: macro
+    ASSERT_TRUE(macro1.getBool("ok"));
+    const Json* ms = macro1.get("body")->get("sim");
+    EXPECT_EQ(ms->getInt("return"), 45);
+
+    ASSERT_TRUE(simulate("event", &event1).isOk());
+    ASSERT_TRUE(event1.getBool("ok"));
+    const Json* es = event1.get("body")->get("sim");
+    EXPECT_EQ(es->getInt("return"), 45);
+    EXPECT_EQ(es->getInt("cycles"), ms->getInt("cycles"));
+    // The engine is part of the cache key: an otherwise identical
+    // request on the other engine must not reuse the macro entry.
+    EXPECT_FALSE(event1.getBool("cached"));
+
+    // An explicit macro request matches the default-engine entry and
+    // replays byte-identically from the cache.
+    Json macro2;
+    ASSERT_TRUE(simulate("macro", &macro2).isOk());
+    ASSERT_TRUE(macro2.getBool("ok"));
+    EXPECT_TRUE(macro2.getBool("cached"));
+    EXPECT_EQ(macro1.get("body")->dump(), macro2.get("body")->dump());
+
+    // An unknown engine is rejected up front as a bad request —
+    // nothing compiles, nothing is cached.
+    Json bad;
+    ASSERT_TRUE(simulate("warp", &bad).isOk());
+    EXPECT_FALSE(bad.getBool("ok", true));
+    EXPECT_EQ(bad.get("error")->getString("code"), kSvcErrBadRequest);
+
+    StatSet m = server_->metrics();
+    EXPECT_EQ(m.get("svc.cache.hits"), 1);
+    EXPECT_EQ(m.get("svc.cache.misses"), 2);
 }
 
 TEST_F(ServiceFixture, AnalyzeAndArtifactsThroughTheService)

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Differential suite for the macro-firing simulation engine against
+ * the exact event engine (docs/SIMULATOR.md, "Macro-firing engine"),
+ * over the benchsuite kernels at every optimization level and across
+ * parallel-compile job counts.
+ *
+ * The contract under test:
+ *  - return values are byte-identical on every memory model;
+ *  - cycle counts and architectural stats (dynamic loads / stores,
+ *    nullified operations, calls) are byte-identical under
+ *    contention-free (perfect) memory;
+ *  - under realistic memory the macro engine collapses within-cycle
+ *    dispatch order, so same-cycle arbitration inside the memory
+ *    hierarchy may resolve differently: cycles may drift by a small
+ *    bounded amount while return values stay exact;
+ *  - the macro engine itself is run-to-run deterministic, including
+ *    firing totals and equivalent-event accounting;
+ *  - fault injection (sim.drop-event) degrades as gracefully under
+ *    the macro engine as under the event engine: a deterministic
+ *    deadlock with a reproducible starvation report, never a crash.
+ */
+#include <gtest/gtest.h>
+
+#include "benchsuite/kernels.h"
+#include "support/fault_injection.h"
+#include "test_util.h"
+
+namespace cash {
+namespace {
+
+/** Everything the contract promises byte-identical on perfect memory. */
+struct Fingerprint
+{
+    uint32_t returnValue = 0;
+    uint64_t cycles = 0;
+    int64_t dynLoads = 0;
+    int64_t dynStores = 0;
+    int64_t nullified = 0;
+    int64_t calls = 0;
+
+    bool operator==(const Fingerprint& o) const
+    {
+        return returnValue == o.returnValue && cycles == o.cycles &&
+               dynLoads == o.dynLoads && dynStores == o.dynStores &&
+               nullified == o.nullified && calls == o.calls;
+    }
+};
+
+std::ostream&
+operator<<(std::ostream& os, const Fingerprint& f)
+{
+    return os << "{ret=" << f.returnValue << " cycles=" << f.cycles
+              << " loads=" << f.dynLoads << " stores=" << f.dynStores
+              << " nullified=" << f.nullified << " calls=" << f.calls
+              << "}";
+}
+
+Fingerprint
+fingerprint(const SimResult& r)
+{
+    Fingerprint f;
+    f.returnValue = r.returnValue;
+    f.cycles = r.cycles;
+    f.dynLoads = r.stats.get("sim.dynLoads");
+    f.dynStores = r.stats.get("sim.dynStores");
+    f.nullified = r.stats.get("sim.nullified");
+    f.calls = r.stats.get("sim.calls");
+    return f;
+}
+
+SimResult
+runOn(const CompileResult& r, const Kernel& k, const MemConfig& mem,
+      SimEngine engine)
+{
+    DataflowSimulator sim(r.graphPtrs(), *r.layout, mem, engine);
+    return sim.run(k.entry, k.args);
+}
+
+class MacroDifferential : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MacroDifferential, ByteIdenticalOnPerfectMemory)
+{
+    const Kernel& k = kernelByName(GetParam());
+    const uint32_t expect =
+        testutil::interpret(k.source, k.entry, k.args);
+
+    for (OptLevel level :
+         {OptLevel::None, OptLevel::Medium, OptLevel::Full}) {
+        SCOPED_TRACE(std::string("level ") + optLevelName(level));
+        CompileResult r =
+            compileSource(k.source, CompileOptions().opt(level));
+
+        SimResult ev = runOn(r, k, MemConfig::perfectMemory(),
+                             SimEngine::Event);
+        SimResult ma = runOn(r, k, MemConfig::perfectMemory(),
+                             SimEngine::Macro);
+        EXPECT_EQ(ev.returnValue, expect);
+        EXPECT_EQ(fingerprint(ma), fingerprint(ev));
+
+        // Equivalent-event accounting measures the same work the
+        // event engine performs: collapsed interior deliveries are
+        // credited back, so the total never undercounts real events
+        // and tracks the event engine's count up to deliveries
+        // abandoned at termination.
+        EXPECT_GE(ma.stats.get("sim.events.equivalent"),
+                  ma.stats.get("sim.events"));
+    }
+}
+
+TEST_P(MacroDifferential, ReturnsExactOnRealisticMemory)
+{
+    const Kernel& k = kernelByName(GetParam());
+    CompileResult r =
+        compileSource(k.source, CompileOptions().opt(OptLevel::Full));
+
+    SimResult ev =
+        runOn(r, k, MemConfig::realistic(2), SimEngine::Event);
+    SimResult ma =
+        runOn(r, k, MemConfig::realistic(2), SimEngine::Macro);
+
+    // Values are exact; timing may drift where same-cycle memory
+    // requests reach the hierarchy in a different within-cycle order
+    // (docs/SIMULATOR.md).  The drift bound is deliberately tight:
+    // anything past ~1% is a real scheduling bug, not arbitration.
+    EXPECT_EQ(ma.returnValue, ev.returnValue);
+    EXPECT_EQ(ma.stats.get("sim.dynLoads"),
+              ev.stats.get("sim.dynLoads"));
+    EXPECT_EQ(ma.stats.get("sim.dynStores"),
+              ev.stats.get("sim.dynStores"));
+    uint64_t hi = std::max(ma.cycles, ev.cycles);
+    uint64_t lo = std::min(ma.cycles, ev.cycles);
+    EXPECT_LE(hi - lo, 4 + hi / 100)
+        << "macro=" << ma.cycles << " event=" << ev.cycles;
+}
+
+TEST_P(MacroDifferential, MacroEngineIsDeterministic)
+{
+    const Kernel& k = kernelByName(GetParam());
+    CompileResult r =
+        compileSource(k.source, CompileOptions().opt(OptLevel::Full));
+
+    DataflowSimulator simA(r.graphPtrs(), *r.layout,
+                           MemConfig::perfectMemory(),
+                           SimEngine::Macro);
+    DataflowSimulator simB(r.graphPtrs(), *r.layout,
+                           MemConfig::perfectMemory(),
+                           SimEngine::Macro);
+    SimResult a = simA.run(k.entry, k.args);
+    SimResult b = simB.run(k.entry, k.args);
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+    EXPECT_EQ(a.stats.get("sim.firings"), b.stats.get("sim.firings"));
+    EXPECT_EQ(a.stats.get("sim.events.equivalent"),
+              b.stats.get("sim.events.equivalent"));
+    EXPECT_EQ(a.stats.get("sim.region.fired"),
+              b.stats.get("sim.region.fired"));
+
+    // Re-running a reset simulator replays the exact same schedule.
+    simA.reset();
+    SimResult c = simA.run(k.entry, k.args);
+    EXPECT_EQ(fingerprint(a), fingerprint(c));
+    EXPECT_EQ(a.stats.get("sim.firings"), c.stats.get("sim.firings"));
+}
+
+std::vector<std::string>
+kernelNames()
+{
+    std::vector<std::string> names;
+    for (const Kernel& k : kernelSuite())
+        names.push_back(k.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchsuite, MacroDifferential,
+                         testing::ValuesIn(kernelNames()),
+                         [](const auto& info) { return info.param; });
+
+// The engines must agree regardless of how many compiler jobs built
+// the graphs (PR 2's parallel-compile determinism seeds): a jobs=8
+// compile feeds the same differential contract as jobs=1, and the
+// macro runs themselves are byte-identical across job counts.
+TEST(MacroEngineJobs, DifferentialHoldsAcrossJobCounts)
+{
+    int tested = 0;
+    for (const Kernel& k : kernelSuite()) {
+        if (tested++ == 3)
+            break;
+        SCOPED_TRACE(k.name);
+        Fingerprint prev;
+        bool havePrev = false;
+        for (int jobs : {1, 8}) {
+            SCOPED_TRACE(std::string("jobs ") +
+                         std::to_string(jobs));
+            CompileResult r = compileSource(
+                k.source,
+                CompileOptions().opt(OptLevel::Full).jobs(jobs));
+            SimResult ev = runOn(r, k, MemConfig::perfectMemory(),
+                                 SimEngine::Event);
+            SimResult ma = runOn(r, k, MemConfig::perfectMemory(),
+                                 SimEngine::Macro);
+            EXPECT_EQ(fingerprint(ma), fingerprint(ev));
+            if (havePrev) {
+                EXPECT_EQ(fingerprint(ma), prev);
+            }
+            prev = fingerprint(ma);
+            havePrev = true;
+        }
+    }
+}
+
+// Region statistics surface the super-operator shape: the suite's
+// larger kernels must actually compile regions, and firing them must
+// inline interior operators (otherwise the engine silently fell back
+// to pure event dispatch and the bench numbers are meaningless).
+TEST(MacroEngineRegions, SuiteKernelsCompileAndFireRegions)
+{
+    int64_t totalRegions = 0, totalFired = 0, totalInlined = 0;
+    for (const Kernel& k : kernelSuite()) {
+        CompileResult r = compileSource(
+            k.source, CompileOptions().opt(OptLevel::Full));
+        SimResult ma = runOn(r, k, MemConfig::perfectMemory(),
+                             SimEngine::Macro);
+        totalRegions += ma.stats.get("sim.region.count");
+        totalFired += ma.stats.get("sim.region.fired");
+        totalInlined += ma.stats.get("sim.region.ops_inlined");
+
+        // The event engine must not report region stats.
+        SimResult ev = runOn(r, k, MemConfig::perfectMemory(),
+                             SimEngine::Event);
+        EXPECT_EQ(ev.stats.get("sim.region.count"), 0) << k.name;
+    }
+    EXPECT_GT(totalRegions, 0);
+    EXPECT_GT(totalFired, 0);
+    EXPECT_GT(totalInlined, totalFired)
+        << "regions fired but inlined <= one op per firing";
+}
+
+// Dropping a load-bearing delivery must starve the macro engine into
+// the same graceful deadlock outcome the event engine produces: a
+// populated starvation report, correct outcome stats, and byte-level
+// reproducibility — never a crash or a silent wrong answer.
+TEST(MacroEngineFaults, DropEventDegradesGracefully)
+{
+    const char* src = "int f(int n) { int s = 0;"
+                      " for (int i = 0; i < n; i++) s = s + i;"
+                      " return s; }";
+    CompileResult r = compileSource(src, {});
+    ASSERT_TRUE(r.ok());
+
+    int deadlockSeq = -1;
+    SimResult first;
+    for (int seq = 0; seq < 64 && deadlockSeq < 0; seq++) {
+        FaultPlan plan = FaultPlan::parse(
+            "sim.drop-event:seq=" + std::to_string(seq));
+        DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                              MemConfig::perfectMemory(),
+                              SimEngine::Macro);
+        sim.setMaxEvents(2000000);
+        sim.setFaultPlan(&plan);
+        SimResult out = sim.run("f", {10});
+        // Every single-drop run either still completes (the delivery
+        // was not load-bearing) or deadlocks; nothing else.
+        ASSERT_TRUE(out.outcome == SimOutcome::Ok ||
+                    out.outcome == SimOutcome::Deadlock)
+            << "seq " << seq;
+        if (out.outcome == SimOutcome::Deadlock) {
+            deadlockSeq = seq;
+            first = std::move(out);
+        }
+    }
+    ASSERT_GE(deadlockSeq, 0)
+        << "no single dropped event starved the macro engine";
+
+    EXPECT_EQ(first.stats.get("sim.outcome.deadlock"), 1);
+    EXPECT_EQ(first.stats.get("sim.events.dropped"), 1);
+    ASSERT_FALSE(first.deadlock.stuck.empty());
+    EXPECT_FALSE(first.deadlock.stuck[0].node.empty());
+    EXPECT_FALSE(first.deadlock.stuck[0].waitingOn.empty());
+    EXPECT_TRUE(first.error.find("deadlock") != std::string::npos);
+
+    FaultPlan plan = FaultPlan::parse(
+        "sim.drop-event:seq=" + std::to_string(deadlockSeq));
+    DataflowSimulator sim(r.graphPtrs(), *r.layout,
+                          MemConfig::perfectMemory(),
+                          SimEngine::Macro);
+    sim.setMaxEvents(2000000);
+    sim.setFaultPlan(&plan);
+    SimResult again = sim.run("f", {10});
+    EXPECT_EQ(static_cast<int>(again.outcome),
+              static_cast<int>(SimOutcome::Deadlock));
+    EXPECT_EQ(again.deadlock.str(), first.deadlock.str());
+}
+
+} // namespace
+} // namespace cash
