@@ -18,55 +18,6 @@ versionString(const std::string& tool)
 }
 
 Status
-parseOptLevel(const std::string& name, OptLevel* out)
-{
-    if (name == "none" || name == "0" || name == "O0")
-        *out = OptLevel::None;
-    else if (name == "medium" || name == "1" || name == "O1")
-        *out = OptLevel::Medium;
-    else if (name == "full" || name == "2" || name == "3" ||
-             name == "O2" || name == "O3")
-        *out = OptLevel::Full;
-    else
-        return Status::error(ErrorCode::InternalError,
-                             "unknown opt level '" + name +
-                                 "' (want none|medium|full)");
-    return Status::ok();
-}
-
-Status
-parseMemSpec(const std::string& name, MemConfig* out)
-{
-    if (name == "perfect")
-        *out = MemConfig::perfectMemory();
-    else if (name == "real1")
-        *out = MemConfig::realistic(1);
-    else if (name == "real2")
-        *out = MemConfig::realistic(2);
-    else if (name == "real4")
-        *out = MemConfig::realistic(4);
-    else
-        return Status::error(ErrorCode::InternalError,
-                             "unknown memory system '" + name +
-                                 "' (want perfect|real1|real2|real4)");
-    return Status::ok();
-}
-
-Status
-parseSimEngine(const std::string& name, SimEngine* out)
-{
-    if (name == "event")
-        *out = SimEngine::Event;
-    else if (name == "macro")
-        *out = SimEngine::Macro;
-    else
-        return Status::error(ErrorCode::InternalError,
-                             "unknown simulation engine '" + name +
-                                 "' (want event|macro)");
-    return Status::ok();
-}
-
-Status
 parseRunSpec(const std::string& spec, std::string* function,
              std::vector<uint32_t>* args)
 {
@@ -128,7 +79,7 @@ runDriverRequest(const DriverRequest& req)
     DriverReply rep;
 
     CompileOptions opts;
-    opts.level = req.level;
+    opts.level = req.target.level;
     opts.verify = req.verify;
     opts.numJobs = req.jobs;
     opts.passNames = req.passNames;
@@ -184,23 +135,27 @@ runDriverRequest(const DriverRequest& req)
                 return rep;
             }
             MemConfig mc = MemConfig::realistic(2);
-            st = parseMemSpec(req.memSpec, &mc);
+            SimEngine engine = SimEngine::Macro;
+            st = req.target.resolve(&mc, &engine);
             if (!st) {
                 rep.fatal = st.message();
                 rep.exitCode = 1;
                 return rep;
             }
             rep.memName = mc.name;
-            SimEngine engine = SimEngine::Macro;
-            st = parseSimEngine(req.engineSpec, &engine);
-            if (!st) {
-                rep.fatal = st.message();
-                rep.exitCode = 1;
-                return rep;
+
+            // Tiled fabric (docs/FABRIC.md): place every graph onto
+            // the grid; a trivial (1x1) fabric costs nothing and is
+            // byte-identical to the idealized-fabric path.
+            FabricSession fabric;
+            const FabricSession* fabricPtr = nullptr;
+            if (!req.target.fabric.trivial()) {
+                fabric = placeAll(r.graphPtrs(), req.target.fabric);
+                fabricPtr = &fabric;
             }
 
             DataflowSimulator sim(r.graphPtrs(), *r.layout, mc,
-                                  engine);
+                                  engine, fabricPtr);
             if (req.tracer && req.tracer->enabled())
                 sim.setTracer(req.tracer);
             if (req.maxEvents)
@@ -254,8 +209,11 @@ statsJsonDocument(const DriverReply& rep, const StatsJsonMeta& meta,
        << "  \"meta\": {\n"
        << "    \"file\": \"" << jsonEscape(meta.file) << "\",\n"
        << "    \"opt_level\": \"" << optLevelName(meta.level) << "\",\n"
-       << "    \"mem\": \"" << jsonEscape(meta.mem) << "\",\n"
-       << "    \"run\": \"" << jsonEscape(meta.run) << "\",\n"
+       << "    \"mem\": \"" << jsonEscape(meta.mem) << "\",\n";
+    if (!meta.target.empty())
+        os << "    \"target\": \"" << jsonEscape(meta.target)
+           << "\",\n";
+    os << "    \"run\": \"" << jsonEscape(meta.run) << "\",\n"
        << "    \"exit\": " << rep.exitCode;
     if (!rep.fatal.empty())
         os << ",\n    \"error\": \"" << jsonEscape(rep.fatal) << "\"";

@@ -25,13 +25,14 @@
 
 #include "analysis/lint.h"
 #include "driver/compiler.h"
+#include "driver/target_spec.h"
 #include "sim/dataflow_sim.h"
 #include "support/diagnostics.h"
 
 namespace cash {
 
 /** Release version of the cash toolchain (cashc, cashd, cash). */
-inline constexpr const char* kCashVersion = "0.6.0";
+inline constexpr const char* kCashVersion = "0.7.0";
 
 /** "<tool> <version> (<wire schema>, protocol <n>)". */
 std::string versionString(const std::string& tool);
@@ -44,7 +45,9 @@ struct DriverRequest
 {
     /** Mini-C source text (not a path — callers do their own I/O). */
     std::string source;
-    OptLevel level = OptLevel::Full;
+    /** Opt level, memory system, sim engine and fabric — one value
+     *  type with one grammar (driver/target_spec.h). */
+    TargetSpec target;
     /** Custom pipeline (PassRegistry names); empty = standard of level. */
     std::vector<std::string> passNames;
     /** Optimization worker threads; 0 = hardware, 1 = serial. */
@@ -61,10 +64,6 @@ struct DriverRequest
 
     /** Simulation spec "f(1,2)"; empty = do not simulate. */
     std::string runSpec;
-    /** Memory system: perfect|real1|real2|real4 (see parseMemSpec). */
-    std::string memSpec = "real2";
-    /** Simulation engine: event|macro (see parseSimEngine). */
-    std::string engineSpec = "macro";
     /** Simulator event budget; 0 = unlimited. */
     uint64_t maxEvents = 0;
 
@@ -126,14 +125,8 @@ struct DriverReply
  */
 DriverReply runDriverRequest(const DriverRequest& req);
 
-/** "none"/"medium"/"full" (also "0".."3", "O0".."O3") → level. */
-Status parseOptLevel(const std::string& name, OptLevel* out);
-
-/** perfect|real1|real2|real4 → MemConfig. */
-Status parseMemSpec(const std::string& name, MemConfig* out);
-
-/** event|macro → SimEngine (docs/SIMULATOR.md, macro-firing engine). */
-Status parseSimEngine(const std::string& name, SimEngine* out);
+// parseOptLevel / parseMemSpec / parseSimEngine moved to
+// driver/target_spec.h (included above) with the TargetSpec redesign.
 
 /** "f(1,2,-3)" (or bare "f") → function name + argument values. */
 Status parseRunSpec(const std::string& spec, std::string* function,
@@ -153,6 +146,10 @@ struct StatsJsonMeta
     std::string run;  ///< runSpec as requested.
     std::string mem;  ///< memSpec as requested.
     OptLevel level = OptLevel::Full;
+    /** Canonical TargetSpec::str(); rendered only when non-empty
+     *  (set for non-default fabrics, so idealized-fabric documents
+     *  stay byte-identical to the pre-fabric schema). */
+    std::string target;
 };
 
 /**

@@ -21,10 +21,21 @@
  *     --dump-graph          print the Pegasus graphs (text)
  *     --dot                 print Graphviz dot for all graphs
  *     --run f(a,b,...)      simulate calling f with integer args
+ *     --target SPEC         the full compile/simulate target in one
+ *                           spec (driver/target_spec.h):
+ *                           opt=O2,mem=real2,engine=macro,fabric=4x4:hop2
+ *                           Fields may repeat/combine with the flags
+ *                           below; the last setting of a field wins.
+ *     --fabric SPEC         tiled fabric for --run (docs/FABRIC.md),
+ *                           e.g. 4x4, 2x2:hop3:credit8; alias for
+ *                           --target fabric=SPEC (default 1x1: the
+ *                           paper's idealized fabric)
  *     --mem perfect|real1|real2|real4   memory system for --run
+ *                           (deprecated alias for --target mem=...)
  *     --engine event|macro  simulation engine for --run (default
  *                           macro: compiled super-operators, same
- *                           cycles/results as event, faster)
+ *                           cycles/results as event, faster;
+ *                           deprecated alias for --target engine=...)
  *     --max-events N        simulator event budget (livelock guard)
  *     --strict              fail fast: pass failures raise immediately
  *                           instead of rollback + quarantine
@@ -78,7 +89,9 @@ usage()
         " [--dot]\n"
         "             [--run 'f(1,2)'] [--mem perfect|real1|real2|real4]"
         " [--stats]\n"
-        "             [--engine event|macro]\n"
+        "             [--engine event|macro]"
+        " [--target opt=..,mem=..,engine=..,fabric=..]\n"
+        "             [--fabric RxC[:hopL][:capN][:creditK]]\n"
         "             [--max-events N] [--strict] [--verify-each-pass]"
         " [--no-verify]\n"
         "             [--analyze[=rule,...]] [--analyze-strict]"
@@ -101,13 +114,25 @@ main(int argc, char** argv)
     bool showStats = false;
     DriverRequest req;
 
+    // Every target-shaped flag — the canonical --target and the
+    // deprecated -O/--mem/--engine/--fabric aliases — funnels through
+    // TargetSpec::setField, so each value is parsed exactly once and
+    // the CLI can never drift from the service's options.target path.
+    auto setTarget = [&](const std::string& key,
+                         const std::string& value) {
+        Status st = req.target.setField(key, value);
+        if (!st)
+            std::cerr << "cashc: " << st.message() << "\n";
+        return st.isOk();
+    };
+
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
         if (arg == "-O" && i + 1 < argc) {
-            if (!parseOptLevel(argv[++i], &req.level))
+            if (!setTarget("opt", argv[++i]))
                 return usage();
         } else if (arg.rfind("-O", 0) == 0 && arg.size() == 3) {
-            if (!parseOptLevel(arg.substr(1), &req.level))
+            if (!setTarget("opt", arg.substr(1)))
                 return usage();
         } else if (arg == "-j" || arg == "--jobs") {
             if (i + 1 >= argc)
@@ -175,17 +200,32 @@ main(int argc, char** argv)
         } else if (arg == "--run" && i + 1 < argc) {
             req.runSpec = argv[++i];
         } else if (arg == "--mem" && i + 1 < argc) {
-            req.memSpec = argv[++i];
+            if (!setTarget("mem", argv[++i]))
+                return usage();
         } else if (arg == "--engine" && i + 1 < argc) {
-            SimEngine e;
-            req.engineSpec = argv[++i];
-            if (!parseSimEngine(req.engineSpec, &e))
+            if (!setTarget("engine", argv[++i]))
                 return usage();
         } else if (arg.rfind("--engine=", 0) == 0) {
-            SimEngine e;
-            req.engineSpec = arg.substr(9);
-            if (!parseSimEngine(req.engineSpec, &e))
+            if (!setTarget("engine", arg.substr(9)))
                 return usage();
+        } else if (arg == "--fabric" && i + 1 < argc) {
+            if (!setTarget("fabric", argv[++i]))
+                return usage();
+        } else if (arg.rfind("--fabric=", 0) == 0) {
+            if (!setTarget("fabric", arg.substr(9)))
+                return usage();
+        } else if (arg == "--target" && i + 1 < argc) {
+            Status st = req.target.merge(argv[++i]);
+            if (!st) {
+                std::cerr << "cashc: " << st.message() << "\n";
+                return usage();
+            }
+        } else if (arg.rfind("--target=", 0) == 0) {
+            Status st = req.target.merge(arg.substr(9));
+            if (!st) {
+                std::cerr << "cashc: " << st.message() << "\n";
+                return usage();
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -279,8 +319,12 @@ main(int argc, char** argv)
             StatsJsonMeta meta;
             meta.file = file;
             meta.run = req.runSpec;
-            meta.mem = req.memSpec;
-            meta.level = req.level;
+            meta.mem = req.target.mem;
+            meta.level = req.target.level;
+            // Only non-default fabrics surface the target string, so
+            // idealized-fabric documents keep their historical bytes.
+            if (!req.target.fabric.trivial())
+                meta.target = req.target.str();
             os << statsJsonDocument(rep, meta);
         }
     }

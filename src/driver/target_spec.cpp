@@ -1,0 +1,144 @@
+#include "driver/target_spec.h"
+
+#include "support/strings.h"
+
+namespace cash {
+
+Status
+parseOptLevel(const std::string& name, OptLevel* out)
+{
+    if (name == "none" || name == "0" || name == "O0")
+        *out = OptLevel::None;
+    else if (name == "medium" || name == "1" || name == "O1")
+        *out = OptLevel::Medium;
+    else if (name == "full" || name == "2" || name == "3" ||
+             name == "O2" || name == "O3")
+        *out = OptLevel::Full;
+    else
+        return Status::error(ErrorCode::InternalError,
+                             "unknown opt level '" + name +
+                                 "' (want none|medium|full)");
+    return Status::ok();
+}
+
+Status
+parseMemSpec(const std::string& name, MemConfig* out)
+{
+    if (name == "perfect")
+        *out = MemConfig::perfectMemory();
+    else if (name == "real1")
+        *out = MemConfig::realistic(1);
+    else if (name == "real2")
+        *out = MemConfig::realistic(2);
+    else if (name == "real4")
+        *out = MemConfig::realistic(4);
+    else
+        return Status::error(ErrorCode::InternalError,
+                             "unknown memory system '" + name +
+                                 "' (want perfect|real1|real2|real4)");
+    return Status::ok();
+}
+
+Status
+parseSimEngine(const std::string& name, SimEngine* out)
+{
+    if (name == "event")
+        *out = SimEngine::Event;
+    else if (name == "macro")
+        *out = SimEngine::Macro;
+    else
+        return Status::error(ErrorCode::InternalError,
+                             "unknown simulation engine '" + name +
+                                 "' (want event|macro)");
+    return Status::ok();
+}
+
+Status
+TargetSpec::setField(const std::string& key, const std::string& value)
+{
+    auto fieldError = [&](const Status& st) {
+        return Status::error(st.code(), "target field '" + key + "': " +
+                                            st.message());
+    };
+    if (key == "opt") {
+        Status st = parseOptLevel(value, &level);
+        if (!st)
+            return fieldError(st);
+    } else if (key == "mem") {
+        MemConfig probe;
+        Status st = parseMemSpec(value, &probe);
+        if (!st)
+            return fieldError(st);
+        mem = value;
+    } else if (key == "engine") {
+        SimEngine probe;
+        Status st = parseSimEngine(value, &probe);
+        if (!st)
+            return fieldError(st);
+        engine = value;
+    } else if (key == "fabric") {
+        Status st = FabricModel::parse(value, &fabric);
+        if (!st)
+            return fieldError(st);
+    } else {
+        return Status::error(ErrorCode::InternalError,
+                             "unknown target field '" + key +
+                                 "' (want opt|mem|engine|fabric)");
+    }
+    return Status::ok();
+}
+
+Status
+TargetSpec::merge(const std::string& spec)
+{
+    TargetSpec t = *this;
+    for (const std::string& raw : split(spec, ',')) {
+        const std::string field = trim(raw);
+        if (field.empty())
+            continue;
+        size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            return Status::error(
+                ErrorCode::InternalError,
+                "bad target spec field '" + field +
+                    "': expected key=value (e.g. "
+                    "opt=O2,mem=real2,engine=macro,fabric=4x4:hop2)");
+        Status st =
+            t.setField(field.substr(0, eq), field.substr(eq + 1));
+        if (!st)
+            return st;
+    }
+    *this = t;
+    return Status::ok();
+}
+
+Status
+TargetSpec::parse(const std::string& spec, TargetSpec* out)
+{
+    TargetSpec t;
+    Status st = t.merge(spec);
+    if (st)
+        *out = t;
+    return st;
+}
+
+std::string
+TargetSpec::str() const
+{
+    std::string s = std::string("opt=") + optLevelName(level) +
+                    ",mem=" + mem + ",engine=" + engine;
+    if (fabric != FabricModel())
+        s += ",fabric=" + fabric.str();
+    return s;
+}
+
+Status
+TargetSpec::resolve(MemConfig* mc, SimEngine* se) const
+{
+    Status st = parseMemSpec(mem, mc);
+    if (!st)
+        return st;
+    return parseSimEngine(engine, se);
+}
+
+} // namespace cash

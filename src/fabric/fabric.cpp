@@ -1,0 +1,101 @@
+#include "fabric/fabric.h"
+
+#include <sstream>
+#include <vector>
+
+namespace cash {
+
+namespace {
+
+/** Strictly-positive decimal integer; false on junk or overflow. */
+bool
+parsePosInt(const std::string& text, int* out)
+{
+    if (text.empty() || text.size() > 6)
+        return false;
+    long v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + (c - '0');
+    }
+    if (v < 1 || v > 1000000)
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
+Status
+badFabric(const std::string& spec, const std::string& why)
+{
+    return Status::error(ErrorCode::InternalError,
+                         "bad fabric spec '" + spec + "': " + why +
+                             " (expected <R>x<C>[:hop<L>][:cap<N>]"
+                             "[:credit<K>], e.g. 4x4:hop2)");
+}
+
+} // namespace
+
+Status
+FabricModel::parse(const std::string& spec, FabricModel* out)
+{
+    FabricModel fm;
+
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (true) {
+        size_t colon = spec.find(':', start);
+        parts.push_back(spec.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+
+    size_t x = parts[0].find('x');
+    if (x == std::string::npos)
+        return badFabric(spec, "missing '<R>x<C>' grid shape");
+    if (!parsePosInt(parts[0].substr(0, x), &fm.rows))
+        return badFabric(spec, "bad row count '" + parts[0].substr(0, x) +
+                                   "'");
+    if (!parsePosInt(parts[0].substr(x + 1), &fm.cols))
+        return badFabric(spec,
+                         "bad column count '" + parts[0].substr(x + 1) +
+                             "'");
+    if (fm.rows * fm.cols > 4096)
+        return badFabric(spec, "grid larger than 4096 tiles");
+
+    for (size_t i = 1; i < parts.size(); i++) {
+        const std::string& p = parts[i];
+        if (p.rfind("hop", 0) == 0) {
+            if (!parsePosInt(p.substr(3), &fm.hopLatency))
+                return badFabric(spec, "bad hop latency '" + p + "'");
+        } else if (p.rfind("cap", 0) == 0) {
+            if (!parsePosInt(p.substr(3), &fm.tileCapacity))
+                return badFabric(spec, "bad tile capacity '" + p + "'");
+        } else if (p.rfind("credit", 0) == 0) {
+            if (!parsePosInt(p.substr(6), &fm.linkCredits))
+                return badFabric(spec, "bad link credits '" + p + "'");
+        } else {
+            return badFabric(spec, "unknown suffix '" + p + "'");
+        }
+    }
+
+    *out = fm;
+    return Status::ok();
+}
+
+std::string
+FabricModel::str() const
+{
+    std::ostringstream os;
+    os << rows << 'x' << cols;
+    if (hopLatency != 1)
+        os << ":hop" << hopLatency;
+    if (tileCapacity != 0)
+        os << ":cap" << tileCapacity;
+    if (linkCredits != 0)
+        os << ":credit" << linkCredits;
+    return os.str();
+}
+
+} // namespace cash

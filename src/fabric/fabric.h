@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tiled-fabric model (docs/FABRIC.md).
+ *
+ * The paper assumes an idealized fabric where every Pegasus operator
+ * is a free ASIC node with point-to-point wires.  A FabricModel
+ * instead describes a bounded NxM grid of tiles: each tile hosts a
+ * limited number of operators, neighbouring tiles are one "hop"
+ * apart, and every directed tile pair is connected by a FIFO channel
+ * with a bounded number of in-flight credits.  The placer
+ * (fabric/placer.h) maps each graph onto the grid; the simulator
+ * charges per-hop latency and credit backpressure on every cross-tile
+ * edge.
+ *
+ * Spec grammar (the `fabric=` field of a TargetSpec):
+ *
+ *     <R>x<C>[:hop<L>][:cap<N>][:credit<K>]
+ *
+ * e.g. `4x4`, `2x2:hop3`, `8x8:hop2:cap16:credit8`.  `str()` renders
+ * the canonical form (suffixes only for non-default values) and
+ * round-trips through `parse()`; it is the fabric fragment of the
+ * service cache key, so canonicalization is load-bearing.
+ */
+#ifndef CASH_FABRIC_FABRIC_H
+#define CASH_FABRIC_FABRIC_H
+
+#include <cstdlib>
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace cash {
+
+/** An NxM grid of operator tiles with a mesh interconnect. */
+struct FabricModel
+{
+    int rows = 1;
+    int cols = 1;
+    /** Cycles charged per Manhattan hop on a cross-tile edge. */
+    int hopLatency = 1;
+    /**
+     * Operators a tile may host; 0 = balanced (the placer derives
+     * ceil(liveNodes / numTiles) per graph).
+     */
+    int tileCapacity = 0;
+    /**
+     * In-flight transfers per directed tile-pair channel; 0 =
+     * unbounded (no credit backpressure).
+     */
+    int linkCredits = 0;
+
+    int numTiles() const { return rows * cols; }
+
+    /** A 1x1 (or degenerate) fabric: no placement, no timing effect. */
+    bool trivial() const { return rows * cols <= 1; }
+
+    int tileRow(int tile) const { return tile / cols; }
+    int tileCol(int tile) const { return tile % cols; }
+
+    /** Manhattan hop distance between two tiles. */
+    int
+    hopDist(int a, int b) const
+    {
+        return std::abs(tileRow(a) - tileRow(b)) +
+               std::abs(tileCol(a) - tileCol(b));
+    }
+
+    /** Parse the spec grammar above.  Field-level error messages. */
+    static Status parse(const std::string& spec, FabricModel* out);
+
+    /** Canonical spec; round-trips through parse(). */
+    std::string str() const;
+
+    bool
+    operator==(const FabricModel& o) const
+    {
+        return rows == o.rows && cols == o.cols &&
+               hopLatency == o.hopLatency &&
+               tileCapacity == o.tileCapacity &&
+               linkCredits == o.linkCredits;
+    }
+    bool operator!=(const FabricModel& o) const { return !(*this == o); }
+};
+
+} // namespace cash
+
+#endif // CASH_FABRIC_FABRIC_H

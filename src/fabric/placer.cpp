@@ -1,0 +1,378 @@
+#include "fabric/placer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pegasus/graph.h"
+#include "pegasus/node.h"
+
+namespace cash {
+
+namespace {
+
+/** splitmix64 — the only use of the seed: breaking exact ties. */
+uint64_t
+mix(uint64_t seed, uint64_t v)
+{
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull * (v + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Undirected weighted adjacency in CSR form. */
+struct AdjGraph
+{
+    int n = 0;
+    std::vector<int32_t> off;  ///< n + 1.
+    std::vector<int32_t> nbr;
+    std::vector<int32_t> w;
+    std::vector<int32_t> weight;  ///< Node weight (fine-node count).
+
+    int64_t
+    degree(int u) const
+    {
+        int64_t d = 0;
+        for (int e = off[u]; e < off[u + 1]; e++)
+            d += w[e];
+        return d;
+    }
+};
+
+/** Build an AdjGraph from undirected (u, v) pairs, merging parallels. */
+AdjGraph
+buildAdj(int n, std::vector<std::pair<int32_t, int32_t>>& pairs,
+         const std::vector<int32_t>& weight)
+{
+    // Symmetrize, normalize, merge parallel edges into weights.
+    std::vector<std::pair<int32_t, int32_t>> sym;
+    sym.reserve(pairs.size() * 2);
+    for (auto& p : pairs) {
+        if (p.first == p.second)
+            continue;
+        sym.push_back(p);
+        sym.emplace_back(p.second, p.first);
+    }
+    std::sort(sym.begin(), sym.end());
+
+    AdjGraph g;
+    g.n = n;
+    g.weight = weight;
+    g.off.assign(n + 1, 0);
+    for (size_t i = 0; i < sym.size();) {
+        size_t j = i;
+        while (j < sym.size() && sym[j] == sym[i])
+            j++;
+        g.nbr.push_back(sym[i].second);
+        g.w.push_back(static_cast<int32_t>(j - i));
+        g.off[sym[i].first + 1]++;
+        i = j;
+    }
+    for (int u = 0; u < n; u++)
+        g.off[u + 1] += g.off[u];
+    return g;
+}
+
+/**
+ * One round of heavy-edge matching: each unmatched cluster (id order)
+ * pairs with its heaviest unmatched neighbour whose combined weight
+ * stays within @p maxWeight.  Returns the coarse graph and fills
+ * @p coarseOf (fine-cluster -> coarse-cluster).
+ */
+AdjGraph
+coarsen(const AdjGraph& g, int maxWeight, std::vector<int32_t>* coarseOf,
+        bool* changed)
+{
+    std::vector<int32_t> match(g.n, -1);
+    *changed = false;
+    for (int u = 0; u < g.n; u++) {
+        if (match[u] >= 0)
+            continue;
+        int best = -1;
+        int32_t bestW = 0;
+        for (int e = g.off[u]; e < g.off[u + 1]; e++) {
+            int v = g.nbr[e];
+            if (match[v] >= 0 ||
+                g.weight[u] + g.weight[v] > maxWeight)
+                continue;
+            if (g.w[e] > bestW || (g.w[e] == bestW && v < best)) {
+                best = v;
+                bestW = g.w[e];
+            }
+        }
+        match[u] = (best >= 0) ? best : u;
+        if (best >= 0) {
+            match[best] = u;
+            *changed = true;
+        }
+    }
+
+    coarseOf->assign(g.n, -1);
+    int nc = 0;
+    for (int u = 0; u < g.n; u++) {
+        if ((*coarseOf)[u] >= 0)
+            continue;
+        (*coarseOf)[u] = nc;
+        (*coarseOf)[match[u]] = nc;
+        nc++;
+    }
+
+    std::vector<int32_t> cw(nc, 0);
+    for (int u = 0; u < g.n; u++)
+        cw[(*coarseOf)[u]] += g.weight[u];
+    std::vector<std::pair<int32_t, int32_t>> pairs;
+    for (int u = 0; u < g.n; u++)
+        for (int e = g.off[u]; e < g.off[u + 1]; e++) {
+            int cu = (*coarseOf)[u], cv = (*coarseOf)[g.nbr[e]];
+            if (cu < cv)
+                for (int k = 0; k < g.w[e]; k++)
+                    pairs.emplace_back(cu, cv);
+        }
+    return buildAdj(nc, pairs, cw);
+}
+
+/**
+ * Greedy BFS-grow seeding: fill tiles in row-major order, each tile
+ * growing from its most-connected frontier cluster.  Clusters that
+ * fit nowhere greedily go to the emptiest tile (repaired later).
+ */
+void
+bfsGrowSeed(const AdjGraph& g, int numTiles, int capacity, uint64_t seed,
+            std::vector<int32_t>* tileOf)
+{
+    tileOf->assign(g.n, -1);
+    std::vector<int32_t> load(numTiles, 0);
+    int unassigned = g.n;
+
+    // gain[u]: connection weight from u into the tile being grown.
+    std::vector<int64_t> gain(g.n, 0);
+
+    for (int t = 0; t < numTiles && unassigned > 0; t++) {
+        std::fill(gain.begin(), gain.end(), 0);
+        while (unassigned > 0) {
+            // Highest-gain unassigned cluster that fits; among zero
+            // gain (fresh seed) prefer highest degree.  Ties break on
+            // the seed hash, then id — fully deterministic.
+            int best = -1;
+            int64_t bestKey1 = -1, bestKey2 = -1;
+            uint64_t bestH = 0;
+            for (int u = 0; u < g.n; u++) {
+                if ((*tileOf)[u] >= 0 ||
+                    load[t] + g.weight[u] > capacity)
+                    continue;
+                int64_t k1 = gain[u], k2 = g.degree(u);
+                uint64_t h = mix(seed, u);
+                if (best < 0 || k1 > bestKey1 ||
+                    (k1 == bestKey1 &&
+                     (k2 > bestKey2 ||
+                      (k2 == bestKey2 && h < bestH)))) {
+                    best = u;
+                    bestKey1 = k1;
+                    bestKey2 = k2;
+                    bestH = h;
+                }
+            }
+            if (best < 0)
+                break;  // Nothing fits in this tile anymore.
+            (*tileOf)[best] = t;
+            load[t] += g.weight[best];
+            unassigned--;
+            for (int e = g.off[best]; e < g.off[best + 1]; e++)
+                gain[g.nbr[e]] += g.w[e];
+        }
+    }
+
+    // Leftovers (greedy packing miss): emptiest tile, id order.
+    for (int u = 0; u < g.n; u++) {
+        if ((*tileOf)[u] >= 0)
+            continue;
+        int t = static_cast<int>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        (*tileOf)[u] = t;
+        load[t] += g.weight[u];
+    }
+}
+
+} // namespace
+
+Placement
+placeGraph(const Graph& g, const FabricModel& fm, uint64_t seed)
+{
+    Placement pl;
+    pl.numTiles = fm.numTiles();
+
+    const std::vector<Node*> nodes = g.liveNodes();
+    const int n = static_cast<int>(nodes.size());
+    pl.numNodes = n;
+    pl.tileOf.assign(n, 0);
+
+    // Dense index per node id.
+    int maxId = -1;
+    for (const Node* nd : nodes)
+        maxId = std::max(maxId, nd->id);
+    std::vector<int32_t> denseOf(maxId + 1, -1);
+    for (int i = 0; i < n; i++)
+        denseOf[nodes[i]->id] = i;
+
+    // Combined data+token edge multigraph over live nodes.
+    std::vector<std::pair<int32_t, int32_t>> pairs;
+    for (int i = 0; i < n; i++)
+        for (const PortRef& in : nodes[i]->inputs()) {
+            if (!in.node || in.node->dead)
+                continue;
+            pl.totalEdges++;
+            pairs.emplace_back(denseOf[in.node->id], i);
+        }
+
+    const int T = fm.numTiles();
+    const int balanced = (n + T - 1) / T;
+    const int capacity = std::max(fm.tileCapacity, balanced);
+    pl.capacity = capacity;
+
+    if (fm.trivial() || n == 0) {
+        pl.usedTiles = n > 0 ? 1 : 0;
+        pl.maxTileOps = n;
+        return pl;
+    }
+
+    AdjGraph fine =
+        buildAdj(n, pairs, std::vector<int32_t>(n, 1));
+
+    // ---- 1. Coarsen until within a small multiple of the tiles. ----
+    std::vector<std::vector<int32_t>> maps;  // Projection chain.
+    AdjGraph cur = fine;
+    while (cur.n > 4 * T) {
+        std::vector<int32_t> coarseOf;
+        bool changed = false;
+        AdjGraph next =
+            coarsen(cur, std::max(1, capacity / 2), &coarseOf, &changed);
+        if (!changed)
+            break;
+        maps.push_back(std::move(coarseOf));
+        cur = std::move(next);
+    }
+
+    // ---- 2. Greedy BFS-grow seeding on the coarse graph. ----
+    std::vector<int32_t> tile;
+    bfsGrowSeed(cur, T, capacity, seed, &tile);
+
+    // Project back to fine nodes.
+    for (auto it = maps.rbegin(); it != maps.rend(); ++it) {
+        const std::vector<int32_t>& coarseOf = *it;
+        std::vector<int32_t> finer(coarseOf.size());
+        for (size_t u = 0; u < coarseOf.size(); u++)
+            finer[u] = tile[coarseOf[u]];
+        tile = std::move(finer);
+    }
+
+    std::vector<int32_t> load(T, 0);
+    for (int i = 0; i < n; i++)
+        load[tile[i]]++;
+
+    // ---- 3. KL-style boundary refinement: single-node moves that
+    // reduce total cut cost (weight x hop distance), capacity-bound.
+    auto moveCost = [&](int u, int t) {
+        int64_t c = 0;
+        for (int e = fine.off[u]; e < fine.off[u + 1]; e++)
+            c += static_cast<int64_t>(fine.w[e]) *
+                 fm.hopDist(t, tile[fine.nbr[e]]);
+        return c;
+    };
+    for (int pass = 0; pass < 8; pass++) {
+        int moves = 0;
+        for (int u = 0; u < n; u++) {
+            const int from = tile[u];
+            int64_t bestCost = moveCost(u, from);
+            int bestTile = from;
+            // Candidate targets: tiles hosting a neighbour.
+            for (int e = fine.off[u]; e < fine.off[u + 1]; e++) {
+                const int t = tile[fine.nbr[e]];
+                if (t == bestTile || load[t] >= capacity)
+                    continue;
+                const int64_t c = moveCost(u, t);
+                if (c < bestCost ||
+                    (c == bestCost && t < bestTile && t != from)) {
+                    bestCost = c;
+                    bestTile = t;
+                }
+            }
+            if (bestTile != from && moveCost(u, from) > bestCost) {
+                load[from]--;
+                load[bestTile]++;
+                tile[u] = bestTile;
+                moves++;
+            }
+        }
+        if (moves == 0)
+            break;
+    }
+
+    // ---- 4. Capacity repair: total capacity >= n, so overloaded
+    // tiles can always shed their cheapest boundary node somewhere.
+    while (true) {
+        int over = -1;
+        for (int t = 0; t < T; t++)
+            if (load[t] > capacity && (over < 0 || load[t] > load[over]))
+                over = t;
+        if (over < 0)
+            break;
+        int bestU = -1, bestT = -1;
+        int64_t bestDelta = 0;
+        for (int u = 0; u < n; u++) {
+            if (tile[u] != over)
+                continue;
+            for (int t = 0; t < T; t++) {
+                if (t == over || load[t] >= capacity)
+                    continue;
+                const int64_t d = moveCost(u, t) - moveCost(u, over);
+                if (bestU < 0 || d < bestDelta ||
+                    (d == bestDelta && (u < bestU ||
+                                        (u == bestU && t < bestT)))) {
+                    bestU = u;
+                    bestT = t;
+                    bestDelta = d;
+                }
+            }
+        }
+        assert(bestU >= 0 && "total capacity >= node count");
+        if (bestU < 0)
+            break;
+        load[over]--;
+        load[bestT]++;
+        tile[bestU] = bestT;
+    }
+
+    pl.tileOf = std::move(tile);
+
+    // ---- Quality report. ----
+    for (int i = 0; i < n; i++)
+        for (const PortRef& in : nodes[i]->inputs()) {
+            if (!in.node || in.node->dead)
+                continue;
+            const int d = fm.hopDist(pl.tileOf[denseOf[in.node->id]],
+                                     pl.tileOf[i]);
+            if (d > 0) {
+                pl.cutEdges++;
+                pl.cutHops += d;
+            }
+        }
+    for (int t = 0; t < T; t++) {
+        pl.maxTileOps = std::max<int64_t>(pl.maxTileOps, load[t]);
+        if (load[t] > 0)
+            pl.usedTiles++;
+    }
+    return pl;
+}
+
+FabricSession
+placeAll(const std::vector<const Graph*>& graphs, const FabricModel& fm,
+         uint64_t seed)
+{
+    FabricSession s;
+    s.model = fm;
+    for (const Graph* g : graphs)
+        s.placements.emplace(g->name, placeGraph(*g, fm, seed));
+    return s;
+}
+
+} // namespace cash

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Partitioner/placer: Pegasus graphs onto a FabricModel grid.
+ *
+ * Placement is a multi-level min-cut over the *combined* data+token
+ * edge graph (every input edge between live nodes, uniform weight,
+ * multi-edges accumulated):
+ *
+ *   1. coarsen by heavy-edge matching until the cluster count is
+ *      within a small multiple of the tile count;
+ *   2. seed the grid with a greedy BFS-grow: tiles are filled in
+ *      row-major order, each growing from the most-connected frontier
+ *      cluster, so connected subgraphs land on one tile;
+ *   3. project back to nodes and run Kernighan–Lin-style boundary
+ *      refinement: repeated single-node moves that reduce total
+ *      cut cost (edge weight x Manhattan hop distance) under the
+ *      capacity constraint.
+ *
+ * The whole pipeline is deterministic for a fixed seed (the seed only
+ * perturbs exact-tie choices through a splitmix hash); the default
+ * seed is fixed, so placement is byte-stable across runs and -jN.
+ */
+#ifndef CASH_FABRIC_PLACER_H
+#define CASH_FABRIC_PLACER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+
+namespace cash {
+
+class Graph;
+
+/** Where each live node of one graph lives, plus quality metrics. */
+struct Placement
+{
+    int numTiles = 1;
+    /** Tile id per dense live-node index (Graph::liveNodes() order). */
+    std::vector<int32_t> tileOf;
+
+    // Static quality report (docs/FABRIC.md, `fabric.*` stats keys).
+    int64_t totalEdges = 0;   ///< Data+token edges between live nodes.
+    int64_t cutEdges = 0;     ///< Edges whose endpoints sit on
+                              ///  different tiles.
+    int64_t cutHops = 0;      ///< Sum of hop distances over cut edges.
+    int64_t numNodes = 0;     ///< Live nodes placed.
+    int64_t maxTileOps = 0;   ///< Most-loaded tile.
+    int64_t usedTiles = 0;    ///< Tiles hosting at least one node.
+    int64_t capacity = 0;     ///< Effective per-tile capacity used.
+};
+
+/** Default placement seed; tests rely on this exact value. */
+inline constexpr uint64_t kPlacementSeed = 0x5eedcab5u;
+
+/**
+ * Place @p g onto @p fm.  Always succeeds: the effective capacity is
+ * max(fm.tileCapacity, ceil(liveNodes/numTiles)), so every graph
+ * fits.  Deterministic for a fixed @p seed.
+ */
+Placement placeGraph(const Graph& g, const FabricModel& fm,
+                     uint64_t seed = kPlacementSeed);
+
+/**
+ * One compiled request's fabric context: the model plus a placement
+ * per graph (keyed by graph name).  The simulator takes a pointer to
+ * one of these; null (or a trivial model) means the idealized fabric
+ * and costs nothing on any path.
+ */
+struct FabricSession
+{
+    FabricModel model;
+    std::map<std::string, Placement> placements;
+};
+
+/** placeGraph over every graph, keyed by name. */
+FabricSession placeAll(const std::vector<const Graph*>& graphs,
+                       const FabricModel& fm,
+                       uint64_t seed = kPlacementSeed);
+
+} // namespace cash
+
+#endif // CASH_FABRIC_PLACER_H

@@ -21,6 +21,11 @@
  *   --passes=a,b,...  explicit pass list (overrides -O)
  *   --run f(1,2,...)  simulate after compiling
  *   --mem MODEL       perfect|real1|real2|real4 (default real2)
+ *   --engine NAME     event|macro (default macro)
+ *   --target SPEC     unified target spec, e.g.
+ *                     opt=O2,mem=real2,engine=macro,fabric=4x4:hop2
+ *                     (validated server-side by the same TargetSpec
+ *                     parser as cashc --target)
  *   --max-events N    simulator event budget
  *   --analyze[=r1,r2] run analysis lints (all rules or a subset)
  *   --analyze-strict  analysis errors block simulation
@@ -56,7 +61,8 @@ usage()
         "commands:\n"
         "  ping | version | stats | shutdown\n"
         "  compile FILE [-O0..3] [--passes=a,b] [--run f(1,2)]\n"
-        "          [--mem MODEL] [--max-events N] [--analyze[=rules]]\n"
+        "          [--mem MODEL] [--engine NAME] [--target SPEC]\n"
+        "          [--max-events N] [--analyze[=rules]]\n"
         "          [--analyze-strict] [--ordering-checks] [--strict]\n"
         "          [--no-verify] [--dump-cfg] [--dump-graph] [--dot]\n"
         "          [--label NAME] [--json]\n"
@@ -246,6 +252,12 @@ main(int argc, char** argv)
             options.set("run", Json::string(argv[++i]));
         } else if (arg == "--mem" && i + 1 < argc) {
             options.set("mem", Json::string(argv[++i]));
+        } else if (arg == "--engine" && i + 1 < argc) {
+            options.set("engine", Json::string(argv[++i]));
+        } else if (arg == "--target" && i + 1 < argc) {
+            options.set("target", Json::string(argv[++i]));
+        } else if (arg.rfind("--target=", 0) == 0) {
+            options.set("target", Json::string(arg.substr(9)));
         } else if (arg == "--max-events" && i + 1 < argc) {
             options.set("max_events",
                         Json::number(

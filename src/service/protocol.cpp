@@ -221,7 +221,7 @@ parseSvcRequest(const Json& j, SvcRequest* out)
     if (const Json* v = opts.get("opt")) {
         if (!v->isString())
             return badRequest("options.opt must be a string");
-        Status st = parseOptLevel(v->asString(), &out->driver.level);
+        Status st = out->driver.target.setField("opt", v->asString());
         if (!st)
             return badRequest(st.message());
     }
@@ -276,20 +276,47 @@ parseSvcRequest(const Json& j, SvcRequest* out)
     if (const Json* v = opts.get("mem")) {
         if (!v->isString())
             return badRequest("options.mem must be a string");
-        MemConfig probe = MemConfig::realistic(2);
-        Status ms = parseMemSpec(v->asString(), &probe);
+        Status ms = out->driver.target.setField("mem", v->asString());
         if (!ms)
             return badRequest(ms.message());
-        out->driver.memSpec = v->asString();
     }
     if (const Json* v = opts.get("engine")) {
         if (!v->isString())
             return badRequest("options.engine must be a string");
-        SimEngine probe = SimEngine::Macro;
-        Status es = parseSimEngine(v->asString(), &probe);
+        Status es =
+            out->driver.target.setField("engine", v->asString());
         if (!es)
             return badRequest(es.message());
-        out->driver.engineSpec = v->asString();
+    }
+    // options.target: the unified TargetSpec (docs/SCHEMAS.md) —
+    // either the canonical spec string or an object with per-field
+    // strings.  Validated by the same TargetSpec code path as `cashc
+    // --target`, and applied after the legacy options above so its
+    // fields win (field-level last-setting-wins, like the CLI).
+    if (const Json* v = opts.get("target")) {
+        if (v->isString()) {
+            Status ts = out->driver.target.merge(v->asString());
+            if (!ts)
+                return badRequest("options.target: " + ts.message());
+        } else if (v->isObject()) {
+            for (const char* key : {"opt", "mem", "engine", "fabric"}) {
+                const Json* f = v->get(key);
+                if (!f)
+                    continue;
+                if (!f->isString())
+                    return badRequest("options.target." +
+                                      std::string(key) +
+                                      " must be a string");
+                Status ts =
+                    out->driver.target.setField(key, f->asString());
+                if (!ts)
+                    return badRequest("options.target: " +
+                                      ts.message());
+            }
+        } else {
+            return badRequest(
+                "options.target must be a string or an object");
+        }
     }
     if (const Json* v = opts.get("max_events")) {
         if (!v->isNumber() || v->asInt() < 0)
@@ -366,7 +393,11 @@ svcCacheKey(const SvcRequest& req)
     std::string key;
     key += std::string("v=") + kCashVersion + ";";
     key += "proto=" + std::to_string(kSvcProtocolVersion) + ";";
-    key += "opt=" + std::string(optLevelName(d.level)) + ";";
+    // One canonical fragment for the whole target (opt/mem/engine/
+    // fabric): TargetSpec::str() round-trips, so the CLI flags, a
+    // --target spec and the service's options.target forms all
+    // content-address identically.
+    key += "target=" + d.target.str() + ";";
     key += "passes=" + join(d.passNames, ",") + ";";
     key += "verify=" + std::to_string(d.verify) + ";";
     key += "ordering=" + std::to_string(d.orderingChecks) + ";";
@@ -375,8 +406,6 @@ svcCacheKey(const SvcRequest& req)
     key += "analyze_strict=" + std::to_string(d.analyzeStrict) + ";";
     key += "rules=" + join(d.analyzeRules, ",") + ";";
     key += "run=" + d.runSpec + ";";
-    key += "mem=" + d.memSpec + ";";
-    key += "engine=" + d.engineSpec + ";";
     key += "max_events=" + std::to_string(d.maxEvents) + ";";
     key += "cfg=" + std::to_string(d.wantCfg) + ";";
     key += "graph=" + std::to_string(d.wantGraphText) + ";";
@@ -395,8 +424,10 @@ svcResultBody(const SvcRequest& req, const DriverReply& rep)
     // stats document with the content address, not the client's name.
     meta.file = "svc:" + digest;
     meta.run = req.driver.runSpec;
-    meta.mem = req.driver.memSpec;
-    meta.level = req.driver.level;
+    meta.mem = req.driver.target.mem;
+    meta.level = req.driver.target.level;
+    if (!req.driver.target.fabric.trivial())
+        meta.target = req.driver.target.str();
 
     Json statsDoc;
     Status st = Json::parse(

@@ -57,13 +57,32 @@ DeadlockReport::str() const
 
 DataflowSimulator::DataflowSimulator(
     const std::vector<const Graph*>& graphs, const MemoryLayout& layout,
-    const MemConfig& cfg, SimEngine engine)
+    const MemConfig& cfg, SimEngine engine, const FabricSession* fabric)
     : layout_(layout), image_(layout), memsys_(cfg), engine_(engine)
 {
+    if (fabric && !fabric->model.trivial()) {
+        fabric_ = fabric;
+        fabricActive_ = true;
+    }
     for (const Graph* g : graphs)
         buildIndex(g);
     linkCallees();
     fireCounts_.assign(static_cast<size_t>(NodeKind::TokenGen) + 1, 0);
+    if (fabric_) {
+        for (const auto& entry : graphs_) {
+            auto it = fabric_->placements.find(entry.first);
+            if (it == fabric_->placements.end())
+                continue;
+            const Placement& pl = it->second;
+            fabricCutEdges_ += pl.cutEdges;
+            fabricTotalEdges_ += pl.totalEdges;
+            fabricCutHops_ += pl.cutHops;
+            fabricMaxTileOps_ =
+                std::max(fabricMaxTileOps_, pl.maxTileOps);
+            fabricUsedTiles_ += pl.usedTiles;
+            fabricNodes_ += pl.numNodes;
+        }
+    }
 }
 
 void
@@ -83,6 +102,18 @@ DataflowSimulator::buildIndex(const Graph* g)
                                        // uses the flat CSR arrays
     for (size_t i = 0; i < nodes.size(); i++)
         dense[nodes[i]] = static_cast<int>(i);
+
+    // Tiled fabric: the placement for this graph, if one was supplied.
+    const Placement* placed = nullptr;
+    if (fabric_) {
+        auto pit = fabric_->placements.find(g->name);
+        if (pit != fabric_->placements.end()) {
+            CASH_ASSERT(pit->second.tileOf.size() == nodes.size(),
+                        "placement does not match live-node count");
+            placed = &pit->second;
+            gi.tileOf = pit->second.tileOf;
+        }
+    }
 
     // Statically-known producer values: Const nodes, and pure
     // arithmetic whose inputs are themselves static.  Firing is
@@ -239,6 +270,10 @@ DataflowSimulator::buildIndex(const Graph* g)
                 nv.in.push_back(in);
             }
         }
+        // Fabric: a super-operator must not fuse across tiles; the
+        // compiler keeps candidates of one tile only (docs/FABRIC.md).
+        if (placed)
+            view.group = gi.tileOf;
         gi.plan = compileRegions(view);
         regionsTotal_ +=
             static_cast<int64_t>(gi.plan.regions.size());
@@ -268,6 +303,10 @@ DataflowSimulator::buildIndex(const Graph* g)
                 gi.inDesc.push_back(InputDesc{});
             gi.nodes[nodes.size() + r].region =
                 static_cast<int32_t>(r);
+            // The pseudo-node lives on its (single) tile: the group
+            // constraint above keeps every tape op on one tile.
+            if (placed)
+                gi.tileOf.push_back(gi.tileOf[R.tape[0].dense]);
         }
 
         // One-shot initial values targeting absorbed merges must land
@@ -356,6 +395,30 @@ DataflowSimulator::buildIndex(const Graph* g)
                                          static_cast<int32_t>(k)};
         }
     }
+    // Fabric: per-consumer hop cost and credit channel, parallel to
+    // the CSR `cons` array so output() charges them with one lookup.
+    if (placed) {
+        gi.consHop.assign(gi.cons.size(), 0);
+        gi.consChan.assign(gi.cons.size(), -1);
+        const FabricModel& fm = fabric_->model;
+        const int T = fm.numTiles();
+        for (size_t i = 0; i < allNodes; i++) {
+            const int srcTile = gi.tileOf[i];
+            for (int p = gi.hot[i].portBase; p < gi.hot[i + 1].portBase;
+                 p++)
+                for (int c = gi.consOff[p]; c < gi.consOff[p + 1];
+                     c++) {
+                    const int dstTile = gi.tileOf[gi.cons[c].node];
+                    const int d = fm.hopDist(srcTile, dstTile);
+                    if (d == 0)
+                        continue;
+                    gi.consHop[c] = d * fm.hopLatency;
+                    if (fm.linkCredits > 0)
+                        gi.consChan[c] = srcTile * T + dstTile;
+                }
+        }
+    }
+
     // Distinguished nodes, resolved once so activation start never
     // touches a map.
     for (const Node* p : g->paramNodes)
@@ -730,8 +793,45 @@ DataflowSimulator::output(Activation* a, int node, int port,
         when = clock;  // in-order delivery per output port
     clock = when;
     const Item item{value, eos};
-    for (int c = gi->consOff[p]; c < gi->consOff[p + 1]; c++)
-        deliver(a, gi->cons[c].node, gi->cons[c].slot, item, when);
+    if (!fabricActive_ || gi->consHop.empty()) {
+        for (int c = gi->consOff[p]; c < gi->consOff[p + 1]; c++)
+            deliver(a, gi->cons[c].node, gi->cons[c].slot, item, when);
+        return;
+    }
+    // Tiled fabric: charge per-hop latency on every cross-tile edge,
+    // plus credit-based backpressure when the tile-pair channel is
+    // bounded.  Per-edge FIFO order is preserved: the hop cost is a
+    // per-edge constant, and the earliest-free credit slot is monotone
+    // over a channel's (time-ordered) sends.
+    const int credits = fabric_->model.linkCredits;
+    for (int c = gi->consOff[p]; c < gi->consOff[p + 1]; c++) {
+        uint64_t arrive = when;
+        const int32_t hop = gi->consHop[c];
+        if (hop) {
+            fabricCrossDeliveries_++;
+            uint64_t depart = when;
+            const int32_t chan = gi->consChan[c];
+            if (chan >= 0) {
+                uint64_t* slot =
+                    &chanFree_[static_cast<size_t>(chan) * credits];
+                uint64_t* best = slot;
+                for (int k = 1; k < credits; k++)
+                    if (slot[k] < *best)
+                        best = &slot[k];
+                if (*best > depart) {
+                    fabricCreditStalls_++;
+                    fabricCreditStallCycles_ += *best - depart;
+                    depart = *best;
+                }
+                arrive = depart + hop;
+                *best = arrive;  // credit frees on arrival
+            } else {
+                arrive = when + hop;
+            }
+            fabricHopCycles_ += arrive - when;
+        }
+        deliver(a, gi->cons[c].node, gi->cons[c].slot, item, arrive);
+    }
 }
 
 inline __attribute__((always_inline)) bool
@@ -1671,6 +1771,12 @@ DataflowSimulator::run(const std::string& name,
     regWave_.clear();
     regNext_.clear();
     std::fill(regInWork_.begin(), regInWork_.end(), 0);
+    fabricCrossDeliveries_ = fabricHopCycles_ = 0;
+    fabricCreditStalls_ = fabricCreditStallCycles_ = 0;
+    if (fabricActive_ && fabric_->model.linkCredits > 0) {
+        const size_t t = static_cast<size_t>(fabric_->model.numTiles());
+        chanFree_.assign(t * t * fabric_->model.linkCredits, 0);
+    }
 
     ScopedTimer span(tracer_, "sim.run " + name, "sim");
     DeadlockReport deadlock;
@@ -1766,6 +1872,33 @@ DataflowSimulator::run(const std::string& name,
                     static_cast<int64_t>(regionsFired_));
         r.stats.set("sim.region.ops_inlined",
                     static_cast<int64_t>(regionOpsInlined_));
+    }
+    // Fabric keys appear only on a non-trivial fabric, so idealized
+    // runs stay byte-identical to the pre-fabric output.
+    if (fabricActive_) {
+        const FabricModel& fm = fabric_->model;
+        r.stats.set("fabric.tiles",
+                    static_cast<int64_t>(fm.numTiles()));
+        r.stats.set("fabric.hop_latency",
+                    static_cast<int64_t>(fm.hopLatency));
+        r.stats.set("fabric.link_credits",
+                    static_cast<int64_t>(fm.linkCredits));
+        r.stats.set("fabric.nodes", fabricNodes_);
+        r.stats.set("fabric.edges.total", fabricTotalEdges_);
+        r.stats.set("fabric.edges.cut", fabricCutEdges_);
+        r.stats.set("fabric.edges.cut_hops", fabricCutHops_);
+        r.stats.set("fabric.occupancy.max", fabricMaxTileOps_);
+        if (fabricUsedTiles_ > 0)
+            r.stats.set("fabric.occupancy.mean_x100",
+                        100 * fabricNodes_ / fabricUsedTiles_);
+        r.stats.set("fabric.cross_deliveries",
+                    static_cast<int64_t>(fabricCrossDeliveries_));
+        r.stats.set("fabric.hop_cycles",
+                    static_cast<int64_t>(fabricHopCycles_));
+        r.stats.set("fabric.credit_stalls",
+                    static_cast<int64_t>(fabricCreditStalls_));
+        r.stats.set("fabric.credit_stall_cycles",
+                    static_cast<int64_t>(fabricCreditStallCycles_));
     }
     r.stats.set("sim.firings", static_cast<int64_t>(firings_));
     r.stats.set("sim.dynLoads", static_cast<int64_t>(dynLoads_));

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/placer.h"
 #include "frontend/layout.h"
 #include "pegasus/graph.h"
 #include "sim/memory_image.h"
@@ -150,10 +151,15 @@ class DataflowSimulator
      * @param graphs   all compiled procedures (callees resolved by name)
      * @param layout   memory layout used to build the graphs
      * @param cfg      memory-system configuration
+     * @param fabric   tiled-fabric model + placements (docs/FABRIC.md);
+     *                 null or trivial = the paper's idealized fabric,
+     *                 with zero cost on any simulation path.  Must
+     *                 outlive the simulator.
      */
     DataflowSimulator(const std::vector<const Graph*>& graphs,
                       const MemoryLayout& layout, const MemConfig& cfg,
-                      SimEngine engine = SimEngine::Macro);
+                      SimEngine engine = SimEngine::Macro,
+                      const FabricSession* fabric = nullptr);
 
     /** Invoke @p name with @p args; memory persists across calls. */
     SimResult run(const std::string& name,
@@ -277,6 +283,16 @@ class DataflowSimulator
          */
         RegionPlan plan;
         int numRealNodes = 0;
+        /**
+         * Tiled fabric (docs/FABRIC.md): tile per dense node
+         * (region pseudo-nodes inherit their tape's tile), plus
+         * per-CSR-consumer hop cost in cycles and credit channel id
+         * (-1 = same tile or unbounded credits), parallel to `cons`.
+         * All empty on the idealized fabric.
+         */
+        std::vector<int32_t> tileOf;
+        std::vector<int32_t> consHop;
+        std::vector<int32_t> consChan;
     };
     /** NodeHot::kind of a region pseudo-node (outside NodeKind). */
     static constexpr uint8_t kRegionKind = 0xFF;
@@ -590,6 +606,32 @@ class DataflowSimulator
     const SimEngine engine_;
     /** Regions compiled across all graphs (sim.region.count). */
     int64_t regionsTotal_ = 0;
+
+    // --- tiled fabric (docs/FABRIC.md) -------------------------------
+    /** Non-null only for a non-trivial fabric with placements. */
+    const FabricSession* fabric_ = nullptr;
+    bool fabricActive_ = false;
+    /**
+     * Credit state per directed tile-pair channel: linkCredits slots
+     * per channel (chan * linkCredits + k), each holding the cycle
+     * its in-flight transfer arrives (frees the credit).  A send
+     * takes the earliest-free slot; when none is free at send time
+     * the transfer stalls until one is (FIFO order per channel is
+     * preserved — the earliest-free slot is monotone over sends).
+     */
+    std::vector<uint64_t> chanFree_;
+    // Static placement quality, aggregated over all placed graphs.
+    int64_t fabricCutEdges_ = 0;
+    int64_t fabricTotalEdges_ = 0;
+    int64_t fabricCutHops_ = 0;
+    int64_t fabricMaxTileOps_ = 0;
+    int64_t fabricUsedTiles_ = 0;
+    int64_t fabricNodes_ = 0;
+    // Per-run interconnect counters (fabric.* stats keys).
+    uint64_t fabricCrossDeliveries_ = 0;
+    uint64_t fabricHopCycles_ = 0;
+    uint64_t fabricCreditStalls_ = 0;
+    uint64_t fabricCreditStallCycles_ = 0;
 
     // --- macro-engine cascade scratch (reused, never shrunk) ---------
     /** Pending flag per tape index: set when one of the op's operand

@@ -73,6 +73,29 @@ compileRegions(const RegionGraphView& view, int minOps)
                 break;
             }
     }
+    // Tiled fabric: a region must not fuse across tile boundaries.
+    // Keep only the candidates of the best-populated group (ties:
+    // lowest group id); the rest stay event-driven.
+    if (!view.group.empty()) {
+        CASH_ASSERT(view.group.size() == n, "group size mismatch");
+        std::map<int32_t, int> perGroup;
+        for (size_t i = 0; i < n; i++)
+            if (cand[i])
+                perGroup[view.group[i]]++;
+        int32_t bestGroup = 0;
+        int bestCount = -1;
+        for (const auto& [grp, count] : perGroup)
+            if (count > bestCount) {
+                bestGroup = grp;
+                bestCount = count;
+            }
+        for (size_t i = 0; i < n; i++)
+            if (cand[i] && view.group[i] != bestGroup) {
+                cand[i] = 0;
+                numCand--;
+            }
+    }
+
     if (numCand < minOps)
         return plan;
 

@@ -114,6 +114,14 @@ struct RegionGraphView
         std::vector<In> in;
     };
     std::vector<NodeV> nodes;
+    /**
+     * Optional fusion-group id per node (tiled fabric: the node's
+     * tile).  When non-empty, a region never spans two groups — the
+     * compiler keeps only the candidates of the best-populated group
+     * (ties: lowest id), so a super-operator always lives on one tile
+     * and cross-tile edges keep their per-hop cost (docs/FABRIC.md).
+     */
+    std::vector<int32_t> group;
 };
 
 /** Operand of a tape op: a 2-bit tag plus an index, packed in an

@@ -163,7 +163,7 @@ TEST(SvcProtocol, CacheKeyCoversResultsNotIdentity)
     c.driver.source += " ";
     EXPECT_NE(svcCacheKey(a), svcCacheKey(c));
     SvcRequest d = a;
-    d.driver.level = OptLevel::None;
+    d.driver.target.level = OptLevel::None;
     EXPECT_NE(svcCacheKey(a), svcCacheKey(d));
     SvcRequest e = a;
     e.driver.runSpec = "f()";
@@ -172,7 +172,7 @@ TEST(SvcProtocol, CacheKeyCoversResultsNotIdentity)
     f.driver.wantDot = true;
     EXPECT_NE(svcCacheKey(a), svcCacheKey(f));
     SvcRequest g = a;
-    g.driver.engineSpec = "event";
+    g.driver.target.simEngine("event");
     EXPECT_NE(svcCacheKey(a), svcCacheKey(g));
 }
 
