@@ -50,6 +50,8 @@ OrderingChecker::OrderingChecker(const Graph& g,
     buildClosure(/*includeBackEdges=*/true, reachAll_);
     buildClosure(/*includeBackEdges=*/false, reachFwd_);
     buildHbReach();
+    buildProductive();
+    buildGates();
 }
 
 OrderingChecker::~OrderingChecker() = default;
@@ -244,6 +246,159 @@ OrderingChecker::hbCoexist(const Node* a, const Node* b) const
     return hbReach_[ha][hb] || hbReach_[hb][ha];
 }
 
+void
+OrderingChecker::buildProductive()
+{
+    // Least fixpoint of "can this token-graph node ever fire?".  A
+    // constant-folded branch leaves its loop subgraph in the graph
+    // with ring merges that have only back-edge inputs: no forward
+    // seed ever arrives, so the ring — and every side effect inside
+    // it — is permanently starved.  Such nodes cannot participate in
+    // a dynamic hazard.  Merges fire when ANY token input delivers;
+    // every other consumer is a strict join and needs ALL of them.
+    // Nodes with no token-graph inputs (init-token, token producers
+    // fed purely by data) seed the fixpoint as productive.
+    const size_t n = tokenNodes_.size();
+    productive_.assign(n, false);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t vi = 0; vi < n; vi++) {
+            if (productive_[vi])
+                continue;
+            const Node* v = tokenNodes_[vi];
+            bool any = false, all = true, have = false;
+            for (int i = 0; i < v->numInputs(); i++) {
+                const PortRef& in = v->input(i);
+                if (!in.valid() || in.node->dead ||
+                    in.node->outputType(in.port) != VT::Token)
+                    continue;
+                auto it = index_.find(in.node);
+                if (it == index_.end())
+                    continue;
+                have = true;
+                if (productive_[it->second])
+                    any = true;
+                else
+                    all = false;
+            }
+            if (!have || (v->kind == NodeKind::Merge ? any : all)) {
+                productive_[vi] = true;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+OrderingChecker::productive(const Node* n) const
+{
+    auto it = index_.find(n);
+    return it == index_.end() || productive_[it->second];
+}
+
+void
+OrderingChecker::buildGates()
+{
+    // gate(v) = etas lying on EVERY forward token path from a source
+    // to v: ∩ over forward predecessors u of (gate(u) ∪ {u if eta}),
+    // ∅ at sources.  Kahn order over the forward DAG; anything left
+    // unprocessed (a forward cycle would be a graph bug, but stay
+    // safe) keeps an empty set, which only weakens the exclusion.
+    const int n = static_cast<int>(tokenNodes_.size());
+    gateEta_.assign(static_cast<size_t>(n) * words_, 0);
+    if (n == 0)
+        return;
+    std::vector<std::vector<int>> inFwd(n);
+    std::vector<int> indeg(n, 0);
+    for (int u = 0; u < n; u++)
+        for (int v : succFwd_[u]) {
+            inFwd[v].push_back(u);
+            indeg[v]++;
+        }
+    std::vector<int> work;
+    for (int v = 0; v < n; v++)
+        if (indeg[v] == 0)
+            work.push_back(v);
+    std::vector<bool> done(n, false);
+    while (!work.empty()) {
+        int v = work.back();
+        work.pop_back();
+        uint64_t* row = gateEta_.data() +
+                        static_cast<size_t>(v) * words_;
+        bool first = true;
+        for (int u : inFwd[v]) {
+            const uint64_t* urow =
+                gateEta_.data() + static_cast<size_t>(u) * words_;
+            for (int w = 0; w < words_; w++) {
+                uint64_t via = urow[w];
+                if (tokenNodes_[u]->kind == NodeKind::Eta &&
+                    u / 64 == w)
+                    via |= uint64_t(1) << (u % 64);
+                if (first)
+                    row[w] = via;
+                else
+                    row[w] &= via;
+            }
+            first = false;
+        }
+        done[v] = true;
+        for (int s : succFwd_[v])
+            if (--indeg[s] == 0)
+                work.push_back(s);
+    }
+    // Unprocessed nodes (unexpected forward cycle): clear their rows.
+    for (int v = 0; v < n; v++)
+        if (!done[v])
+            std::fill(gateEta_.begin() + static_cast<size_t>(v) * words_,
+                      gateEta_.begin() +
+                          static_cast<size_t>(v + 1) * words_,
+                      0);
+}
+
+bool
+OrderingChecker::returnExcludesDir(const Node* x, const Node* y) const
+{
+    // A predicated return terminates the invocation: when it fires,
+    // the hyperblock's complementary exit etas never pass the token
+    // on, so strictly-downstream hyperblocks starve.  Node @p x in
+    // hb_x therefore never coexists with @p y in hb_y when control
+    // can only flow x → y (no back path) and x fires only in
+    // invocations where some return of hb_x fires — either because x
+    // *is* that return, or because x's predicate implies the
+    // return's.  Conversely, once the exit eta has fired the return
+    // predicate was false, so x never fired.  Mutual hb reachability
+    // (both inside a loop) stays conservative.
+    int hx = x->hyperblock, hy = y->hyperblock;
+    if (hx == hy || hx < 0 || hy < 0 ||
+        static_cast<size_t>(hx) >= hbReach_.size() ||
+        static_cast<size_t>(hy) >= hbReach_.size())
+        return false;
+    if (!hbReach_[hx][hy] || hbReach_[hy][hx])
+        return false;
+    if (x->kind == NodeKind::Return)
+        return true;
+    int px = x->predInIndex();
+    if (px < 0 || px >= x->numInputs() || !x->input(px).valid())
+        return false;
+    for (const Node* r : sideEffects_) {
+        if (r->kind != NodeKind::Return || r->hyperblock != hx)
+            continue;
+        int pr = r->predInIndex();
+        if (pr < 0 || pr >= r->numInputs() || !r->input(pr).valid())
+            continue;
+        if (predImplies(x->input(px), r->input(pr)))
+            return true;
+    }
+    return false;
+}
+
+bool
+OrderingChecker::returnExcludes(const Node* a, const Node* b) const
+{
+    return returnExcludesDir(a, b) || returnExcludesDir(b, a);
+}
+
 bool
 OrderingChecker::reachBit(const std::vector<uint64_t>& matrix,
                           const Node* a, const Node* b) const
@@ -356,18 +511,77 @@ OrderingChecker::mayConflict(const Node* a, const Node* b) const
                    oracle_->mayOverlap(wa, wb);
     if (!overlap || !hbCoexist(a, b))
         return false;
+    // A node that can never fire (starved ring behind a folded
+    // branch) conflicts with nothing.
+    if (!productive(a) || !productive(b))
+        return false;
+    if (returnExcludes(a, b))
+        return false;
     // Mutually exclusive activations never conflict: the §2 example
     // runs both branch calls in parallel precisely because only one
     // predicate can be 1.  The builder encodes that exclusion as
     // block-level reachability while wiring tokens; predication
-    // erases the blocks, so re-derive it from the predicates.
-    int pa = a->predInIndex(), pb = b->predInIndex();
-    if (pa >= 0 && pb >= 0 && pa < a->numInputs() &&
-        pb < b->numInputs() && a->input(pa).valid() &&
-        b->input(pb).valid() &&
-        predDisjoint(a->input(pa), b->input(pb)))
+    // erases the blocks, so re-derive it from the predicates —
+    // both the nodes' own predicate inputs and the predicates of
+    // etas gating every token path that can feed them (a load
+    // hoisted out of one branch stays exclusive with a store whose
+    // ring is seeded from the other branch).
+    if (predsExclude(a, b))
         return false;
     return true;
+}
+
+std::vector<PortRef>
+OrderingChecker::accessPreds(const Node* n) const
+{
+    auto cached = predCache_.find(n);
+    if (cached != predCache_.end())
+        return cached->second;
+    // Predicates that must be true for @p n to perform its memory
+    // access: its own predicate input (a nullified access touches
+    // nothing), plus the predicate of every eta that dominates all
+    // forward token paths from the sources to @p n.  Ring back edges
+    // never bypass such an eta: a value circulating a ring entered it
+    // through the ring's forward seed, and an eta whose predicate was
+    // false emits EOS, which the seeded merge discards — so a value
+    // reaching @p n proves each dominating eta fired with a true
+    // predicate.
+    std::vector<PortRef> preds;
+    int pi = n->predInIndex();
+    if (pi >= 0 && pi < n->numInputs() && n->input(pi).valid())
+        preds.push_back(n->input(pi));
+    constexpr size_t kMaxPreds = 8;
+    auto it = index_.find(n);
+    if (it != index_.end() && !gateEta_.empty()) {
+        const uint64_t* row =
+            gateEta_.data() + static_cast<size_t>(it->second) * words_;
+        for (int w = 0; w < words_ && preds.size() < kMaxPreds; w++) {
+            uint64_t bits = row[w];
+            while (bits && preds.size() < kMaxPreds) {
+                int bit = __builtin_ctzll(bits);
+                bits &= bits - 1;
+                const Node* e = tokenNodes_[w * 64 + bit];
+                int ep = e->predInIndex();
+                if (ep >= 0 && ep < e->numInputs() &&
+                    e->input(ep).valid())
+                    preds.push_back(e->input(ep));
+            }
+        }
+    }
+    predCache_[n] = preds;
+    return preds;
+}
+
+bool
+OrderingChecker::predsExclude(const Node* a, const Node* b) const
+{
+    std::vector<PortRef> pa = accessPreds(a);
+    std::vector<PortRef> pb = accessPreds(b);
+    for (const PortRef& p : pa)
+        for (const PortRef& q : pb)
+            if (predDisjoint(p, q))
+                return true;
+    return false;
 }
 
 bool

@@ -124,7 +124,14 @@ class OrderingChecker
     void buildClosure(bool includeBackEdges,
                       std::vector<uint64_t>& matrix);
     void buildHbReach();
+    void buildProductive();
+    void buildGates();
+    bool productive(const Node* n) const;
+    std::vector<PortRef> accessPreds(const Node* n) const;
+    bool predsExclude(const Node* a, const Node* b) const;
     bool hbCoexist(const Node* a, const Node* b) const;
+    bool returnExcludes(const Node* a, const Node* b) const;
+    bool returnExcludesDir(const Node* x, const Node* y) const;
     bool reachBit(const std::vector<uint64_t>& matrix, const Node* a,
                   const Node* b) const;
     LocationSet refinedSet(const Node* n) const;
@@ -143,6 +150,9 @@ class OrderingChecker
 
     std::vector<const Node*> sideEffects_;
     std::vector<std::vector<bool>> hbReach_; ///< HB id → reachable ids.
+    std::vector<bool> productive_;           ///< Token node can ever fire.
+    std::vector<uint64_t> gateEta_;          ///< Dominating-eta bitsets.
+    mutable std::map<const Node*, std::vector<PortRef>> predCache_;
 
     std::unique_ptr<InductionAnalysis> ivs_; ///< Lazy (symbolic only).
     std::unique_ptr<SymbolicAddress> sym_;

@@ -160,6 +160,8 @@ runDriverRequest(const DriverRequest& req)
                 sim.setTracer(req.tracer);
             if (req.maxEvents)
                 sim.setMaxEvents(req.maxEvents);
+            if (req.simWallMs)
+                sim.setWallBudgetMs(req.simWallMs);
             if (req.faults && !req.faults->empty())
                 sim.setFaultPlan(req.faults);
             SimResult out = sim.run(fname, args);

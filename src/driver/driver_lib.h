@@ -32,7 +32,7 @@
 namespace cash {
 
 /** Release version of the cash toolchain (cashc, cashd, cash). */
-inline constexpr const char* kCashVersion = "0.7.0";
+inline constexpr const char* kCashVersion = "0.8.0";
 
 /** "<tool> <version> (<wire schema>, protocol <n>)". */
 std::string versionString(const std::string& tool);
@@ -66,6 +66,8 @@ struct DriverRequest
     std::string runSpec;
     /** Simulator event budget; 0 = unlimited. */
     uint64_t maxEvents = 0;
+    /** Simulator wall-clock budget in ms; 0 = unlimited. */
+    int64_t simWallMs = 0;
 
     /** Extra artifacts to render into the reply. */
     bool wantCfg = false;

@@ -1,0 +1,976 @@
+#include "fuzz/generator.h"
+
+#include "support/diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cash {
+namespace fuzz {
+
+// ---------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------
+
+namespace {
+
+GenProfile
+smallProfile()
+{
+    GenProfile p;
+    p.name = "small";
+    return p;
+}
+
+GenProfile
+mediumProfile()
+{
+    GenProfile p;
+    p.name = "medium";
+    p.minFunctions = 2;
+    p.maxFunctions = 5;
+    p.minStmts = 3;
+    p.maxStmts = 7;
+    p.maxExprDepth = 4;
+    p.maxBlockDepth = 3;
+    p.maxLoopTrips = 12;
+    p.maxArrays = 3;
+    p.arrayElems = 32;
+    p.maxGlobals = 3;
+    p.workBudget = 120000;
+    return p;
+}
+
+GenProfile
+largeProfile()
+{
+    GenProfile p;
+    p.name = "large";
+    p.minFunctions = 4;
+    p.maxFunctions = 8;
+    p.minStmts = 4;
+    p.maxStmts = 9;
+    p.maxExprDepth = 5;
+    p.maxBlockDepth = 3;
+    p.maxLoopTrips = 16;
+    p.maxArrays = 4;
+    p.arrayElems = 64;
+    p.maxGlobals = 4;
+    p.maxRecursionDepth = 6;
+    p.workBudget = 200000;
+    return p;
+}
+
+} // namespace
+
+GenProfile
+GenProfile::byName(const std::string& name)
+{
+    if (name == "small")
+        return smallProfile();
+    if (name == "medium")
+        return mediumProfile();
+    if (name == "large")
+        return largeProfile();
+    if (name == "mixed") {
+        GenProfile p = smallProfile();
+        p.name = "mixed";
+        return p;
+    }
+    fatal("unknown fuzz profile '" + name +
+          "' (known: small, medium, large, mixed)");
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+GenExpr
+GenExpr::lit(int64_t v)
+{
+    GenExpr e;
+    e.k = K::Lit;
+    e.value = v;
+    return e;
+}
+
+GenExpr
+GenExpr::var(const std::string& n)
+{
+    GenExpr e;
+    e.k = K::Var;
+    e.name = n;
+    return e;
+}
+
+void
+GenExpr::render(std::string* out) const
+{
+    switch (k) {
+      case K::Lit:
+        if (value < 0) {
+            out->append("(");
+            out->append(std::to_string(value));
+            out->append(")");
+        } else {
+            out->append(std::to_string(value));
+        }
+        break;
+      case K::Var:
+        out->append(name);
+        break;
+      case K::ArrLoad:
+        out->append(name);
+        out->append("[(");
+        kids[0].render(out);
+        out->append(") & ");
+        out->append(std::to_string(mask));
+        out->append("]");
+        break;
+      case K::Unary:
+        out->append("(");
+        out->append(op);
+        out->append("(");
+        kids[0].render(out);
+        out->append("))");
+        break;
+      case K::Binary:
+        out->append("(");
+        kids[0].render(out);
+        out->append(" ");
+        out->append(op);
+        out->append(" ");
+        kids[1].render(out);
+        out->append(")");
+        break;
+      case K::Cond:
+        out->append("((");
+        kids[0].render(out);
+        out->append(") ? (");
+        kids[1].render(out);
+        out->append(") : (");
+        kids[2].render(out);
+        out->append("))");
+        break;
+      case K::Call:
+        out->append(name);
+        out->append("(");
+        for (size_t i = 0; i < kids.size(); ++i) {
+            if (i)
+                out->append(", ");
+            kids[i].render(out);
+        }
+        out->append(")");
+        break;
+    }
+}
+
+std::string
+GenExpr::str() const
+{
+    std::string s;
+    render(&s);
+    return s;
+}
+
+namespace {
+
+void
+indentTo(std::string* out, int indent)
+{
+    out->append(static_cast<size_t>(indent) * 4, ' ');
+}
+
+void
+renderBlock(std::string* out, const std::vector<GenStmt>& body, int indent)
+{
+    out->append("{\n");
+    for (const GenStmt& s : body)
+        s.render(out, indent + 1);
+    indentTo(out, indent);
+    out->append("}\n");
+}
+
+} // namespace
+
+void
+GenStmt::render(std::string* out, int indent) const
+{
+    indentTo(out, indent);
+    switch (k) {
+      case K::Decl:
+        out->append(type.empty() ? "int" : type);
+        out->append(" ");
+        out->append(name);
+        out->append(" = ");
+        a.render(out);
+        out->append(";\n");
+        break;
+      case K::Assign:
+        out->append(name);
+        out->append(" ");
+        out->append(op);
+        out->append("= ");
+        a.render(out);
+        out->append(";\n");
+        break;
+      case K::ArrStore:
+      case K::PtrStore:
+        out->append(name);
+        out->append("[(");
+        a.render(out);
+        out->append(") & ");
+        out->append(std::to_string(mask));
+        out->append("] = ");
+        b.render(out);
+        out->append(";\n");
+        break;
+      case K::If:
+        out->append("if (");
+        a.render(out);
+        out->append(") ");
+        renderBlock(out, body, indent);
+        if (!elseBody.empty()) {
+            indentTo(out, indent);
+            out->append("else ");
+            renderBlock(out, elseBody, indent);
+        }
+        break;
+      case K::For:
+        // The counter declaration rides along with the loop so a
+        // GenStmt stays one self-contained reduction unit.
+        out->append("int ");
+        out->append(name);
+        out->append(";\n");
+        indentTo(out, indent);
+        out->append("for (");
+        out->append(name);
+        out->append(" = 0; ");
+        out->append(name);
+        out->append(" < ");
+        out->append(std::to_string(trips));
+        out->append("; ");
+        out->append(name);
+        out->append("++) ");
+        renderBlock(out, body, indent);
+        break;
+      case K::While:
+        out->append("int ");
+        out->append(name);
+        out->append(" = ");
+        out->append(std::to_string(trips));
+        out->append(";\n");
+        indentTo(out, indent);
+        out->append("while (");
+        out->append(name);
+        out->append(" > 0) {\n");
+        for (const GenStmt& s : body)
+            s.render(out, indent + 1);
+        indentTo(out, indent + 1);
+        out->append(name);
+        out->append(" = ");
+        out->append(name);
+        out->append(" - 1;\n");
+        indentTo(out, indent);
+        out->append("}\n");
+        break;
+      case K::Return:
+        out->append("return ");
+        a.render(out);
+        out->append(";\n");
+        break;
+      case K::Expr:
+        a.render(out);
+        out->append(";\n");
+        break;
+    }
+}
+
+void
+GenFunc::render(std::string* out) const
+{
+    out->append("int ");
+    out->append(name);
+    out->append("(");
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (i)
+            out->append(", ");
+        out->append(params[i].isPointer ? "int* " : "int ");
+        out->append(params[i].name);
+    }
+    out->append(")\n{\n");
+    for (const auto& pr : pragmas) {
+        out->append("    #pragma independent ");
+        out->append(pr.first);
+        out->append(" ");
+        out->append(pr.second);
+        out->append("\n");
+    }
+    for (const GenStmt& s : stmts)
+        s.render(out, 1);
+    out->append("}\n");
+}
+
+namespace {
+
+int64_t
+countStmts(const std::vector<GenStmt>& body)
+{
+    int64_t n = 0;
+    for (const GenStmt& s : body)
+        n += 1 + countStmts(s.body) + countStmts(s.elseBody);
+    return n;
+}
+
+} // namespace
+
+int64_t
+GenProgram::statementCount() const
+{
+    int64_t n = 0;
+    for (const GenFunc& f : funcs)
+        n += countStmts(f.stmts);
+    return n;
+}
+
+std::string
+GenProgram::render() const
+{
+    std::string out;
+    out.append("/* generated: seed=");
+    out.append(std::to_string(seed));
+    out.append(" profile=");
+    out.append(profile);
+    out.append(" */\n");
+    for (const GenGlobal& g : globals) {
+        out.append(g.type);
+        out.append(" ");
+        out.append(g.name);
+        if (g.elems > 0) {
+            out.append("[");
+            out.append(std::to_string(g.elems));
+            out.append("]");
+        } else {
+            out.append(" = ");
+            out.append(std::to_string(g.init));
+        }
+        out.append(";\n");
+    }
+    for (const GenFunc& f : funcs) {
+        out.append("\n");
+        f.render(&out);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Call-site shape of an already generated function.  Parameter order
+ * is fixed by construction: depth parameter first (recursive funcs),
+ * then pointer parameters, then scalar parameters.
+ */
+struct Callee
+{
+    const GenFunc* fn = nullptr;
+    int ptrParams = 0;
+    int intParams = 0;
+    bool recursive = false;
+};
+
+class FuncGen
+{
+  public:
+    FuncGen(Rng& rng,
+            const GenProfile& prof,
+            const std::vector<GenGlobal>& globals,
+            const std::vector<Callee>& callees,
+            int64_t workBudget)
+        : rng_(rng), prof_(prof), globals_(globals), callees_(callees),
+          budget_(workBudget)
+    {
+    }
+
+    /**
+     * Generate @p fn's body.  @p fn must already carry its name and
+     * params; pointer params become extra store/load targets, and a
+     * recursive function gets the canonical depth-guard scaffold.
+     */
+    void
+    run(GenFunc* fn)
+    {
+        fn_ = fn;
+        for (const GenParam& p : fn->params) {
+            if (p.isPointer)
+                ptrParams_.push_back(p.name);
+            else
+                readable_.push_back(p.name);
+        }
+
+        if (fn->recursive) {
+            // if (d <= 0) return <base>;  guards every deeper state.
+            GenStmt guard;
+            guard.k = GenStmt::K::If;
+            guard.a = binary(GenExpr::var("d"), "<=", GenExpr::lit(0));
+            GenStmt base;
+            base.k = GenStmt::K::Return;
+            base.a = genExpr(1);
+            guard.body.push_back(std::move(base));
+            fn->stmts.push_back(std::move(guard));
+        }
+
+        int locals = static_cast<int>(rng_.range(1, 2));
+        for (int i = 0; i < locals; ++i)
+            fn->stmts.push_back(genDecl());
+
+        genStmts(&fn->stmts, /*depth=*/0, /*scale=*/1);
+
+        GenStmt ret;
+        ret.k = GenStmt::K::Return;
+        ret.a = genExpr(prof_.maxExprDepth);
+        if (fn->recursive) {
+            // Fold one self-call into the result so the recursion is
+            // live: return (expr + self(d - 1, ...)).
+            GenExpr self;
+            self.k = GenExpr::K::Call;
+            self.name = fn->name;
+            self.kids.push_back(
+                binary(GenExpr::var("d"), "-", GenExpr::lit(1)));
+            appendCallArgs(&self, ptrParams_.empty() ? 0 : -1,
+                           static_cast<int>(fn->params.size()) - 1 -
+                               static_cast<int>(ptrParams_.size()));
+            ret.a = binary(std::move(ret.a), "+", std::move(self));
+        }
+        fn->stmts.push_back(std::move(ret));
+
+        int64_t perCall = spent_ + 4;
+        fn->workEstimate = fn->recursive
+                               ? perCall * (prof_.maxRecursionDepth + 1)
+                               : perCall;
+    }
+
+  private:
+    static GenExpr
+    binary(GenExpr a, const std::string& op, GenExpr b)
+    {
+        GenExpr e;
+        e.k = GenExpr::K::Binary;
+        e.op = op;
+        e.kids.push_back(std::move(a));
+        e.kids.push_back(std::move(b));
+        return e;
+    }
+
+    bool overBudget() const { return spent_ >= budget_; }
+
+    std::string
+    freshLocal()
+    {
+        return "v" + std::to_string(nextLocal_++);
+    }
+
+    std::string
+    freshCounter()
+    {
+        return "i" + std::to_string(nextCounter_++);
+    }
+
+    /** Any readable scalar, or a literal when the scope is empty. */
+    GenExpr
+    pickVar()
+    {
+        std::vector<std::string> pool = readable_;
+        for (const GenGlobal& g : globals_)
+            if (g.elems == 0)
+                pool.push_back(g.name);
+        if (pool.empty())
+            return GenExpr::lit(rng_.range(0, 9));
+        return GenExpr::var(pool[rng_.below(
+            static_cast<int64_t>(pool.size()))]);
+    }
+
+    /** A global-array or pointer-param load target, if any exist. */
+    bool
+    pickArrayTarget(std::string* name, int64_t* mask, bool stores)
+    {
+        struct Target
+        {
+            std::string name;
+            int64_t mask;
+        };
+        std::vector<Target> pool;
+        for (const GenGlobal& g : globals_)
+            if (g.elems > 0)
+                pool.push_back({g.name, g.elems - 1});
+        for (const std::string& p : ptrParams_)
+            pool.push_back({p, prof_.arrayElems - 1});
+        (void)stores;
+        if (pool.empty())
+            return false;
+        const Target& t =
+            pool[rng_.below(static_cast<int64_t>(pool.size()))];
+        *name = t.name;
+        *mask = t.mask;
+        return true;
+    }
+
+    /**
+     * Append arguments for a call: pointer params get distinct global
+     * arrays (so `#pragma independent` pairs are honestly disjoint),
+     * scalar params get shallow expressions.  @p ptrCount of -1 means
+     * "reuse this function's own pointer params in order" (self-call).
+     */
+    void
+    appendCallArgs(GenExpr* call, int ptrCount, int intCount)
+    {
+        if (ptrCount == -1) {
+            for (const std::string& p : ptrParams_)
+                call->kids.push_back(GenExpr::var(p));
+        } else if (ptrCount > 0) {
+            // Distinct arrays, chosen by rotating a random start
+            // through the global-array list.
+            std::vector<std::string> arrays;
+            for (const GenGlobal& g : globals_)
+                if (g.elems > 0)
+                    arrays.push_back(g.name);
+            assert(static_cast<int>(arrays.size()) >= ptrCount);
+            int64_t start =
+                rng_.below(static_cast<int64_t>(arrays.size()));
+            for (int i = 0; i < ptrCount; ++i)
+                call->kids.push_back(GenExpr::var(
+                    arrays[(start + i) % arrays.size()]));
+        }
+        for (int i = 0; i < intCount; ++i)
+            call->kids.push_back(genExpr(1));
+    }
+
+    /** A call expression to some earlier function, budget allowing. */
+    bool
+    genCall(GenExpr* out, int64_t scale)
+    {
+        if (callees_.empty())
+            return false;
+        int64_t arrays = 0;
+        for (const GenGlobal& g : globals_)
+            if (g.elems > 0)
+                ++arrays;
+        std::vector<const Callee*> pool;
+        for (const Callee& c : callees_) {
+            if (c.ptrParams > arrays)
+                continue;
+            if (spent_ + c.fn->workEstimate * scale > budget_)
+                continue;
+            pool.push_back(&c);
+        }
+        if (pool.empty())
+            return false;
+        const Callee* c =
+            pool[rng_.below(static_cast<int64_t>(pool.size()))];
+        spent_ += c->fn->workEstimate * scale;
+        out->k = GenExpr::K::Call;
+        out->name = c->fn->name;
+        if (c->recursive)
+            out->kids.push_back(GenExpr::lit(
+                rng_.range(1, prof_.maxRecursionDepth)));
+        appendCallArgs(out, c->ptrParams, c->intParams);
+        return true;
+    }
+
+    GenExpr
+    genExpr(int depth, int64_t scale = 1)
+    {
+        spent_ += 1;
+        if (depth <= 0 || overBudget())
+            return rng_.chance(55) ? pickVar()
+                                   : GenExpr::lit(rng_.range(-8, 20));
+
+        int64_t roll = rng_.below(100);
+        if (roll < 14)
+            return GenExpr::lit(rng_.chance(10)
+                                    ? rng_.range(-1000000, 1000000)
+                                    : rng_.range(-8, 20));
+        if (roll < 34)
+            return pickVar();
+        if (roll < 44) {
+            GenExpr e;
+            std::string name;
+            int64_t mask = 0;
+            if (pickArrayTarget(&name, &mask, /*stores=*/false)) {
+                e.k = GenExpr::K::ArrLoad;
+                e.name = name;
+                e.mask = mask;
+                e.kids.push_back(genExpr(depth - 1, scale));
+                return e;
+            }
+            return pickVar();
+        }
+        if (roll < 52) {
+            GenExpr e;
+            e.k = GenExpr::K::Unary;
+            static const char* ops[] = {"-", "~", "!"};
+            e.op = ops[rng_.below(3)];
+            e.kids.push_back(genExpr(depth - 1, scale));
+            return e;
+        }
+        if (roll < 60) {
+            GenExpr e;
+            e.k = GenExpr::K::Cond;
+            e.kids.push_back(genExpr(depth - 1, scale));
+            e.kids.push_back(genExpr(depth - 1, scale));
+            e.kids.push_back(genExpr(depth - 1, scale));
+            return e;
+        }
+        if (roll < 68) {
+            GenExpr e;
+            if (genCall(&e, scale))
+                return e;
+            // fall through to binary when no callee fits
+        }
+        static const char* ops[] = {"+", "-",  "*",  "/",  "%", "&",
+                                    "|", "^",  "<<", ">>", "<", "<=",
+                                    ">", ">=", "==", "!=", "&&", "||"};
+        return binary(genExpr(depth - 1, scale),
+                      ops[rng_.below(18)],
+                      genExpr(depth - 1, scale));
+    }
+
+    GenStmt
+    genDecl()
+    {
+        GenStmt s;
+        s.k = GenStmt::K::Decl;
+        s.type = (prof_.unsignedTypes && rng_.chance(25)) ? "unsigned"
+                                                          : "int";
+        s.name = freshLocal();
+        s.a = genExpr(prof_.maxExprDepth - 1);
+        readable_.push_back(s.name);
+        writable_.push_back(s.name);
+        spent_ += 1;
+        return s;
+    }
+
+    /** A writable scalar: a declared local or a scalar global. */
+    bool
+    pickWritable(std::string* name)
+    {
+        std::vector<std::string> pool = writable_;
+        for (const GenGlobal& g : globals_)
+            if (g.elems == 0)
+                pool.push_back(g.name);
+        if (pool.empty())
+            return false;
+        *name = pool[rng_.below(static_cast<int64_t>(pool.size()))];
+        return true;
+    }
+
+    void
+    genStmts(std::vector<GenStmt>* out, int depth, int64_t scale)
+    {
+        int n = static_cast<int>(
+            rng_.range(prof_.minStmts, prof_.maxStmts));
+        for (int i = 0; i < n && !overBudget(); ++i)
+            out->push_back(genStmt(depth, scale));
+    }
+
+    GenStmt
+    genStmt(int depth, int64_t scale)
+    {
+        spent_ += scale;
+        int64_t roll = rng_.below(100);
+
+        if (roll < 18 && depth == 0)
+            return genDecl();
+
+        if (roll < 46) {
+            GenStmt s;
+            std::string name;
+            if (!pickWritable(&name))
+                return genDeclOrAssignFallback(depth);
+            s.k = GenStmt::K::Assign;
+            s.name = name;
+            static const char* ops[] = {"", "", "+", "-", "^", "&", "|"};
+            s.op = ops[rng_.below(7)];
+            s.a = genExpr(prof_.maxExprDepth, scale);
+            return s;
+        }
+
+        if (roll < 62) {
+            GenStmt s;
+            std::string name;
+            int64_t mask = 0;
+            if (!pickArrayTarget(&name, &mask, /*stores=*/true))
+                return genDeclOrAssignFallback(depth);
+            bool viaPtr = false;
+            for (const std::string& p : ptrParams_)
+                if (p == name)
+                    viaPtr = true;
+            s.k = viaPtr ? GenStmt::K::PtrStore : GenStmt::K::ArrStore;
+            s.name = name;
+            s.mask = mask;
+            s.a = genExpr(2, scale);
+            s.b = genExpr(prof_.maxExprDepth - 1, scale);
+            return s;
+        }
+
+        if (roll < 78 && depth < prof_.maxBlockDepth) {
+            GenStmt s;
+            s.k = GenStmt::K::If;
+            s.a = genExpr(prof_.maxExprDepth - 1, scale);
+            genStmts(&s.body, depth + 1, scale);
+            if (s.body.empty())
+                s.body.push_back(genDeclOrAssignFallback(depth + 1));
+            if (rng_.chance(40))
+                genStmts(&s.elseBody, depth + 1, scale);
+            return s;
+        }
+
+        if (depth < prof_.maxBlockDepth) {
+            int64_t trips = rng_.range(1, prof_.maxLoopTrips);
+            int64_t bodyScale = scale * trips;
+            // Refuse loops whose body could not even run one
+            // statement per trip inside the remaining budget.
+            if (spent_ + bodyScale * prof_.minStmts <= budget_) {
+                GenStmt s;
+                s.k = rng_.chance(70) ? GenStmt::K::For
+                                      : GenStmt::K::While;
+                s.name = freshCounter();
+                s.trips = trips;
+                readable_.push_back(s.name);
+                genStmts(&s.body, depth + 1, bodyScale);
+                if (s.body.empty())
+                    s.body.push_back(
+                        genDeclOrAssignFallback(depth + 1));
+                readable_.pop_back();
+                return s;
+            }
+        }
+
+        return genDeclOrAssignFallback(depth);
+    }
+
+    /** Smallest safe statement — used when a pick has no target. */
+    GenStmt
+    genDeclOrAssignFallback(int depth)
+    {
+        if (depth == 0 || writable_.empty() || rng_.chance(30)) {
+            std::string name;
+            if (depth == 0)
+                return genDecl();
+            if (!pickWritable(&name)) {
+                // No writable scalar anywhere: emit a throwaway
+                // top-level-style decl is illegal here, so store to
+                // an array if one exists, else a bare expression.
+                GenStmt s;
+                std::string arr;
+                int64_t mask = 0;
+                if (pickArrayTarget(&arr, &mask, true)) {
+                    s.k = GenStmt::K::ArrStore;
+                    s.name = arr;
+                    s.mask = mask;
+                    s.a = GenExpr::lit(rng_.range(0, 7));
+                    s.b = genExpr(1);
+                    return s;
+                }
+                s.k = GenStmt::K::Expr;
+                s.a = genExpr(1);
+                return s;
+            }
+            GenStmt s;
+            s.k = GenStmt::K::Assign;
+            s.name = name;
+            s.a = genExpr(1);
+            return s;
+        }
+        GenStmt s;
+        s.k = GenStmt::K::Assign;
+        s.name = writable_[rng_.below(
+            static_cast<int64_t>(writable_.size()))];
+        s.a = genExpr(1);
+        return s;
+    }
+
+    Rng& rng_;
+    const GenProfile& prof_;
+    const std::vector<GenGlobal>& globals_;
+    const std::vector<Callee>& callees_;
+    GenFunc* fn_ = nullptr;
+    std::vector<std::string> readable_;
+    std::vector<std::string> writable_;
+    std::vector<std::string> ptrParams_;
+    int nextLocal_ = 0;
+    int nextCounter_ = 0;
+    int64_t budget_ = 0;
+    int64_t spent_ = 0;
+};
+
+} // namespace
+
+GenProgram
+generateProgram(uint64_t seed, const GenProfile& profile)
+{
+    GenProfile prof = profile;
+    if (profile.name == "mixed") {
+        // One deterministic draw decides the family for this seed.
+        Rng pick(seed ^ 0x6d69786564ull);
+        static const char* fams[] = {"small", "medium", "large"};
+        prof = GenProfile::byName(fams[pick.below(3)]);
+    }
+
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xc0ffee);
+
+    GenProgram prog;
+    prog.seed = seed;
+    prog.profile = profile.name;
+
+    int nArrays = static_cast<int>(rng.range(1, prof.maxArrays));
+    for (int i = 0; i < nArrays; ++i) {
+        GenGlobal g;
+        g.name = "g" + std::to_string(i);
+        g.type = "int";
+        g.elems = prof.arrayElems;
+        prog.globals.push_back(g);
+    }
+    int nGlobals = static_cast<int>(rng.range(0, prof.maxGlobals));
+    for (int i = 0; i < nGlobals; ++i) {
+        GenGlobal g;
+        g.name = "s" + std::to_string(i);
+        g.type = (prof.unsignedTypes && rng.chance(25)) ? "unsigned"
+                                                        : "int";
+        g.init = rng.range(-4, 12);
+        prog.globals.push_back(g);
+    }
+
+    int nFuncs =
+        static_cast<int>(rng.range(prof.minFunctions, prof.maxFunctions));
+    int64_t perFunc = prof.workBudget / (nFuncs + 2);
+
+    std::vector<Callee> callees;
+    for (int i = 0; i < nFuncs; ++i) {
+        GenFunc fn;
+        fn.name = "f" + std::to_string(i);
+
+        bool recursive = prof.recursion && rng.chance(25);
+        bool pointers =
+            !recursive && prof.pointers && nArrays >= 2 && rng.chance(35);
+
+        Callee c;
+        c.recursive = recursive;
+        fn.recursive = recursive;
+        if (recursive)
+            fn.params.push_back({"d", false});
+        if (pointers) {
+            int np = static_cast<int>(rng.range(2, std::min(nArrays, 3)));
+            for (int p = 0; p < np; ++p)
+                fn.params.push_back({"p" + std::to_string(p), true});
+            c.ptrParams = np;
+            // Every adjacent pointer pair is declared independent;
+            // call sites always pass distinct global arrays, so the
+            // pragma is honest and the alias oracle gets exercised.
+            for (int p = 0; p + 1 < np; ++p)
+                fn.pragmas.push_back({"p" + std::to_string(p),
+                                      "p" + std::to_string(p + 1)});
+        }
+        int ni = static_cast<int>(rng.range(1, 2));
+        for (int p = 0; p < ni; ++p)
+            fn.params.push_back({"a" + std::to_string(p), false});
+        c.intParams = ni;
+
+        int64_t fnBudget = recursive
+                               ? perFunc / (prof.maxRecursionDepth + 1)
+                               : perFunc;
+        FuncGen gen(rng, prof, prog.globals, callees,
+                    std::max<int64_t>(fnBudget, 16));
+        gen.run(&fn);
+        prog.funcs.push_back(std::move(fn));
+        c.fn = nullptr; // fixed up below; vector may reallocate
+        callees.push_back(c);
+        for (size_t j = 0; j < callees.size(); ++j)
+            callees[j].fn = &prog.funcs[j];
+    }
+
+    // The entry: int run(int n), generated last so it can call every
+    // helper; any helper the random walk missed is folded into the
+    // return expression to guarantee whole-program coverage.
+    GenFunc entry;
+    entry.name = GenProgram::entryName();
+    entry.params.push_back({"n", false});
+    FuncGen gen(rng, prof, prog.globals, callees,
+                std::max<int64_t>(prof.workBudget / 2, 64));
+    gen.run(&entry);
+
+    std::vector<bool> called(prog.funcs.size(), false);
+    struct Walk
+    {
+        static void
+        mark(const GenExpr& e,
+             const std::vector<GenFunc>& funcs,
+             std::vector<bool>* called)
+        {
+            if (e.k == GenExpr::K::Call)
+                for (size_t i = 0; i < funcs.size(); ++i)
+                    if (funcs[i].name == e.name)
+                        (*called)[i] = true;
+            for (const GenExpr& kid : e.kids)
+                mark(kid, funcs, called);
+        }
+        static void
+        walk(const std::vector<GenStmt>& body,
+             const std::vector<GenFunc>& funcs,
+             std::vector<bool>* called)
+        {
+            for (const GenStmt& s : body) {
+                mark(s.a, funcs, called);
+                mark(s.b, funcs, called);
+                walk(s.body, funcs, called);
+                walk(s.elseBody, funcs, called);
+            }
+        }
+    };
+    for (const GenFunc& f : prog.funcs)
+        Walk::walk(f.stmts, prog.funcs, &called);
+    Walk::walk(entry.stmts, prog.funcs, &called);
+
+    GenStmt& ret = entry.stmts.back();
+    assert(ret.k == GenStmt::K::Return);
+    for (size_t i = 0; i < prog.funcs.size(); ++i) {
+        if (called[i])
+            continue;
+        const Callee& c = callees[i];
+        GenExpr call;
+        call.k = GenExpr::K::Call;
+        call.name = prog.funcs[i].name;
+        if (c.recursive)
+            call.kids.push_back(
+                GenExpr::lit(rng.range(1, prof.maxRecursionDepth)));
+        if (c.ptrParams > 0) {
+            std::vector<std::string> arrays;
+            for (const GenGlobal& g : prog.globals)
+                if (g.elems > 0)
+                    arrays.push_back(g.name);
+            int64_t start =
+                rng.below(static_cast<int64_t>(arrays.size()));
+            for (int p = 0; p < c.ptrParams; ++p)
+                call.kids.push_back(GenExpr::var(
+                    arrays[(start + p) % arrays.size()]));
+        }
+        for (int p = 0; p < c.intParams; ++p)
+            call.kids.push_back(GenExpr::lit(rng.range(0, 9)));
+
+        GenExpr sum;
+        sum.k = GenExpr::K::Binary;
+        sum.op = "+";
+        sum.kids.push_back(std::move(ret.a));
+        sum.kids.push_back(std::move(call));
+        ret.a = std::move(sum);
+    }
+
+    prog.funcs.push_back(std::move(entry));
+    return prog;
+}
+
+} // namespace fuzz
+} // namespace cash

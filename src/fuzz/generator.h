@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Seeded random Mini-C program generation for the fuzz/soak harness
+ * (docs/FUZZING.md).
+ *
+ * The generator does not emit text directly: it builds a small
+ * grammar-level IR (GenExpr / GenStmt / GenProgram) and renders it.
+ * That split is what makes the delta reducer (minimize.h) *grammar
+ * aware* — it shrinks programs by removing statements, unwrapping
+ * loops and collapsing expression trees on the IR, so every reduction
+ * candidate is still a syntactically plausible Mini-C program rather
+ * than a random byte-level slice.
+ *
+ * Determinism contract: `generateProgram(seed, profile)` depends on
+ * nothing but its arguments.  The RNG is a self-contained splitmix64
+ * (no std:: distributions, whose sequences vary across standard
+ * libraries), so a seed reproduces the same program on every machine
+ * — the property every corpus entry and repro command relies on.
+ *
+ * Validity contract: every generated program parses, passes sema and
+ * terminates.  The generator enforces this structurally:
+ *   * array subscripts are always masked to the array extent
+ *     (sizes are powers of two);
+ *   * loops are canonical counted forms whose induction variable is
+ *     never reassigned in the body;
+ *   * recursion always decrements an explicit depth parameter with a
+ *     `<= 0` base case, entered with a small literal depth;
+ *   * callees are generated before their callers (self-calls aside),
+ *     so the static call multigraph is a DAG plus self-loops;
+ *   * an estimated dynamic-work budget caps loop nesting and
+ *     call-in-loop fan-out, keeping every program comfortably inside
+ *     the soak driver's simulator event budget.
+ * Division by zero and oversized shifts need no guards: the Pegasus
+ * evaluation rules make them total (sim/value.h).
+ */
+#ifndef CASH_FUZZ_GENERATOR_H
+#define CASH_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cash {
+namespace fuzz {
+
+/**
+ * Size/feature knobs of one generated program family.  Use the named
+ * profiles (profileByName) for the stable CLI surface; the struct
+ * stays public so tests can pin exact shapes.
+ */
+struct GenProfile
+{
+    std::string name = "small";
+    /** Helper functions besides the `run` entry (min..max). */
+    int minFunctions = 1;
+    int maxFunctions = 3;
+    /** Statements per block (min..max, before nesting). */
+    int minStmts = 2;
+    int maxStmts = 5;
+    /** Expression tree depth cap. */
+    int maxExprDepth = 3;
+    /** Loop/if nesting depth cap. */
+    int maxBlockDepth = 2;
+    /** Loop trip-count cap (trips are 1..maxLoopTrips literals). */
+    int maxLoopTrips = 8;
+    /** Global arrays available to every function (1..maxArrays). */
+    int maxArrays = 2;
+    /** Elements per global array; must be a power of two. */
+    int arrayElems = 16;
+    /** Scalar globals (memory-resident cross-call state). */
+    int maxGlobals = 2;
+    /** Generate pointer-parameter functions + #pragma independent. */
+    bool pointers = true;
+    /** Generate bounded self-recursive functions. */
+    bool recursion = true;
+    /** Recursion depth literal cap at call sites. */
+    int maxRecursionDepth = 5;
+    /** Mix `unsigned` scalars in with `int`. */
+    bool unsignedTypes = true;
+    /**
+     * Estimated dynamic-work ceiling (abstract units, roughly one per
+     * executed statement).  Loops multiply their body's estimate by
+     * the trip count and calls add the callee's estimate, so this is
+     * what keeps generated programs off the simulator event limit.
+     */
+    int64_t workBudget = 60000;
+
+    /**
+     * small | medium | large — fixed knob sets of increasing size —
+     * or mixed, which picks one of the three per seed (the soak
+     * default: one seed range covers all families).  Fatal on unknown
+     * names, listing the valid ones.
+     */
+    static GenProfile byName(const std::string& name);
+};
+
+// ---------------------------------------------------------------------
+// Grammar IR
+// ---------------------------------------------------------------------
+
+/** One expression-tree node. */
+struct GenExpr
+{
+    enum class K
+    {
+        Lit,      ///< integer literal `value`
+        Var,      ///< scalar variable reference `name`
+        ArrLoad,  ///< `name[(kids[0]) & mask]`
+        Unary,    ///< `op kids[0]`
+        Binary,   ///< `(kids[0] op kids[1])`
+        Cond,     ///< `(kids[0] ? kids[1] : kids[2])`
+        Call,     ///< `name(kids...)`
+    };
+
+    K k = K::Lit;
+    int64_t value = 0;       ///< Lit payload.
+    std::string name;        ///< Var/ArrLoad/Call payload.
+    std::string op;          ///< Unary/Binary operator spelling.
+    int64_t mask = 0;        ///< ArrLoad subscript mask (elems - 1).
+    std::vector<GenExpr> kids;
+
+    static GenExpr lit(int64_t v);
+    static GenExpr var(const std::string& n);
+
+    void render(std::string* out) const;
+    std::string str() const;
+};
+
+/** One statement-tree node. */
+struct GenStmt
+{
+    enum class K
+    {
+        Decl,     ///< `<type> name = expr;`
+        Assign,   ///< `name <op>= expr;`  (op "" = plain '=')
+        ArrStore, ///< `name[(idx) & mask] = expr;`
+        PtrStore, ///< `name[(idx) & mask] = expr;` through a pointer
+        If,       ///< `if (cond) {...} [else {...}]`
+        For,      ///< `for (name = 0; name < trips; name++) {...}`
+        While,    ///< counted while: `name = trips; while (name > 0)`
+        Return,   ///< `return expr;`
+        Expr,     ///< bare call for effect: `name = call;` sunk? no: `expr;`
+    };
+
+    K k = K::Decl;
+    std::string name;        ///< Decl/Assign/For/While variable, store array.
+    std::string type;        ///< Decl type spelling ("int"/"unsigned").
+    std::string op;          ///< Assign compound op ("", "+", "^", ...).
+    int64_t trips = 0;       ///< For/While trip count.
+    int64_t mask = 0;        ///< ArrStore/PtrStore subscript mask.
+    GenExpr a;               ///< Primary expression (init/rhs/cond/subscript).
+    GenExpr b;               ///< Secondary expression (store rhs).
+    std::vector<GenStmt> body;
+    std::vector<GenStmt> elseBody;
+
+    void render(std::string* out, int indent) const;
+};
+
+/** A pointer parameter of a generated function. */
+struct GenParam
+{
+    std::string name;
+    bool isPointer = false;
+};
+
+/** One generated function. */
+struct GenFunc
+{
+    std::string name;
+    std::vector<GenParam> params;
+    /** Pairs of pointer-parameter names declared `#pragma independent`. */
+    std::vector<std::pair<std::string, std::string>> pragmas;
+    std::vector<GenStmt> stmts;
+    bool recursive = false;
+    /** Estimated dynamic work of one invocation (generation metadata). */
+    int64_t workEstimate = 1;
+
+    void render(std::string* out) const;
+};
+
+/** One generated array/scalar global. */
+struct GenGlobal
+{
+    std::string name;
+    std::string type;    ///< Element type spelling.
+    int64_t elems = 0;   ///< 0 = scalar.
+    int64_t init = 0;    ///< Scalar initializer.
+};
+
+/**
+ * A whole generated translation unit.  `render()` is the only way the
+ * rest of the harness consumes it; the structure is retained so the
+ * minimizer can produce grammar-level reduction candidates.
+ */
+struct GenProgram
+{
+    uint64_t seed = 0;
+    std::string profile;
+    std::vector<GenGlobal> globals;
+    std::vector<GenFunc> funcs;   ///< Callees first; entry is last.
+
+    /** The entry function name (always "run", one int parameter). */
+    static const char* entryName() { return "run"; }
+
+    /** Functions in the unit (the per-seed contribution to soak
+     *  "generated functions" accounting). */
+    int64_t functionCount() const
+    {
+        return static_cast<int64_t>(funcs.size());
+    }
+
+    /** Total statement-tree nodes (minimizer progress metric). */
+    int64_t statementCount() const;
+
+    std::string render() const;
+};
+
+/** Deterministic splitmix64 — the harness's only randomness source. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, n); n must be > 0. */
+    int64_t
+    below(int64_t n)
+    {
+        return static_cast<int64_t>(next() % static_cast<uint64_t>(n));
+    }
+
+    /** Uniform in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability pct/100. */
+    bool chance(int pct) { return below(100) < pct; }
+
+  private:
+    uint64_t state_;
+};
+
+/** Generate the program for (@p seed, @p profile). */
+GenProgram generateProgram(uint64_t seed, const GenProfile& profile);
+
+} // namespace fuzz
+} // namespace cash
+
+#endif // CASH_FUZZ_GENERATOR_H

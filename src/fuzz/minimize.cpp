@@ -1,0 +1,296 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cash {
+namespace fuzz {
+
+namespace {
+
+/**
+ * Pre-order walk over every statement position in @p vec and its
+ * nested bodies.  @p f(vec, i) may mutate vec *only* if it returns
+ * true, which aborts the walk before any invalidated index is used.
+ */
+template <typename F>
+bool
+walkStmtVecs(std::vector<GenStmt>& vec, F&& f)
+{
+    for (size_t i = 0; i < vec.size(); ++i) {
+        if (f(vec, i))
+            return true;
+        if (walkStmtVecs(vec[i].body, f))
+            return true;
+        if (walkStmtVecs(vec[i].elseBody, f))
+            return true;
+    }
+    return false;
+}
+
+template <typename F>
+bool
+walkExpr(GenExpr& e, F&& f)
+{
+    if (f(e))
+        return true;
+    for (GenExpr& k : e.kids)
+        if (walkExpr(k, f))
+            return true;
+    return false;
+}
+
+template <typename F>
+bool
+walkStmtExprs(std::vector<GenStmt>& vec, F&& f)
+{
+    for (GenStmt& s : vec) {
+        if (walkExpr(s.a, f))
+            return true;
+        if (walkExpr(s.b, f))
+            return true;
+        if (walkStmtExprs(s.body, f))
+            return true;
+        if (walkStmtExprs(s.elseBody, f))
+            return true;
+    }
+    return false;
+}
+
+bool
+isBlockStmt(const GenStmt& s)
+{
+    return s.k == GenStmt::K::If || s.k == GenStmt::K::For ||
+           s.k == GenStmt::K::While;
+}
+
+/** Replace every call to @p name, anywhere in @p prog, with `1`. */
+void
+stubCalls(GenProgram* prog, const std::string& name)
+{
+    for (GenFunc& f : prog->funcs) {
+        walkStmtExprs(f.stmts, [&](GenExpr& e) {
+            if (e.k == GenExpr::K::Call && e.name == name)
+                e = GenExpr::lit(1);
+            return false; // never stop; visit every node
+        });
+    }
+}
+
+} // namespace
+
+int64_t
+countSites(const GenProgram& prog, ReduceKind kind)
+{
+    auto& funcs = const_cast<GenProgram&>(prog).funcs;
+    int64_t n = 0;
+    switch (kind) {
+      case ReduceKind::DropFunc:
+        return std::max<int64_t>(
+            0, static_cast<int64_t>(funcs.size()) - 1);
+      case ReduceKind::DropStmt:
+        for (GenFunc& f : funcs)
+            walkStmtVecs(f.stmts, [&](std::vector<GenStmt>&, size_t) {
+                ++n;
+                return false;
+            });
+        return n;
+      case ReduceKind::UnwrapBlock:
+        for (GenFunc& f : funcs)
+            walkStmtVecs(f.stmts,
+                         [&](std::vector<GenStmt>& vec, size_t i) {
+                             if (isBlockStmt(vec[i]))
+                                 ++n;
+                             return false;
+                         });
+        return n;
+      case ReduceKind::ExprToChild:
+        for (GenFunc& f : funcs)
+            walkStmtExprs(f.stmts, [&](GenExpr& e) {
+                if (!e.kids.empty())
+                    ++n;
+                return false;
+            });
+        return n;
+      case ReduceKind::ExprToLit:
+        for (GenFunc& f : funcs)
+            walkStmtExprs(f.stmts, [&](GenExpr& e) {
+                if (e.k != GenExpr::K::Lit)
+                    ++n;
+                return false;
+            });
+        return n;
+      case ReduceKind::ShrinkTrips:
+        for (GenFunc& f : funcs)
+            walkStmtVecs(f.stmts,
+                         [&](std::vector<GenStmt>& vec, size_t i) {
+                             if ((vec[i].k == GenStmt::K::For ||
+                                  vec[i].k == GenStmt::K::While) &&
+                                 vec[i].trips > 1)
+                                 ++n;
+                             return false;
+                         });
+        return n;
+    }
+    return 0;
+}
+
+bool
+applySite(GenProgram* prog, ReduceKind kind, int64_t index)
+{
+    int64_t at = index;
+    switch (kind) {
+      case ReduceKind::DropFunc: {
+        if (index + 1 >= static_cast<int64_t>(prog->funcs.size()))
+            return false;
+        std::string name = prog->funcs[static_cast<size_t>(index)].name;
+        prog->funcs.erase(prog->funcs.begin() + index);
+        stubCalls(prog, name);
+        return true;
+      }
+      case ReduceKind::DropStmt: {
+        for (GenFunc& f : prog->funcs) {
+            bool changed = false;
+            bool stop = walkStmtVecs(
+                f.stmts, [&](std::vector<GenStmt>& vec, size_t i) {
+                    if (at-- != 0)
+                        return false;
+                    // The function's final return must survive or the
+                    // candidate is trivially ill-formed.
+                    if (vec[i].k == GenStmt::K::Return &&
+                        &vec == &f.stmts && i + 1 == vec.size())
+                        return true; // stop; not applicable
+                    vec.erase(vec.begin() + static_cast<int64_t>(i));
+                    changed = true;
+                    return true;
+                });
+            if (stop)
+                return changed;
+        }
+        return false;
+      }
+      case ReduceKind::UnwrapBlock: {
+        for (GenFunc& f : prog->funcs) {
+            bool changed = false;
+            bool stop = walkStmtVecs(
+                f.stmts, [&](std::vector<GenStmt>& vec, size_t i) {
+                    if (!isBlockStmt(vec[i]))
+                        return false;
+                    if (at-- != 0)
+                        return false;
+                    std::vector<GenStmt> spliced =
+                        std::move(vec[i].body);
+                    for (GenStmt& s : vec[i].elseBody)
+                        spliced.push_back(std::move(s));
+                    vec.erase(vec.begin() + static_cast<int64_t>(i));
+                    vec.insert(vec.begin() + static_cast<int64_t>(i),
+                               std::make_move_iterator(spliced.begin()),
+                               std::make_move_iterator(spliced.end()));
+                    changed = true;
+                    return true;
+                });
+            if (stop)
+                return changed;
+        }
+        return false;
+      }
+      case ReduceKind::ExprToChild: {
+        for (GenFunc& f : prog->funcs) {
+            bool stop = walkStmtExprs(f.stmts, [&](GenExpr& e) {
+                if (e.kids.empty())
+                    return false;
+                if (at-- != 0)
+                    return false;
+                GenExpr child = std::move(e.kids[0]);
+                e = std::move(child);
+                return true;
+            });
+            if (stop)
+                return true;
+        }
+        return false;
+      }
+      case ReduceKind::ExprToLit: {
+        for (GenFunc& f : prog->funcs) {
+            bool stop = walkStmtExprs(f.stmts, [&](GenExpr& e) {
+                if (e.k == GenExpr::K::Lit)
+                    return false;
+                if (at-- != 0)
+                    return false;
+                e = GenExpr::lit(1);
+                return true;
+            });
+            if (stop)
+                return true;
+        }
+        return false;
+      }
+      case ReduceKind::ShrinkTrips: {
+        for (GenFunc& f : prog->funcs) {
+            bool stop = walkStmtVecs(
+                f.stmts, [&](std::vector<GenStmt>& vec, size_t i) {
+                    if ((vec[i].k != GenStmt::K::For &&
+                         vec[i].k != GenStmt::K::While) ||
+                        vec[i].trips <= 1)
+                        return false;
+                    if (at-- != 0)
+                        return false;
+                    vec[i].trips /= 2;
+                    return true;
+                });
+            if (stop)
+                return true;
+        }
+        return false;
+      }
+    }
+    return false;
+}
+
+MinimizeStats
+minimizeProgram(GenProgram* prog,
+                const std::function<bool(const std::string&)>& stillFails,
+                int64_t maxEvals)
+{
+    MinimizeStats stats;
+    stats.beforeStmts = prog->statementCount();
+
+    // Coarse shrinks first: whole functions, then blocks and
+    // statements, then trip counts, then expression surgery.
+    static const ReduceKind kOrder[] = {
+        ReduceKind::DropFunc,   ReduceKind::UnwrapBlock,
+        ReduceKind::DropStmt,   ReduceKind::ShrinkTrips,
+        ReduceKind::ExprToChild, ReduceKind::ExprToLit,
+    };
+
+    bool progress = true;
+    while (progress && stats.evals < maxEvals) {
+        progress = false;
+        for (ReduceKind kind : kOrder) {
+            int64_t i = 0;
+            while (i < countSites(*prog, kind) &&
+                   stats.evals < maxEvals) {
+                GenProgram cand = *prog;
+                if (!applySite(&cand, kind, i)) {
+                    ++i;
+                    continue;
+                }
+                ++stats.evals;
+                if (stillFails(cand.render())) {
+                    *prog = std::move(cand);
+                    ++stats.accepted;
+                    progress = true;
+                    // Indices shifted; retry the same site number.
+                } else {
+                    ++i;
+                }
+            }
+        }
+    }
+
+    stats.afterStmts = prog->statementCount();
+    return stats;
+}
+
+} // namespace fuzz
+} // namespace cash

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Grammar-aware delta reduction for generated Mini-C programs
+ * (docs/FUZZING.md, "Minimization").
+ *
+ * Reduction operates on the generator IR, never on source text: each
+ * step enumerates *sites* — (kind, index) pairs addressing a function,
+ * statement, or expression node by deterministic pre-order position —
+ * and applies one structural shrink there (drop a function and stub
+ * its calls, drop a statement, unwrap a loop/if into its body, replace
+ * an expression by one of its children or a literal, shrink a trip
+ * count).  A candidate is kept iff the caller's predicate still holds
+ * on the rendered source; candidates that break scoping or types
+ * simply fail the predicate (the harness classifies them as frontend
+ * rejects, never the original violation) and are discarded.
+ *
+ * The loop is greedy-to-fixpoint under an evaluation budget, so it
+ * terminates even when the predicate is expensive: every accepted step
+ * strictly shrinks the node count, every rejected step is abandoned.
+ */
+#ifndef CASH_FUZZ_MINIMIZE_H
+#define CASH_FUZZ_MINIMIZE_H
+
+#include "fuzz/generator.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace cash {
+namespace fuzz {
+
+/** One structural shrink family (see file comment). */
+enum class ReduceKind
+{
+    DropFunc,      ///< delete a non-entry function, stub its calls with 1
+    DropStmt,      ///< delete one statement (never a final Return)
+    UnwrapBlock,   ///< replace an If/For/While by its body statements
+    ExprToChild,   ///< replace an expression node by one child
+    ExprToLit,     ///< replace an expression node by literal 1
+    ShrinkTrips,   ///< halve a loop trip count (min 1)
+};
+
+/** Number of applicable sites for @p kind in @p prog. */
+int64_t countSites(const GenProgram& prog, ReduceKind kind);
+
+/**
+ * Apply @p kind at site @p index (0-based, same enumeration order as
+ * countSites).  Returns false (program untouched) when the site turned
+ * out inapplicable; true when a strictly smaller candidate was made.
+ */
+bool applySite(GenProgram* prog, ReduceKind kind, int64_t index);
+
+/** Outcome accounting for a minimization run. */
+struct MinimizeStats
+{
+    int64_t evals = 0;    ///< predicate invocations
+    int64_t accepted = 0; ///< shrinks kept
+    int64_t beforeStmts = 0;
+    int64_t afterStmts = 0;
+};
+
+/**
+ * Shrink @p prog while @p stillFails(rendered source) holds, with at
+ * most @p maxEvals predicate evaluations.  The predicate must already
+ * be true of the input; the result is the smallest fixpoint reached.
+ */
+MinimizeStats
+minimizeProgram(GenProgram* prog,
+                const std::function<bool(const std::string&)>& stillFails,
+                int64_t maxEvals = 2000);
+
+} // namespace fuzz
+} // namespace cash
+
+#endif // CASH_FUZZ_MINIMIZE_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Differential oracles for the fuzz/soak harness (docs/FUZZING.md).
+ *
+ * One *case* is one generated program pushed through a fixed matrix
+ * of targets — unoptimized vs. optimized, macro vs. event engine,
+ * tiled fabric vs. idealized, -j1 vs. -jN — with three cross-checks
+ * on the results:
+ *
+ *   Oracle A (semantics):  every target agrees on the simulation
+ *     outcome, every Ok target agrees on the return value, and the
+ *     same-level engine pair agrees on `sim.firings` (the macro
+ *     engine's exactness contract).  A deadlock or stack overflow on
+ *     a generated program is itself a violation — the generator only
+ *     emits terminating programs.
+ *   Oracle B (soundness judges): on a clean program both independent
+ *     judges are clean — the structural verifier reports no pass
+ *     failures and the §4 ordering checker reports no error-severity
+ *     findings.  Either judge objecting to what the other accepted
+ *     is an inconsistency worth a reproducer.
+ *   Oracle C (determinism): a -j1 and a -jN compile of the same
+ *     request produce byte-identical deterministic stats documents,
+ *     graph dumps and DOT.
+ *
+ * Event-budget trips are *inconclusive*, not violations: budgets are
+ * measured in engine-specific events, so a program that exhausts one
+ * budget may finish under another.  Such cases are histogrammed and
+ * skipped by Oracle A.
+ *
+ * Violation categories are stable strings ("oracle-a:return", ...)
+ * with enough detail that the minimizer can demand *the same*
+ * category after each reduction — that is what keeps delta reduction
+ * from wandering onto an unrelated failure (e.g. deleting a recursion
+ * guard and "finding" a stack overflow).
+ *
+ * `--via-socket` mode routes every target through a running cashd
+ * instead of in-process calls; Oracle C then becomes repeat-request
+ * byte identity (the service pins jobs=1 per request by design, and
+ * the second response must come from the result cache).
+ */
+#ifndef CASH_FUZZ_ORACLES_H
+#define CASH_FUZZ_ORACLES_H
+
+#include "fuzz/generator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cash {
+namespace fuzz {
+
+/** Knobs of one soak campaign (shared by every case). */
+struct SoakConfig
+{
+    std::string profile = "mixed";
+    /** Event budget per simulation; generated programs sit far under
+     *  it, so a trip means "inconclusive", not "hang". */
+    uint64_t maxEvents = 5000000;
+    /** The -jN side of Oracle C. */
+    int jobsHigh = 4;
+    /** Fabric spec for the fabric target; "" disables that target. */
+    std::string fabric = "2x2";
+    /** Run Oracle C (skipped per-case in canary mode). */
+    bool checkJobs = true;
+    /** Soak a live cashd at this socket instead of in-process. */
+    std::string viaSocket;
+    /**
+     * Canary mode: inject `graph.corrupt-token` into a verify-off
+     * pipeline and demand the ordering checker catches it.  A case
+     * where the checker stays silent is reported as category
+     * "canary-missed" (the harness must detect, not just survive).
+     */
+    bool canary = false;
+};
+
+/** What happened to one generated program across the whole matrix. */
+struct CaseReport
+{
+    uint64_t seed = 0;
+    int64_t functions = 0;   ///< Functions in the generated unit.
+    int64_t runs = 0;        ///< Pipeline invocations performed.
+
+    /** Violation category ("" = clean); stable across minimization. */
+    std::string category;
+    /** Human diagnosis of the violation ("" = clean). */
+    std::string detail;
+    /** Event budget tripped somewhere: Oracle A skipped. */
+    bool inconclusive = false;
+    /** Canary mode: the checker flagged the injected corruption. */
+    bool canaryDetected = false;
+
+    /** One "<target>=<outcome>" entry per simulated target. */
+    std::vector<std::string> outcomes;
+    /** Wall-clock per pipeline invocation, microseconds. */
+    std::vector<int64_t> latenciesUs;
+
+    bool violation() const { return !category.empty(); }
+};
+
+/** Run the full oracle matrix over @p source (already rendered). */
+CaseReport runCaseOnSource(const std::string& source, uint64_t seed,
+                           const SoakConfig& cfg);
+
+/** Generate seed @p seed under @p cfg.profile and run the matrix. */
+CaseReport runCase(uint64_t seed, const SoakConfig& cfg);
+
+} // namespace fuzz
+} // namespace cash
+
+#endif // CASH_FUZZ_ORACLES_H

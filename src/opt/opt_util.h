@@ -105,6 +105,7 @@ tokenConsumerInput(const Node* n)
       case NodeKind::TokenGen:
         return n->tokenInIndex();
       case NodeKind::Eta:
+      case NodeKind::Merge:
         return n->type == VT::Token ? 0 : -1;
       default:
         return -1;

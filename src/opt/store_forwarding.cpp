@@ -65,6 +65,32 @@ class StoreForwardingPass : public Pass
                 return false;
         }
 
+        // The mux below decodes on store predicates, so they must be
+        // one-hot.  Figure 9's stores are branch-exclusive; stores
+        // *sequential* in the token graph (s0 |= ..; s0 &= ..) can
+        // both fire, and then the one nearest the load defines memory.
+        // Record, per store, every store ordered after it — its mux
+        // arm must exclude those — and bail when two stores are
+        // ordered in neither direction yet not predicate-disjoint
+        // (no static priority exists).
+        const size_t ns = stores.size();
+        std::vector<std::vector<size_t>> later(ns);
+        for (size_t i = 0; i < ns; i++) {
+            for (size_t j = i + 1; j < ns; j++) {
+                bool ij = optutil::orderedAfter(stores[i], stores[j]);
+                bool ji = optutil::orderedAfter(stores[j], stores[i]);
+                if (ij && ji)
+                    return false;  // token ring: no static priority
+                if (ij)
+                    later[i].push_back(j);
+                else if (ji)
+                    later[j].push_back(i);
+                else if (!predDisjoint(stores[i]->input(0),
+                                       stores[j]->input(0)))
+                    return false;
+            }
+        }
+
         PortRef pl = load->input(0);
         int hb = load->hyperblock;
 
@@ -88,12 +114,22 @@ class StoreForwardingPass : public Pass
                         0};
         }
 
-        // Mux: stored values, then the residual load.
+        // Mux: stored values, then the residual load.  A store's arm
+        // fires only when no store nearer the load does.
         Node* mux = g.newNode(NodeKind::Mux, VT::Word, hb);
         g.replaceAllUses({load, 0}, {mux, 0});
-        for (Node* s : stores) {
-            g.addInput(mux, s->input(0));
-            g.addInput(mux, s->input(3));
+        for (size_t i = 0; i < ns; i++) {
+            PortRef arm = stores[i]->input(0);
+            for (size_t j : later[i]) {
+                Node* notJ = g.newArith1(Op::NotBool,
+                                         stores[j]->input(0), hb,
+                                         VT::Pred);
+                arm = {g.newArith(Op::And, arm, {notJ, 0}, hb,
+                                  VT::Pred),
+                       0};
+            }
+            g.addInput(mux, arm);
+            g.addInput(mux, stores[i]->input(3));
         }
         g.addInput(mux, residual);
         g.addInput(mux, {load, 0});

@@ -5,7 +5,13 @@
  * in a cashc-compatible way so scripts can switch between the two.
  *
  * Usage:
- *   cash [--socket PATH] <command> [args]
+ *   cash [--socket PATH] [--timeout MS] [--retries N]
+ *        <command> [args]
+ *
+ * Connects with capped exponential backoff (--retries attempts, 50 ms
+ * doubling to 1 s) so scripts can race the client against a cashd
+ * that is still starting up; --timeout bounds every socket read and
+ * write once connected.
  *
  * Commands:
  *   ping                       round-trip a ping frame
@@ -57,7 +63,8 @@ int
 usage()
 {
     std::cerr <<
-        "usage: cash [--socket PATH] <command> [args]\n"
+        "usage: cash [--socket PATH] [--timeout MS] [--retries N]\n"
+        "            <command> [args]\n"
         "commands:\n"
         "  ping | version | stats | shutdown\n"
         "  compile FILE [-O0..3] [--passes=a,b] [--run f(1,2)]\n"
@@ -172,12 +179,23 @@ int
 main(int argc, char** argv)
 {
     std::string socketPath = defaultSocketPath();
+    int64_t timeoutMs = 0;
+    int retries = 5;
     int i = 1;
-    if (i < argc && std::string(argv[i]) == "--socket") {
-        if (i + 1 >= argc)
+    while (i < argc && argv[i][0] == '-') {
+        std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc) {
+            socketPath = argv[i + 1];
+            i += 2;
+        } else if (arg == "--timeout" && i + 1 < argc) {
+            timeoutMs = std::atoll(argv[i + 1]);
+            i += 2;
+        } else if (arg == "--retries" && i + 1 < argc) {
+            retries = std::atoi(argv[i + 1]);
+            i += 2;
+        } else {
             return usage();
-        socketPath = argv[i + 1];
-        i += 2;
+        }
     }
     if (i >= argc)
         return usage();
@@ -189,7 +207,9 @@ main(int argc, char** argv)
     }
 
     ServiceClient client;
-    Status st = client.connect(socketPath);
+    if (timeoutMs > 0)
+        client.setIoTimeoutMs(timeoutMs);
+    Status st = client.connectWithRetry(socketPath, retries);
     if (!st) {
         std::cerr << "cash: " << st.message() << "\n";
         return 3;

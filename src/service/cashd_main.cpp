@@ -51,6 +51,7 @@ usage()
         "usage: cashd [--socket PATH] [-j N] [--cache-entries N]\n"
         "             [--cache-mb N] [--max-queue N]"
         " [--stats-json FILE]\n"
+        "             [--max-events-cap N] [--sim-wall-ms N]\n"
         "             [--trace FILE] [--version] [--verbose]\n";
     return 2;
 }
@@ -87,6 +88,11 @@ main(int argc, char** argv)
         } else if (arg == "--max-queue" && i + 1 < argc) {
             cfg.maxQueueDepth =
                 static_cast<size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--max-events-cap" && i + 1 < argc) {
+            cfg.maxEventsCap =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--sim-wall-ms" && i + 1 < argc) {
+            cfg.simWallMs = std::atoll(argv[++i]);
         } else if (arg == "--stats-json" && i + 1 < argc) {
             statsJsonFile = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {

@@ -1,9 +1,11 @@
 #include "service/client.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -28,6 +30,7 @@ Status
 ServiceClient::connect(const std::string& socketPath)
 {
     close();
+    retryable_ = false;
 
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -44,11 +47,19 @@ ServiceClient::connect(const std::string& socketPath)
                                  std::strerror(errno));
     if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
                   sizeof(addr)) < 0) {
+        // Server not up yet / backlog full: a retry can succeed.
+        retryable_ = errno == ECONNREFUSED || errno == ENOENT ||
+                     errno == EAGAIN || errno == EINTR;
         Status st = Status::error(ErrorCode::InternalError,
                                   "connect " + socketPath + ": " +
                                       std::strerror(errno));
         close();
         return st;
+    }
+    Status tst = applyIoTimeout();
+    if (!tst) {
+        close();
+        return tst;
     }
 
     std::string payload;
@@ -77,6 +88,51 @@ ServiceClient::connect(const std::string& socketPath)
         close();
         return st;
     }
+    return Status::ok();
+}
+
+Status
+ServiceClient::connectWithRetry(const std::string& socketPath,
+                                int attempts, int initialDelayMs)
+{
+    constexpr int kMaxDelayMs = 1000;
+    Status st = Status::ok();
+    int delay = initialDelayMs > 0 ? initialDelayMs : 1;
+    for (int attempt = 0; attempt < std::max(attempts, 1); attempt++) {
+        if (attempt > 0) {
+            ::usleep(static_cast<useconds_t>(delay) * 1000);
+            delay = std::min(delay * 2, kMaxDelayMs);
+        }
+        st = connect(socketPath);
+        if (st.isOk() || !retryable_)
+            return st;
+    }
+    return st;
+}
+
+Status
+ServiceClient::setIoTimeoutMs(int64_t ms)
+{
+    ioTimeoutMs_ = ms > 0 ? ms : 0;
+    return applyIoTimeout();
+}
+
+Status
+ServiceClient::applyIoTimeout()
+{
+    if (fd_ < 0)
+        return Status::ok();
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ioTimeoutMs_ / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((ioTimeoutMs_ % 1000) * 1000);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) <
+            0 ||
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) <
+            0)
+        return Status::error(ErrorCode::InternalError,
+                             std::string("setsockopt: ") +
+                                 std::strerror(errno));
     return Status::ok();
 }
 

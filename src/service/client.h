@@ -38,6 +38,27 @@ class ServiceClient
      */
     Status connect(const std::string& socketPath);
 
+    /**
+     * connect() with capped exponential backoff on transient
+     * failures (server not yet listening: ECONNREFUSED/ENOENT, or a
+     * full accept backlog).  Sleeps @p initialDelayMs before the
+     * second attempt, doubling up to a 1 s cap.  Version-skew and
+     * handshake failures are permanent and returned immediately —
+     * retrying cannot fix an incompatible server.
+     */
+    Status connectWithRetry(const std::string& socketPath,
+                            int attempts = 5,
+                            int initialDelayMs = 50);
+
+    /**
+     * Bound every subsequent socket read/write to @p ms milliseconds
+     * (SO_RCVTIMEO/SO_SNDTIMEO).  A blocked call() then fails with a
+     * timeout error instead of hanging on a wedged server.  Applies
+     * to the current connection and any later connect(); 0 restores
+     * blocking mode.
+     */
+    Status setIoTimeoutMs(int64_t ms);
+
     void close();
     bool connected() const { return fd_ >= 0; }
 
@@ -60,9 +81,14 @@ class ServiceClient
     Status shutdownServer();
 
   private:
+    Status applyIoTimeout();
+
     int fd_ = -1;
     Json hello_;
     int64_t nextId_ = 1;
+    int64_t ioTimeoutMs_ = 0;
+    /** Last connect() failure was transient (worth retrying). */
+    bool retryable_ = false;
 };
 
 /**

@@ -444,9 +444,18 @@ ServiceServer::handleOne(Pending& p)
         d.jobs = 1;
         d.faults = nullptr;
         d.tracer = nullptr;
+        // Guardrails: clamp the event budget and arm the wall-clock
+        // guard so a pathological graph cannot pin this pool worker.
+        if (cfg_.maxEventsCap &&
+            (d.maxEvents == 0 || d.maxEvents > cfg_.maxEventsCap))
+            d.maxEvents = cfg_.maxEventsCap;
+        d.simWallMs = cfg_.simWallMs;
         DriverReply rep = runDriverRequest(d);
         body = svcResultBody(p.req, rep);
-        cache_.insert(key, body);
+        // A timeout reflects host load at the moment of the run, not
+        // the request: caching it would pin the degraded result.
+        if (!(rep.ranSim && rep.simOutcome == SimOutcome::Timeout))
+            cache_.insert(key, body);
     }
     // Record before sending so a client that reads its response and
     // immediately polls metrics() observes its own request.

@@ -73,6 +73,21 @@ struct ServiceConfig
     uint32_t maxFrameBytes = kSvcMaxFrameBytes;
     /** Pending-request cap; beyond it requests get `overloaded`. */
     size_t maxQueueDepth = 4096;
+    /**
+     * Ceiling on any request's simulator event budget.  A request
+     * asking for more (or for "unlimited" via 0) is clamped down, so
+     * one adversarial or buggy client cannot pin a pool worker on a
+     * livelocked graph.  0 disables the cap.  The clamp is visible
+     * to the client as an ordinary `event_limit` sim outcome.
+     */
+    uint64_t maxEventsCap = 50000000;
+    /**
+     * Per-request simulation wall-clock guard in milliseconds; runs
+     * that exceed it come back with sim outcome `timeout`.  Timeout
+     * results are never cached (they are host-load-dependent, not a
+     * property of the request).  0 disables the guard.
+     */
+    int64_t simWallMs = 10000;
     /** listen(2) backlog. */
     int backlog = 128;
     /** Optional trace sink (guarded internally); may be null. */

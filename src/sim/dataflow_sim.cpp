@@ -29,6 +29,7 @@ simOutcomeName(SimOutcome o)
       case SimOutcome::EventLimit: return "event_limit";
       case SimOutcome::StackOverflow: return "stack_overflow";
       case SimOutcome::MissingGraph: return "missing_graph";
+      case SimOutcome::Timeout: return "timeout";
     }
     return "?";
 }
@@ -1565,6 +1566,13 @@ DataflowSimulator::cascadeRegion(Activation* a)
                         "' (livelock?)");
             break;
         }
+        if ((++cascadeVisits_ & 0xFFF) == 0 && wallExpired()) {
+            failRun(SimOutcome::Timeout,
+                    "simulation wall-clock budget of " +
+                        std::to_string(wallBudgetMs_) +
+                        " ms exceeded in '" + gi->g->name + "'");
+            break;
+        }
         }
     }
     if (runOutcome_ != SimOutcome::Ok) {  // aborted mid-wave: pending
@@ -1580,6 +1588,13 @@ DataflowSimulator::cascadeRegion(Activation* a)
             {{"region", static_cast<int64_t>(0)},
              {"ops", static_cast<int64_t>(inlined)}},
             kTraceCyclePid);
+}
+
+bool
+DataflowSimulator::wallExpired()
+{
+    return wallBudgetMs_ > 0 &&
+           std::chrono::steady_clock::now() > wallDeadline_;
 }
 
 void
@@ -1787,8 +1802,20 @@ DataflowSimulator::run(const std::string& name,
     else
         startActivation(git->second, args, 0, nullptr, -1);
 
+    if (wallBudgetMs_ > 0)
+        wallDeadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wallBudgetMs_);
+
     const bool tracing = tracer_ && tracer_->enabled();
-    while (!done_ && runOutcome_ == SimOutcome::Ok) {
+    // Run to quiescence rather than stopping at the root return: the
+    // drained tail (loop-exit EOS rounds, in-flight deliveries) is
+    // part of the execution's firing multiset, which dataflow
+    // determinism makes schedule-independent.  Stopping at done_
+    // instead made sim.firings depend on queue order whenever the
+    // return raced the tail — the macro engine's cascades batch those
+    // firings eagerly and would count a superset.  Cycle counts are
+    // unaffected: they report rootDoneTime_, not the drain.
+    while (runOutcome_ == SimOutcome::Ok) {
         if (readyHead_ == ready_.size()) {
             // The worklist drained: run the region cascades all of
             // this cycle's absorbed deliveries seeded (their
@@ -1809,10 +1836,15 @@ DataflowSimulator::run(const std::string& name,
                         " events in '" + name + "' (livelock?)");
             break;
         }
+        if ((events_ & 0x3FFF) == 0 && wallExpired()) {
+            failRun(SimOutcome::Timeout,
+                    "simulation wall-clock budget of " +
+                        std::to_string(wallBudgetMs_) +
+                        " ms exceeded in '" + name + "'");
+            break;
+        }
         Activation* a = e.act;
         a->inflight--;
-        if (a->finished && !a->parent)
-            continue;
         // Region deliveries never reach the queues: deliver() feeds
         // them straight into fireRegion().
         ItemFifo& q = a->fifo[e.slot];

@@ -33,6 +33,7 @@
 #define CASH_SIM_DATAFLOW_SIM_H
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -94,6 +95,8 @@ enum class SimOutcome
     StackOverflow,
     /** The named function (or a fired callee) was never compiled. */
     MissingGraph,
+    /** Host wall-clock budget exceeded (see setWallBudgetMs). */
+    Timeout,
 };
 
 /** Stable lower_snake name ("ok", "deadlock", ...). */
@@ -172,6 +175,17 @@ class DataflowSimulator
     void reset();
 
     void setMaxEvents(uint64_t n) { maxEvents_ = n; }
+
+    /**
+     * Abort a run with SimOutcome::Timeout once it has consumed
+     * @p ms milliseconds of host wall-clock time (0 = unlimited).
+     * The deadline is polled every few thousand events, so the
+     * overshoot is bounded by the cost of one polling window.  A
+     * wall guard makes results host-dependent by design — it exists
+     * for services and soak harnesses that must bound the damage a
+     * pathological graph can do, not for reproducible measurement.
+     */
+    void setWallBudgetMs(int64_t ms) { wallBudgetMs_ = ms; }
 
     /**
      * Deterministic fault injection (testing): a plan with a
@@ -721,6 +735,10 @@ class DataflowSimulator
     uint32_t rootResult_ = 0;
     uint64_t rootDoneTime_ = 0;
     uint64_t maxEvents_ = 200000000;
+    int64_t wallBudgetMs_ = 0;  ///< 0 = no wall-clock guard.
+    std::chrono::steady_clock::time_point wallDeadline_;
+    uint64_t cascadeVisits_ = 0;  ///< Wall-guard polling counter.
+    bool wallExpired();
 
     /** Degraded-outcome state for the current run (see failRun). */
     SimOutcome runOutcome_ = SimOutcome::Ok;

@@ -9,7 +9,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "driver/driver_lib.h"
 #include "service/cache.h"
 #include "service/client.h"
 #include "service/protocol.h"
@@ -627,6 +630,158 @@ TEST_F(ServiceFixture, AnalyzeAndArtifactsThroughTheService)
     const Json* stats = body->get("stats");
     ASSERT_NE(stats, nullptr);
     EXPECT_EQ(stats->getString("schema"), "cash-stats-v1");
+}
+
+// ---------------------------------------------------------------------
+// Guardrails: event cap, wall-clock budget
+// ---------------------------------------------------------------------
+
+TEST(DriverGuardrail, WallBudgetDegradesToTimeoutOutcome)
+{
+    // The driver-level plumbing under the service guardrail: a 1 ms
+    // wall budget on a multi-million-event simulation degrades to a
+    // reported outcome, never a hang or an abort.
+    DriverRequest req;
+    req.source = kProgC;
+    req.runSpec = "triangle(2000)";
+    req.simWallMs = 1;
+    DriverReply rep = runDriverRequest(req);
+    ASSERT_TRUE(rep.ranSim);
+    EXPECT_EQ(rep.simOutcome, SimOutcome::Timeout);
+    EXPECT_EQ(rep.exitCode, 1);
+    EXPECT_NE(rep.simError.find("wall-clock"), std::string::npos)
+        << rep.simError;
+}
+
+TEST_F(ServiceFixture, EventCapClampsRunawayRequests)
+{
+    // A request asking for an unlimited event budget gets the
+    // server's cap instead and degrades to an ordinary event_limit
+    // outcome.
+    cfg_.maxEventsCap = 1000;
+    startServer("evcap");
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+
+    Json opts = Json::object();
+    opts.set("run", Json::string("triangle(40)"));
+    Json resp;
+    ASSERT_TRUE(
+        client.call(makeCompileRequest("simulate", kProgC, opts),
+                    &resp)
+            .isOk());
+    ASSERT_TRUE(resp.getBool("ok"));
+    const Json* sim = resp.get("body")->get("sim");
+    ASSERT_NE(sim, nullptr);
+    EXPECT_EQ(sim->getString("outcome"), "event_limit");
+    EXPECT_EQ(resp.get("body")->getInt("exit"), 1);
+}
+
+TEST_F(ServiceFixture, WallGuardTimesOutAndNeverCaches)
+{
+    cfg_.simWallMs = 1;
+    cfg_.maxEventsCap = 0; // isolate the wall guard
+    startServer("wall");
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(cfg_.socketPath).isOk());
+
+    Json opts = Json::object();
+    opts.set("run", Json::string("triangle(2000)"));
+    auto timedOut = [&](Json* resp) {
+        Status st = client.call(
+            makeCompileRequest("simulate", kProgC, opts), resp);
+        ASSERT_TRUE(st.isOk());
+        ASSERT_TRUE(resp->getBool("ok"));
+        const Json* sim = resp->get("body")->get("sim");
+        ASSERT_NE(sim, nullptr);
+        EXPECT_EQ(sim->getString("outcome"), "timeout");
+    };
+
+    Json r1, r2;
+    timedOut(&r1);
+    // A timeout depends on host load, so the result must not enter
+    // the cache: the identical request recomputes (and times out
+    // again under the same budget) instead of replaying a hit.
+    timedOut(&r2);
+    EXPECT_FALSE(r2.getBool("cached"));
+    EXPECT_EQ(server_->metrics().get("svc.cache.hits"), 0);
+}
+
+// ---------------------------------------------------------------------
+// Client: connect retry, I/O timeouts
+// ---------------------------------------------------------------------
+
+TEST(ClientRetry, BacksOffUntilTheServerAppears)
+{
+    std::string path = testSocketPath("retry");
+    ::unlink(path.c_str());
+
+    // Start the server ~150 ms from now; the client's capped backoff
+    // (20, 40, 80, ... ms) must ride out the ECONNREFUSED window.
+    ServiceConfig cfg;
+    cfg.socketPath = path;
+    cfg.jobs = 1;
+    std::unique_ptr<ServiceServer> server;
+    std::thread starter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        server = std::make_unique<ServiceServer>(cfg);
+        ASSERT_TRUE(server->start().isOk());
+    });
+
+    ServiceClient client;
+    Status st = client.connectWithRetry(path, 10, 20);
+    starter.join();
+    EXPECT_TRUE(st.isOk()) << st.message();
+    EXPECT_TRUE(client.ping().isOk());
+    client.close();
+    if (server)
+        server->stop();
+}
+
+TEST(ClientRetry, ExhaustsAttemptsAgainstADeadSocket)
+{
+    std::string path = testSocketPath("noserver");
+    ::unlink(path.c_str());
+    ServiceClient client;
+    auto t0 = std::chrono::steady_clock::now();
+    Status st = client.connectWithRetry(path, 3, 30);
+    auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    EXPECT_FALSE(st.isOk());
+    // Two backoff sleeps (30 + 60 ms) separate the three attempts.
+    EXPECT_GE(elapsed.count(), 80);
+    EXPECT_FALSE(client.connected());
+}
+
+TEST(ClientTimeout, BoundsAHungServer)
+{
+    // A listener that accepts into its backlog but never sends the
+    // hello frame: without SO_RCVTIMEO the handshake blocks forever.
+    std::string path = testSocketPath("hung");
+    ::unlink(path.c_str());
+    int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(lfd, 8), 0);
+
+    ServiceClient client;
+    ASSERT_TRUE(client.setIoTimeoutMs(200).isOk());
+    auto t0 = std::chrono::steady_clock::now();
+    Status st = client.connect(path);
+    auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    EXPECT_FALSE(st.isOk());
+    EXPECT_LT(elapsed.count(), 5000);
+    ::close(lfd);
+    ::unlink(path.c_str());
 }
 
 } // namespace

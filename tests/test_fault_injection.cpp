@@ -81,6 +81,56 @@ TEST(FaultInjection, SpecParsing)
                  FatalError);
 }
 
+TEST(FaultInjection, SpecParsingErrorPaths)
+{
+    // Every malformed spec dies loudly — the point of $CASH_INJECT /
+    // --inject is that a fault you asked for always happens.
+    EXPECT_THROW(FaultPlan::parse("pass.throw:pass"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("pass.throw:round="), FatalError);
+    EXPECT_THROW(FaultPlan::parse("pass.throw:round=-1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("pass.throw:seed=1x"), FatalError);
+    // Overflows a uint64 by one digit.
+    EXPECT_THROW(FaultPlan::parse("sim.drop-event:seq="
+                                  "184467440737095516160"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parse("pass.throw;oops"), FatalError);
+    // An empty point name is unknown, not skipped.
+    EXPECT_THROW(FaultPlan::parse(":pass=x"), FatalError);
+
+    // Benign slack: empty specs/segments and stray whitespace parse
+    // to exactly what remains.
+    EXPECT_TRUE(FaultPlan::parse("").specs().empty());
+    EXPECT_TRUE(FaultPlan::parse(" ; ;").specs().empty());
+    FaultPlan p = FaultPlan::parse(
+        "  pass.throw : pass = dce , , round = 3 ;");
+    ASSERT_EQ(p.specs().size(), 1u);
+    EXPECT_EQ(p.specs()[0].pass, "dce");
+    EXPECT_EQ(p.specs()[0].round, 3);
+
+    // str() is a parseable round trip (repro commands rely on it).
+    FaultPlan q = FaultPlan::parse(p.str());
+    EXPECT_EQ(q.str(), p.str());
+}
+
+TEST(FaultInjection, EnvPlanIsStableAndMatchesSelectively)
+{
+    // The suite never sets $CASH_INJECT, so the process-wide plan is
+    // empty — and fromEnv() is latched, returning the same object on
+    // every call.
+    const FaultPlan& env = FaultPlan::fromEnv();
+    EXPECT_TRUE(env.specs().empty());
+    EXPECT_EQ(&env, &FaultPlan::fromEnv());
+
+    // match() treats absent keys as wildcards and set keys exactly.
+    FaultPlan p = FaultPlan::parse(
+        "pass.throw:pass=dce,func=f,round=2;graph.corrupt-token");
+    EXPECT_NE(p.match("graph.corrupt-token", "g", "any", 9), nullptr);
+    EXPECT_NE(p.match("pass.throw", "f", "dce", 2), nullptr);
+    EXPECT_EQ(p.match("pass.throw", "f", "dce", 3), nullptr);
+    EXPECT_EQ(p.match("pass.throw", "g", "dce", 2), nullptr);
+    EXPECT_EQ(p.match("sim.drop-event", "f", "dce", 2), nullptr);
+}
+
 TEST(FaultInjection, CorruptAnyPassRollsBackAndOthersStayGolden)
 {
     // Golden reference: clean compile, cycles for the untouched
