@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Checker-side interprocedural effect model (docs/ANALYSIS.md,
+ * "Interprocedural checking").
+ *
+ * The optimizer prunes cross-call token edges using the MOD/REF
+ * summaries of analysis/modref.h.  Trusting those same summaries to
+ * *check* the pruned graphs would be circular, so this model re-derives
+ * everything from a different substrate, sharing no code with modref:
+ *
+ *   - effects are recomputed from the Pegasus graphs themselves, by
+ *     abstract evaluation of each Load/Store *address input* (modref
+ *     reads the CFG-level points-to rwSets instead);
+ *   - the whole-program fixpoint is a plain global iteration to
+ *     convergence (modref condenses the call graph with Tarjan SCCs
+ *     and solves components bottom-up);
+ *   - call-site resolution happens at *query* time against the current
+ *     — possibly optimized — graph, evaluating the call's live
+ *     argument inputs (modref stamps construction-time sets).
+ *
+ * Soundness across passes: the per-function summaries are computed
+ * once over the construction-time graphs.  Passes only ever remove or
+ * merge accesses, never invent new locations, so those summaries stay
+ * over-approximations of every later pipeline stage, and one immutable
+ * model can be shared by all parallel optimization workers.
+ */
+#ifndef CASH_ANALYSIS_INTERPROC_H
+#define CASH_ANALYSIS_INTERPROC_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/memloc.h"
+#include "frontend/layout.h"
+#include "pegasus/graph.h"
+
+namespace cash {
+
+/**
+ * Immutable whole-program effect model for the ordering checker and
+ * the `--analyze` lints.  Thread-safe after construction: queries read
+ * only the model's own tables and the graph passed in.
+ */
+class InterprocModel
+{
+  public:
+    /**
+     * Build from the construction-time graphs (declaration order),
+     * the per-function pointer-parameter location table
+     * (CfgProgram::paramLocation, same order) and the layout.
+     */
+    InterprocModel(const std::vector<const Graph*>& graphs,
+                   const std::vector<std::vector<int>>& paramLocation,
+                   const MemoryLayout& layout);
+
+    /**
+     * Effective may-read set of call node @p call inside @p g, in the
+     * caller's location space, resolved against the current graph
+     * state.  Top for unknown callees or unprovable argument bindings.
+     */
+    LocationSet callReadSet(const Graph& g, const Node* call) const;
+
+    /** Effective may-write set; same conventions as callReadSet(). */
+    LocationSet callWriteSet(const Graph& g, const Node* call) const;
+
+    /** Whole-function REF summary (own location space); null unknown. */
+    const LocationSet* funcRef(const FuncDecl* decl) const;
+
+    /** Whole-function MOD summary (own location space); null unknown. */
+    const LocationSet* funcMod(const FuncDecl* decl) const;
+
+    /**
+     * Abstract points-to set of value @p v in @p g: the objects (and
+     * pointer-parameter externals) the value may address.  Exposed for
+     * the lint rules; Top when the value escapes the evaluator.
+     */
+    LocationSet pointsTo(const Graph& g, PortRef v) const;
+
+  private:
+    int functionIndex(const FuncDecl* decl) const;
+    LocationSet evalPtr(const Graph& g, int fnIdx, PortRef v,
+                        std::set<const Node*>& visiting) const;
+    LocationSet addrSet(const Graph& g, int fnIdx, const Node* access)
+        const;
+    LocationSet translate(const LocationSet& calleeSet, int calleeIdx,
+                          const Graph& callerG, int callerIdx,
+                          const Node* call) const;
+
+    const MemoryLayout& layout_;
+    std::vector<std::vector<int>> paramLoc_;
+    std::map<const FuncDecl*, int> index_;
+    std::vector<const FuncDecl*> decls_;
+    int numObjects_ = 0;
+    /** Frame-object ids per function (layout objects with func==decl). */
+    std::vector<std::vector<int>> frameObjs_;
+    /** Converged per-function summaries, own location space. */
+    std::vector<LocationSet> ref_, mod_;
+};
+
+} // namespace cash
+
+#endif // CASH_ANALYSIS_INTERPROC_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/interproc.h"
 #include "analysis/ordering_checker.h"
 #include "pegasus/reachability.h"
 #include "support/diagnostics.h"
@@ -121,7 +122,8 @@ class OrderingSoundnessRule : public LintRule
     run(const Graph& g, const LintContext& ctx,
         std::vector<LintFinding>& out) const override
     {
-        OrderingChecker checker(g, ctx.oracle, ctx.layout);
+        OrderingChecker checker(g, ctx.oracle, ctx.layout,
+                                ctx.interproc);
         checker.check(out);
     }
 };
@@ -355,6 +357,177 @@ class MergeableResidueRule : public LintRule
     }
 };
 
+/** True when every location of @p a is covered by @p b. */
+bool
+subsetOf(const LocationSet& a, const LocationSet& b)
+{
+    if (b.isTop())
+        return true;
+    if (a.isTop())
+        return false;
+    for (int loc : a.locations())
+        if (!b.locations().count(loc))
+            return false;
+    return true;
+}
+
+/**
+ * Effect sets of one side effect for the interprocedural rules: calls
+ * resolve through the independent model, memory accesses keep their
+ * construction sets.  Returns false for kinds the rules skip (Return,
+ * plumbing) and for unbounded sets.
+ */
+bool
+interprocEffects(const Graph& g, const Node* n,
+                 const InterprocModel& model, LocationSet* reads,
+                 LocationSet* writes)
+{
+    switch (n->kind) {
+      case NodeKind::Load:
+        if (n->rwSet.isTop())
+            return false;
+        *reads = n->rwSet;
+        return true;
+      case NodeKind::Store:
+        if (n->rwSet.isTop())
+            return false;
+        *writes = n->rwSet;
+        return true;
+      case NodeKind::Call: {
+        LocationSet r = model.callReadSet(g, n);
+        LocationSet w = model.callWriteSet(g, n);
+        if (r.isTop() || w.isTop())
+            return false;
+        *reads = std::move(r);
+        *writes = std::move(w);
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+/**
+ * A direct cross-call token edge whose endpoint effects the
+ * independent model proves disjoint: `interproc_token_pruning` would
+ * remove it, but the pass was off (ipo=off / below opt=full) or could
+ * not prove it from its own summaries.
+ */
+class PrunableCallEdgeRule : public LintRule
+{
+  public:
+    const char* name() const override { return "prunable_call_edge"; }
+    LintSeverity severity() const override { return LintSeverity::Info; }
+    const char*
+    description() const override
+    {
+        return "cross-call token edge between provably disjoint side"
+               " effects (interproc_token_pruning would drop it)";
+    }
+
+    void
+    run(const Graph& g, const LintContext& ctx,
+        std::vector<LintFinding>& out) const override
+    {
+        if (!ctx.oracle || !ctx.interproc)
+            return;
+        for (const Node* n : g.liveNodes()) {
+            if (n->kind != NodeKind::Load &&
+                n->kind != NodeKind::Store &&
+                n->kind != NodeKind::Call)
+                continue;
+            LocationSet rn, wn;
+            if (!interprocEffects(g, n, *ctx.interproc, &rn, &wn))
+                continue;
+            for (const Node* j : tokenSourceNodes(n)) {
+                if (n->kind != NodeKind::Call &&
+                    j->kind != NodeKind::Call)
+                    continue;  // intraprocedural pairs: token_removal
+                LocationSet rj, wj;
+                if (!interprocEffects(g, j, *ctx.interproc, &rj, &wj))
+                    continue;
+                if (ctx.oracle->mayOverlap(wn, rj) ||
+                    ctx.oracle->mayOverlap(wj, rn) ||
+                    ctx.oracle->mayOverlap(wn, wj))
+                    continue;
+                LintFinding f;
+                f.rule = "prunable-call-edge";
+                f.severity = LintSeverity::Info;
+                f.func = g.name;
+                f.nodeA = j->id;
+                f.nodeB = n->id;
+                if (n->loc.valid())
+                    f.location = n->loc.str();
+                f.explanation =
+                    "token edge " + nodeDesc(j) + " -> " + nodeDesc(n) +
+                    " orders side effects with disjoint interprocedural"
+                    " effect sets; interproc_token_pruning would remove"
+                    " it (kept: pruning disabled at this level, or the"
+                    " optimizer's own summaries could not prove the"
+                    " disjointness)";
+                out.push_back(f);
+            }
+        }
+    }
+};
+
+/**
+ * The optimizer's stamped per-call-site effects must cover everything
+ * the independent rederivation believes possible — a stamp that claims
+ * *less* means the pruning pass may have dropped a required edge.
+ */
+class SummaryDivergenceRule : public LintRule
+{
+  public:
+    const char* name() const override { return "summary_divergence"; }
+    LintSeverity severity() const override { return LintSeverity::Error; }
+    const char*
+    description() const override
+    {
+        return "optimizer call-effect stamps disagree with the"
+               " independent interprocedural rederivation";
+    }
+
+    void
+    run(const Graph& g, const LintContext& ctx,
+        std::vector<LintFinding>& out) const override
+    {
+        if (!ctx.interproc)
+            return;
+        for (const Node* n : g.liveNodes()) {
+            if (n->kind != NodeKind::Call || !n->callEffectsValid)
+                continue;
+            LocationSet reads = ctx.interproc->callReadSet(g, n);
+            LocationSet writes = ctx.interproc->callWriteSet(g, n);
+            std::string problem;
+            if (!subsetOf(reads, n->callReads))
+                problem = "rederived read set " + reads.str() +
+                          " is not covered by the stamped " +
+                          n->callReads.str();
+            else if (!subsetOf(writes, n->callWrites))
+                problem = "rederived write set " + writes.str() +
+                          " is not covered by the stamped " +
+                          n->callWrites.str();
+            if (problem.empty())
+                continue;
+            LintFinding f;
+            f.rule = "summary-divergence";
+            f.severity = LintSeverity::Error;
+            f.func = g.name;
+            f.nodeA = n->id;
+            if (n->loc.valid())
+                f.location = n->loc.str();
+            f.explanation =
+                nodeDesc(n) + " (" +
+                (n->callee ? n->callee->name : std::string("?")) +
+                "): " + problem +
+                "; every optimization that consumed the stamp is"
+                " suspect";
+            out.push_back(f);
+        }
+    }
+};
+
 /** Registry keys spell '-' and '_' interchangeably (as PassRegistry). */
 std::string
 normalizeRuleName(const std::string& name)
@@ -391,6 +564,12 @@ LintRegistry::global()
         });
         r->registerRule("mergeable_residue", [] {
             return std::unique_ptr<LintRule>(new MergeableResidueRule());
+        });
+        r->registerRule("summary_divergence", [] {
+            return std::unique_ptr<LintRule>(new SummaryDivergenceRule());
+        });
+        r->registerRule("prunable_call_edge", [] {
+            return std::unique_ptr<LintRule>(new PrunableCallEdgeRule());
         });
         return r;
     }();
@@ -443,7 +622,8 @@ standardLintNames()
 {
     return {"ordering-soundness", "redundant-token-edge",
             "dead-token-sink", "unprovable-pragma",
-            "mergeable-residue"};
+            "mergeable-residue", "summary-divergence",
+            "prunable-call-edge"};
 }
 
 LintReport

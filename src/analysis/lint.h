@@ -20,6 +20,12 @@
  *                               not supported) by the access sets
  *   mergeable-residue    info   equivalent memory ops left unmerged
  *                               after §5.1
+ *   summary-divergence   error  a call's optimizer-stamped MOD/REF
+ *                               effects disagree with the independent
+ *                               interprocedural rederivation
+ *   prunable-call-edge   info   direct cross-call token edge whose
+ *                               endpoint effects are provably disjoint
+ *                               (interproc_token_pruning would drop it)
  */
 #ifndef CASH_ANALYSIS_LINT_H
 #define CASH_ANALYSIS_LINT_H
@@ -38,6 +44,8 @@
 #include "support/trace.h"
 
 namespace cash {
+
+class InterprocModel;
 
 enum class LintSeverity
 {
@@ -78,6 +86,12 @@ struct LintContext
     const MemoryLayout* layout = nullptr;
     StatSet* stats = nullptr;
     TraceRecorder* tracer = nullptr;
+    /**
+     * Independent interprocedural effect model (analysis/interproc.h);
+     * null = interprocedural rules are skipped and the ordering
+     * checker keeps calls at Top.
+     */
+    const InterprocModel* interproc = nullptr;
 };
 
 /** Base class of all lint rules.  Rules are stateless between runs. */

@@ -4,6 +4,7 @@
 
 #include "analysis/boolean.h"
 #include "analysis/induction.h"
+#include "analysis/interproc.h"
 #include "analysis/symbolic.h"
 
 namespace cash {
@@ -43,8 +44,9 @@ nodeDesc(const Node* n)
 
 OrderingChecker::OrderingChecker(const Graph& g,
                                  const AliasOracle* oracle,
-                                 const MemoryLayout* layout)
-    : g_(g), oracle_(oracle), layout_(layout)
+                                 const MemoryLayout* layout,
+                                 const InterprocModel* interproc)
+    : g_(g), oracle_(oracle), layout_(layout), interproc_(interproc)
 {
     buildTokenGraph();
     buildClosure(/*includeBackEdges=*/true, reachAll_);
@@ -477,9 +479,14 @@ OrderingChecker::effectiveReadSet(const Node* n) const
         return filtered;
       }
       case NodeKind::Call:
+        // Without an interprocedural model a call may read anything;
+        // with one, resolve the call site against the current graph.
+        if (interproc_)
+            return interproc_->callReadSet(g_, n);
+        return LocationSet::top();
       case NodeKind::Return:
-        // Calls may read anything; a return must observe every store
-        // (the procedure's memory effects complete before it does).
+        // A return must observe every store (the procedure's memory
+        // effects complete before it does).
         return LocationSet::top();
       default:
         return LocationSet();
@@ -493,6 +500,8 @@ OrderingChecker::effectiveWriteSet(const Node* n) const
       case NodeKind::Store:
         return refinedSet(n);
       case NodeKind::Call:
+        if (interproc_)
+            return interproc_->callWriteSet(g_, n);
         return LocationSet::top();
       default:
         return LocationSet();

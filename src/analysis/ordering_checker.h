@@ -37,6 +37,7 @@
 namespace cash {
 
 class InductionAnalysis;
+class InterprocModel;
 class SymbolicAddress;
 
 /** Work counters of one checker run (bench_analyze_throughput). */
@@ -58,8 +59,15 @@ struct OrderingStats
 class OrderingChecker
 {
   public:
+    /**
+     * With a non-null @p interproc, calls get per-call-site effective
+     * read/write sets from the independent interprocedural model
+     * (analysis/interproc.h) instead of the conservative Top — the
+     * mode that re-proves every `interproc_token_pruning` decision.
+     */
     OrderingChecker(const Graph& g, const AliasOracle* oracle,
-                    const MemoryLayout* layout);
+                    const MemoryLayout* layout,
+                    const InterprocModel* interproc = nullptr);
     ~OrderingChecker();
 
     /**
@@ -139,6 +147,7 @@ class OrderingChecker
     const Graph& g_;
     const AliasOracle* oracle_;
     const MemoryLayout* layout_;
+    const InterprocModel* interproc_;
 
     std::map<const Node*, int> index_;       ///< token node → dense id.
     std::vector<const Node*> tokenNodes_;

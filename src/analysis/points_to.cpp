@@ -66,8 +66,15 @@ class FunctionPointsTo
                   }
                   case InstrKind::Call:
                     i.rwSet = LocationSet::top();
-                    for (const Operand& a : i.args)
-                        exposeFrameLocations(operandLocations(a));
+                    // Record per-argument points-to sets: the MOD/REF
+                    // summary translation (analysis/modref.h) binds
+                    // callee pointer params to these at each site.
+                    i.argPts.clear();
+                    for (const Operand& a : i.args) {
+                        LocationSet s = operandLocations(a);
+                        exposeFrameLocations(s);
+                        i.argPts.push_back(std::move(s));
+                    }
                     break;
                   default:
                     break;
@@ -221,8 +228,17 @@ computePartitions(const CfgFunction& fn, const AliasOracle& oracle)
     std::set<int> universe;
     for (const auto& b : fn.blocks) {
         for (const Instr& i : b->instrs) {
-            if (i.kind != InstrKind::Load && i.kind != InstrKind::Store &&
-                i.kind != InstrKind::Call)
+            if (i.kind == InstrKind::Call) {
+                // Calls have no memId and pin no partition (the
+                // builder threads them through every ring), so a call
+                // only collapses the rings when its effects are
+                // unbounded: no modref stamp, or a Top summary.
+                if (!i.callEffectsValid || i.callReads.isTop() ||
+                    i.callWrites.isTop())
+                    anyTop = true;
+                continue;
+            }
+            if (i.kind != InstrKind::Load && i.kind != InstrKind::Store)
                 continue;
             if (i.memId >= 0) {
                 if (static_cast<int>(opSets.size()) <= i.memId)
@@ -236,11 +252,6 @@ computePartitions(const CfgFunction& fn, const AliasOracle& oracle)
                     universe.insert(l);
         }
     }
-    // Calls have Top but no memId; any call collapses the partitions.
-    for (const auto& b : fn.blocks)
-        for (const Instr& i : b->instrs)
-            if (i.kind == InstrKind::Call)
-                anyTop = true;
 
     std::vector<int> ids(universe.begin(), universe.end());
     std::map<int, int> index;

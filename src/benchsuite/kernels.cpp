@@ -837,6 +837,133 @@ int record_run(int ops)
 }
 )";
 
+// ---------------------------------------------------------------------
+// Helper-function dot/scale: the classic DSP inner products factored
+// into callees that take their buffers as pointer parameters.  The
+// four calls in the driver touch pairwise-disjoint arrays, so every
+// cross-call token edge between them is interproc_token_pruning food.
+// ---------------------------------------------------------------------
+const char* kHelperDotSrc = R"(
+int xa_[512];
+int xb_[512];
+int ya_[512];
+int yb_[512];
+int kco_[16];
+
+void scale(int* v, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        v[i] = v[i] * kco_[i & 15];
+}
+
+int dotp(int* x, int* y, int n)
+{
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++)
+        s += x[i] * y[i];
+    return s;
+}
+
+int hdot_run(int n)
+{
+    int i;
+    for (i = 0; i < 16; i++)
+        kco_[i] = (i & 3) + 1;
+    for (i = 0; i < n; i++) {
+        xa_[i] = i & 7;
+        xb_[i] = (i >> 1) & 7;
+        ya_[i] = 3 - (i & 3);
+        yb_[i] = (i & 15) - 7;
+    }
+    scale(xa_, n);
+    scale(xb_, n);
+    return dotp(xa_, ya_, n) + dotp(xb_, yb_, n);
+}
+)";
+
+// ---------------------------------------------------------------------
+// Two-level call chain: the driver calls per-stage wrappers which call
+// a shared leaf through pointer parameters, so summary translation has
+// to resolve externals through two bindings (stage arg -> leaf param).
+// ---------------------------------------------------------------------
+const char* kCallChainSrc = R"(
+int src_[512];
+int mid_[512];
+int aux_[512];
+int out_[512];
+
+void copyscale(int* d, int* s, int n, int k)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        d[i] = s[i] * k;
+}
+
+void stage_lo(int n)
+{
+    copyscale(mid_, src_, n, 2);
+}
+
+void stage_hi(int n)
+{
+    copyscale(out_, aux_, n, 3);
+}
+
+int chain_run(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        src_[i] = i & 31;
+        aux_[i] = (i * 5) & 31;
+    }
+    stage_lo(n);
+    stage_hi(n);
+    int s = 0;
+    for (i = 0; i < n; i++)
+        s += mid_[i] + out_[i];
+    return s;
+}
+)";
+
+// ---------------------------------------------------------------------
+// Recursive divide-and-conquer reducer: a self-recursive read-only
+// callee (an SCC in the call graph, summarized by fixpoint) bracketed
+// by writes to a disjoint log array, so the calls around the recursion
+// stay prunable even though the callee is cyclic.
+// ---------------------------------------------------------------------
+const char* kRecSumSrc = R"(
+int tree_[1024];
+int log_[64];
+
+void touch(int* t, int d)
+{
+    t[d] += 1;
+}
+
+int redsum(int* v, int lo, int hi)
+{
+    if (hi - lo <= 1)
+        return v[lo];
+    int mid = lo + (hi - lo) / 2;
+    return redsum(v, lo, mid) + redsum(v, mid, hi);
+}
+
+int recsum_run(int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        tree_[i] = (i * 7) % 13;
+    for (i = 0; i < 64; i++)
+        log_[i] = 0;
+    touch(log_, 1);
+    int s = redsum(tree_, 0, n);
+    touch(log_, 2);
+    return s + log_[1] + log_[2];
+}
+)";
+
 std::vector<Kernel>
 makeSuite()
 {
@@ -895,6 +1022,15 @@ makeSuite()
         kBoardSrc, "board_run", {19}, 0);
     add("vortexdb", "147.vortex", "record-store upserts",
         kRecordSrc, "record_run", {256}, 0);
+    add("helperdot", "gsm_e", "dot/scale helpers over disjoint "
+        "buffers (interprocedural pruning target)",
+        kHelperDotSrc, "hdot_run", {256}, 0);
+    add("callchain", "epic_e", "two-level call chain through a shared "
+        "leaf (summary translation target)",
+        kCallChainSrc, "chain_run", {256}, 0);
+    add("recsum", "130.li", "recursive divide-and-conquer reducer "
+        "(call-graph SCC fixpoint target)",
+        kRecSumSrc, "recsum_run", {256}, 0);
     return suite;
 }
 

@@ -92,6 +92,18 @@ struct Instr
     // Call fields.
     const FuncDecl* callee = nullptr;
     std::vector<Operand> args;
+    /**
+     * Per-argument points-to sets at this call site (parallel to
+     * `args`; empty set for scalar arguments).  Captured by the
+     * points-to attach phase so the interprocedural MOD/REF pass
+     * (analysis/modref.h) can translate callee summaries into the
+     * caller's location space.
+     */
+    std::vector<LocationSet> argPts;
+    /** Call-site effective effect sets (analysis/modref.h). */
+    LocationSet callReads, callWrites;
+    /** True once modref stamped callReads/callWrites. */
+    bool callEffectsValid = false;
 
     SourceLoc loc;
 

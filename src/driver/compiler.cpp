@@ -3,6 +3,7 @@
 
 #include "driver/compiler.h"
 
+#include "analysis/interproc.h"
 #include "analysis/points_to.h"
 #include "cfg/lower.h"
 #include "frontend/parser.h"
@@ -115,10 +116,23 @@ compileSource(const std::string& source, const CompileOptions& options)
         ScopedTimer t(tracer, "points-to", "frontend");
         runPointsTo(*r.cfg, *r.ast, *r.layout);
     }
+    // Whole-program MOD/REF summaries: always computed (reporting is
+    // level-independent); the per-call-site stamps that construction
+    // and the pruning pass consume are only planted when the ipo knob
+    // is on at Full.
+    const bool interprocActive = options.interproc &&
+                                 options.level == OptLevel::Full &&
+                                 options.pointsToInConstruction;
+    {
+        ScopedTimer t(tracer, "modref", "frontend");
+        r.summaries = std::make_shared<ModRefSummaries>(
+            computeModRef(*r.cfg, *r.layout, interprocActive));
+    }
 
     BuildOptions bo;
     bo.usePointsTo =
         options.pointsToInConstruction && options.level != OptLevel::None;
+    bo.interprocEffects = interprocActive;
     {
         ScopedTimer t(tracer, "build-pegasus", "frontend");
         r.graphs = buildPegasus(*r.cfg, *r.ast, *r.layout, bo);
@@ -131,12 +145,28 @@ compileSource(const std::string& source, const CompileOptions& options)
     // analysis inputs (alias oracle, layout) are immutable from here
     // on.  Workers write only their own function's graph and slot.
     // ------------------------------------------------------------------
-    const std::vector<std::string> pipelineNames =
+    std::vector<std::string> pipelineNames =
         options.passNames.empty() ? standardPipelineNames(options.level)
                                   : options.passNames;
+    // ipo=off drops the pruning pass from the *default* pipeline; an
+    // explicit --passes list runs exactly as written.
+    if (options.passNames.empty() && !options.interproc)
+        pipelineNames.erase(
+            std::remove(pipelineNames.begin(), pipelineNames.end(),
+                        std::string("interproc_token_pruning")),
+            pipelineNames.end());
     // Resolve the spec up front so unknown names fail before any
     // worker starts.
     PassRegistry::global().createPipeline(pipelineNames);
+
+    // Independent interprocedural model for the per-pass ordering
+    // checker: derived from the construction-time graphs (a sound
+    // over-approximation of every later pipeline stage), shared
+    // immutably by all workers.
+    std::unique_ptr<InterprocModel> interprocModel;
+    if (options.orderingChecks)
+        interprocModel = std::make_unique<InterprocModel>(
+            r.graphPtrs(), r.cfg->paramLocation, *r.layout);
 
     int jobs = options.numJobs > 0 ? options.numJobs
                                    : ThreadPool::hardwareConcurrency();
@@ -198,6 +228,7 @@ compileSource(const std::string& source, const CompileOptions& options)
         ctx.tracer = traceOn ? &slot.trace : nullptr;
         ctx.verifyAfterEachPass = options.verify;
         ctx.checkOrdering = options.orderingChecks;
+        ctx.interproc = interprocModel.get();
         ctx.isolatePasses = !options.strict;
         ctx.failures = &slot.failures;
         ctx.faults = faults;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/modref.h"
 #include "cfg/cfg.h"
 #include "frontend/ast.h"
 #include "frontend/layout.h"
@@ -97,6 +98,16 @@ struct CompileOptions
      * turns it on together with the structural verifier.
      */
     bool orderingChecks = false;
+    /**
+     * Interprocedural optimization: consume whole-program MOD/REF
+     * summaries during construction and run `interproc_token_pruning`
+     * in the Full pipeline (the TargetSpec `ipo` knob).  Off: calls
+     * keep their conservative Top effects and the pruning pass is
+     * dropped from the default pipeline (an explicit `passNames` list
+     * is honored as given).  Summaries are still computed for
+     * reporting either way.
+     */
+    bool interproc = true;
 
     // -- fluent builder -----------------------------------------------
     CompileOptions& opt(OptLevel l) { level = l; return *this; }
@@ -124,6 +135,11 @@ struct CompileOptions
         faults = plan;
         return *this;
     }
+    CompileOptions& interprocOpt(bool on)
+    {
+        interproc = on;
+        return *this;
+    }
 };
 
 /** Everything produced by one compilation. */
@@ -134,6 +150,12 @@ struct CompileResult
     std::unique_ptr<CfgProgram> cfg;
     /** One Pegasus graph per function, in declaration order. */
     std::vector<std::unique_ptr<Graph>> graphs;
+    /**
+     * Whole-program MOD/REF summaries (analysis/modref.h), computed at
+     * every level — `cashc --dump-summaries` and the stats-JSON
+     * `analysis.summaries` block render from here.
+     */
+    std::shared_ptr<ModRefSummaries> summaries;
     StatSet stats;
     /**
      * Structured diagnostics from isolated pass failures, in

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "analysis/interproc.h"
 #include "pegasus/dot.h"
 #include "service/protocol.h"
 #include "support/strings.h"
@@ -87,6 +88,7 @@ runDriverRequest(const DriverRequest& req)
     opts.orderingChecks = req.orderingChecks;
     opts.faults = req.faults;
     opts.tracer = req.tracer;
+    opts.interproc = req.target.interproc;
 
     try {
         CompileResult r = compileSource(req.source, opts);
@@ -104,12 +106,22 @@ runDriverRequest(const DriverRequest& req)
         if (req.wantDot)
             for (const auto& g : r.graphs)
                 rep.dot += toDot(*g);
+        if (req.dumpSummaries && r.summaries) {
+            rep.summariesText = r.summaries->dump();
+            rep.summariesJson = r.summaries->json();
+        }
 
         if (req.analyze) {
+            // Fresh interprocedural model over the *final* graphs: the
+            // checker-side re-derivation that independently re-proves
+            // every pruned cross-call edge (analysis/interproc.h).
+            InterprocModel interprocModel(
+                r.graphPtrs(), r.cfg->paramLocation, *r.layout);
             LintContext lctx;
             lctx.oracle = &r.cfg->oracle;
             lctx.layout = r.layout.get();
             lctx.stats = &rep.compileStats;
+            lctx.interproc = &interprocModel;
             if (req.tracer && req.tracer->enabled())
                 lctx.tracer = req.tracer;
             LintReport report =
@@ -230,12 +242,24 @@ statsJsonDocument(const DriverReply& rep, const StatsJsonMeta& meta,
                << (d + 1 < rep.diagnostics.size() ? ",\n" : "\n");
         os << "  ],\n";
     }
-    if (rep.ranAnalysis) {
-        os << "  \"analysis\": {\n    \"findings\": [";
-        for (size_t f = 0; f < rep.findings.size(); f++)
-            os << (f ? ",\n      " : "\n      ")
-               << rep.findings[f].json();
-        os << (rep.findings.empty() ? "]" : "\n    ]") << "\n  },\n";
+    if (rep.ranAnalysis || !rep.summariesJson.empty()) {
+        os << "  \"analysis\": {";
+        bool needComma = false;
+        if (rep.ranAnalysis) {
+            os << "\n    \"findings\": [";
+            for (size_t f = 0; f < rep.findings.size(); f++)
+                os << (f ? ",\n      " : "\n      ")
+                   << rep.findings[f].json();
+            os << (rep.findings.empty() ? "]" : "\n    ]");
+            needComma = true;
+        }
+        if (!rep.summariesJson.empty()) {
+            // Pre-rendered ModRefSummaries::json() object body
+            // (docs/SCHEMAS.md, `analysis.summaries`).
+            os << (needComma ? ",\n    " : "\n    ")
+               << "\"summaries\": " << rep.summariesJson;
+        }
+        os << "\n  },\n";
     }
     const StatSet compile =
         deterministic ? stripWallClock(rep.compileStats)

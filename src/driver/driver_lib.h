@@ -73,6 +73,9 @@ struct DriverRequest
     bool wantCfg = false;
     bool wantGraphText = false;
     bool wantDot = false;
+    /** Render the MOD/REF summaries (`cashc --dump-summaries`; also
+     *  turns on the stats-JSON `analysis.summaries` block). */
+    bool dumpSummaries = false;
 
     /** Deterministic fault injection (testing); may be null. */
     const FaultPlan* faults = nullptr;
@@ -115,6 +118,10 @@ struct DriverReply
     std::string cfgText;
     std::string graphText;
     std::string dot;
+    /** MOD/REF summary dump (text form); empty unless requested. */
+    std::string summariesText;
+    /** `analysis.summaries` JSON body; empty unless requested. */
+    std::string summariesJson;
 
     /** FatalError message; empty on non-fatal runs. */
     std::string fatal;

@@ -19,6 +19,10 @@
  *     --list-passes         print registered pass names and exit
  *     --dump-cfg            print the three-address CFG
  *     --dump-graph          print the Pegasus graphs (text)
+ *     --dump-summaries      print the whole-program MOD/REF summaries
+ *                           (per-function sets + per-call-site resolved
+ *                           effects; also adds `analysis.summaries` to
+ *                           --stats-json, docs/SCHEMAS.md)
  *     --dot                 print Graphviz dot for all graphs
  *     --run f(a,b,...)      simulate calling f with integer args
  *     --target SPEC         the full compile/simulate target in one
@@ -86,7 +90,7 @@ usage()
         "usage: cashc [-O none|medium|full | -O0..-O3] [-j N]\n"
         "             [--passes=a,b,c]\n"
         "             [--list-passes] [--dump-cfg] [--dump-graph]"
-        " [--dot]\n"
+        " [--dump-summaries] [--dot]\n"
         "             [--run 'f(1,2)'] [--mem perfect|real1|real2|real4]"
         " [--stats]\n"
         "             [--engine event|macro]"
@@ -160,6 +164,8 @@ main(int argc, char** argv)
             req.wantCfg = true;
         } else if (arg == "--dump-graph") {
             req.wantGraphText = true;
+        } else if (arg == "--dump-summaries") {
+            req.dumpSummaries = true;
         } else if (arg == "--dot") {
             req.wantDot = true;
         } else if (arg == "--trace" && i + 1 < argc) {
@@ -275,7 +281,8 @@ main(int argc, char** argv)
                   << " pass failure(s) rolled back; output may be"
                      " less optimized\n";
 
-    std::cout << rep.cfgText << rep.graphText << rep.dot;
+    std::cout << rep.cfgText << rep.graphText << rep.summariesText
+              << rep.dot;
 
     if (rep.ranAnalysis) {
         for (const LintFinding& f : rep.findings)
@@ -321,9 +328,9 @@ main(int argc, char** argv)
             meta.run = req.runSpec;
             meta.mem = req.target.mem;
             meta.level = req.target.level;
-            // Only non-default fabrics surface the target string, so
+            // Only non-default targets surface the target string, so
             // idealized-fabric documents keep their historical bytes.
-            if (!req.target.fabric.trivial())
+            if (!req.target.fabric.trivial() || !req.target.interproc)
                 meta.target = req.target.str();
             os << statsJsonDocument(rep, meta);
         }

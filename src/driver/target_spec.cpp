@@ -80,10 +80,19 @@ TargetSpec::setField(const std::string& key, const std::string& value)
         Status st = FabricModel::parse(value, &fabric);
         if (!st)
             return fieldError(st);
+    } else if (key == "ipo") {
+        if (value == "on" || value == "true" || value == "1")
+            interproc = true;
+        else if (value == "off" || value == "false" || value == "0")
+            interproc = false;
+        else
+            return fieldError(Status::error(
+                ErrorCode::InternalError,
+                "unknown ipo setting '" + value + "' (want on|off)"));
     } else {
         return Status::error(ErrorCode::InternalError,
                              "unknown target field '" + key +
-                                 "' (want opt|mem|engine|fabric)");
+                                 "' (want opt|mem|engine|fabric|ipo)");
     }
     return Status::ok();
 }
@@ -127,6 +136,10 @@ TargetSpec::str() const
 {
     std::string s = std::string("opt=") + optLevelName(level) +
                     ",mem=" + mem + ",engine=" + engine;
+    // Non-default only: default targets keep their historical spec
+    // strings (and with them their service cache keys) byte-identical.
+    if (!interproc)
+        s += ",ipo=off";
     if (fabric != FabricModel())
         s += ",fabric=" + fabric.str();
     return s;

@@ -53,6 +53,13 @@ struct TargetSpec
     std::string engine = "macro";
     /** Tiled fabric; default (1x1) is the paper's idealized fabric. */
     FabricModel fabric;
+    /**
+     * Interprocedural optimization (`ipo=on|off`): whole-program
+     * MOD/REF summaries feeding construction and the
+     * `interproc_token_pruning` pass.  On by default; only effective
+     * at opt=full (docs/FABRIC.md, docs/ANALYSIS.md).
+     */
+    bool interproc = true;
 
     /**
      * Parse the comma grammar (`opt=...,mem=...,engine=...,
@@ -92,12 +99,13 @@ struct TargetSpec
     TargetSpec& memSystem(std::string m) { mem = std::move(m); return *this; }
     TargetSpec& simEngine(std::string e) { engine = std::move(e); return *this; }
     TargetSpec& fabricModel(FabricModel f) { fabric = f; return *this; }
+    TargetSpec& interprocOpt(bool on) { interproc = on; return *this; }
 
     bool
     operator==(const TargetSpec& o) const
     {
         return level == o.level && mem == o.mem && engine == o.engine &&
-               fabric == o.fabric;
+               fabric == o.fabric && interproc == o.interproc;
     }
     bool operator!=(const TargetSpec& o) const { return !(*this == o); }
 };

@@ -45,7 +45,9 @@ usage(const char* msg = nullptr)
         "\n"
         "Campaign:\n"
         "  --seeds A..B        inclusive seed range (default 1..100)\n"
-        "  --profile NAME      small|medium|large|mixed (default mixed)\n"
+        "  --profile NAME      small|medium|large|calls|mixed\n"
+        "                      (default mixed; calls = interprocedural\n"
+        "                      stress: many helpers + recursion)\n"
         "  -j, --jobs N        worker threads (default: hardware)\n"
         "  --stop-after N      stop scheduling after N violations\n"
         "\n"

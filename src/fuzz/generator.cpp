@@ -61,6 +61,36 @@ largeProfile()
     return p;
 }
 
+/**
+ * Interprocedural stress family: many helper functions, pointer
+ * parameters and recursion all on, with modest bodies so the dynamic
+ * work goes into call boundaries rather than loop trip counts.  This
+ * is the soak profile for the MOD/REF summary layer: lots of
+ * cross-call token edges for `interproc_token_pruning` to consider
+ * (docs/FUZZING.md, "calls").
+ */
+GenProfile
+callsProfile()
+{
+    GenProfile p;
+    p.name = "calls";
+    p.minFunctions = 5;
+    p.maxFunctions = 9;
+    p.minStmts = 2;
+    p.maxStmts = 5;
+    p.maxExprDepth = 3;
+    p.maxBlockDepth = 2;
+    p.maxLoopTrips = 8;
+    p.maxArrays = 4;
+    p.arrayElems = 32;
+    p.maxGlobals = 3;
+    p.pointers = true;
+    p.recursion = true;
+    p.maxRecursionDepth = 6;
+    p.workBudget = 150000;
+    return p;
+}
+
 } // namespace
 
 GenProfile
@@ -72,13 +102,15 @@ GenProfile::byName(const std::string& name)
         return mediumProfile();
     if (name == "large")
         return largeProfile();
+    if (name == "calls")
+        return callsProfile();
     if (name == "mixed") {
         GenProfile p = smallProfile();
         p.name = "mixed";
         return p;
     }
     fatal("unknown fuzz profile '" + name +
-          "' (known: small, medium, large, mixed)");
+          "' (known: small, medium, large, calls, mixed)");
 }
 
 // ---------------------------------------------------------------------

@@ -87,9 +87,11 @@ struct GenProfile
 
     /**
      * small | medium | large — fixed knob sets of increasing size —
-     * or mixed, which picks one of the three per seed (the soak
-     * default: one seed range covers all families).  Fatal on unknown
-     * names, listing the valid ones.
+     * calls — a multi-function family (many helpers, pointer
+     * parameters, recursion) that stresses the interprocedural
+     * MOD/REF layer — or mixed, which picks one of small/medium/large
+     * per seed (the soak default: one seed range covers all
+     * families).  Fatal on unknown names, listing the valid ones.
      */
     static GenProfile byName(const std::string& name);
 };

@@ -75,6 +75,14 @@ buildMatrix(const SoakConfig& cfg, std::vector<TargetCase>* out)
     ev.analyze = false;
     out->push_back(ev);
 
+    // Pruning-on vs. pruning-off differential: the interprocedural
+    // token pruning (default-on at Full) must never change results.
+    TargetCase noipo = o3;
+    noipo.label = "O3-noipo";
+    noipo.spec.interproc = false;
+    noipo.analyze = false;
+    out->push_back(noipo);
+
     if (!cfg.fabric.empty()) {
         TargetCase fb = o3;
         fb.label = "O3-fabric";

@@ -4,8 +4,8 @@
  *
  * One *case* is one generated program pushed through a fixed matrix
  * of targets — unoptimized vs. optimized, macro vs. event engine,
- * tiled fabric vs. idealized, -j1 vs. -jN — with three cross-checks
- * on the results:
+ * interprocedural pruning on vs. off (ipo), tiled fabric vs.
+ * idealized, -j1 vs. -jN — with three cross-checks on the results:
  *
  *   Oracle A (semantics):  every target agrees on the simulation
  *     outcome, every Ok target agrees on the return value, and the

@@ -65,6 +65,7 @@ void registerLoopInvariantPass(PassRegistry&);
 void registerReadonlySplitPass(PassRegistry&);
 void registerMonotonePipeliningPass(PassRegistry&);
 void registerLoopDecouplingPass(PassRegistry&);
+void registerInterprocTokenPruningPass(PassRegistry&);
 
 namespace {
 
@@ -98,6 +99,7 @@ PassRegistry::global()
         registerReadonlySplitPass(*r);         // §6.1
         registerMonotonePipeliningPass(*r);    // §6.2
         registerLoopDecouplingPass(*r);        // §6.3
+        registerInterprocTokenPruningPass(*r); // whole-program MOD/REF
         return r;
     }();
     return *registry;
@@ -171,9 +173,11 @@ standardPipelineNames(OptLevel level)
                   "transitive_reduction", "monotone_pipelining"});
 
     if (level == OptLevel::Full) {
-        // Redundancy elimination (§5), then loop pipelining (§6).
+        // Cross-call token pruning (whole-program MOD/REF), then
+        // redundancy elimination (§5), then loop pipelining (§6).
         names.insert(names.end(),
-                     {"memory_merge", "store_forwarding", "dead_store",
+                     {"interproc_token_pruning", "memory_merge",
+                      "store_forwarding", "dead_store",
                       "loop_invariant", "readonly_split",
                       "loop_decoupling"});
     }
@@ -290,7 +294,8 @@ runIsolated(Pass& pass, Graph& g, OptContext& ctx, int round,
             // accepts any well-formed graph, but a pass can be
             // well-formed and still have dropped an ordering edge.
             std::vector<LintFinding> findings;
-            OrderingChecker checker(g, ctx.oracle, ctx.layout);
+            OrderingChecker checker(g, ctx.oracle, ctx.layout,
+                                    ctx.interproc);
             checker.check(findings);
             if (!findings.empty()) {
                 fail.code = ErrorCode::AnalysisError;

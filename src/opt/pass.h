@@ -33,6 +33,8 @@
 
 namespace cash {
 
+class InterprocModel;
+
 /**
  * Structured diagnostic for one failed pass run: the pass either threw
  * (ErrorCode::PassError) or left the graph in a state the verifier
@@ -82,6 +84,14 @@ struct OptContext
      * isolation (ErrorCode::AnalysisError), fatal in strict mode.
      */
     bool checkOrdering = false;
+    /**
+     * Shared, immutable: interprocedural effect model for the
+     * ordering checker (analysis/interproc.h).  When set, per-pass
+     * checks resolve call effects per call site instead of Top — the
+     * mode that keeps `interproc_token_pruning` honest under
+     * --verify-each-pass.  Null = calls stay conservative.
+     */
+    const InterprocModel* interproc = nullptr;
     /**
      * Fault isolation: snapshot the graph before each pass; on a pass
      * throwing or failing verification, roll back to the snapshot,

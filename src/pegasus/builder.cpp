@@ -445,7 +445,22 @@ class GraphBuilder
               case InstrKind::Call: {
                 Node* n = g_->newNode(NodeKind::Call, VT::Word, hb.id);
                 n->callee = i.callee;
-                n->rwSet = LocationSet::top();
+                n->callReads = i.callReads;
+                n->callWrites = i.callWrites;
+                n->callEffectsValid = i.callEffectsValid;
+                // With valid MOD/REF stamps the call enters the
+                // conflict screen with its resolved effect sets (and
+                // counts as a reader when its callee writes nothing);
+                // otherwise it keeps the conservative Top.
+                const bool refined = opts_.interprocEffects &&
+                                     opts_.usePointsTo &&
+                                     i.callEffectsValid;
+                LocationSet rw = LocationSet::top();
+                if (refined) {
+                    rw = i.callReads;
+                    rw.unionWith(i.callWrites);
+                }
+                n->rwSet = rw;
                 n->partition = -1;
                 n->loc = i.loc;
                 g_->addInput(n, blockPred_.at(b));
@@ -455,7 +470,8 @@ class GraphBuilder
                 if (i.dst >= 0)
                     outMap_[b][i.dst] = {n, 0};
                 tops_.push_back({n, b, static_cast<int>(tops_.size()),
-                                 false, LocationSet::top(), -1});
+                                 refined && i.callWrites.empty(), rw,
+                                 -1});
                 break;
               }
             }

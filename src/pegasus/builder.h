@@ -36,6 +36,15 @@ struct BuildOptions
      * and the unoptimized baseline of Figure 19).
      */
     bool usePointsTo = true;
+    /**
+     * Consume the per-call-site effect stamps left by the
+     * interprocedural MOD/REF analysis (analysis/modref.h): call
+     * nodes carry their resolved read/write sets into the token
+     * insertion's conflict screen instead of Top, so disjoint
+     * cross-call accesses never get a direct ordering edge.  Only
+     * effective when usePointsTo is also on and the stamps are valid.
+     */
+    bool interprocEffects = false;
 };
 
 /** Build Pegasus graphs for every function of @p cfg. */

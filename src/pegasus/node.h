@@ -110,6 +110,15 @@ class Node
     int memId = -1;             ///< Stable id of the source access.
 
     const FuncDecl* callee = nullptr;  ///< For Call nodes.
+    /**
+     * Call nodes: per-call-site effective effect sets resolved by the
+     * interprocedural MOD/REF analysis (analysis/modref.h), copied
+     * from the lowered call Instr by the builder.  Valid only when
+     * callEffectsValid; consumed by the `interproc_token_pruning`
+     * pass and the per-pass ordering checker.
+     */
+    LocationSet callReads, callWrites;
+    bool callEffectsValid = false;
     int tkCount = 0;            ///< n for TokenGen tk(n).
     /**
      * Merge nodes in loop headers are mu-nodes: this input slot holds

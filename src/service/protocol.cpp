@@ -299,7 +299,8 @@ parseSvcRequest(const Json& j, SvcRequest* out)
             if (!ts)
                 return badRequest("options.target: " + ts.message());
         } else if (v->isObject()) {
-            for (const char* key : {"opt", "mem", "engine", "fabric"}) {
+            for (const char* key :
+                 {"opt", "mem", "engine", "fabric", "ipo"}) {
                 const Json* f = v->get(key);
                 if (!f)
                     continue;
@@ -426,7 +427,8 @@ svcResultBody(const SvcRequest& req, const DriverReply& rep)
     meta.run = req.driver.runSpec;
     meta.mem = req.driver.target.mem;
     meta.level = req.driver.target.level;
-    if (!req.driver.target.fabric.trivial())
+    if (!req.driver.target.fabric.trivial() ||
+        !req.driver.target.interproc)
         meta.target = req.driver.target.str();
 
     Json statsDoc;

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Checker-side interprocedural model (analysis/interproc.h), the
+ * `interproc_token_pruning` pass, the summary-divergence and
+ * prunable-call-edge lints, and the TargetSpec `ipo` knob.
+ *
+ * The model is the independent rederivation that `cashc --analyze`
+ * uses to re-prove every pruned edge safe, so these tests deliberately
+ * cross-check it against the optimizer's stamped summaries instead of
+ * trusting either side alone.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/interproc.h"
+#include "analysis/lint.h"
+#include "analysis/modref.h"
+#include "driver/target_spec.h"
+#include "test_util.h"
+
+using namespace cash;
+
+namespace {
+
+// Two helpers with disjoint write sets that share a read-only
+// coefficient table: the union-rw construction rule keeps the
+// cross-call edges (kco_ overlaps), the fine-grained pruning pass
+// removes them (no write/read or write/write overlap).
+const char* kShareReadSrc = R"(
+int ga_[16];
+int gb_[16];
+int kco_[4];
+
+void scale(int* v, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        v[i] = v[i] * kco_[i & 3];
+}
+
+int total(int* v, int n)
+{
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++)
+        s += v[i];
+    return s;
+}
+
+int run(int n)
+{
+    int i;
+    for (i = 0; i < 4; i++)
+        kco_[i] = i + 1;
+    for (i = 0; i < n; i++) {
+        ga_[i] = i;
+        gb_[i] = i + 1;
+    }
+    scale(ga_, n);
+    scale(gb_, n);
+    return total(ga_, n) + total(gb_, n);
+}
+)";
+
+int
+globalLoc(const CompileResult& r, const std::string& name)
+{
+    for (const MemObject& obj : r.layout->objects())
+        if (obj.isGlobal && obj.name == name)
+            return obj.id;
+    ADD_FAILURE() << "no global named " << name;
+    return -1;
+}
+
+bool
+setContains(const LocationSet& s, int loc)
+{
+    if (s.isTop())
+        return true;
+    const auto& locs = s.locations();
+    return std::find(locs.begin(), locs.end(), loc) != locs.end();
+}
+
+bool
+subsetOf(const LocationSet& a, const LocationSet& b)
+{
+    if (b.isTop())
+        return true;
+    if (a.isTop())
+        return false;
+    for (int loc : a.locations())
+        if (!setContains(b, loc))
+            return false;
+    return true;
+}
+
+InterprocModel
+modelFor(const CompileResult& r)
+{
+    return InterprocModel(r.graphPtrs(), r.cfg->paramLocation,
+                          *r.layout);
+}
+
+LintReport
+lint(const CompileResult& r, const InterprocModel* model,
+     const std::vector<std::string>& rules = {})
+{
+    LintContext ctx;
+    ctx.oracle = &r.cfg->oracle;
+    ctx.layout = r.layout.get();
+    ctx.interproc = model;
+    return runLints(r.graphPtrs(), ctx, rules);
+}
+
+std::vector<Node*>
+callsTo(const CompileResult& r, const std::string& graphName,
+        const std::string& callee)
+{
+    std::vector<Node*> out;
+    for (const auto& g : r.graphs) {
+        if (g->name != graphName)
+            continue;
+        g->forEach([&](Node* n) {
+            if (n->kind == NodeKind::Call && n->callee &&
+                n->callee->name == callee)
+                out.push_back(n);
+        });
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Interproc, CallEffectsResolveAgainstOptimizedGraph)
+{
+    CompileResult r = compileSource(kShareReadSrc);
+    InterprocModel model = modelFor(r);
+    const int ga = globalLoc(r, "ga_");
+    const int gb = globalLoc(r, "gb_");
+    const int kco = globalLoc(r, "kco_");
+
+    const Graph* run = r.graph("run");
+    ASSERT_TRUE(run);
+
+    // Each scale call writes exactly one of the two arrays, never the
+    // coefficient table, and the model can tell the two sites apart
+    // even on the fully optimized (pruned) graph.
+    std::vector<Node*> scales = callsTo(r, "run", "scale");
+    ASSERT_EQ(scales.size(), 2u);
+    bool sawGa = false, sawGb = false;
+    for (const Node* call : scales) {
+        LocationSet writes = model.callWriteSet(*run, call);
+        LocationSet reads = model.callReadSet(*run, call);
+        ASSERT_FALSE(writes.isTop());
+        ASSERT_FALSE(reads.isTop());
+        EXPECT_FALSE(setContains(writes, kco));
+        EXPECT_TRUE(setContains(reads, kco));
+        EXPECT_NE(setContains(writes, ga), setContains(writes, gb));
+        sawGa = sawGa || setContains(writes, ga);
+        sawGb = sawGb || setContains(writes, gb);
+    }
+    EXPECT_TRUE(sawGa);
+    EXPECT_TRUE(sawGb);
+
+    for (const Node* call : callsTo(r, "run", "total"))
+        EXPECT_TRUE(model.callWriteSet(*run, call).empty());
+}
+
+TEST(Interproc, RederivationIsCoveredByOptimizerStamps)
+{
+    // The summary-divergence invariant, checked directly: on every
+    // stamped call the independent model's sets are subsets of what
+    // the optimizer stamped (equality is not required — the two sides
+    // may over-approximate differently, but the stamp that
+    // optimizations consumed must cover the rederivation).
+    CompileResult r = compileSource(kShareReadSrc);
+    InterprocModel model = modelFor(r);
+    for (const auto& g : r.graphs)
+        g->forEach([&](Node* n) {
+            if (n->kind != NodeKind::Call || !n->callEffectsValid)
+                return;
+            EXPECT_TRUE(
+                subsetOf(model.callReadSet(*g, n), n->callReads))
+                << g->name << " n" << n->id;
+            EXPECT_TRUE(
+                subsetOf(model.callWriteSet(*g, n), n->callWrites))
+                << g->name << " n" << n->id;
+        });
+}
+
+TEST(Interproc, PruningFiresAndKeepsGraphsCheckable)
+{
+    CompileResult r = compileSource(kShareReadSrc);
+    EXPECT_GT(r.stats.get("opt.interproc_token_pruning.pruned_edges"),
+              0);
+
+    // With the interprocedural model the full battery re-proves the
+    // pruned graphs sound; without it (calls at Top) the same graphs
+    // are *not* provable — which is exactly why the checker had to be
+    // extended interprocedurally.
+    InterprocModel model = modelFor(r);
+    EXPECT_EQ(lint(r, &model).errors(), 0);
+    EXPECT_GT(lint(r, nullptr).errors(), 0);
+}
+
+TEST(Interproc, PruningPreservesResults)
+{
+    CompileResult on = compileSource(kShareReadSrc);
+    CompileResult off = compileSource(
+        kShareReadSrc, CompileOptions().interprocOpt(false));
+    EXPECT_EQ(off.stats.get("opt.interproc_token_pruning.pruned_edges"),
+              0);
+
+    MemConfig mem = MemConfig::realistic(2);
+    DataflowSimulator simOn(on.graphPtrs(), *on.layout, mem);
+    DataflowSimulator simOff(off.graphPtrs(), *off.layout, mem);
+    SimResult a = simOn.run("run", {12});
+    SimResult b = simOff.run("run", {12});
+    EXPECT_EQ(a.returnValue, b.returnValue);
+    EXPECT_EQ(a.returnValue,
+              testutil::interpret(kShareReadSrc, "run", {12}));
+    // The whole point: the pruned program is strictly more parallel.
+    EXPECT_LE(a.cycles, b.cycles);
+}
+
+TEST(Interproc, PrunableCallEdgeLintFlagsUnprunedGraphs)
+{
+    // ipo=off keeps the serial cross-call chain; the info-severity
+    // lint must point at the edges interproc_token_pruning would drop.
+    CompileResult off = compileSource(
+        kShareReadSrc, CompileOptions().interprocOpt(false));
+    InterprocModel offModel = modelFor(off);
+    LintReport flagged =
+        lint(off, &offModel, {"prunable-call-edge"});
+    EXPECT_GT(flagged.infos(), 0);
+    EXPECT_EQ(flagged.errors(), 0);
+    for (const LintFinding& f : flagged.findings)
+        EXPECT_EQ(f.rule, "prunable-call-edge");
+
+    // On the default (pruned) graphs there is nothing left to flag.
+    CompileResult on = compileSource(kShareReadSrc);
+    InterprocModel onModel = modelFor(on);
+    EXPECT_EQ(lint(on, &onModel, {"prunable-call-edge"}).infos(), 0);
+}
+
+TEST(Interproc, SummaryDivergenceLintCatchesLyingStamps)
+{
+    CompileResult r = compileSource(kShareReadSrc);
+    InterprocModel model = modelFor(r);
+    EXPECT_EQ(lint(r, &model, {"summary-divergence"}).errors(), 0);
+
+    // Forge an optimizer stamp that claims a scale call writes
+    // nothing: the independent rederivation must catch the lie.
+    std::vector<Node*> scales = callsTo(r, "run", "scale");
+    ASSERT_FALSE(scales.empty());
+    scales[0]->callWrites = LocationSet();
+    LintReport report = lint(r, &model, {"summary-divergence"});
+    ASSERT_GT(report.errors(), 0);
+    EXPECT_EQ(report.findings[0].rule, "summary-divergence");
+    EXPECT_NE(report.findings[0].explanation.find("not covered"),
+              std::string::npos);
+}
+
+TEST(Interproc, LintRulesAreRegistered)
+{
+    std::vector<std::string> names = standardLintNames();
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "summary-divergence"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "prunable-call-edge"),
+              names.end());
+    EXPECT_TRUE(LintRegistry::global().has("summary_divergence"));
+    EXPECT_TRUE(LintRegistry::global().has("prunable-call-edge"));
+}
+
+TEST(Interproc, TargetSpecIpoKnob)
+{
+    // Default: on, and absent from the canonical string so every
+    // pre-existing cache key is unchanged.
+    TargetSpec def;
+    EXPECT_TRUE(def.interproc);
+    EXPECT_EQ(def.str().find("ipo"), std::string::npos);
+
+    TargetSpec t;
+    ASSERT_TRUE(
+        TargetSpec::parse("opt=full,mem=real2,ipo=off", &t).isOk());
+    EXPECT_FALSE(t.interproc);
+    EXPECT_NE(t.str().find("ipo=off"), std::string::npos);
+
+    // Round trip, and merge with last-setting-wins semantics.
+    TargetSpec again;
+    ASSERT_TRUE(TargetSpec::parse(t.str(), &again).isOk());
+    EXPECT_EQ(t, again);
+    ASSERT_TRUE(again.merge("ipo=on").isOk());
+    EXPECT_TRUE(again.interproc);
+
+    TargetSpec bad;
+    EXPECT_FALSE(bad.setField("ipo", "sometimes").isOk());
+    EXPECT_FALSE(TargetSpec::parse("ipo=2x2", &bad).isOk());
+}

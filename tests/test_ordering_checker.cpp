@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/interproc.h"
 #include "analysis/lint.h"
 #include "analysis/ordering_checker.h"
 #include "benchsuite/kernels.h"
@@ -26,9 +27,15 @@ LintReport
 lintCompiled(const CompileResult& r,
              const std::vector<std::string>& rules = {})
 {
+    // Mirror the driver's analyze path: the checker-side
+    // interprocedural model is rederived over the final graphs so
+    // calls get per-site effects instead of Top.
+    InterprocModel interproc(r.graphPtrs(), r.cfg->paramLocation,
+                             *r.layout);
     LintContext ctx;
     ctx.oracle = &r.cfg->oracle;
     ctx.layout = r.layout.get();
+    ctx.interproc = &interproc;
     return runLints(r.graphPtrs(), ctx, rules);
 }
 
